@@ -1,0 +1,61 @@
+// Command betsize prints the Block Erasing Table memory requirements of
+// Table 1, or of a custom device passed via flags.
+//
+// Usage:
+//
+//	betsize              # the paper's Table 1
+//	betsize -blocks 4096 -k 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashswl/internal/core"
+	"flashswl/internal/experiments"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 0, "print the BET size for this many blocks instead of Table 1")
+	k := flag.Int("k", 0, "BET mapping mode (one flag per 2^k blocks)")
+	mlc := flag.Bool("mlc", false, "size the table for MLC×2 (256 KB blocks); the paper notes the BET shrinks further on MLC")
+	flag.Parse()
+
+	if *blocks > 0 {
+		fmt.Printf("BET for %d blocks, k=%d: %d bytes\n", *blocks, *k, core.BETSizeBytes(*blocks, *k))
+		return
+	}
+	if *blocks < 0 {
+		fmt.Fprintln(os.Stderr, "betsize: -blocks must be positive")
+		os.Exit(2)
+	}
+	if *mlc {
+		// MLC×2 blocks are 256 KB (128 × 2 KB pages): half the blocks of
+		// SLC at each capacity, so half the table.
+		fmt.Println("BET size for MLC×2 flash memory (256 KB blocks)")
+		const blockSize = 256 << 10
+		fmt.Printf("%-6s", "")
+		for _, c := range experiments.Table1Capacities {
+			fmt.Printf("%10s", byteSize(c))
+		}
+		fmt.Println()
+		for kk := 0; kk < 4; kk++ {
+			fmt.Printf("k = %-2d", kk)
+			for _, c := range experiments.Table1Capacities {
+				fmt.Printf("%9dB", core.BETSizeBytes(int(c/blockSize), kk))
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fmt.Println("Table 1: BET size for SLC flash memory (128 KB blocks)")
+	fmt.Print(experiments.FormatTable1(experiments.Table1()))
+}
+
+func byteSize(n int64) string {
+	if n >= 1<<30 {
+		return fmt.Sprintf("%dGB", n>>30)
+	}
+	return fmt.Sprintf("%dMB", n>>20)
+}

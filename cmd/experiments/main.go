@@ -1,0 +1,137 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: the analytic Tables 1–3, the erase-distribution Table 4, and
+// Figures 5 (first failure time), 6 (extra block erases), and 7 (extra
+// live-page copyings), each for FTL and NFTL with the SW Leveler swept over
+// k and T.
+//
+// Usage:
+//
+//	experiments                  # everything, at the default (scaled) size
+//	experiments -only fig5       # one experiment: tab1..tab4, fig5..fig7
+//	experiments -quick           # miniature scale (seconds)
+//	experiments -full            # the paper's exact 1 GB configuration (very slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flashswl/internal/experiments"
+	"flashswl/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the miniature test scale")
+	full := flag.Bool("full", false, "use the paper's full 1 GB scale (hours of runtime)")
+	only := flag.String("only", "", "run a single experiment: tab1, tab2, tab2m, tab3, tab4, fig5, fig6, fig7")
+	seed := flag.Int64("seed", 0, "override the trace/leveler seed")
+	csv := flag.Bool("csv", false, "emit figures and Table 4 as CSV rows for plotting")
+	withDFTL := flag.Bool("dftl", false, "add the demand-paged DFTL layer to Figure 5 (beyond the paper)")
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	if *full {
+		sc = experiments.FullScale()
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	fmt.Printf("scale: %s — %s, endurance %d, T scale ×%g\n\n", sc.Name, sc.Geometry, sc.Endurance, sc.TFactor)
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	start := time.Now()
+
+	if want("tab1") {
+		fmt.Println("== Table 1: BET size for SLC flash memory ==")
+		fmt.Println(experiments.FormatTable1(experiments.Table1()))
+	}
+	if want("tab2") {
+		fmt.Println("== Table 2: worst-case increased ratio of block erases (1 GB MLC×2) ==")
+		fmt.Println(experiments.FormatTable2(experiments.Table2()))
+	}
+	if want("tab3") {
+		fmt.Println("== Table 3: worst-case increased ratio of live-page copyings (N=128) ==")
+		fmt.Println(experiments.FormatTable3(experiments.Table3()))
+	}
+	if want("tab2m") {
+		fmt.Println("== Table 2 validated in simulation (scaled Figure 4 scenario, dual-frontier FTL) ==")
+		fmt.Printf("%6s %6s %6s %12s %12s\n", "H", "C", "T", "predicted", "measured")
+		for _, cfg := range []struct {
+			h, c int
+			t    float64
+		}{{8, 56, 20}, {8, 56, 40}, {8, 56, 60}} {
+			pred, meas, err := experiments.Table2Measured(cfg.h, cfg.c, cfg.t, 8)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%6d %6d %6.0f %11.3f%% %11.3f%%\n", cfg.h, cfg.c, cfg.t, pred*100, meas*100)
+		}
+		fmt.Println()
+	}
+
+	if want("fig5") {
+		layers := []sim.LayerKind{sim.FTL, sim.NFTL}
+		if *withDFTL {
+			layers = append(layers, sim.DFTL)
+		}
+		for _, layer := range layers {
+			s, err := experiments.Figure5(sc, layer, experiments.PaperKs, experiments.PaperTs)
+			if err != nil {
+				fail(err)
+			}
+			if *csv {
+				fmt.Print(experiments.SeriesCSV("fig5", s, experiments.PaperKs, experiments.PaperTs))
+				continue
+			}
+			fmt.Println("== Figure 5: first failure time —", layer, "==")
+			fmt.Println(experiments.FormatSeries(s, fmt.Sprintf("Figure 5(%s)", layer), "simulated years", experiments.PaperKs, experiments.PaperTs))
+		}
+	}
+
+	if want("tab4") || want("fig6") || want("fig7") {
+		aged, err := experiments.RunAged(sc, experiments.PaperKs, experiments.PaperTs)
+		if err != nil {
+			fail(err)
+		}
+		if want("tab4") {
+			if *csv {
+				fmt.Print(experiments.Table4CSV(aged.Table4()))
+			} else {
+				fmt.Println("== Table 4: erase-count distribution after the aging span ==")
+				fmt.Println(experiments.FormatTable4(aged.Table4()))
+			}
+		}
+		if want("fig6") {
+			for _, layer := range []sim.LayerKind{sim.FTL, sim.NFTL} {
+				if *csv {
+					fmt.Print(experiments.SeriesCSV("fig6", aged.Figure6(layer), experiments.PaperKs, experiments.PaperTs))
+					continue
+				}
+				fmt.Println("== Figure 6: increased ratio of block erases —", layer, "==")
+				fmt.Println(experiments.FormatSeries(aged.Figure6(layer), fmt.Sprintf("Figure 6(%s)", layer), "% of baseline", experiments.PaperKs, experiments.PaperTs))
+			}
+		}
+		if want("fig7") {
+			for _, layer := range []sim.LayerKind{sim.FTL, sim.NFTL} {
+				if *csv {
+					fmt.Print(experiments.SeriesCSV("fig7", aged.Figure7(layer), experiments.PaperKs, experiments.PaperTs))
+					continue
+				}
+				fmt.Println("== Figure 7: increased ratio of live-page copyings —", layer, "==")
+				fmt.Println(experiments.FormatSeries(aged.Figure7(layer), fmt.Sprintf("Figure 7(%s)", layer), "% of baseline", experiments.PaperKs, experiments.PaperTs))
+			}
+		}
+	}
+
+	fmt.Printf("total runtime: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,239 @@
+// Command fatool manages a FAT16 file system on a simulated flash device
+// persisted as an image file — the full Figure 1 stack driven from the
+// shell. The image stores the raw NAND state (every page, spare area, and
+// erase count), so wear accumulates realistically across invocations.
+//
+// Usage:
+//
+//	fatool -img disk.img mkfs [-blocks 256] [-ppb 32] [-label NAME]
+//	fatool -img disk.img put LOCAL /REMOTE.TXT
+//	fatool -img disk.img get /REMOTE.TXT > out
+//	fatool -img disk.img ls [/DIR]
+//	fatool -img disk.img mkdir /DIR
+//	fatool -img disk.img rm /REMOTE.TXT
+//	fatool -img disk.img mv /OLD.TXT NEW.TXT
+//	fatool -img disk.img fsck [-repair]
+//	fatool -img disk.img info
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/fat"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+	"flashswl/internal/stats"
+)
+
+func main() {
+	img := flag.String("img", "", "flash image file (required)")
+	flag.Parse()
+	if *img == "" || flag.NArg() < 1 {
+		usage()
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := run(*img, cmd, args); err != nil {
+		fmt.Fprintf(os.Stderr, "fatool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fatool -img FILE {mkfs|put|get|ls|mkdir|rm|mv|fsck|info} [args]")
+	os.Exit(2)
+}
+
+func run(img, cmd string, args []string) error {
+	if cmd == "mkfs" {
+		return mkfs(img, args)
+	}
+	chip, fsys, err := open(img)
+	if err != nil {
+		return err
+	}
+	dirty := false
+	switch cmd {
+	case "put":
+		if len(args) != 2 {
+			usage()
+		}
+		var data []byte
+		if args[0] == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(args[0])
+		}
+		if err != nil {
+			return err
+		}
+		if err := fsys.WriteFile(args[1], data); err != nil {
+			return err
+		}
+		dirty = true
+	case "get":
+		if len(args) != 1 {
+			usage()
+		}
+		data, err := fsys.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	case "ls":
+		path := ""
+		if len(args) == 1 {
+			path = args[0]
+		}
+		entries, err := fsys.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			kind := "file"
+			if e.IsDir {
+				kind = "dir "
+			}
+			fmt.Printf("%s %10d  %s\n", kind, e.Size, e.Name)
+		}
+	case "mkdir":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := fsys.Mkdir(args[0]); err != nil {
+			return err
+		}
+		dirty = true
+	case "rm":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := fsys.Remove(args[0]); err != nil {
+			return err
+		}
+		dirty = true
+	case "mv":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := fsys.Rename(args[0], args[1]); err != nil {
+			return err
+		}
+		dirty = true
+	case "fsck":
+		c, err := fsys.Fsck()
+		if err != nil {
+			return err
+		}
+		fmt.Println(c.String())
+		if len(args) == 1 && args[0] == "-repair" && len(c.LostClusters) > 0 {
+			n := len(c.LostClusters)
+			if err := fsys.ReclaimLost(c); err != nil {
+				return err
+			}
+			fmt.Printf("reclaimed %d lost clusters\n", n)
+			dirty = true
+		}
+		if !c.Clean() {
+			fmt.Println("volume has inconsistencies (run fsck -repair to reclaim leaks)")
+		}
+	case "info":
+		g := chip.Geometry()
+		dist := stats.Summarize(chip.EraseCounts(nil))
+		fmt.Printf("device:   %s, endurance %d\n", g, chip.Endurance())
+		fmt.Printf("volume:   %d clusters × %d B, %d free\n",
+			fsys.TotalClusters(), fsys.ClusterSize(), fsys.FreeClusters())
+		fmt.Printf("wear:     %s\n", dist.String())
+		fmt.Printf("worn:     %d blocks past endurance\n", chip.WornBlocks())
+	default:
+		usage()
+	}
+	if dirty {
+		return save(img, chip)
+	}
+	return nil
+}
+
+// mkfs creates a fresh image with a formatted volume.
+func mkfs(img string, args []string) error {
+	fs := flag.NewFlagSet("mkfs", flag.ExitOnError)
+	blocks := fs.Int("blocks", 256, "flash blocks")
+	ppb := fs.Int("ppb", 32, "pages per block")
+	pageSize := fs.Int("pagesize", 2048, "page size in bytes")
+	endurance := fs.Int("endurance", 10_000, "erase endurance per block")
+	label := fs.String("label", "FLASHSWL", "volume label")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: *blocks, PagesPerBlock: *ppb, PageSize: *pageSize, SpareSize: 64},
+		Cell:      nand.MLC2,
+		Endurance: *endurance,
+		StoreData: true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{})
+	if err != nil {
+		return err
+	}
+	dev, err := blockdev.New(drv, *pageSize)
+	if err != nil {
+		return err
+	}
+	fsys, err := fat.Format(dev, fat.FormatOptions{Label: *label})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("formatted %s: %d clusters × %d B\n", *label, fsys.TotalClusters(), fsys.ClusterSize())
+	return save(img, chip)
+}
+
+// open loads the image and mounts the FTL and file system.
+func open(img string) (*nand.Chip, *fat.FS, error) {
+	f, err := os.Open(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	chip, err := nand.ReadImage(f, nand.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	drv, err := ftl.Mount(mtd.New(chip), ftl.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := blockdev.New(drv, chip.Geometry().PageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	fsys, err := fat.Mount(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	return chip, fsys, nil
+}
+
+// save writes the image atomically (temp file + rename).
+func save(img string, chip *nand.Chip) error {
+	tmp := img + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := chip.WriteImage(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, img)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFatoolEndToEnd drives every subcommand against a temp image file —
+// the same flow a user runs from the shell, with wear persisting between
+// invocations.
+func TestFatoolEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "disk.img")
+
+	if err := run(img, "mkfs", []string{"-blocks", "64", "-ppb", "16"}); err != nil {
+		t.Fatalf("mkfs: %v", err)
+	}
+	local := filepath.Join(dir, "local.txt")
+	if err := os.WriteFile(local, []byte("persisted across invocations"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(img, "put", []string{local, "/NOTE.TXT"}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := run(img, "mkdir", []string{"/DOCS"}); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := run(img, "put", []string{local, "/DOCS/COPY.TXT"}); err != nil {
+		t.Fatalf("nested put: %v", err)
+	}
+	if err := run(img, "ls", []string{"/"}); err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+	if err := run(img, "fsck", nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if err := run(img, "mv", []string{"/NOTE.TXT", "MOVED.TXT"}); err != nil {
+		t.Fatalf("mv: %v", err)
+	}
+	if err := run(img, "rm", []string{"/DOCS/COPY.TXT"}); err != nil {
+		t.Fatalf("rm: %v", err)
+	}
+	if err := run(img, "info", nil); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+
+	// The image survives: reopen and verify content via the library path.
+	chip, fsys, err := open(img)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	data, err := fsys.ReadFile("/MOVED.TXT")
+	if err != nil || !strings.Contains(string(data), "persisted") {
+		t.Fatalf("content after rename: %q, %v", data, err)
+	}
+	if _, err := fsys.Stat("/DOCS/COPY.TXT"); err == nil {
+		t.Fatal("removed file still present")
+	}
+	if chip.Stats().Programs != 0 {
+		t.Fatal("freshly loaded image should report zero new programs")
+	}
+}
+
+func TestFatoolErrors(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "disk.img")
+	if err := run(img, "ls", nil); err == nil {
+		t.Error("ls on a missing image must fail")
+	}
+	if err := run(img, "mkfs", []string{"-blocks", "2"}); err == nil {
+		t.Error("mkfs on a 2-block device must fail (no slack)")
+	}
+	if err := run(img, "mkfs", nil); err != nil {
+		t.Fatalf("mkfs: %v", err)
+	}
+	if err := run(img, "get", []string{"/MISSING.TXT"}); err == nil {
+		t.Error("get of a missing file must fail")
+	}
+	if err := run(img, "put", []string{filepath.Join(dir, "nope"), "/X.TXT"}); err == nil {
+		t.Error("put of a missing local file must fail")
+	}
+	if err := run(img, "rm", []string{"/MISSING.TXT"}); err == nil {
+		t.Error("rm of a missing file must fail")
+	}
+}

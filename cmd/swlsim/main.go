@@ -1,0 +1,140 @@
+// Command swlsim runs one endurance simulation: a workload trace against
+// FTL or NFTL, with or without the static wear leveler, reporting the first
+// failure time, erase-count distribution, and overhead counters.
+//
+// Usage:
+//
+//	swlsim -layer ftl -swl -k 0 -T 100 -blocks 128 -endurance 300
+//	swlsim -layer nftl -trace day.trace     # replay a recorded trace
+//	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flashswl/internal/nand"
+	"flashswl/internal/sim"
+	"flashswl/internal/stats"
+	"flashswl/internal/trace"
+	"flashswl/internal/workload"
+)
+
+func main() {
+	layerName := flag.String("layer", "ftl", "translation layer: ftl or nftl")
+	swl := flag.Bool("swl", false, "enable static wear leveling")
+	k := flag.Int("k", 0, "BET mapping mode")
+	threshold := flag.Float64("T", 100, "unevenness threshold")
+	blocks := flag.Int("blocks", 128, "device blocks")
+	ppb := flag.Int("ppb", 32, "pages per block")
+	pageSize := flag.Int("pagesize", 2048, "page size in bytes")
+	endurance := flag.Int("endurance", 300, "erase endurance per block")
+	years := flag.Float64("years", 0, "fixed simulated span in years (0 = run to first failure)")
+	maxEvents := flag.Int64("maxevents", 500_000_000, "hard event cap")
+	seed := flag.Int64("seed", 1, "seed for trace resampling and the leveler")
+	traceFile := flag.String("trace", "", "replay this text trace instead of the synthetic workload")
+	heatmap := flag.Bool("heatmap", false, "print a per-block wear heatmap")
+	flag.Parse()
+
+	var layer sim.LayerKind
+	switch *layerName {
+	case "ftl":
+		layer = sim.FTL
+	case "nftl":
+		layer = sim.NFTL
+	default:
+		fmt.Fprintf(os.Stderr, "swlsim: unknown layer %q\n", *layerName)
+		os.Exit(2)
+	}
+
+	geo := nand.Geometry{Blocks: *blocks, PagesPerBlock: *ppb, PageSize: *pageSize, SpareSize: 64}
+	spp := int64(*pageSize / 512)
+	logicalPages := int64(geo.Pages()) * 88 / 100
+	if max := int64(geo.Pages() - 6**ppb); logicalPages > max {
+		logicalPages = max // tiny devices need whole blocks of slack
+	}
+	sectors := logicalPages * spp
+
+	var src trace.Source
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+			os.Exit(1)
+		}
+		// Sniff the format: binary traces start with the FSWLTRC1 magic.
+		var magic [8]byte
+		n, _ := io.ReadFull(f, magic[:])
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+			os.Exit(1)
+		}
+		var events []trace.Event
+		if n == 8 && string(magic[:]) == "FSWLTRC1" {
+			events, err = trace.ReadBinary(f)
+		} else {
+			events, err = trace.ReadText(f)
+		}
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+			os.Exit(1)
+		}
+		src = trace.NewSliceSource(events)
+	} else {
+		m := workload.PaperScaled(sectors)
+		m.Seed = *seed
+		src = m.Infinite(*seed)
+	}
+
+	cfg := sim.Config{
+		Geometry:       geo,
+		Cell:           nand.MLC2,
+		Endurance:      *endurance,
+		Layer:          layer,
+		LogicalSectors: sectors,
+		SWL:            *swl,
+		K:              *k,
+		T:              *threshold,
+		NoSpare:        true,
+		Seed:           *seed,
+		MaxEvents:      *maxEvents,
+	}
+	if *years > 0 {
+		cfg.MaxSimTime = time.Duration(*years * 365 * 24 * float64(time.Hour))
+	} else {
+		cfg.StopOnFirstWear = true
+	}
+
+	res, err := sim.Run(cfg, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration:   %s  SWL=%v k=%d T=%g  %s endurance=%d\n",
+		layer, *swl, *k, *threshold, geo, *endurance)
+	fmt.Printf("events:          %d (%d page writes, %d page reads)\n", res.Events, res.PageWrites, res.PageReads)
+	fmt.Printf("simulated time:  %v (%.3f years)\n", res.SimTime, res.SimTime.Hours()/(24*365))
+	if res.FirstWear >= 0 {
+		fmt.Printf("first failure:   %v (%.3f years), %d blocks worn\n", res.FirstWear, res.FirstWearYears(), res.WornBlocks)
+	} else {
+		fmt.Printf("first failure:   none within the run\n")
+	}
+	fmt.Printf("erases:          %d total, %d by SWL; GC runs %d\n", res.Erases, res.ForcedErases, res.GCRuns)
+	fmt.Printf("live copies:     %d total, %d by SWL\n", res.LiveCopies, res.ForcedCopies)
+	fmt.Printf("erase counts:    %s\n", res.EraseStats.String())
+	if *swl {
+		fmt.Printf("leveler:         %+v\n", res.Leveler)
+	}
+	if res.Err != nil {
+		fmt.Printf("ended early:     %v\n", res.Err)
+	}
+	if *heatmap {
+		fmt.Printf("wear map (rows of 32 blocks, darker = more erases):\n%s",
+			stats.Heatmap(res.EraseCounts, 32))
+	}
+}

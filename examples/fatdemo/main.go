@@ -1,0 +1,102 @@
+// Fatdemo: the complete Figure 1 stack — a FAT16 file system on the
+// block-device emulation of the FTL, over MTD and simulated NAND, with the
+// SW Leveler watching erases underneath. Files go in, wear statistics come
+// out.
+//
+// Run with: go run ./examples/fatdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/core"
+	"flashswl/internal/fat"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+	"flashswl/internal/stats"
+)
+
+func main() {
+	// 12 MB of MLC×2 flash.
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 96, PagesPerBlock: 32, PageSize: 2048, SpareSize: 64},
+		Cell:      nand.MLC2,
+		Endurance: 2000,
+		StoreData: true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	leveler, err := core.NewLeveler(core.Config{Blocks: 96, K: 0, Threshold: 6}, drv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drv.SetOnErase(leveler.OnErase)
+
+	bdev, err := blockdev.New(drv, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsys, err := fat.Format(bdev, fat.FormatOptions{Label: "FLASHDEMO"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formatted FAT16: %d clusters × %d B (%d free)\n",
+		fsys.TotalClusters(), fsys.ClusterSize(), fsys.FreeClusters())
+
+	// A photo archive (cold) and an application log (hot).
+	if err := fsys.Mkdir("PHOTOS"); err != nil {
+		log.Fatal(err)
+	}
+	photo := make([]byte, 48*1024)
+	for i := range photo {
+		photo[i] = byte(i * 7)
+	}
+	// Fill ~80% of the volume: a mostly-full disk is what pins cold data
+	// under flash blocks and makes static wear leveling matter.
+	nPhotos := fsys.TotalClusters() * 8 / 10 / (len(photo) / fsys.ClusterSize())
+	for i := 0; i < nPhotos; i++ {
+		if err := fsys.WriteFile(fmt.Sprintf("PHOTOS/IMG%02d.JPG", i), photo); err != nil {
+			log.Fatal(err)
+		}
+	}
+	logLine := []byte("2007-06-04 13:37:00 static wear leveling demo event\n")
+	logData := make([]byte, 0, 8192)
+	for len(logData) < 8000 {
+		logData = append(logData, logLine...)
+	}
+	for day := 0; day < 400; day++ {
+		if err := fsys.WriteFile("APP.LOG", logData); err != nil {
+			log.Fatal(err)
+		}
+		if leveler.NeedsLeveling() {
+			if err := leveler.Level(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	entries, err := fsys.ReadDir("PHOTOS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PHOTOS holds %d files (~80%% full); APP.LOG rewritten 400 times\n", len(entries))
+
+	back, err := fsys.ReadFile("PHOTOS/IMG07.JPG")
+	if err != nil || len(back) != len(photo) {
+		log.Fatalf("photo readback: %d bytes, %v", len(back), err)
+	}
+	fmt.Println("photo archive verified intact")
+
+	dist := stats.Summarize(chip.EraseCounts(nil))
+	c := drv.Counters()
+	fmt.Printf("wear:     %s\n", dist.String())
+	fmt.Printf("leveler:  %d block sets recycled across %d intervals\n",
+		leveler.Stats().SetsRecycled, leveler.Stats().Resets)
+	fmt.Printf("overhead: %d of %d erases forced, %d of %d copies\n",
+		c.ForcedErases, c.Erases, c.ForcedCopies, c.LiveCopies)
+}

@@ -1,0 +1,3 @@
+module flashswl
+
+go 1.22

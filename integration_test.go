@@ -1,0 +1,260 @@
+package flashswl_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/core"
+	"flashswl/internal/fat"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+	"flashswl/internal/stats"
+)
+
+// TestFullStackPowerCycle drives the complete Figure 1 stack — FAT16 file
+// system over the block-device-emulating FTL over MTD over NAND, with the
+// SW Leveler attached — through a workload and a simulated power cycle:
+// the FTL remounts from spare areas, the file system remounts from its
+// on-disk structures, and the leveler reloads its BET from the dual-buffer
+// snapshot blocks. Everything must survive.
+func TestFullStackPowerCycle(t *testing.T) {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 96, PagesPerBlock: 16, PageSize: 2048, SpareSize: 64},
+		Cell:      nand.MLC2,
+		Endurance: 100_000,
+		StoreData: true,
+	})
+	dev := mtd.New(chip)
+	const logicalPages = 1200
+	reserved := []int{0, 1}
+
+	buildLeveler := func(drv *ftl.Driver) *core.Leveler {
+		lv, err := core.NewLeveler(core.Config{
+			Blocks: 96, K: 0, Threshold: 4, Exclude: reserved,
+			Rand: rand.New(rand.NewSource(5)).Intn,
+		}, drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv.SetOnErase(lv.OnErase)
+		return lv
+	}
+	store, err := mtd.NewBlockStore(dev, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persister, err := core.NewPersister(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- First boot: format and populate. ---
+	drv, err := ftl.New(dev, ftl.Config{LogicalPages: logicalPages, Reserved: reserved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leveler := buildLeveler(drv)
+	bdev, err := blockdev.New(drv, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fat.Format(bdev, fat.FormatOptions{Label: "FLASHSWL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fsys.Mkdir("ARCHIVE"); err != nil {
+		t.Fatal(err)
+	}
+	// Fill ~3/4 of the volume with cold archive files. FAT's next-free
+	// cluster rotation means a near-empty volume spreads hot rewrites over
+	// the whole logical space by itself; a mostly-full disk — the paper's
+	// premise — confines the hot traffic and pins the cold blocks.
+	cold := make([]byte, 64*1024)
+	rng := rand.New(rand.NewSource(77))
+	rng.Read(cold)
+	coldFiles := fsys.TotalClusters() * 3 / 4 / (len(cold) / fsys.ClusterSize())
+	for i := 0; i < coldFiles; i++ {
+		if err := fsys.WriteFile(fmt.Sprintf("ARCHIVE/MOV%d.BIN", i), cold); err != nil {
+			t.Fatalf("cold file %d: %v", i, err)
+		}
+	}
+	// A hot log file, appended and rewritten continuously.
+	hot := bytes.Repeat([]byte{0xCC}, 4096)
+	for round := 0; round < 600; round++ {
+		if err := fsys.WriteFile("HOT.LOG", hot); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if leveler.NeedsLeveling() {
+			if err := leveler.Level(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if leveler.Stats().SetsRecycled == 0 {
+		t.Fatal("hot/cold workload never triggered static wear leveling")
+	}
+	ecntBefore := leveler.Ecnt()
+	if err := persister.Save(leveler); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Power cycle: rebuild every layer from flash. ---
+	drv2, err := ftl.Mount(dev, ftl.Config{LogicalPages: logicalPages, Reserved: reserved})
+	if err != nil {
+		t.Fatalf("ftl.Mount: %v", err)
+	}
+	leveler2 := buildLeveler(drv2)
+	if err := persister.Load(leveler2); err != nil {
+		t.Fatalf("leveler reload: %v", err)
+	}
+	if leveler2.Ecnt() != ecntBefore {
+		t.Errorf("leveler ecnt = %d after reload, want %d", leveler2.Ecnt(), ecntBefore)
+	}
+	bdev2, err := blockdev.New(drv2, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys2, err := fat.Mount(bdev2)
+	if err != nil {
+		t.Fatalf("fat.Mount: %v", err)
+	}
+	for i := 0; i < coldFiles; i += 3 {
+		got, err := fsys2.ReadFile(fmt.Sprintf("ARCHIVE/MOV%d.BIN", i))
+		if err != nil {
+			t.Fatalf("cold file %d after power cycle: %v", i, err)
+		}
+		if !bytes.Equal(got, cold) {
+			t.Fatalf("cold archive file %d corrupted across power cycle", i)
+		}
+	}
+	gotHot, err := fsys2.ReadFile("HOT.LOG")
+	if err != nil || !bytes.Equal(gotHot, hot) {
+		t.Fatalf("hot file after power cycle: %v", err)
+	}
+
+	// --- Second session: keep running; leveling must keep spreading. ---
+	for round := 0; round < 600; round++ {
+		if err := fsys2.WriteFile("HOT.LOG", hot); err != nil {
+			t.Fatalf("second session round %d: %v", round, err)
+		}
+		if leveler2.NeedsLeveling() {
+			if err := leveler2.Level(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	counts := chip.EraseCounts(nil)
+	dist := stats.Summarize(counts[2:]) // exclude the reserved snapshot blocks
+	if dist.Mean() == 0 {
+		t.Fatal("no wear recorded")
+	}
+	if dist.StdDev() > dist.Mean() {
+		t.Errorf("wear badly skewed despite leveling: %s", dist.String())
+	}
+	// The cold archive's blocks must have been erased at least once (the
+	// point of static wear leveling): no non-reserved block stays at zero
+	// erases forever under sustained leveling.
+	zeros := 0
+	for _, ec := range counts[2:] {
+		if ec == 0 {
+			zeros++
+		}
+	}
+	if zeros > len(counts)/4 {
+		t.Errorf("%d of %d blocks never erased; cold data is still pinned", zeros, len(counts)-2)
+	}
+}
+
+// TestFullStackFaultInjection verifies the stack surfaces (not masks) chip
+// faults: a program failure mid-file-write must become an error at the file
+// system API.
+func TestFullStackFaultInjection(t *testing.T) {
+	fail := false
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: 1024, SpareSize: 32},
+		StoreData: true,
+		FaultHook: func(op nand.Op, b, p int) error {
+			if fail && op == nand.OpProgram {
+				return nand.ErrInjected
+			}
+			return nil
+		},
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdev, err := blockdev.New(drv, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fat.Format(bdev, fat.FormatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile("OK.BIN", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	err = fsys.WriteFile("BAD.BIN", bytes.Repeat([]byte{1}, 4096))
+	if !errors.Is(err, nand.ErrInjected) {
+		t.Fatalf("injected fault surfaced as %v", err)
+	}
+	fail = false
+	// The stack keeps working after the fault clears.
+	if err := fsys.WriteFile("OK2.BIN", []byte("recovered")); err != nil {
+		t.Fatalf("after fault: %v", err)
+	}
+	got, err := fsys.ReadFile("OK2.BIN")
+	if err != nil || string(got) != "recovered" {
+		t.Fatalf("read after recovery: %q, %v", got, err)
+	}
+}
+
+// TestStackWearRetirementEndToEnd wears a tiny fail-on-wear device through
+// the file system until blocks retire, checking the stack degrades
+// gracefully (errors, not corruption).
+func TestStackWearRetirementEndToEnd(t *testing.T) {
+	chip := nand.New(nand.Config{
+		Geometry:   nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: 1024, SpareSize: 32},
+		Endurance:  30,
+		FailOnWear: true,
+		StoreData:  true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdev, err := blockdev.New(drv, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fat.Format(bdev, fat.FormatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 2048)
+	var wErr error
+	rounds := 0
+	for rounds = 0; rounds < 20_000; rounds++ {
+		name := fmt.Sprintf("F%d.BIN", rounds%8)
+		if wErr = fsys.WriteFile(name, payload); wErr != nil {
+			break
+		}
+	}
+	if wErr == nil {
+		t.Fatalf("endurance-30 device survived %d rewrite rounds", rounds)
+	}
+	if !errors.Is(wErr, ftl.ErrNoSpace) {
+		t.Fatalf("device death surfaced as %v, want ErrNoSpace", wErr)
+	}
+	if chip.WornBlocks() == 0 {
+		t.Fatal("no blocks worn out")
+	}
+}

@@ -1,0 +1,125 @@
+// Package array combines multiple NAND chips into one logical flash device
+// — the multi-bank organization of the striping architectures the paper
+// cites ([11]) and the "external devices/adaptors" its future work points
+// at. Blocks concatenate: global block b lives on chip b/perChip at local
+// index b%perChip, so a Flash Translation Layer driver (and the SW Leveler
+// above it) manages the whole array as one block address space and wear
+// levels across chips automatically.
+package array
+
+import (
+	"fmt"
+
+	"flashswl/internal/nand"
+)
+
+// Array is a logical device over same-geometry chips, satisfying the
+// mtd.Chip interface. Not safe for concurrent use.
+type Array struct {
+	chips    []*nand.Chip
+	perChip  int
+	geo      nand.Geometry
+	endlimit int
+}
+
+// New concatenates the chips, which must share an identical geometry.
+func New(chips ...*nand.Chip) (*Array, error) {
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("array: no chips")
+	}
+	geo := chips[0].Geometry()
+	end := chips[0].Endurance()
+	for i, c := range chips[1:] {
+		if c.Geometry() != geo {
+			return nil, fmt.Errorf("array: chip %d geometry %v differs from %v", i+1, c.Geometry(), geo)
+		}
+		if e := c.Endurance(); e < end {
+			end = e
+		}
+	}
+	combined := geo
+	combined.Blocks = geo.Blocks * len(chips)
+	return &Array{chips: chips, perChip: geo.Blocks, geo: combined, endlimit: end}, nil
+}
+
+// Chips returns the number of member chips.
+func (a *Array) Chips() int { return len(a.chips) }
+
+// Chip returns member i.
+func (a *Array) Chip(i int) *nand.Chip { return a.chips[i] }
+
+// Geometry returns the combined layout.
+func (a *Array) Geometry() nand.Geometry { return a.geo }
+
+// Endurance returns the weakest member's endurance.
+func (a *Array) Endurance() int { return a.endlimit }
+
+// split maps a global block to (chip, local block); out-of-range globals
+// map to chip 0 with the invalid index preserved so the member chip reports
+// the address error.
+func (a *Array) split(b int) (*nand.Chip, int) {
+	if b < 0 || b >= a.geo.Blocks {
+		return a.chips[0], -1
+	}
+	return a.chips[b/a.perChip], b % a.perChip
+}
+
+// ReadPage implements mtd.Chip.
+func (a *Array) ReadPage(b, p int, data, spare []byte) (int, error) {
+	c, lb := a.split(b)
+	return c.ReadPage(lb, p, data, spare)
+}
+
+// ProgramPage implements mtd.Chip.
+func (a *Array) ProgramPage(b, p int, data, spare []byte) error {
+	c, lb := a.split(b)
+	return c.ProgramPage(lb, p, data, spare)
+}
+
+// EraseBlock implements mtd.Chip.
+func (a *Array) EraseBlock(b int) error {
+	c, lb := a.split(b)
+	return c.EraseBlock(lb)
+}
+
+// IsProgrammed implements mtd.Chip.
+func (a *Array) IsProgrammed(b, p int) bool {
+	c, lb := a.split(b)
+	return c.IsProgrammed(lb, p)
+}
+
+// EraseCount implements mtd.Chip.
+func (a *Array) EraseCount(b int) int {
+	c, lb := a.split(b)
+	return c.EraseCount(lb)
+}
+
+// EraseCounts appends the global per-block erase counts to dst.
+func (a *Array) EraseCounts(dst []int) []int {
+	for _, c := range a.chips {
+		dst = c.EraseCounts(dst)
+	}
+	return dst
+}
+
+// WornBlocks sums the worn-out blocks across members.
+func (a *Array) WornBlocks() int {
+	n := 0
+	for _, c := range a.chips {
+		n += c.WornBlocks()
+	}
+	return n
+}
+
+// Stats sums the member activity counters.
+func (a *Array) Stats() nand.Stats {
+	var s nand.Stats
+	for _, c := range a.chips {
+		cs := c.Stats()
+		s.Reads += cs.Reads
+		s.Programs += cs.Programs
+		s.Erases += cs.Erases
+		s.Elapsed += cs.Elapsed
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package array
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"flashswl/internal/core"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+func twoChips(t *testing.T) (*Array, *nand.Chip, *nand.Chip) {
+	t.Helper()
+	mk := func() *nand.Chip {
+		return nand.New(nand.Config{
+			Geometry:  nand.Geometry{Blocks: 8, PagesPerBlock: 4, PageSize: 32, SpareSize: 16},
+			StoreData: true,
+		})
+	}
+	a, b := mk(), mk()
+	arr, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr, a, b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty array accepted")
+	}
+	a := nand.New(nand.Config{Geometry: nand.Geometry{Blocks: 4, PagesPerBlock: 4, PageSize: 32, SpareSize: 16}})
+	b := nand.New(nand.Config{Geometry: nand.Geometry{Blocks: 8, PagesPerBlock: 4, PageSize: 32, SpareSize: 16}})
+	if _, err := New(a, b); err == nil {
+		t.Error("mismatched geometries accepted")
+	}
+}
+
+func TestBlockMapping(t *testing.T) {
+	arr, a, b := twoChips(t)
+	if arr.Geometry().Blocks != 16 {
+		t.Fatalf("combined blocks = %d", arr.Geometry().Blocks)
+	}
+	// Global block 10 = chip 1, local block 2.
+	if err := arr.ProgramPage(10, 3, []byte{0xEE}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsProgrammed(2, 3) {
+		t.Error("global block 10 must land on chip 1, block 2")
+	}
+	if a.Stats().Programs != 0 {
+		t.Error("chip 0 touched")
+	}
+	if err := arr.EraseBlock(10); err != nil {
+		t.Fatal(err)
+	}
+	if b.EraseCount(2) != 1 || arr.EraseCount(10) != 1 {
+		t.Error("erase count mapping wrong")
+	}
+	// Out-of-range globals surface address errors.
+	if err := arr.EraseBlock(16); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if err := arr.EraseBlock(-1); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestEnduranceIsWeakestMember(t *testing.T) {
+	a := nand.New(nand.Config{Geometry: nand.Geometry{Blocks: 4, PagesPerBlock: 4, PageSize: 32, SpareSize: 16}, Endurance: 100})
+	b := nand.New(nand.Config{Geometry: nand.Geometry{Blocks: 4, PagesPerBlock: 4, PageSize: 32, SpareSize: 16}, Endurance: 50})
+	arr, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Endurance() != 50 {
+		t.Errorf("Endurance = %d, want 50", arr.Endurance())
+	}
+	if arr.Chips() != 2 || arr.Chip(1) != b {
+		t.Error("member accessors wrong")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	arr, _, _ := twoChips(t)
+	_ = arr.EraseBlock(0)
+	_ = arr.EraseBlock(15)
+	counts := arr.EraseCounts(nil)
+	if len(counts) != 16 || counts[0] != 1 || counts[15] != 1 || counts[7] != 0 {
+		t.Errorf("EraseCounts = %v", counts)
+	}
+	if arr.Stats().Erases != 2 {
+		t.Errorf("Stats.Erases = %d", arr.Stats().Erases)
+	}
+	if arr.WornBlocks() != 0 {
+		t.Errorf("WornBlocks = %d", arr.WornBlocks())
+	}
+}
+
+// TestFTLAndLevelerAcrossArray runs the full FTL + SW Leveler stack over a
+// two-chip array: data round-trips, and leveling reaches blocks on both
+// chips.
+func TestFTLAndLevelerAcrossArray(t *testing.T) {
+	arr, a, b := twoChips(t)
+	dev := mtd.New(arr)
+	drv, err := ftl.New(dev, ftl.Config{LogicalPages: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := core.NewLeveler(core.Config{Blocks: 16, K: 0, Threshold: 4}, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.SetOnErase(lv.OnErase)
+	rng := rand.New(rand.NewSource(6))
+	payload := bytes.Repeat([]byte{0x5A}, 32)
+	// Cold fill then hot hammering.
+	for lpn := 8; lpn < 40; lpn++ {
+		if err := drv.WritePage(lpn, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		if err := drv.WritePage(rng.Intn(8), payload); err != nil {
+			t.Fatal(err)
+		}
+		if lv.NeedsLeveling() {
+			if err := lv.Level(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if a.Stats().Erases == 0 || b.Stats().Erases == 0 {
+		t.Fatalf("wear must reach both chips: %d / %d", a.Stats().Erases, b.Stats().Erases)
+	}
+	buf := make([]byte, 32)
+	for lpn := 8; lpn < 40; lpn++ {
+		if ok, err := drv.ReadPage(lpn, buf); !ok || err != nil || !bytes.Equal(buf, payload) {
+			t.Fatalf("lpn %d corrupted on array: ok=%v err=%v", lpn, ok, err)
+		}
+	}
+	if lv.Stats().SetsRecycled == 0 {
+		t.Error("leveler idle over the array")
+	}
+}

@@ -1,0 +1,184 @@
+// Package blockdev adapts a page-granularity Flash Translation Layer driver
+// (ftl or nftl) into the 512-byte-sector block device that file systems
+// expect — the block-device emulation role the paper's Figure 1 assigns to
+// the Flash Translation Layer. Sub-page writes are handled with
+// read-modify-write of the containing page.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SectorSize is the fixed logical sector size, in bytes.
+const SectorSize = 512
+
+// PageStore is the page-level interface the adapter drives; both ftl.Driver
+// and nftl.Driver satisfy it. The backing chip must retain data
+// (nand.Config.StoreData) for the device to be useful.
+type PageStore interface {
+	ReadPage(lpn int, buf []byte) (bool, error)
+	WritePage(lpn int, data []byte) error
+	LogicalPages() int
+}
+
+// ErrOutOfRange reports an access beyond the device.
+var ErrOutOfRange = errors.New("blockdev: sector out of range")
+
+// Device is a sector-addressed block device over a PageStore. Not safe for
+// concurrent use.
+type Device struct {
+	store    PageStore
+	pageSize int
+	spp      int // sectors per page
+	sectors  int64
+	pageBuf  []byte
+}
+
+// New wraps a page store whose pages are pageSize bytes (a multiple of the
+// sector size).
+func New(store PageStore, pageSize int) (*Device, error) {
+	if pageSize < SectorSize || pageSize%SectorSize != 0 {
+		return nil, fmt.Errorf("blockdev: page size %d is not a positive multiple of %d", pageSize, SectorSize)
+	}
+	spp := pageSize / SectorSize
+	return &Device{
+		store:    store,
+		pageSize: pageSize,
+		spp:      spp,
+		sectors:  int64(store.LogicalPages()) * int64(spp),
+		pageBuf:  make([]byte, pageSize),
+	}, nil
+}
+
+// Sectors returns the device capacity in sectors.
+func (d *Device) Sectors() int64 { return d.sectors }
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.sectors * SectorSize }
+
+// check validates a [lba, lba+n) sector range.
+func (d *Device) check(lba int64, n int) error {
+	if lba < 0 || n < 0 || lba+int64(n) > d.sectors {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, lba, lba+int64(n), d.sectors)
+	}
+	return nil
+}
+
+// ReadSectors fills buf (a multiple of SectorSize long) from consecutive
+// sectors starting at lba. Never-written sectors read as 0xFF, flash style.
+func (d *Device) ReadSectors(lba int64, buf []byte) error {
+	if len(buf)%SectorSize != 0 {
+		return fmt.Errorf("blockdev: read length %d is not sector aligned", len(buf))
+	}
+	n := len(buf) / SectorSize
+	if err := d.check(lba, n); err != nil {
+		return err
+	}
+	for n > 0 {
+		lpn := int(lba / int64(d.spp))
+		off := int(lba%int64(d.spp)) * SectorSize
+		chunk := d.pageSize - off
+		if chunk > n*SectorSize {
+			chunk = n * SectorSize
+		}
+		if off == 0 && chunk == d.pageSize {
+			if _, err := d.store.ReadPage(lpn, buf[:chunk]); err != nil {
+				return err
+			}
+		} else {
+			if _, err := d.store.ReadPage(lpn, d.pageBuf); err != nil {
+				return err
+			}
+			copy(buf[:chunk], d.pageBuf[off:off+chunk])
+		}
+		buf = buf[chunk:]
+		lba += int64(chunk / SectorSize)
+		n -= chunk / SectorSize
+	}
+	return nil
+}
+
+// WriteSectors writes buf (a multiple of SectorSize long) to consecutive
+// sectors starting at lba, performing read-modify-write for partial pages.
+func (d *Device) WriteSectors(lba int64, buf []byte) error {
+	if len(buf)%SectorSize != 0 {
+		return fmt.Errorf("blockdev: write length %d is not sector aligned", len(buf))
+	}
+	n := len(buf) / SectorSize
+	if err := d.check(lba, n); err != nil {
+		return err
+	}
+	for n > 0 {
+		lpn := int(lba / int64(d.spp))
+		off := int(lba%int64(d.spp)) * SectorSize
+		chunk := d.pageSize - off
+		if chunk > n*SectorSize {
+			chunk = n * SectorSize
+		}
+		if off == 0 && chunk == d.pageSize {
+			if err := d.store.WritePage(lpn, buf[:chunk]); err != nil {
+				return err
+			}
+		} else {
+			// Read-modify-write the containing page.
+			if _, err := d.store.ReadPage(lpn, d.pageBuf); err != nil {
+				return err
+			}
+			copy(d.pageBuf[off:off+chunk], buf[:chunk])
+			if err := d.store.WritePage(lpn, d.pageBuf); err != nil {
+				return err
+			}
+		}
+		buf = buf[chunk:]
+		lba += int64(chunk / SectorSize)
+		n -= chunk / SectorSize
+	}
+	return nil
+}
+
+// ReadSector reads one sector.
+func (d *Device) ReadSector(lba int64, buf []byte) error {
+	if len(buf) != SectorSize {
+		return fmt.Errorf("blockdev: sector buffer is %d bytes", len(buf))
+	}
+	return d.ReadSectors(lba, buf)
+}
+
+// WriteSector writes one sector.
+func (d *Device) WriteSector(lba int64, buf []byte) error {
+	if len(buf) != SectorSize {
+		return fmt.Errorf("blockdev: sector buffer is %d bytes", len(buf))
+	}
+	return d.WriteSectors(lba, buf)
+}
+
+// Discarder is the optional TRIM capability of a page store (ftl and dftl
+// implement it; nftl's block-level mapping cannot unmap single pages).
+type Discarder interface {
+	Discard(lpn int) error
+}
+
+// Discard tells the layer that n sectors starting at lba no longer hold
+// useful data. Only whole pages fully covered by the range are unmapped
+// (partial pages keep their data); stores without TRIM support make this a
+// no-op. File systems call it when clusters are freed, cutting future
+// garbage-collection copying.
+func (d *Device) Discard(lba int64, n int) error {
+	if err := d.check(lba, n); err != nil {
+		return err
+	}
+	disc, ok := d.store.(Discarder)
+	if !ok {
+		return nil
+	}
+	spp := int64(d.spp)
+	firstFull := (lba + spp - 1) / spp
+	lastFull := (lba + int64(n)) / spp // exclusive
+	for lpn := firstFull; lpn < lastFull; lpn++ {
+		if err := disc.Discard(int(lpn)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

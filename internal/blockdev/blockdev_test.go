@@ -1,0 +1,275 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+	"flashswl/internal/nftl"
+)
+
+func newFTLDevice(t *testing.T) *Device {
+	t.Helper()
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: 2048, SpareSize: 64},
+		StoreData: true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{LogicalPages: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(drv, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 100); err == nil {
+		t.Error("unaligned page size accepted")
+	}
+	if _, err := New(nil, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	d := newFTLDevice(t)
+	if d.Sectors() != 200*4 {
+		t.Errorf("Sectors = %d, want 800", d.Sectors())
+	}
+	if d.Size() != 800*512 {
+		t.Errorf("Size = %d", d.Size())
+	}
+}
+
+func TestSectorRoundTrip(t *testing.T) {
+	d := newFTLDevice(t)
+	sec := bytes.Repeat([]byte{0x5A}, SectorSize)
+	if err := d.WriteSector(17, sec); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, SectorSize)
+	if err := d.ReadSector(17, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sec) {
+		t.Error("sector round trip mismatch")
+	}
+	// Neighbours within the same page are untouched (0xFF = never written).
+	if err := d.ReadSector(16, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xFF {
+		t.Errorf("neighbour sector = %#x, want 0xFF", got[0])
+	}
+}
+
+func TestSubPageReadModifyWrite(t *testing.T) {
+	d := newFTLDevice(t)
+	// Write the full page's 4 sectors with distinct tags, then overwrite
+	// only sector 2 of the page.
+	full := make([]byte, 4*SectorSize)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < SectorSize; i++ {
+			full[s*SectorSize+i] = byte(s + 1)
+		}
+	}
+	if err := d.WriteSectors(40, full); err != nil {
+		t.Fatal(err)
+	}
+	patch := bytes.Repeat([]byte{0x99}, SectorSize)
+	if err := d.WriteSector(42, patch); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4*SectorSize)
+	if err := d.ReadSectors(40, got); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), full...)
+	copy(want[2*SectorSize:], patch)
+	if !bytes.Equal(got, want) {
+		t.Error("read-modify-write corrupted the page")
+	}
+}
+
+func TestUnalignedSpans(t *testing.T) {
+	d := newFTLDevice(t)
+	// A 7-sector write starting mid-page spans three pages.
+	buf := make([]byte, 7*SectorSize)
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := d.WriteSectors(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7*SectorSize)
+	if err := d.ReadSectors(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("unaligned span mismatch")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := newFTLDevice(t)
+	buf := make([]byte, SectorSize)
+	if err := d.ReadSector(-1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative lba: %v", err)
+	}
+	if err := d.WriteSector(d.Sectors(), buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("past end: %v", err)
+	}
+	if err := d.ReadSectors(d.Sectors()-1, make([]byte, 2*SectorSize)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("spanning end: %v", err)
+	}
+	if err := d.ReadSectors(0, make([]byte, 100)); err == nil {
+		t.Error("unaligned buffer accepted")
+	}
+	if err := d.WriteSectors(0, make([]byte, 100)); err == nil {
+		t.Error("unaligned buffer accepted")
+	}
+	if err := d.ReadSector(0, make([]byte, 10)); err == nil {
+		t.Error("short sector buffer accepted")
+	}
+	if err := d.WriteSector(0, make([]byte, 10)); err == nil {
+		t.Error("short sector buffer accepted")
+	}
+}
+
+func TestOverNFTL(t *testing.T) {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: 1024, SpareSize: 32},
+		StoreData: true,
+	})
+	drv, err := nftl.New(mtd.New(chip), nftl.Config{VirtualBlocks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(drv, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	want := map[int64]byte{}
+	sec := make([]byte, SectorSize)
+	for i := 0; i < 400; i++ {
+		lba := int64(rng.Intn(int(d.Sectors())))
+		v := byte(rng.Intn(255)) + 1
+		for j := range sec {
+			sec[j] = v
+		}
+		if err := d.WriteSector(lba, sec); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		want[lba] = v
+	}
+	for lba, v := range want {
+		if err := d.ReadSector(lba, sec); err != nil {
+			t.Fatal(err)
+		}
+		if sec[0] != v || sec[SectorSize-1] != v {
+			t.Fatalf("lba %d = %d, want %d", lba, sec[0], v)
+		}
+	}
+}
+
+// Property: a shadow byte map agrees with the device under random
+// sector-granular writes and reads.
+func TestShadowProperty(t *testing.T) {
+	type op struct {
+		LBA uint16
+		N   uint8
+		Val byte
+	}
+	f := func(ops []op) bool {
+		chip := nand.New(nand.Config{
+			Geometry:  nand.Geometry{Blocks: 16, PagesPerBlock: 4, PageSize: 1024, SpareSize: 32},
+			StoreData: true,
+		})
+		drv, err := ftl.New(mtd.New(chip), ftl.Config{LogicalPages: 40})
+		if err != nil {
+			return false
+		}
+		d, _ := New(drv, 1024)
+		shadow := make([]byte, d.Size())
+		for i := range shadow {
+			shadow[i] = 0xFF
+		}
+		for _, o := range ops {
+			n := int(o.N%4) + 1
+			lba := int64(o.LBA) % (d.Sectors() - int64(n))
+			buf := bytes.Repeat([]byte{o.Val}, n*SectorSize)
+			if err := d.WriteSectors(lba, buf); err != nil {
+				return false
+			}
+			copy(shadow[lba*SectorSize:], buf)
+		}
+		got := make([]byte, d.Size())
+		if err := d.ReadSectors(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscardUnmapsWholePages(t *testing.T) {
+	d := newFTLDevice(t) // 4 sectors per page
+	buf := bytes.Repeat([]byte{0xAA}, 12*SectorSize)
+	if err := d.WriteSectors(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Discard sectors [2, 11): pages 1 (sectors 4-7) and... sector range
+	// 2..10 fully covers page 1 only (page 0 partial, page 2 partial).
+	if err := d.Discard(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	sec := make([]byte, SectorSize)
+	// Page 0 and page 2 keep their data.
+	if err := d.ReadSector(0, sec); err != nil || sec[0] != 0xAA {
+		t.Errorf("sector 0 lost: %x %v", sec[0], err)
+	}
+	if err := d.ReadSector(11, sec); err != nil || sec[0] != 0xAA {
+		t.Errorf("sector 11 lost: %x %v", sec[0], err)
+	}
+	// Page 1's sectors read as unmapped filler now.
+	if err := d.ReadSector(4, sec); err != nil || sec[0] != 0xFF {
+		t.Errorf("discarded sector 4 = %x %v, want FF", sec[0], err)
+	}
+	if err := d.Discard(-1, 4); err == nil {
+		t.Error("out-of-range discard accepted")
+	}
+}
+
+func TestDiscardNoopWithoutCapability(t *testing.T) {
+	// A store lacking Discard: the call must succeed and change nothing.
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: 1024, SpareSize: 32},
+		StoreData: true,
+	})
+	drv, err := nftl.New(mtd.New(chip), nftl.Config{VirtualBlocks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := New(drv, 1024)
+	sec := bytes.Repeat([]byte{0x42}, SectorSize)
+	if err := d.WriteSector(0, sec); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Discard(0, 2); err != nil {
+		t.Fatalf("advisory discard errored: %v", err)
+	}
+	if err := d.ReadSector(0, sec); err != nil || sec[0] != 0x42 {
+		t.Error("no-op discard changed data")
+	}
+}

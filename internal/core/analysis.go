@@ -1,0 +1,31 @@
+package core
+
+// Analytic worst-case overhead models from Section 4 of the paper. The worst
+// case (Figure 4) is a device with H-1 blocks of hot data, C blocks of cold
+// data, and exactly one free block, where updates touch only hot data; every
+// block of cold data is then erased purely by static wear leveling, once per
+// resetting interval, against T×(H+C) total erases in the interval.
+
+// WorstCaseEraseRatio returns the increased fraction of block erases due to
+// static wear leveling in the worst case: C / (T×(H+C) − C). Multiply by 100
+// for the percentages of Table 2.
+func WorstCaseEraseRatio(h, c int, t float64) float64 {
+	total := t * float64(h+c)
+	return float64(c) / (total - float64(c))
+}
+
+// WorstCaseCopyRatio returns the increased fraction of live-page copyings
+// due to static wear leveling in the worst case: (C×N) / ((T×(H+C)−C)×L),
+// where N is pages per block and L is the average number of live pages
+// copied per regular garbage-collection erase. Multiply by 100 for Table 3.
+func WorstCaseCopyRatio(h, c int, t float64, l float64, n int) float64 {
+	regular := (t*float64(h+c) - float64(c)) * l
+	return float64(c) * float64(n) / regular
+}
+
+// WorstCaseInterval returns the number of block erases in one resetting
+// interval of the worst-case scenario, T×(H+C), of which C are performed by
+// the SW Leveler.
+func WorstCaseInterval(h, c int, t float64) (total, byLeveler float64) {
+	return t * float64(h+c), float64(c)
+}

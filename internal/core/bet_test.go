@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBETSizes(t *testing.T) {
+	tests := []struct {
+		blocks, k, wantSets int
+	}{
+		{4096, 0, 4096},
+		{4096, 1, 2048},
+		{4096, 3, 512},
+		{100, 3, 13}, // partial last set: ceil(100/8)
+		{1, 0, 1},
+		{1, 5, 1},
+	}
+	for _, tt := range tests {
+		b := NewBET(tt.blocks, tt.k)
+		if b.Size() != tt.wantSets {
+			t.Errorf("NewBET(%d,%d).Size() = %d, want %d", tt.blocks, tt.k, b.Size(), tt.wantSets)
+		}
+		if b.Blocks() != tt.blocks || b.K() != tt.k {
+			t.Errorf("shape accessors wrong for %+v", tt)
+		}
+		if b.Fcnt() != 0 || b.Full() {
+			t.Errorf("new BET must start empty")
+		}
+	}
+}
+
+func TestNewBETPanics(t *testing.T) {
+	for _, args := range [][2]int{{0, 0}, {-1, 0}, {10, -1}, {10, 31}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBET(%d,%d) did not panic", args[0], args[1])
+				}
+			}()
+			NewBET(args[0], args[1])
+		}()
+	}
+}
+
+func TestSetAndFcnt(t *testing.T) {
+	b := NewBET(16, 0)
+	if !b.Set(3) {
+		t.Error("first Set(3) must report newly set")
+	}
+	if b.Set(3) {
+		t.Error("second Set(3) must report already set")
+	}
+	if b.Fcnt() != 1 || !b.IsSet(3) || b.IsSet(4) {
+		t.Errorf("state wrong: fcnt=%d", b.Fcnt())
+	}
+}
+
+func TestSetBlockMapping(t *testing.T) {
+	// k=2: one flag per 4 blocks (Figure 3(b) generalized).
+	b := NewBET(16, 2)
+	if !b.SetBlock(5) {
+		t.Error("SetBlock(5) should newly set flag 1")
+	}
+	if !b.IsSet(1) || b.IsSet(0) {
+		t.Error("block 5 must map to flag 1 under k=2")
+	}
+	if b.SetBlock(6) {
+		t.Error("block 6 shares flag 1; must not be newly set")
+	}
+	if b.Fcnt() != 1 {
+		t.Errorf("fcnt = %d, want 1", b.Fcnt())
+	}
+	if got := b.SetIndex(15); got != 3 {
+		t.Errorf("SetIndex(15) = %d, want 3", got)
+	}
+	if got := b.FirstBlock(3); got != 12 {
+		t.Errorf("FirstBlock(3) = %d, want 12", got)
+	}
+}
+
+func TestBlockRangePartialTail(t *testing.T) {
+	b := NewBET(10, 2) // sets: [0,4) [4,8) [8,10)
+	lo, hi := b.BlockRange(2)
+	if lo != 8 || hi != 10 {
+		t.Errorf("BlockRange(2) = [%d,%d), want [8,10)", lo, hi)
+	}
+	lo, hi = b.BlockRange(0)
+	if lo != 0 || hi != 4 {
+		t.Errorf("BlockRange(0) = [%d,%d), want [0,4)", lo, hi)
+	}
+}
+
+func TestResetAndFull(t *testing.T) {
+	b := NewBET(8, 1) // 4 flags
+	for i := 0; i < 4; i++ {
+		b.Set(i)
+	}
+	if !b.Full() || b.Fcnt() != 4 {
+		t.Fatal("BET should be full")
+	}
+	b.Reset()
+	if b.Full() || b.Fcnt() != 0 {
+		t.Fatal("Reset must clear everything")
+	}
+	for i := 0; i < 4; i++ {
+		if b.IsSet(i) {
+			t.Errorf("flag %d still set after Reset", i)
+		}
+	}
+}
+
+func TestNextClearCyclic(t *testing.T) {
+	b := NewBET(8, 0)
+	for _, i := range []int{0, 1, 2, 5, 6} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 3}, {3, 3}, {4, 4}, {5, 7}, {7, 7},
+	}
+	for _, c := range cases {
+		got, ok := b.NextClear(c.from)
+		if !ok || got != c.want {
+			t.Errorf("NextClear(%d) = %d,%v; want %d,true", c.from, got, ok, c.want)
+		}
+	}
+	// Wrap-around: from 7 with 7 set, scan must wrap to 3.
+	b.Set(7)
+	got, ok := b.NextClear(7)
+	if !ok || got != 3 {
+		t.Errorf("wrap NextClear(7) = %d,%v; want 3,true", got, ok)
+	}
+	// Out-of-range from normalizes.
+	if got, ok := b.NextClear(-5); !ok || got != 3 {
+		t.Errorf("NextClear(-5) = %d,%v; want 3,true", got, ok)
+	}
+}
+
+func TestNextClearFull(t *testing.T) {
+	b := NewBET(130, 0) // spans three words
+	for i := 0; i < b.Size(); i++ {
+		b.Set(i)
+	}
+	if _, ok := b.NextClear(0); ok {
+		t.Error("NextClear on a full BET must report false")
+	}
+}
+
+func TestNextClearLargeSkipsWords(t *testing.T) {
+	b := NewBET(1024, 0)
+	for i := 0; i < 1000; i++ {
+		b.Set(i)
+	}
+	got, ok := b.NextClear(5)
+	if !ok || got != 1000 {
+		t.Errorf("NextClear(5) = %d,%v; want 1000,true", got, ok)
+	}
+}
+
+// TestBETSizeTable1 checks every cell of Table 1: BET bytes for SLC flash
+// from 128 MB to 4 GB under k = 0..3. Large-block SLC has 128 KB blocks.
+func TestBETSizeTable1(t *testing.T) {
+	capacities := []int64{128 << 20, 256 << 20, 512 << 20, 1 << 30, 2 << 30, 4 << 30}
+	want := [4][6]int{
+		{128, 256, 512, 1024, 2048, 4096}, // k=0
+		{64, 128, 256, 512, 1024, 2048},   // k=1
+		{32, 64, 128, 256, 512, 1024},     // k=2
+		{16, 32, 64, 128, 256, 512},       // k=3
+	}
+	const blockSize = 128 << 10
+	for k := 0; k < 4; k++ {
+		for i, capBytes := range capacities {
+			blocks := int(capBytes / blockSize)
+			if got := BETSizeBytes(blocks, k); got != want[k][i] {
+				t.Errorf("BETSizeBytes(%d blocks, k=%d) = %d, want %d", blocks, k, got, want[k][i])
+			}
+		}
+	}
+}
+
+// Property: fcnt always equals the popcount of the flag words, and Set is
+// idempotent, under arbitrary set sequences.
+func TestBETFcntMatchesPopcount(t *testing.T) {
+	f := func(blocks uint16, k uint8, setOps []uint16) bool {
+		nb := int(blocks%500) + 1
+		kk := int(k % 4)
+		b := NewBET(nb, kk)
+		for _, op := range setOps {
+			b.SetBlock(int(op) % nb)
+		}
+		pop := 0
+		for _, w := range b.flags {
+			pop += bits.OnesCount64(w)
+		}
+		return pop == b.Fcnt() && b.Full() == (b.Fcnt() == b.Size())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NextClear always returns a clear flag, and reports false exactly
+// when the BET is full.
+func TestNextClearProperty(t *testing.T) {
+	f := func(blocks uint16, seed uint32, setOps []uint16) bool {
+		nb := int(blocks%300) + 1
+		b := NewBET(nb, 0)
+		for _, op := range setOps {
+			b.Set(int(op) % b.Size())
+		}
+		idx, ok := b.NextClear(int(seed) % b.Size())
+		if b.Full() {
+			return !ok
+		}
+		return ok && !b.IsSet(idx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Cleaner is the view the SW Leveler has of the hosting Flash Translation
+// Layer driver's garbage collector. EraseBlockSet must garbage-collect every
+// block of block set findex under mapping mode k — copy any live data
+// elsewhere and erase the blocks — and must report each erase back through
+// Leveler.OnErase (the Cleaner already does this for its own erases).
+type Cleaner interface {
+	EraseBlockSet(findex, k int) error
+}
+
+// ErrNoProgress reports that the Cleaner repeatedly failed to erase anything
+// in the block sets the leveler selected, so the unevenness level can never
+// drop below the threshold. A correct Cleaner erases at least one block per
+// EraseBlockSet call (a free block is simply erased).
+var ErrNoProgress = errors.New("core: cleaner made no progress during static wear leveling")
+
+// SelectPolicy chooses how SWL-Procedure picks the next block set.
+type SelectPolicy int
+
+const (
+	// SelectCyclic is the paper's design: scan the BET cyclically from
+	// findex for the next clear flag (Algorithm 1, steps 9–10).
+	SelectCyclic SelectPolicy = iota
+	// SelectRandom picks a uniformly random clear flag each time. The
+	// paper surmises the cyclic scan "is close to that in a random
+	// selection policy in reality" (§3.3); this policy exists to test
+	// that claim (see the ablation benchmarks).
+	SelectRandom
+)
+
+// Config parameterizes a Leveler.
+type Config struct {
+	// Blocks is the number of physical blocks the BET must cover.
+	Blocks int
+	// K is the BET mapping mode: one flag per 2^k contiguous blocks.
+	K int
+	// Threshold is T, the unevenness level (ecnt/fcnt) at or above which
+	// SWL-Procedure starts moving cold data. The paper evaluates
+	// T ∈ {100, 400, 700, 1000}.
+	Threshold float64
+	// Rand, if non-nil, supplies the random flag index used when the BET
+	// resets (Algorithm 1, step 6) and by SelectRandom. Defaults to
+	// math/rand.Intn. Supply a seeded function for reproducible
+	// simulations.
+	Rand func(n int) int
+	// Select chooses the block-set selection policy. The zero value is
+	// the paper's cyclic scan.
+	Select SelectPolicy
+	// Exclude lists blocks outside wear leveling's reach — reserved
+	// system blocks (for example the BET's own snapshot blocks) that the
+	// Cleaner will never erase. Block sets consisting entirely of
+	// excluded blocks have their flags pre-set at the start of every
+	// resetting interval, so the cyclic scan never waits on a flag that
+	// can never be set.
+	Exclude []int
+}
+
+// Stats counts leveler activity since construction.
+type Stats struct {
+	// Erases is the total number of erases observed (across all resetting
+	// intervals, unlike ecnt which resets).
+	Erases int64
+	// Triggered counts SWL-Procedure invocations that recycled at least
+	// one block set.
+	Triggered int64
+	// SetsRecycled counts block sets passed to Cleaner.EraseBlockSet.
+	SetsRecycled int64
+	// Resets counts BET resetting intervals completed.
+	Resets int64
+}
+
+// Leveler is the SW Leveler of Figure 1: the BET plus the two procedures
+// SWL-Procedure (Level) and SWL-BETUpdate (OnErase). It is driven entirely
+// by the hosting system: the Cleaner calls OnErase for every block erase,
+// and some trigger — a timer, the Allocator, or the Cleaner — calls Level
+// periodically.
+type Leveler struct {
+	cfg      Config
+	bet      *BET
+	cleaner  Cleaner
+	preset   []int // set indexes pre-flagged every interval (all-excluded)
+	ecnt     int64
+	findex   int
+	leveling bool
+	rand     func(n int) int
+	stats    Stats
+}
+
+// NewLeveler constructs a leveler. The Cleaner is required; the threshold
+// must be at least 1 (an unevenness level below 1 is impossible, since every
+// erase that sets a flag also counts toward ecnt).
+func NewLeveler(cfg Config, cleaner Cleaner) (*Leveler, error) {
+	if cleaner == nil {
+		return nil, errors.New("core: leveler needs a cleaner")
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("core: leveler needs a positive block count, got %d", cfg.Blocks)
+	}
+	if cfg.K < 0 || cfg.K > 30 {
+		return nil, fmt.Errorf("core: mapping mode k=%d out of range", cfg.K)
+	}
+	if cfg.Threshold < 1 {
+		return nil, fmt.Errorf("core: threshold T=%g must be >= 1", cfg.Threshold)
+	}
+	r := cfg.Rand
+	if r == nil {
+		r = rand.Intn
+	}
+	l := &Leveler{cfg: cfg, bet: NewBET(cfg.Blocks, cfg.K), cleaner: cleaner, rand: r}
+	if len(cfg.Exclude) > 0 {
+		excluded := make(map[int]bool, len(cfg.Exclude))
+		for _, b := range cfg.Exclude {
+			if b < 0 || b >= cfg.Blocks {
+				return nil, fmt.Errorf("core: excluded block %d out of range", b)
+			}
+			excluded[b] = true
+		}
+		for f := 0; f < l.bet.Size(); f++ {
+			lo, hi := l.bet.BlockRange(f)
+			all := true
+			for b := lo; b < hi; b++ {
+				if !excluded[b] {
+					all = false
+					break
+				}
+			}
+			if all {
+				l.preset = append(l.preset, f)
+			}
+		}
+		if len(l.preset) >= l.bet.Size() {
+			return nil, errors.New("core: every block set is excluded")
+		}
+	}
+	l.applyPresets()
+	return l, nil
+}
+
+// applyPresets flags the block sets wear leveling can never reach.
+func (l *Leveler) applyPresets() {
+	for _, f := range l.preset {
+		l.bet.Set(f)
+	}
+}
+
+// BET exposes the Block Erasing Table, chiefly for persistence and tests.
+func (l *Leveler) BET() *BET { return l.bet }
+
+// Stats returns a snapshot of the activity counters.
+func (l *Leveler) Stats() Stats { return l.stats }
+
+// Ecnt returns the number of erases in the current resetting interval.
+func (l *Leveler) Ecnt() int64 { return l.ecnt }
+
+// Findex returns the current cyclic scan position.
+func (l *Leveler) Findex() int { return l.findex }
+
+// Unevenness returns ecnt/fcnt, the paper's unevenness level. A high value
+// means many erases concentrated on few block sets. It is 0 while no flag
+// is set.
+func (l *Leveler) Unevenness() float64 {
+	if l.bet.Fcnt() == 0 {
+		return 0
+	}
+	return float64(l.ecnt) / float64(l.bet.Fcnt())
+}
+
+// OnErase implements SWL-BETUpdate (Algorithm 2): it must be invoked by the
+// Cleaner whenever any block is erased, including erases the leveler itself
+// requested through EraseBlockSet.
+func (l *Leveler) OnErase(bindex int) {
+	l.ecnt++
+	l.stats.Erases++
+	l.bet.SetBlock(bindex)
+}
+
+// NeedsLeveling reports whether the unevenness level has reached the
+// threshold, i.e. whether Level would act. Hosts can use it as a cheap
+// trigger test.
+func (l *Leveler) NeedsLeveling() bool {
+	return l.bet.Fcnt() > 0 && l.Unevenness() >= l.cfg.Threshold
+}
+
+// Level implements SWL-Procedure (Algorithm 1). While the unevenness level
+// ecnt/fcnt is at or above the threshold T it selects the next block set
+// with a clear flag (cyclic scan from findex) and asks the Cleaner to
+// garbage-collect it; the resulting erases flow back through OnErase,
+// raising fcnt and lowering the unevenness until the loop exits. When every
+// flag is set, the BET and counters reset, findex restarts at a random
+// position, and the call returns to begin the next resetting interval.
+//
+// Level is idempotent under reentrancy: if the Cleaner's garbage collection
+// somehow re-triggers Level, the nested call returns immediately.
+func (l *Leveler) Level() error {
+	if l.leveling {
+		return nil
+	}
+	l.leveling = true
+	defer func() { l.leveling = false }()
+
+	if l.bet.Fcnt() == 0 { // step 1: just reset, nothing to compare against
+		return nil
+	}
+	acted := false
+	noProgress := 0
+	for l.Unevenness() >= l.cfg.Threshold { // step 2
+		if l.bet.Full() { // step 3
+			l.ecnt = 0                      // step 4 (fcnt reset with the BET, step 5)
+			l.findex = l.rand(l.bet.Size()) // step 6
+			l.bet.Reset()                   // step 7
+			l.applyPresets()
+			l.stats.Resets++
+			break // step 8: start the next resetting interval
+		}
+		start := l.findex
+		if l.cfg.Select == SelectRandom {
+			start = l.rand(l.bet.Size())
+		}
+		next, ok := l.bet.NextClear(start) // steps 9–10
+		if !ok {
+			break // raced to full; handled at the top of the next iteration
+		}
+		l.findex = next
+		before := l.bet.Fcnt()
+		if err := l.cleaner.EraseBlockSet(l.findex, l.cfg.K); err != nil { // step 11
+			return fmt.Errorf("core: static wear leveling of block set %d: %w", l.findex, err)
+		}
+		acted = true
+		l.stats.SetsRecycled++
+		if l.bet.Fcnt() == before {
+			// The erase did not reach this interval's accounting: a broken
+			// Cleaner integration. Bound the scan so we cannot spin forever.
+			noProgress++
+			if noProgress > l.bet.Size() {
+				return ErrNoProgress
+			}
+		} else {
+			noProgress = 0
+		}
+		l.findex = (l.findex + 1) % l.bet.Size() // step 12
+	}
+	if acted {
+		l.stats.Triggered++
+	}
+	return nil
+}

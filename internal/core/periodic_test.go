@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPeriodicValidation(t *testing.T) {
+	c := &fakeCleaner{}
+	bad := []PeriodicConfig{
+		{Blocks: 0, Period: 10},
+		{Blocks: 8, K: -1, Period: 10},
+		{Blocks: 8, K: 31, Period: 10},
+		{Blocks: 8, Period: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPeriodicLeveler(cfg, c); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewPeriodicLeveler(PeriodicConfig{Blocks: 8, Period: 1}, nil); err == nil {
+		t.Error("nil cleaner accepted")
+	}
+}
+
+func TestPeriodicForcesEveryPeriod(t *testing.T) {
+	c := &fakeCleaner{}
+	p, err := NewPeriodicLeveler(PeriodicConfig{Blocks: 16, K: 0, Period: 10, Rand: rand.New(rand.NewSource(1)).Intn}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fake cleaner reports erases back through the SW Leveler path;
+	// wire it to feed the periodic leveler instead.
+	c.onErase = p.OnErase
+	for i := 0; i < 95; i++ {
+		p.OnErase(i % 16)
+		if p.NeedsLeveling() {
+			if err := p.Level(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// 95 host erases plus 1 forced erase per recycle; every 10 erases one
+	// set is recycled: roughly 10 recycles.
+	got := p.Stats().SetsRecycled
+	if got < 9 || got > 12 {
+		t.Errorf("SetsRecycled = %d, want ≈10", got)
+	}
+	for _, call := range c.calls {
+		if call[0] < 0 || call[0] >= 16 || call[1] != 0 {
+			t.Errorf("bad recycle target %v", call)
+		}
+	}
+}
+
+func TestPeriodicReentrancyGuard(t *testing.T) {
+	c := &fakeCleaner{}
+	p, _ := NewPeriodicLeveler(PeriodicConfig{Blocks: 8, K: 0, Period: 1, Rand: rand.New(rand.NewSource(2)).Intn}, c)
+	c.onErase = p.OnErase
+	// Period 1 with erase feedback would recurse without the guard; the
+	// loop must still terminate because pending is consumed up front.
+	for i := 0; i < 10; i++ {
+		p.OnErase(0)
+	}
+	if err := p.Level(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().SetsRecycled == 0 {
+		t.Error("nothing recycled")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Snapshot persistence for the SW Leveler (paper §3.2–3.3): the BET, ecnt,
+// fcnt, and findex are saved to flash at shutdown and reloaded at attach so
+// the leveler does not lose erase history. Crash resistance uses the "dual
+// buffer concept": writes alternate between two slots, so a crash mid-write
+// destroys at most the newest snapshot and an older consistent one survives.
+// The paper notes the values tolerate staleness — a slightly old snapshot
+// only delays leveling, it never corrupts data.
+
+// SnapshotStore is the persistence substrate, satisfied by
+// mtd.BlockStore (two reserved flash blocks) and by any test double.
+type SnapshotStore interface {
+	// Slots returns the number of snapshot slots (2 for a dual buffer).
+	Slots() int
+	// WriteSnapshot replaces the payload in a slot.
+	WriteSnapshot(slot int, data []byte) error
+	// ReadSnapshot returns the payload in a slot; any error means the slot
+	// holds no usable snapshot.
+	ReadSnapshot(slot int) ([]byte, error)
+}
+
+// ErrNoSavedState reports that no slot held a decodable snapshot.
+var ErrNoSavedState = errors.New("core: no saved leveler state")
+
+const (
+	snapMagic   = 0x53574C31 // "SWL1"
+	snapVersion = 1
+)
+
+// snapshot layout (little-endian):
+//
+//	0  magic u32
+//	4  version u8
+//	5  k u8
+//	6  reserved u16
+//	8  seq u64
+//	16 blocks u32
+//	20 findex u32
+//	24 ecnt u64
+//	32 nwords u32
+//	36 bits (nwords × u64)
+//	.. crc32 u32 over everything before it
+const snapHeader = 36
+
+// encodeSnapshot serializes the leveler state with a write sequence number.
+func encodeSnapshot(l *Leveler, seq uint64) []byte {
+	bits := l.bet.flags
+	buf := make([]byte, snapHeader+8*len(bits)+4)
+	binary.LittleEndian.PutUint32(buf[0:], snapMagic)
+	buf[4] = snapVersion
+	buf[5] = byte(l.cfg.K)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(l.cfg.Blocks))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(l.findex))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(l.ecnt))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(bits)))
+	for i, w := range bits {
+		binary.LittleEndian.PutUint64(buf[snapHeader+8*i:], w)
+	}
+	crc := crc32.ChecksumIEEE(buf[:len(buf)-4])
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc)
+	return buf
+}
+
+// decodeSnapshot restores leveler state from a snapshot if it matches the
+// leveler's shape (blocks and k), returning the sequence number.
+func decodeSnapshot(l *Leveler, buf []byte) (uint64, error) {
+	if len(buf) < snapHeader+4 || binary.LittleEndian.Uint32(buf) != snapMagic || buf[4] != snapVersion {
+		return 0, errors.New("core: snapshot malformed")
+	}
+	crcWant := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(buf[:len(buf)-4]) != crcWant {
+		return 0, errors.New("core: snapshot checksum mismatch")
+	}
+	if int(buf[5]) != l.cfg.K {
+		return 0, fmt.Errorf("core: snapshot k=%d does not match leveler k=%d", buf[5], l.cfg.K)
+	}
+	if int(binary.LittleEndian.Uint32(buf[16:])) != l.cfg.Blocks {
+		return 0, errors.New("core: snapshot block count does not match")
+	}
+	seq := binary.LittleEndian.Uint64(buf[8:])
+	nwords := int(binary.LittleEndian.Uint32(buf[32:]))
+	if nwords != len(l.bet.flags) || len(buf) != snapHeader+8*nwords+4 {
+		return 0, errors.New("core: snapshot size does not match")
+	}
+	findex := int(binary.LittleEndian.Uint32(buf[20:]))
+	if findex < 0 || findex >= l.bet.Size() {
+		findex = 0
+	}
+	l.findex = findex
+	l.ecnt = int64(binary.LittleEndian.Uint64(buf[24:]))
+	l.bet.Reset()
+	for i := range l.bet.flags {
+		l.bet.flags[i] = binary.LittleEndian.Uint64(buf[snapHeader+8*i:])
+	}
+	// Recompute fcnt from the bitmap rather than trusting the snapshot.
+	fcnt := 0
+	for f := 0; f < l.bet.Size(); f++ {
+		if l.bet.IsSet(f) {
+			fcnt++
+		}
+	}
+	l.bet.fcnt = fcnt
+	return seq, nil
+}
+
+// Persister saves and restores a Leveler through a SnapshotStore using the
+// dual-buffer protocol.
+type Persister struct {
+	store SnapshotStore
+	seq   uint64
+}
+
+// NewPersister wraps a store. The store should have at least two slots for
+// crash resistance; one slot still works but loses the old copy during a
+// write.
+func NewPersister(store SnapshotStore) (*Persister, error) {
+	if store == nil || store.Slots() < 1 {
+		return nil, errors.New("core: persister needs a store with at least one slot")
+	}
+	return &Persister{store: store}, nil
+}
+
+// Save writes the leveler state to the next slot in rotation.
+func (p *Persister) Save(l *Leveler) error {
+	p.seq++
+	slot := int(p.seq) % p.store.Slots()
+	return p.store.WriteSnapshot(slot, encodeSnapshot(l, p.seq))
+}
+
+// Load restores the leveler from the newest decodable snapshot across all
+// slots. It returns ErrNoSavedState when no slot is usable — the leveler
+// then simply starts a fresh resetting interval, which the paper notes is
+// an acceptable loss. On success the persister resumes the sequence so that
+// the next Save overwrites the older slot.
+func (p *Persister) Load(l *Leveler) error {
+	bestSeq := uint64(0)
+	found := false
+	var bestBuf []byte
+	for slot := 0; slot < p.store.Slots(); slot++ {
+		buf, err := p.store.ReadSnapshot(slot)
+		if err != nil {
+			continue
+		}
+		// Peek at the sequence without mutating the leveler.
+		if len(buf) < 16 || binary.LittleEndian.Uint32(buf) != snapMagic {
+			continue
+		}
+		seq := binary.LittleEndian.Uint64(buf[8:])
+		if !found || seq > bestSeq {
+			// Validate fully before accepting, using a scratch leveler so a
+			// corrupt newer snapshot does not wipe state before we fall
+			// back to an older one.
+			scratch, _ := NewLeveler(l.cfg, l.cleaner)
+			if _, err := decodeSnapshot(scratch, buf); err != nil {
+				continue
+			}
+			bestSeq, bestBuf, found = seq, buf, true
+		}
+	}
+	if !found {
+		return ErrNoSavedState
+	}
+	if _, err := decodeSnapshot(l, bestBuf); err != nil {
+		return err
+	}
+	p.seq = bestSeq
+	return nil
+}

@@ -1,0 +1,218 @@
+package dftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flashswl/internal/nand"
+)
+
+// The Cleaner mirrors the ftl package's greedy cost-benefit discipline, with
+// one extra case: a recycled block may hold live translation pages, which
+// are relocated like data but update the Global Translation Directory
+// instead of a mapping entry.
+
+// ensureHeadroom garbage-collects until the free pool is above the
+// watermark.
+func (d *Driver) ensureHeadroom() error {
+	for d.freeCnt <= d.watermark {
+		victim, ok := d.pickVictim()
+		if !ok {
+			return ErrNoSpace
+		}
+		d.counters.GCRuns++
+		if err := d.recycle(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim chooses the lowest-erase-count block among those whose invalid
+// pages outnumber valid ones, falling back to the most-invalid block.
+func (d *Driver) pickVictim() (int, bool) {
+	best, bestErases := -1, int(^uint(0)>>1)
+	fallback, fallbackInvalid := -1, 0
+	for i := 0; i < d.nblocks; i++ {
+		b := d.scanPos + i
+		if b >= d.nblocks {
+			b -= d.nblocks
+		}
+		if d.state[b] != blockInUse {
+			continue
+		}
+		invalid := int(d.written[b]) - int(d.valid[b])
+		if invalid > int(d.valid[b]) {
+			if ec := d.dev.EraseCount(b); ec < bestErases {
+				best, bestErases = b, ec
+			}
+			continue
+		}
+		if invalid > fallbackInvalid {
+			fallback, fallbackInvalid = b, invalid
+		}
+	}
+	if best >= 0 {
+		d.scanPos = (best + 1) % d.nblocks
+		return best, true
+	}
+	if fallback >= 0 {
+		d.scanPos = (fallback + 1) % d.nblocks
+		return fallback, true
+	}
+	return 0, false
+}
+
+// recycle relocates every live page of the block — data pages via their
+// translation pages, translation pages via the GTD — then erases it.
+func (d *Driver) recycle(b int) error {
+	if d.state[b] == blockActive || d.state[b] == blockReserved {
+		return fmt.Errorf("dftl: recycle of block %d in state %d", b, d.state[b])
+	}
+	for p := 0; p < int(d.written[b]); p++ {
+		ppn := b*d.ppb + p
+		owner := d.rmap[ppn]
+		if owner == invalidPPN {
+			continue
+		}
+		if _, err := d.dev.ReadPage(ppn, nil, nil); err != nil {
+			return err
+		}
+		if owner&tTag != 0 {
+			// Live translation page: move it and repoint the GTD.
+			t := int(owner &^ tTag)
+			dst, err := d.allocPage()
+			if err != nil {
+				return err
+			}
+			if err := d.program(dst, uint32(tTag)|uint32(t)); err != nil {
+				return err
+			}
+			d.gtd[t] = int32(dst)
+			d.rmap[dst] = owner
+			d.valid[dst/d.ppb]++
+			d.rmap[ppn] = invalidPPN
+			d.valid[b]--
+			d.counters.TPageCopies++
+			if d.inForced {
+				d.counters.ForcedCopies++
+			}
+			continue
+		}
+		// Live data page: move it and repoint its mapping entry, which
+		// needs the translation page in cache (and dirties it).
+		lpn := int(owner)
+		tp, err := d.loadTPage(lpn / d.perT)
+		if err != nil {
+			return err
+		}
+		dst, err := d.allocPage()
+		if err != nil {
+			return err
+		}
+		if err := d.program(dst, uint32(lpn)); err != nil {
+			return err
+		}
+		tp.entries[lpn%d.perT] = int32(dst)
+		tp.dirty = true
+		d.rmap[dst] = owner
+		d.valid[dst/d.ppb]++
+		d.rmap[ppn] = invalidPPN
+		d.valid[b]--
+		d.counters.LiveCopies++
+		if d.inForced {
+			d.counters.ForcedCopies++
+		}
+	}
+	return d.eraseToFree(b)
+}
+
+// eraseToFree erases a block back into the pool, retiring it on wear-out.
+func (d *Driver) eraseToFree(b int) error {
+	wasFree := d.state[b] == blockFree
+	if err := d.dev.EraseBlock(b); err != nil {
+		if errors.Is(err, nand.ErrWornOut) {
+			d.state[b] = blockReserved
+			d.counters.RetiredBlocks++
+			if wasFree {
+				d.freeCnt--
+			}
+			return nil
+		}
+		return err
+	}
+	d.counters.Erases++
+	if d.inForced {
+		d.counters.ForcedErases++
+		if b >= d.forcedLo && b < d.forcedHi {
+			d.forcedDone[b-d.forcedLo] = true
+		}
+	}
+	d.written[b] = 0
+	d.valid[b] = 0
+	d.state[b] = blockFree
+	if !wasFree {
+		d.freeCnt++
+		d.freeQ = append(d.freeQ, int32(b))
+	}
+	if d.onErase != nil {
+		d.onErase(b)
+	}
+	return nil
+}
+
+// EraseBlockSet forcibly recycles every block of the set for the SW Leveler
+// (core.Cleaner), exactly as the ftl package does.
+func (d *Driver) EraseBlockSet(findex, k int) error {
+	if k < 0 || findex < 0 {
+		return fmt.Errorf("dftl: invalid block set (%d, %d)", findex, k)
+	}
+	lo := findex << uint(k)
+	if lo >= d.nblocks {
+		return fmt.Errorf("dftl: block set %d out of range under k=%d", findex, k)
+	}
+	hi := lo + 1<<uint(k)
+	if hi > d.nblocks {
+		hi = d.nblocks
+	}
+	d.counters.ForcedSets++
+	if err := d.ensureHeadroom(); err != nil {
+		return err
+	}
+	d.inForced = true
+	d.forcedLo, d.forcedHi = lo, hi
+	if cap(d.forcedDone) < hi-lo {
+		d.forcedDone = make([]bool, hi-lo)
+	}
+	d.forcedDone = d.forcedDone[:hi-lo]
+	for i := range d.forcedDone {
+		d.forcedDone[i] = false
+	}
+	defer func() { d.inForced = false; d.forcedLo, d.forcedHi = 0, 0 }()
+	for b := lo; b < hi; b++ {
+		if d.forcedDone[b-lo] {
+			continue
+		}
+		switch d.state[b] {
+		case blockReserved:
+			continue
+		case blockFree:
+			if err := d.eraseToFree(b); err != nil {
+				return err
+			}
+		case blockActive:
+			if d.active == b {
+				d.active = -1
+			}
+			d.state[b] = blockInUse
+			if err := d.recycle(b); err != nil {
+				return err
+			}
+		case blockInUse:
+			if err := d.recycle(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package ecc implements the classic NAND/SmartMedia Hamming error
+// correction code: 3 ECC bytes protect each 256-byte chunk, correcting any
+// single-bit error and detecting double-bit errors (SEC-DED). This is the
+// code NAND datasheets of the paper's era mandated for SLC parts and the
+// one early FTL firmware computed in software; the spare-area "ECC" field
+// of Figure 2(a) holds exactly these bytes.
+//
+// The layout follows the de-facto standard (as in Linux's software Hamming
+// implementation): 16 line-parity bits over the byte addresses and 6
+// column-parity bits over the bit positions, packed into 3 bytes with the
+// two unused bits set to 1.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChunkSize is the data block each ECC covers, in bytes.
+const ChunkSize = 256
+
+// Size is the ECC bytes per chunk.
+const Size = 3
+
+// ErrUncorrectable reports two or more bit errors in a chunk.
+var ErrUncorrectable = errors.New("ecc: uncorrectable error")
+
+// parity returns the parity (0 or 1) of a byte.
+func parity(b byte) byte {
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b & 1
+}
+
+// Calc computes the 3-byte code over a 256-byte chunk. It panics if the
+// chunk is not exactly ChunkSize long, as the code is undefined otherwise.
+func Calc(chunk []byte) [Size]byte {
+	if len(chunk) != ChunkSize {
+		panic(fmt.Sprintf("ecc: chunk of %d bytes", len(chunk)))
+	}
+	var lpOdd, lpEven uint16 // line parity for address bits = 1 / = 0
+	var all byte             // XOR of every byte (for column parity)
+	for i, b := range chunk {
+		all ^= b
+		if parity(b) == 1 {
+			lpOdd ^= uint16(i)
+			lpEven ^= uint16(^i)
+		}
+	}
+	lpEven &= 0xFF
+	// Column parity from the XOR of all bytes: cp(2k+1) covers bit
+	// positions with bit k set, cp(2k) the rest.
+	var cp [6]byte
+	cp[1] = parity(all & 0xAA) // bit0 of position = 1
+	cp[0] = parity(all & 0x55)
+	cp[3] = parity(all & 0xCC) // bit1 of position = 1
+	cp[2] = parity(all & 0x33)
+	cp[5] = parity(all & 0xF0) // bit2 of position = 1
+	cp[4] = parity(all & 0x0F)
+
+	// Pack: interleave lpEven/lpOdd bits, low address bits first.
+	var code [Size]byte
+	var l uint32
+	for k := 0; k < 8; k++ {
+		l |= uint32(lpEven>>uint(k)&1) << uint(2*k)
+		l |= uint32(lpOdd>>uint(k)&1) << uint(2*k+1)
+	}
+	code[0] = byte(l)
+	code[1] = byte(l >> 8)
+	code[2] = cp[0] | cp[1]<<1 | cp[2]<<2 | cp[3]<<3 | cp[4]<<4 | cp[5]<<5 | 0xC0
+	return code
+}
+
+// Correct compares the stored code against the chunk's computed code and
+// repairs a single flipped bit in place. It reports whether the chunk was
+// modified; ErrUncorrectable means at least two bits differ.
+func Correct(chunk []byte, stored [Size]byte) (fixed bool, err error) {
+	computed := Calc(chunk)
+	s0 := stored[0] ^ computed[0]
+	s1 := stored[1] ^ computed[1]
+	s2 := (stored[2] ^ computed[2]) & 0x3F
+	if s0|s1|s2 == 0 {
+		return false, nil
+	}
+	syn := uint32(s0) | uint32(s1)<<8 | uint32(s2)<<16
+	// A single-bit data error flips exactly one bit of every parity pair
+	// (bit 2k, bit 2k+1): XORing each pair's halves must yield 1 for all
+	// 11 pairs — the even-position mask over 22 bits is 0x155555.
+	if (syn^(syn>>1))&0x155555 == 0x155555 {
+		// Reconstruct the failing bit address from the odd halves.
+		byteAddr := 0
+		for k := 0; k < 8; k++ {
+			byteAddr |= int(syn>>uint(2*k+1)&1) << uint(k)
+		}
+		bitAddr := 0
+		for k := 0; k < 3; k++ {
+			bitAddr |= int(syn>>uint(16+2*k+1)&1) << uint(k)
+		}
+		chunk[byteAddr] ^= 1 << uint(bitAddr)
+		return true, nil
+	}
+	// A single flipped bit inside the ECC bytes themselves: exactly one
+	// syndrome bit set. The data is fine.
+	if syn&(syn-1) == 0 {
+		return false, nil
+	}
+	return false, ErrUncorrectable
+}
+
+// CalcPage computes the concatenated codes for a page of whole chunks.
+func CalcPage(page []byte) ([]byte, error) {
+	if len(page) == 0 || len(page)%ChunkSize != 0 {
+		return nil, fmt.Errorf("ecc: page of %d bytes is not a multiple of %d", len(page), ChunkSize)
+	}
+	out := make([]byte, 0, len(page)/ChunkSize*Size)
+	for off := 0; off < len(page); off += ChunkSize {
+		c := Calc(page[off : off+ChunkSize])
+		out = append(out, c[:]...)
+	}
+	return out, nil
+}
+
+// CorrectPage repairs a page in place against its stored concatenated
+// codes, returning the number of corrected bits.
+func CorrectPage(page, stored []byte) (int, error) {
+	if len(page)%ChunkSize != 0 || len(stored) != len(page)/ChunkSize*Size {
+		return 0, fmt.Errorf("ecc: page %d / codes %d size mismatch", len(page), len(stored))
+	}
+	fixedBits := 0
+	for i, off := 0, 0; off < len(page); i, off = i+1, off+ChunkSize {
+		var code [Size]byte
+		copy(code[:], stored[i*Size:])
+		fixed, err := Correct(page[off:off+ChunkSize], code)
+		if err != nil {
+			return fixedBits, fmt.Errorf("ecc: chunk %d: %w", i, err)
+		}
+		if fixed {
+			fixedBits++
+		}
+	}
+	return fixedBits, nil
+}

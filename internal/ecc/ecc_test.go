@@ -1,0 +1,157 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chunkOf(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	c := make([]byte, ChunkSize)
+	rng.Read(c)
+	return c
+}
+
+func TestCalcDeterministic(t *testing.T) {
+	c := chunkOf(1)
+	a, b := Calc(c), Calc(c)
+	if a != b {
+		t.Fatal("Calc not deterministic")
+	}
+	c[0] ^= 1
+	if Calc(c) == a {
+		t.Fatal("Calc insensitive to data change")
+	}
+}
+
+func TestCalcPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Calc(make([]byte, 100))
+}
+
+func TestCleanChunkPasses(t *testing.T) {
+	c := chunkOf(2)
+	code := Calc(c)
+	fixed, err := Correct(c, code)
+	if err != nil || fixed {
+		t.Fatalf("clean chunk: fixed=%v err=%v", fixed, err)
+	}
+}
+
+func TestCorrectsEverySingleBit(t *testing.T) {
+	// Exhaustive over all 2048 single-bit positions of one chunk.
+	orig := chunkOf(3)
+	code := Calc(orig)
+	for byteIdx := 0; byteIdx < ChunkSize; byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			c := append([]byte(nil), orig...)
+			c[byteIdx] ^= 1 << uint(bit)
+			fixed, err := Correct(c, code)
+			if err != nil {
+				t.Fatalf("byte %d bit %d: %v", byteIdx, bit, err)
+			}
+			if !fixed || !bytes.Equal(c, orig) {
+				t.Fatalf("byte %d bit %d not corrected", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestSingleBitErrorInCode(t *testing.T) {
+	c := chunkOf(4)
+	code := Calc(c)
+	for bit := 0; bit < 22; bit++ {
+		damaged := code
+		damaged[bit/8] ^= 1 << uint(bit%8)
+		cc := append([]byte(nil), c...)
+		fixed, err := Correct(cc, damaged)
+		if err != nil {
+			t.Fatalf("code bit %d: %v", bit, err)
+		}
+		if fixed || !bytes.Equal(cc, c) {
+			t.Fatalf("code bit %d: data wrongly modified", bit)
+		}
+	}
+}
+
+func TestDoubleBitDetected(t *testing.T) {
+	orig := chunkOf(5)
+	code := Calc(orig)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		c := append([]byte(nil), orig...)
+		b1, b2 := rng.Intn(2048), rng.Intn(2048)
+		if b1 == b2 {
+			continue
+		}
+		c[b1/8] ^= 1 << uint(b1%8)
+		c[b2/8] ^= 1 << uint(b2%8)
+		_, err := Correct(c, code)
+		if !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("double error (%d,%d) gave %v", b1, b2, err)
+		}
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	page := make([]byte, 2048)
+	rng.Read(page)
+	codes, err := CalcPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 2048/ChunkSize*Size {
+		t.Fatalf("codes = %d bytes", len(codes))
+	}
+	// Flip one bit in three different chunks.
+	for _, pos := range []int{5, 3000, 16000} {
+		page[pos/8] ^= 1 << uint(pos%8)
+	}
+	n, err := CorrectPage(page, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("corrected %d chunks, want 3", n)
+	}
+	if _, err := CorrectPage(page, codes[:5]); err == nil {
+		t.Error("mismatched code length accepted")
+	}
+	if _, err := CalcPage(page[:100]); err == nil {
+		t.Error("unaligned page accepted")
+	}
+}
+
+// Property: any single-bit flip in a random chunk is corrected back to the
+// original.
+func TestSingleBitProperty(t *testing.T) {
+	f := func(seed int64, pos uint16) bool {
+		c := chunkOf(seed)
+		code := Calc(c)
+		orig := append([]byte(nil), c...)
+		p := int(pos) % 2048
+		c[p/8] ^= 1 << uint(p%8)
+		fixed, err := Correct(c, code)
+		return err == nil && fixed && bytes.Equal(c, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityHelper(t *testing.T) {
+	cases := map[byte]byte{0x00: 0, 0x01: 1, 0xFF: 0, 0x7F: 1, 0xAA: 0, 0xAB: 1}
+	for in, want := range cases {
+		if got := parity(in); got != want {
+			t.Errorf("parity(%#x) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package ecc_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"flashswl/internal/ecc"
+)
+
+// Example protects a 256-byte chunk, flips one stored bit (retention loss),
+// and recovers the original data.
+func Example() {
+	chunk := bytes.Repeat([]byte{0xC3}, ecc.ChunkSize)
+	code := ecc.Calc(chunk)
+
+	chunk[100] ^= 0x08 // one bit rots
+
+	fixed, err := ecc.Correct(chunk, code)
+	fmt.Println("fixed:", fixed, "err:", err)
+	fmt.Println("recovered:", chunk[100] == 0xC3)
+	// Output:
+	// fixed: true err: <nil>
+	// recovered: true
+}

@@ -1,0 +1,48 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCorrect hardens the decoder: arbitrary stored codes against arbitrary
+// chunks must never panic, and a reported fix must change exactly one bit.
+func FuzzCorrect(f *testing.F) {
+	seed := make([]byte, ChunkSize)
+	f.Add(seed, []byte{0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xA5}, ChunkSize), []byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, chunk, code []byte) {
+		if len(chunk) != ChunkSize || len(code) < Size {
+			return
+		}
+		var stored [Size]byte
+		copy(stored[:], code)
+		before := append([]byte(nil), chunk...)
+		fixed, err := Correct(chunk, stored)
+		if err != nil {
+			if !bytes.Equal(chunk, before) {
+				t.Fatal("uncorrectable result must leave the chunk untouched")
+			}
+			return
+		}
+		diff := 0
+		for i := range chunk {
+			x := chunk[i] ^ before[i]
+			for ; x != 0; x &= x - 1 {
+				diff++
+			}
+		}
+		if fixed && diff != 1 {
+			t.Fatalf("fix changed %d bits", diff)
+		}
+		if !fixed && diff != 0 {
+			t.Fatalf("no-fix changed %d bits", diff)
+		}
+		if fixed {
+			// After a fix the chunk must verify clean against the code.
+			if f2, err := Correct(chunk, stored); err != nil || f2 {
+				t.Fatalf("fixed chunk does not verify: fixed=%v err=%v", f2, err)
+			}
+		}
+	})
+}

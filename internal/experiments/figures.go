@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"flashswl/internal/sim"
+)
+
+// forEachCell runs fn(i) for i in [0, n) on a bounded worker pool — every
+// experiment cell is an independent simulation, so sweeps parallelize
+// across cores. The first error wins.
+func forEachCell(n int, fn func(i int) error) error {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// Cell is one (k, T) data point of a figure.
+type Cell struct {
+	K     int
+	T     float64 // paper-scale threshold label
+	Value float64
+	Run   *sim.Result
+}
+
+// Series is one sub-figure: a baseline plus the k×T sweep for one layer.
+type Series struct {
+	Layer    sim.LayerKind
+	Baseline float64
+	BaseRun  *sim.Result
+	Cells    []Cell
+}
+
+// CellAt returns the cell for (k, paperT), or nil.
+func (s *Series) CellAt(k int, paperT float64) *Cell {
+	for i := range s.Cells {
+		if s.Cells[i].K == k && s.Cells[i].T == paperT {
+			return &s.Cells[i]
+		}
+	}
+	return nil
+}
+
+// runToFailure runs one configuration until the first block wears out.
+func runToFailure(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
+	cfg := sc.config(layer, swl, k, paperT)
+	cfg.StopOnFirstWear = true
+	res, err := sim.Run(cfg, sc.source())
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, fmt.Errorf("experiments: run failed after %d events: %w", res.Events, res.Err)
+	}
+	return res, nil
+}
+
+// runAged runs one configuration for the scale's fixed aging span,
+// continuing past block wear-outs as the paper does for Table 4.
+func runAged(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
+	cfg := sc.config(layer, swl, k, paperT)
+	cfg.MaxSimTime = sc.aging()
+	res, err := sim.Run(cfg, sc.source())
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, fmt.Errorf("experiments: run failed after %d events: %w", res.Events, res.Err)
+	}
+	return res, nil
+}
+
+// Figure5 reproduces one sub-figure of Figure 5: the first failure time (in
+// simulated years) without SWL and with SWL across the given k and T
+// sweeps (PaperKs and PaperTs for the paper's full grid).
+func Figure5(sc Scale, layer sim.LayerKind, ks []int, ts []float64) (*Series, error) {
+	s := &Series{Layer: layer}
+	for _, t := range ts {
+		for _, k := range ks {
+			s.Cells = append(s.Cells, Cell{K: k, T: t})
+		}
+	}
+	// Cell 0 is the baseline; the sweep runs in parallel (each cell is an
+	// independent simulation over its own replay of the shared trace).
+	err := forEachCell(len(s.Cells)+1, func(i int) error {
+		if i == 0 {
+			base, err := runToFailure(sc, layer, false, 0, 0)
+			if err != nil {
+				return err
+			}
+			s.Baseline = base.FirstWearYears()
+			s.BaseRun = base
+			return nil
+		}
+		c := &s.Cells[i-1]
+		res, err := runToFailure(sc, layer, true, c.K, c.T)
+		if err != nil {
+			return err
+		}
+		c.Value = res.FirstWearYears()
+		c.Run = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AgedRuns holds the fixed-span runs shared by Table 4 and Figures 6–7.
+type AgedRuns struct {
+	Scale Scale
+	Base  map[sim.LayerKind]*sim.Result
+	Cells map[sim.LayerKind][]Cell // Value unset; Run populated
+}
+
+// RunAged executes the fixed-aging sweep for both layers once; Table4,
+// Figure6, and Figure7 are different projections of these runs.
+func RunAged(sc Scale, ks []int, ts []float64) (*AgedRuns, error) {
+	out := &AgedRuns{
+		Scale: sc,
+		Base:  map[sim.LayerKind]*sim.Result{},
+		Cells: map[sim.LayerKind][]Cell{},
+	}
+	layers := []sim.LayerKind{sim.FTL, sim.NFTL}
+	for _, layer := range layers {
+		for _, t := range ts {
+			for _, k := range ks {
+				out.Cells[layer] = append(out.Cells[layer], Cell{K: k, T: t})
+			}
+		}
+	}
+	perLayer := len(ks) * len(ts)
+	total := len(layers) * (perLayer + 1) // +1 baseline each
+	var mu sync.Mutex
+	err := forEachCell(total, func(i int) error {
+		layer := layers[i/(perLayer+1)]
+		j := i % (perLayer + 1)
+		if j == 0 {
+			base, err := runAged(sc, layer, false, 0, 0)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			out.Base[layer] = base
+			mu.Unlock()
+			return nil
+		}
+		c := &out.Cells[layer][j-1]
+		res, err := runAged(sc, layer, true, c.K, c.T)
+		if err != nil {
+			return err
+		}
+		c.Run = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cellRun returns the aged run for (layer, k, paperT), or nil.
+func (a *AgedRuns) cellRun(layer sim.LayerKind, k int, t float64) *sim.Result {
+	for _, c := range a.Cells[layer] {
+		if c.K == k && c.T == t {
+			return c.Run
+		}
+	}
+	return nil
+}
+
+// Table4Row is one row of Table 4: the erase-count distribution of a
+// configuration after the aging span.
+type Table4Row struct {
+	Label    string
+	Avg, Dev float64
+	Max      int
+}
+
+// Table4 projects the aged runs into the paper's Table 4 rows: baseline and
+// the four (k, T) corners for each layer.
+func (a *AgedRuns) Table4() []Table4Row {
+	corners := []struct {
+		k int
+		t float64
+	}{{0, 100}, {0, 1000}, {3, 100}, {3, 1000}}
+	var rows []Table4Row
+	for _, layer := range []sim.LayerKind{sim.FTL, sim.NFTL} {
+		base := a.Base[layer]
+		rows = append(rows, Table4Row{
+			Label: layer.String(),
+			Avg:   base.EraseStats.Mean(), Dev: base.EraseStats.StdDev(), Max: int(base.EraseStats.Max()),
+		})
+		for _, c := range corners {
+			run := a.cellRun(layer, c.k, c.t)
+			if run == nil {
+				continue
+			}
+			rows = append(rows, Table4Row{
+				Label: fmt.Sprintf("%s + SWL + k=%d + T=%.0f", layer, c.k, c.t),
+				Avg:   run.EraseStats.Mean(), Dev: run.EraseStats.StdDev(), Max: int(run.EraseStats.Max()),
+			})
+		}
+	}
+	return rows
+}
+
+// Figure6 projects the aged runs into the increased ratio of block erases
+// (%) for one layer, baseline = 100.
+func (a *AgedRuns) Figure6(layer sim.LayerKind) *Series {
+	s := &Series{Layer: layer, Baseline: 100, BaseRun: a.Base[layer]}
+	for _, c := range a.Cells[layer] {
+		s.Cells = append(s.Cells, Cell{K: c.K, T: c.T, Value: c.Run.EraseRatio(a.Base[layer]), Run: c.Run})
+	}
+	return s
+}
+
+// Figure7 projects the aged runs into the increased ratio of live-page
+// copyings (%) for one layer, baseline = 100.
+func (a *AgedRuns) Figure7(layer sim.LayerKind) *Series {
+	s := &Series{Layer: layer, Baseline: 100, BaseRun: a.Base[layer]}
+	for _, c := range a.Cells[layer] {
+		s.Cells = append(s.Cells, Cell{K: c.K, T: c.T, Value: c.Run.CopyRatio(a.Base[layer]), Run: c.Run})
+	}
+	return s
+}
+
+// FormatSeries renders a Series as the rows behind one sub-figure: one line
+// per T, one column per k, plus the baseline.
+func FormatSeries(s *Series, title, unit string, ks []int, ts []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, unit)
+	fmt.Fprintf(&b, "%-24s", "series \\ k")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "%10d", k)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-24s", s.Layer.String()+" (baseline)")
+	for range ks {
+		fmt.Fprintf(&b, "%10.4g", s.Baseline)
+	}
+	b.WriteByte('\n')
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%-24s", fmt.Sprintf("%s+SWL+T=%.0f", s.Layer, t))
+		for _, k := range ks {
+			if c := s.CellAt(k, t); c != nil {
+				fmt.Fprintf(&b, "%10.4g", c.Value)
+			} else {
+				fmt.Fprintf(&b, "%10s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable4 renders Table 4 in the paper's layout.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "", "Avg.", "Dev.", "Max.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %10.0f %10.0f %10d\n", r.Label, r.Avg, r.Dev, r.Max)
+	}
+	return b.String()
+}

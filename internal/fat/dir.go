@@ -1,0 +1,383 @@
+package fat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// dirRef identifies a directory: the fixed root (cluster 0) or the first
+// cluster of a subdirectory's chain.
+type dirRef struct {
+	cluster int
+}
+
+var rootRef = dirRef{cluster: 0}
+
+// DirEntry describes one directory entry, as returned by ReadDir and Stat.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	Size  int64
+
+	raw          [11]byte
+	firstCluster int
+	slotSector   int64
+	slotOffset   int
+}
+
+// iterDir calls fn for every entry slot of the directory (including free
+// and deleted slots) until fn reports stop or the directory ends. raw is
+// the 32-byte slot, valid only during the call.
+func (fs *FS) iterDir(ref dirRef, fn func(sector int64, off int, raw []byte) (stop bool, err error)) error {
+	visit := func(sector int64) (bool, error) {
+		if err := fs.dev.ReadSectors(sector, fs.secBuf); err != nil {
+			return true, err
+		}
+		for off := 0; off < sectorSize; off += dirEntrySize {
+			stop, err := fn(sector, off, fs.secBuf[off:off+dirEntrySize])
+			if stop || err != nil {
+				return true, err
+			}
+		}
+		return false, nil
+	}
+	if ref.cluster == 0 {
+		for s := int64(0); s < int64(fs.geo.rootSectors); s++ {
+			if stop, err := visit(fs.geo.rootStart + s); stop || err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	visited := 0
+	for c := ref.cluster; ; {
+		if c < firstCluster || c >= firstCluster+fs.geo.clusterCount {
+			return fmt.Errorf("fat: directory chain leaves the volume at cluster %d", c)
+		}
+		if visited++; visited > fs.geo.clusterCount {
+			return fmt.Errorf("fat: directory chain cycles")
+		}
+		base := fs.clusterSector(c)
+		for s := 0; s < fs.geo.sectorsPerCluster; s++ {
+			if stop, err := visit(base + int64(s)); stop || err != nil {
+				return err
+			}
+		}
+		next := fs.fatGet(c)
+		if isEOC(next) {
+			return nil
+		}
+		c = int(next)
+	}
+}
+
+// parseEntry decodes a 32-byte slot into a DirEntry.
+func parseEntry(sector int64, off int, raw []byte) DirEntry {
+	var e DirEntry
+	copy(e.raw[:], raw[:11])
+	e.Name = format83(e.raw)
+	e.IsDir = raw[11]&attrDirectory != 0
+	e.firstCluster = int(binary.LittleEndian.Uint16(raw[26:]))
+	e.Size = int64(binary.LittleEndian.Uint32(raw[28:]))
+	e.slotSector = sector
+	e.slotOffset = off
+	return e
+}
+
+// encodeEntry writes a DirEntry into a 32-byte slot image.
+func encodeEntry(e *DirEntry) [dirEntrySize]byte {
+	var raw [dirEntrySize]byte
+	copy(raw[:11], e.raw[:])
+	if e.IsDir {
+		raw[11] = attrDirectory
+	} else {
+		raw[11] = attrArchive
+	}
+	binary.LittleEndian.PutUint16(raw[26:], uint16(e.firstCluster))
+	binary.LittleEndian.PutUint32(raw[28:], uint32(e.Size))
+	return raw
+}
+
+// writeSlot stores a 32-byte slot image at (sector, off).
+func (fs *FS) writeSlot(sector int64, off int, raw []byte) error {
+	if err := fs.dev.ReadSectors(sector, fs.secBuf); err != nil {
+		return err
+	}
+	copy(fs.secBuf[off:off+dirEntrySize], raw)
+	return fs.dev.WriteSectors(sector, fs.secBuf)
+}
+
+// lookup finds a live entry with the given 8.3 name in the directory.
+func (fs *FS) lookup(ref dirRef, name [11]byte) (*DirEntry, error) {
+	var found *DirEntry
+	err := fs.iterDir(ref, func(sector int64, off int, raw []byte) (bool, error) {
+		switch raw[0] {
+		case 0x00:
+			return true, nil // end of directory
+		case delMarker:
+			return false, nil
+		}
+		if [11]byte(raw[:11]) == name {
+			e := parseEntry(sector, off, raw)
+			found = &e
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if found == nil {
+		return nil, ErrNotExist
+	}
+	return found, nil
+}
+
+// findFreeSlot returns a free slot in the directory, extending a
+// subdirectory's chain by one zeroed cluster when it is full. The fixed
+// root cannot grow.
+func (fs *FS) findFreeSlot(ref dirRef) (int64, int, error) {
+	var sector int64 = -1
+	var offset int
+	err := fs.iterDir(ref, func(s int64, off int, raw []byte) (bool, error) {
+		if raw[0] == 0x00 || raw[0] == delMarker {
+			sector, offset = s, off
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if sector >= 0 {
+		return sector, offset, nil
+	}
+	if ref.cluster == 0 {
+		return 0, 0, fmt.Errorf("%w: root directory full", ErrNoSpace)
+	}
+	// Extend the subdirectory chain.
+	last := ref.cluster
+	for !isEOC(fs.fatGet(last)) {
+		last = int(fs.fatGet(last))
+	}
+	nc, err := fs.allocCluster()
+	if err != nil {
+		return 0, 0, err
+	}
+	fs.fatSet(last, uint16(nc))
+	if err := fs.zeroCluster(nc); err != nil {
+		return 0, 0, err
+	}
+	return fs.clusterSector(nc), 0, nil
+}
+
+// zeroCluster clears every sector of a cluster (fresh directory storage).
+func (fs *FS) zeroCluster(cluster int) error {
+	zero := make([]byte, sectorSize)
+	base := fs.clusterSector(cluster)
+	for s := 0; s < fs.geo.sectorsPerCluster; s++ {
+		if err := fs.dev.WriteSectors(base+int64(s), zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitPath validates a slash-separated path and returns its components.
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrBadName, path)
+		}
+	}
+	return parts, nil
+}
+
+// walk resolves every component of parts as directories, starting at root.
+func (fs *FS) walk(parts []string) (dirRef, error) {
+	ref := rootRef
+	for _, p := range parts {
+		name, err := normalize83(p)
+		if err != nil {
+			return ref, err
+		}
+		e, err := fs.lookup(ref, name)
+		if err != nil {
+			return ref, err
+		}
+		if !e.IsDir {
+			return ref, fmt.Errorf("%w: %s", ErrNotDir, p)
+		}
+		ref = dirRef{cluster: e.firstCluster}
+	}
+	return ref, nil
+}
+
+// resolveParent splits a path into its parent directory and leaf name.
+func (fs *FS) resolveParent(path string) (dirRef, [11]byte, error) {
+	var name [11]byte
+	parts, err := splitPath(path)
+	if err != nil {
+		return rootRef, name, err
+	}
+	if len(parts) == 0 {
+		return rootRef, name, fmt.Errorf("%w: empty path", ErrBadName)
+	}
+	ref, err := fs.walk(parts[:len(parts)-1])
+	if err != nil {
+		return rootRef, name, err
+	}
+	name, err = normalize83(parts[len(parts)-1])
+	return ref, name, err
+}
+
+// ReadDir lists the live entries of a directory ("" or "/" for the root),
+// skipping the "." and ".." dot entries.
+func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := fs.walk(parts)
+	if err != nil {
+		return nil, err
+	}
+	var out []DirEntry
+	err = fs.iterDir(ref, func(sector int64, off int, raw []byte) (bool, error) {
+		switch raw[0] {
+		case 0x00:
+			return true, nil
+		case delMarker:
+			return false, nil
+		}
+		if raw[0] == '.' {
+			return false, nil // dot entries
+		}
+		out = append(out, parseEntry(sector, off, raw))
+		return false, nil
+	})
+	return out, err
+}
+
+// Stat returns the entry for a path.
+func (fs *FS) Stat(path string) (DirEntry, error) {
+	parent, name, err := fs.resolveParent(path)
+	if err != nil {
+		return DirEntry{}, err
+	}
+	e, err := fs.lookup(parent, name)
+	if err != nil {
+		return DirEntry{}, fmt.Errorf("%w: %s", err, path)
+	}
+	return *e, nil
+}
+
+// Mkdir creates a subdirectory with "." and ".." entries.
+func (fs *FS) Mkdir(path string) error {
+	parent, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.lookup(parent, name); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	cluster, err := fs.allocCluster()
+	if err != nil {
+		return err
+	}
+	if err := fs.zeroCluster(cluster); err != nil {
+		return err
+	}
+	// Dot entries.
+	dot := DirEntry{IsDir: true, firstCluster: cluster}
+	copy(dot.raw[:], ".          ")
+	dotdot := DirEntry{IsDir: true, firstCluster: parent.cluster}
+	copy(dotdot.raw[:], "..         ")
+	dotRaw, dotdotRaw := encodeEntry(&dot), encodeEntry(&dotdot)
+	base := fs.clusterSector(cluster)
+	if err := fs.writeSlot(base, 0, dotRaw[:]); err != nil {
+		return err
+	}
+	if err := fs.writeSlot(base, dirEntrySize, dotdotRaw[:]); err != nil {
+		return err
+	}
+
+	e := DirEntry{IsDir: true, firstCluster: cluster, raw: name}
+	raw := encodeEntry(&e)
+	sector, off, err := fs.findFreeSlot(parent)
+	if err != nil {
+		return err
+	}
+	if err := fs.writeSlot(sector, off, raw[:]); err != nil {
+		return err
+	}
+	return fs.Sync()
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(path string) error {
+	parent, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	e, err := fs.lookup(parent, name)
+	if err != nil {
+		return fmt.Errorf("%w: %s", err, path)
+	}
+	if e.IsDir {
+		empty := true
+		err := fs.iterDir(dirRef{cluster: e.firstCluster}, func(_ int64, _ int, raw []byte) (bool, error) {
+			if raw[0] == 0x00 {
+				return true, nil
+			}
+			if raw[0] != delMarker && raw[0] != '.' {
+				empty = false
+				return true, nil
+			}
+			return false, nil
+		})
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		}
+	}
+	if e.firstCluster >= firstCluster {
+		fs.freeChain(e.firstCluster)
+	}
+	var raw [dirEntrySize]byte
+	raw[0] = delMarker
+	if err := fs.writeSlot(e.slotSector, e.slotOffset, raw[:]); err != nil {
+		return err
+	}
+	return fs.Sync()
+}
+
+// Rename changes an entry's name within the same directory.
+func (fs *FS) Rename(oldPath, newName string) error {
+	parent, name, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	e, err := fs.lookup(parent, name)
+	if err != nil {
+		return fmt.Errorf("%w: %s", err, oldPath)
+	}
+	n83, err := normalize83(newName)
+	if err != nil {
+		return err
+	}
+	if _, err := fs.lookup(parent, n83); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, newName)
+	}
+	e.raw = n83
+	raw := encodeEntry(e)
+	return fs.writeSlot(e.slotSector, e.slotOffset, raw[:])
+}

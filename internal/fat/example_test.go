@@ -1,0 +1,53 @@
+package fat_test
+
+import (
+	"fmt"
+	"log"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/fat"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+// Example builds the full Figure 1 stack — FAT16 over the FTL's block
+// device over MTD over NAND — and uses it like any file system.
+func Example() {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 64, PagesPerBlock: 32, PageSize: 2048, SpareSize: 64},
+		StoreData: true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := blockdev.New(drv, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsys, err := fat.Format(dev, fat.FormatOptions{Label: "DEMO"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := fsys.Mkdir("DOCS"); err != nil {
+		log.Fatal(err)
+	}
+	if err := fsys.WriteFile("DOCS/NOTE.TXT", []byte("flash-backed")); err != nil {
+		log.Fatal(err)
+	}
+	data, err := fsys.ReadFile("DOCS/NOTE.TXT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+
+	entries, _ := fsys.ReadDir("DOCS")
+	for _, e := range entries {
+		fmt.Println(e.Name, e.Size)
+	}
+	// Output:
+	// flash-backed
+	// NOTE.TXT 12
+}

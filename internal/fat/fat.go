@@ -1,0 +1,391 @@
+// Package fat implements a FAT16 file system over a blockdev.Device,
+// completing the paper's Figure 1 stack: applications use a DOS-FAT file
+// system, which runs on the block-device emulation provided by the Flash
+// Translation Layer. The on-disk layout is standard FAT16 — boot sector
+// with BPB, two FAT copies, a fixed root directory, and a cluster-chained
+// data area — with 8.3 names and subdirectory support.
+//
+// The FAT is cached in memory and written back on Sync (files sync on
+// Close), keeping flash write amplification low; both FAT copies are kept
+// identical as real implementations do.
+package fat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"flashswl/internal/blockdev"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotExist reports a missing path component.
+	ErrNotExist = errors.New("fat: file does not exist")
+	// ErrExist reports a Create/Mkdir collision with an existing entry.
+	ErrExist = errors.New("fat: file already exists")
+	// ErrIsDir reports a file operation on a directory.
+	ErrIsDir = errors.New("fat: is a directory")
+	// ErrNotDir reports a directory operation on a file.
+	ErrNotDir = errors.New("fat: not a directory")
+	// ErrNotEmpty reports removal of a non-empty directory.
+	ErrNotEmpty = errors.New("fat: directory not empty")
+	// ErrNoSpace reports cluster or directory exhaustion.
+	ErrNoSpace = errors.New("fat: no space left on device")
+	// ErrBadName reports a name not expressible in 8.3 form.
+	ErrBadName = errors.New("fat: invalid 8.3 name")
+	// ErrNotFAT reports a device without a recognizable FAT16 layout.
+	ErrNotFAT = errors.New("fat: not a FAT16 file system")
+)
+
+const (
+	sectorSize    = blockdev.SectorSize
+	dirEntrySize  = 32
+	attrDirectory = 0x10
+	attrArchive   = 0x20
+	delMarker     = 0xE5
+
+	fatFree      = 0x0000
+	fatEOC       = 0xFFFF // end-of-chain (any value ≥ 0xFFF8)
+	fatEOCLo     = 0xFFF8
+	firstCluster = 2
+)
+
+// FormatOptions tune Format. Zero values pick defaults.
+type FormatOptions struct {
+	// SectorsPerCluster must be a power of two (default 4 → 2 KB clusters,
+	// matching the large-block flash page).
+	SectorsPerCluster int
+	// RootEntries is the fixed root-directory capacity (default 256).
+	RootEntries int
+	// Label is the volume label (up to 11 bytes).
+	Label string
+}
+
+// geometry is the decoded BPB.
+type geometry struct {
+	sectorsPerCluster int
+	reservedSectors   int
+	numFATs           int
+	rootEntries       int
+	totalSectors      int64
+	sectorsPerFAT     int
+
+	fatStart     int64 // sector of first FAT
+	rootStart    int64 // sector of root directory
+	rootSectors  int
+	dataStart    int64 // sector of cluster 2
+	clusterCount int   // usable clusters (numbered 2..clusterCount+1)
+}
+
+// FS is a mounted FAT16 file system. Not safe for concurrent use.
+type FS struct {
+	dev *blockdev.Device
+	geo geometry
+
+	fat       []uint16         // entry per cluster index (0..clusterCount+1)
+	dirtyFAT  map[int]struct{} // dirty FAT sector indexes (relative)
+	nextFree  int
+	secBuf    []byte
+	openFiles int
+}
+
+// Format writes a fresh FAT16 layout to the device and returns the mounted
+// file system.
+func Format(dev *blockdev.Device, opts FormatOptions) (*FS, error) {
+	spc := opts.SectorsPerCluster
+	if spc == 0 {
+		spc = 4
+	}
+	if spc < 1 || spc > 128 || spc&(spc-1) != 0 {
+		return nil, fmt.Errorf("fat: sectors per cluster %d not a power of two", spc)
+	}
+	rootEntries := opts.RootEntries
+	if rootEntries == 0 {
+		rootEntries = 256
+	}
+	if rootEntries < 16 || rootEntries%16 != 0 {
+		return nil, fmt.Errorf("fat: root entries %d not a multiple of 16", rootEntries)
+	}
+	total := dev.Sectors()
+	rootSectors := rootEntries * dirEntrySize / sectorSize
+	// Fixpoint for FAT size (clusters shrink as the FAT grows), with the
+	// reserved area padded so the data region starts on a cluster-size
+	// boundary: cluster-aligned data is what lets whole-page TRIM hints
+	// reach the Flash Translation Layer when clusters are freed.
+	sectorsPerFAT := 1
+	reserved := 1
+	for iter := 0; iter < 64; iter++ {
+		base := 1 + 2*sectorsPerFAT + rootSectors
+		reserved = 1 + (spc-base%spc)%spc
+		meta := int64(reserved-1) + int64(base)
+		dataSectors := total - meta
+		if dataSectors < int64(spc) {
+			return nil, fmt.Errorf("fat: device of %d sectors too small", total)
+		}
+		clusters := int(dataSectors / int64(spc))
+		need := (int(clusters)+2)*2 + sectorSize - 1
+		need /= sectorSize
+		if need <= sectorsPerFAT {
+			break
+		}
+		sectorsPerFAT = need
+	}
+
+	// Boot sector.
+	boot := make([]byte, sectorSize)
+	copy(boot[0:], []byte{0xEB, 0x3C, 0x90})
+	copy(boot[3:], "FLASHSWL")
+	binary.LittleEndian.PutUint16(boot[11:], uint16(sectorSize))
+	boot[13] = byte(spc)
+	binary.LittleEndian.PutUint16(boot[14:], uint16(reserved)) // reserved (incl. alignment padding)
+	boot[16] = 2                                               // FAT copies
+	binary.LittleEndian.PutUint16(boot[17:], uint16(rootEntries))
+	if total <= 0xFFFF {
+		binary.LittleEndian.PutUint16(boot[19:], uint16(total))
+	} else {
+		binary.LittleEndian.PutUint32(boot[32:], uint32(total))
+	}
+	boot[21] = 0xF8 // media descriptor: fixed disk
+	binary.LittleEndian.PutUint16(boot[22:], uint16(sectorsPerFAT))
+	label := opts.Label
+	if label == "" {
+		label = "NO NAME"
+	}
+	copy(boot[43:54], fmt.Sprintf("%-11.11s", label))
+	copy(boot[54:62], "FAT16   ")
+	boot[510], boot[511] = 0x55, 0xAA
+	if err := dev.WriteSectors(0, boot); err != nil {
+		return nil, err
+	}
+
+	// Zero both FATs and the root directory.
+	zero := make([]byte, sectorSize)
+	fatStart := int64(reserved)
+	for s := fatStart; s < fatStart+2*int64(sectorsPerFAT)+int64(rootSectors); s++ {
+		if err := dev.WriteSectors(s, zero); err != nil {
+			return nil, err
+		}
+	}
+	// FAT entries 0 and 1 are reserved.
+	head := make([]byte, sectorSize)
+	binary.LittleEndian.PutUint16(head[0:], 0xFFF8)
+	binary.LittleEndian.PutUint16(head[2:], 0xFFFF)
+	if err := dev.WriteSectors(fatStart, head); err != nil {
+		return nil, err
+	}
+	if err := dev.WriteSectors(fatStart+int64(sectorsPerFAT), head); err != nil {
+		return nil, err
+	}
+	return Mount(dev)
+}
+
+// Mount parses the boot sector and loads the FAT.
+func Mount(dev *blockdev.Device) (*FS, error) {
+	boot := make([]byte, sectorSize)
+	if err := dev.ReadSectors(0, boot); err != nil {
+		return nil, err
+	}
+	if boot[510] != 0x55 || boot[511] != 0xAA {
+		return nil, ErrNotFAT
+	}
+	if binary.LittleEndian.Uint16(boot[11:]) != sectorSize {
+		return nil, ErrNotFAT
+	}
+	g := geometry{
+		sectorsPerCluster: int(boot[13]),
+		reservedSectors:   int(binary.LittleEndian.Uint16(boot[14:])),
+		numFATs:           int(boot[16]),
+		rootEntries:       int(binary.LittleEndian.Uint16(boot[17:])),
+		sectorsPerFAT:     int(binary.LittleEndian.Uint16(boot[22:])),
+	}
+	g.totalSectors = int64(binary.LittleEndian.Uint16(boot[19:]))
+	if g.totalSectors == 0 {
+		g.totalSectors = int64(binary.LittleEndian.Uint32(boot[32:]))
+	}
+	if g.sectorsPerCluster == 0 || g.numFATs == 0 || g.sectorsPerFAT == 0 ||
+		g.rootEntries == 0 || g.totalSectors == 0 || g.totalSectors > dev.Sectors() {
+		return nil, ErrNotFAT
+	}
+	g.rootSectors = g.rootEntries * dirEntrySize / sectorSize
+	g.fatStart = int64(g.reservedSectors)
+	g.rootStart = g.fatStart + int64(g.numFATs)*int64(g.sectorsPerFAT)
+	g.dataStart = g.rootStart + int64(g.rootSectors)
+	g.clusterCount = int((g.totalSectors - g.dataStart) / int64(g.sectorsPerCluster))
+	if g.clusterCount < 1 {
+		return nil, ErrNotFAT
+	}
+
+	fs := &FS{
+		dev:      dev,
+		geo:      g,
+		fat:      make([]uint16, g.clusterCount+2),
+		dirtyFAT: map[int]struct{}{},
+		nextFree: firstCluster,
+		secBuf:   make([]byte, sectorSize),
+	}
+	// Load the first FAT copy.
+	buf := make([]byte, sectorSize)
+	for s := 0; s < g.sectorsPerFAT; s++ {
+		if err := dev.ReadSectors(g.fatStart+int64(s), buf); err != nil {
+			return nil, err
+		}
+		for i := 0; i < sectorSize/2; i++ {
+			idx := s*sectorSize/2 + i
+			if idx >= len(fs.fat) {
+				break
+			}
+			fs.fat[idx] = binary.LittleEndian.Uint16(buf[2*i:])
+		}
+	}
+	return fs, nil
+}
+
+// ClusterSize returns the cluster size in bytes.
+func (fs *FS) ClusterSize() int { return fs.geo.sectorsPerCluster * sectorSize }
+
+// TotalClusters returns the number of data clusters.
+func (fs *FS) TotalClusters() int { return fs.geo.clusterCount }
+
+// FreeClusters counts unallocated clusters.
+func (fs *FS) FreeClusters() int {
+	n := 0
+	for c := firstCluster; c < firstCluster+fs.geo.clusterCount; c++ {
+		if fs.fat[c] == fatFree {
+			n++
+		}
+	}
+	return n
+}
+
+// clusterSector returns the first device sector of a cluster.
+func (fs *FS) clusterSector(cluster int) int64 {
+	return fs.geo.dataStart + int64(cluster-firstCluster)*int64(fs.geo.sectorsPerCluster)
+}
+
+// fatGet returns the FAT entry of a cluster.
+func (fs *FS) fatGet(cluster int) uint16 { return fs.fat[cluster] }
+
+// fatSet updates a FAT entry, marking its sector dirty in both copies.
+func (fs *FS) fatSet(cluster int, v uint16) {
+	fs.fat[cluster] = v
+	fs.dirtyFAT[cluster*2/sectorSize] = struct{}{}
+}
+
+// allocCluster finds a free cluster, links it to EOC, and returns it.
+func (fs *FS) allocCluster() (int, error) {
+	end := firstCluster + fs.geo.clusterCount
+	for i := 0; i < fs.geo.clusterCount; i++ {
+		c := fs.nextFree + i
+		if c >= end {
+			c -= fs.geo.clusterCount
+		}
+		if fs.fat[c] == fatFree {
+			fs.fatSet(c, fatEOC)
+			fs.nextFree = c + 1
+			if fs.nextFree >= end {
+				fs.nextFree = firstCluster
+			}
+			return c, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeChain releases a whole cluster chain, passing each freed cluster down
+// to the block device as a TRIM hint so the Flash Translation Layer can
+// drop the stale pages without ever copying them.
+func (fs *FS) freeChain(cluster int) {
+	for cluster >= firstCluster && cluster < firstCluster+fs.geo.clusterCount {
+		next := fs.fatGet(cluster)
+		fs.fatSet(cluster, fatFree)
+		// TRIM is advisory; a device without the capability ignores it.
+		_ = fs.dev.Discard(fs.clusterSector(cluster), fs.geo.sectorsPerCluster)
+		if next >= fatEOCLo {
+			break
+		}
+		cluster = int(next)
+	}
+}
+
+// isEOC reports whether a FAT value terminates a chain.
+func isEOC(v uint16) bool { return v >= fatEOCLo }
+
+// Sync writes dirty FAT sectors to both FAT copies.
+func (fs *FS) Sync() error {
+	for sec := range fs.dirtyFAT {
+		base := sec * sectorSize / 2
+		buf := fs.secBuf
+		for i := 0; i < sectorSize/2; i++ {
+			v := uint16(0)
+			if base+i < len(fs.fat) {
+				v = fs.fat[base+i]
+			}
+			binary.LittleEndian.PutUint16(buf[2*i:], v)
+		}
+		for copyIdx := 0; copyIdx < fs.geo.numFATs; copyIdx++ {
+			s := fs.geo.fatStart + int64(copyIdx)*int64(fs.geo.sectorsPerFAT) + int64(sec)
+			if err := fs.dev.WriteSectors(s, buf); err != nil {
+				return err
+			}
+		}
+		delete(fs.dirtyFAT, sec)
+	}
+	return nil
+}
+
+// normalize83 converts a path component to the 11-byte padded 8.3 form.
+func normalize83(name string) ([11]byte, error) {
+	var out [11]byte
+	for i := range out {
+		out[i] = ' '
+	}
+	if name == "" || name == "." || name == ".." {
+		return out, ErrBadName
+	}
+	upper := strings.ToUpper(name)
+	base, ext := upper, ""
+	if dot := strings.LastIndexByte(upper, '.'); dot >= 0 {
+		base, ext = upper[:dot], upper[dot+1:]
+	}
+	if base == "" || len(base) > 8 || len(ext) > 3 {
+		return out, ErrBadName
+	}
+	valid := func(s string) bool {
+		for _, r := range s {
+			switch {
+			case r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			case strings.ContainsRune("!#$%&'()-@^_`{}~", r):
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !valid(base) || !valid(ext) {
+		return out, ErrBadName
+	}
+	copy(out[:8], base)
+	copy(out[8:], ext)
+	return out, nil
+}
+
+// format83 renders an 11-byte name as "BASE.EXT".
+func format83(raw [11]byte) string {
+	base := strings.TrimRight(string(raw[:8]), " ")
+	ext := strings.TrimRight(string(raw[8:]), " ")
+	if ext == "" {
+		return base
+	}
+	return base + "." + ext
+}
+
+// Label returns the volume label from the boot sector.
+func (fs *FS) Label() (string, error) {
+	boot := make([]byte, sectorSize)
+	if err := fs.dev.ReadSectors(0, boot); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(string(boot[43:54]), " "), nil
+}

@@ -1,0 +1,549 @@
+package fat
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+// buildFS formats a FAT16 volume over an FTL-backed block device (~3 MB).
+func buildFS() (*FS, error) {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 64, PagesPerBlock: 32, PageSize: 2048, SpareSize: 64},
+		StoreData: true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{LogicalPages: 1600})
+	if err != nil {
+		return nil, err
+	}
+	dev, err := blockdev.New(drv, 2048)
+	if err != nil {
+		return nil, err
+	}
+	return Format(dev, FormatOptions{Label: "TEST"})
+}
+
+// newFS is the testing.T wrapper around buildFS.
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	fs, err := buildFS()
+	if err != nil {
+		t.Fatalf("buildFS: %v", err)
+	}
+	return fs
+}
+
+func TestFormatAndMount(t *testing.T) {
+	fs := newFS(t)
+	if fs.ClusterSize() != 2048 {
+		t.Errorf("ClusterSize = %d, want 2048", fs.ClusterSize())
+	}
+	if fs.TotalClusters() < 100 {
+		t.Errorf("TotalClusters = %d, too few", fs.TotalClusters())
+	}
+	if fs.FreeClusters() != fs.TotalClusters() {
+		t.Errorf("fresh volume: free %d != total %d", fs.FreeClusters(), fs.TotalClusters())
+	}
+	// Remount the same device.
+	m, err := Mount(fs.dev)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if m.TotalClusters() != fs.TotalClusters() {
+		t.Errorf("remounted clusters %d != %d", m.TotalClusters(), fs.TotalClusters())
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 16, PagesPerBlock: 8, PageSize: 1024, SpareSize: 32},
+		StoreData: true,
+	})
+	drv, _ := ftl.New(mtd.New(chip), ftl.Config{})
+	dev, _ := blockdev.New(drv, 1024)
+	if _, err := Mount(dev); !errors.Is(err, ErrNotFAT) {
+		t.Errorf("Mount on blank device = %v, want ErrNotFAT", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs := newFS(t)
+	data := []byte("hello, flash world")
+	if err := fs.WriteFile("README.TXT", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("README.TXT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip = %q", got)
+	}
+	e, err := fs.Stat("README.TXT")
+	if err != nil || e.Size != int64(len(data)) || e.IsDir {
+		t.Errorf("Stat = %+v, %v", e, err)
+	}
+}
+
+func TestLargeFileSpansClusters(t *testing.T) {
+	fs := newFS(t)
+	data := make([]byte, 5*fs.ClusterSize()+123)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	if err := fs.WriteFile("BIG.BIN", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("BIG.BIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-cluster round trip mismatch")
+	}
+	if free := fs.FreeClusters(); free != fs.TotalClusters()-6 {
+		t.Errorf("free clusters = %d, want total-6", free)
+	}
+}
+
+func TestPartialReadsAndSeeks(t *testing.T) {
+	fs := newFS(t)
+	data := make([]byte, 3000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("SEEK.DAT", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("SEEK.DAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(1234, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if n, err := f.Read(buf); n != 100 || err != nil {
+		t.Fatalf("Read = %d,%v", n, err)
+	}
+	if !bytes.Equal(buf, data[1234:1334]) {
+		t.Error("seeked read mismatch")
+	}
+	// SeekEnd and read past end.
+	if _, err := f.Seek(-10, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Read(make([]byte, 100))
+	if n != 10 || (err != nil && err != io.EOF) {
+		t.Errorf("tail read = %d,%v", n, err)
+	}
+	if _, err := f.Read(buf); err != io.EOF {
+		t.Errorf("read at EOF = %v", err)
+	}
+	if _, err := f.Seek(-1, io.SeekStart); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if _, err := f.Seek(0, 9); err == nil {
+		t.Error("bad whence accepted")
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.WriteFile("F.DAT", bytes.Repeat([]byte{1}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("F.DAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(500, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte{2}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("F.DAT")
+	if got[499] != 1 || got[500] != 2 || got[599] != 2 || got[600] != 1 {
+		t.Error("in-place overwrite wrong")
+	}
+	if len(got) != 1000 {
+		t.Errorf("size changed to %d", len(got))
+	}
+}
+
+func TestWritePastEndRejected(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.Create("G.DAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(100, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1}); err == nil {
+		t.Error("write past end accepted")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := newFS(t)
+	data := make([]byte, 3*fs.ClusterSize())
+	if err := fs.WriteFile("T.DAT", data); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := fs.FreeClusters()
+	f, err := fs.Open("T.DAT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(int64(fs.ClusterSize() + 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.FreeClusters(); got != freeBefore+1 {
+		t.Errorf("free clusters after truncate = %d, want +1", got)
+	}
+	e, _ := fs.Stat("T.DAT")
+	if e.Size != int64(fs.ClusterSize()+1) {
+		t.Errorf("size = %d", e.Size)
+	}
+	// Truncate to zero releases the whole chain.
+	f, _ = fs.Open("T.DAT")
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err == nil {
+		t.Error("growing truncate accepted")
+	}
+	_ = f.Close()
+	if got := fs.FreeClusters(); got != fs.TotalClusters() {
+		t.Errorf("free clusters = %d, want all", got)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.Mkdir("DOCS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("DOCS/WORK"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("DOCS/WORK/A.TXT", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("DOCS/B.TXT", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("DOCS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = e.IsDir
+	}
+	if !names["WORK"] || names["B.TXT"] {
+		t.Errorf("DOCS listing = %v", names)
+	}
+	got, err := fs.ReadFile("DOCS/WORK/A.TXT")
+	if err != nil || string(got) != "a" {
+		t.Errorf("nested read = %q, %v", got, err)
+	}
+	// Stat on directory; open must refuse.
+	e, err := fs.Stat("DOCS/WORK")
+	if err != nil || !e.IsDir {
+		t.Errorf("Stat dir = %+v, %v", e, err)
+	}
+	if _, err := fs.Open("DOCS"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("Open(dir) = %v", err)
+	}
+	if _, err := fs.ReadDir("DOCS/B.TXT"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir(file) = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.Mkdir("D")
+	_ = fs.WriteFile("D/F.TXT", []byte("x"))
+	if err := fs.Remove("D"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty dir = %v", err)
+	}
+	if err := fs.Remove("D/F.TXT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("D/F.TXT"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat removed = %v", err)
+	}
+	if err := fs.Remove("D"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("D"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove twice = %v", err)
+	}
+	if got := fs.FreeClusters(); got != fs.TotalClusters() {
+		t.Errorf("free clusters = %d after removing everything", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.WriteFile("OLD.TXT", []byte("content"))
+	if err := fs.Rename("OLD.TXT", "NEW.TXT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("OLD.TXT"); !errors.Is(err, ErrNotExist) {
+		t.Error("old name still present")
+	}
+	got, err := fs.ReadFile("NEW.TXT")
+	if err != nil || string(got) != "content" {
+		t.Errorf("renamed content = %q, %v", got, err)
+	}
+	_ = fs.WriteFile("OTHER.TXT", nil)
+	if err := fs.Rename("NEW.TXT", "OTHER.TXT"); !errors.Is(err, ErrExist) {
+		t.Errorf("rename onto existing = %v", err)
+	}
+	if err := fs.Rename("NEW.TXT", "bad/name"); err == nil {
+		t.Error("bad new name accepted")
+	}
+}
+
+func TestNames83(t *testing.T) {
+	fs := newFS(t)
+	good := []string{"A.TXT", "readme.md", "X", "LONGNAME.BIN", "FILE-1.TXT", "a_b.c"}
+	for _, n := range good {
+		if err := fs.WriteFile(n, []byte{1}); err != nil {
+			t.Errorf("WriteFile(%q): %v", n, err)
+		}
+	}
+	// Lookup is case-insensitive (names normalize to upper case).
+	if _, err := fs.ReadFile("README.MD"); err != nil {
+		t.Errorf("case-insensitive lookup: %v", err)
+	}
+	bad := []string{"", "TOOLONGNAME.TXT", "A.LONG", "SP ACE.TXT", "dot..txt", "a/b/", "."}
+	for _, n := range bad {
+		if err := fs.WriteFile(n, []byte{1}); err == nil {
+			t.Errorf("WriteFile(%q) accepted", n)
+		}
+	}
+}
+
+func TestCreateCollision(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.Create("X.TXT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if _, err := fs.Create("X.TXT"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create = %v", err)
+	}
+	if err := fs.Mkdir("X.TXT"); !errors.Is(err, ErrExist) {
+		t.Errorf("mkdir over file = %v", err)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	fs := newFS(t)
+	data := make([]byte, fs.ClusterSize())
+	var err error
+	for i := 0; i < fs.TotalClusters()+10; i++ {
+		err = fs.WriteFile(nameFor(i), data)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("filling the volume ended with %v, want ErrNoSpace", err)
+	}
+	// Freeing space makes writes work again.
+	if err := fs.Remove(nameFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("AGAIN.BIN", data); err != nil {
+		t.Fatalf("write after free: %v", err)
+	}
+}
+
+func nameFor(i int) string {
+	return "F" + string(rune('A'+i/26%26)) + string(rune('A'+i%26)) + ".BIN"
+}
+
+func TestPersistenceAcrossMount(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.Mkdir("KEEP")
+	want := bytes.Repeat([]byte{0xAB}, 4000)
+	if err := fs.WriteFile("KEEP/DATA.BIN", want); err != nil {
+		t.Fatal(err)
+	}
+	// Remount from the same block device.
+	m, err := Mount(fs.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile("KEEP/DATA.BIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("data lost across mount")
+	}
+	if m.FreeClusters() != fs.FreeClusters() {
+		t.Errorf("free clusters differ after mount: %d vs %d", m.FreeClusters(), fs.FreeClusters())
+	}
+}
+
+func TestManyFilesAndDirGrowth(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.Mkdir("MANY")
+	// More files than one directory cluster holds (2048/32 = 64 slots,
+	// minus dot entries): the chain must extend.
+	for i := 0; i < 150; i++ {
+		if err := fs.WriteFile("MANY/"+nameFor(i), []byte{byte(i)}); err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+	}
+	entries, err := fs.ReadDir("MANY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 150 {
+		t.Fatalf("listed %d files, want 150", len(entries))
+	}
+	for i := 0; i < 150; i += 37 {
+		got, err := fs.ReadFile("MANY/" + nameFor(i))
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("file %d = %v, %v", i, got, err)
+		}
+	}
+}
+
+// TestShadowFSProperty performs random file operations mirrored against an
+// in-memory map and verifies full agreement, across a remount.
+func TestShadowFSProperty(t *testing.T) {
+	fs := newFS(t)
+	rng := rand.New(rand.NewSource(99))
+	shadow := map[string][]byte{}
+	names := []string{"A.BIN", "B.BIN", "C.BIN", "D.BIN", "E.BIN"}
+	for i := 0; i < 300; i++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(3) {
+		case 0: // write fresh content
+			n := rng.Intn(3 * fs.ClusterSize())
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := fs.WriteFile(name, data); err != nil {
+				t.Fatalf("op %d write %s: %v", i, name, err)
+			}
+			shadow[name] = data
+		case 1: // remove
+			_, exists := shadow[name]
+			err := fs.Remove(name)
+			if exists && err != nil {
+				t.Fatalf("op %d remove %s: %v", i, name, err)
+			}
+			if !exists && !errors.Is(err, ErrNotExist) {
+				t.Fatalf("op %d remove missing %s: %v", i, name, err)
+			}
+			delete(shadow, name)
+		case 2: // verify
+			want, exists := shadow[name]
+			got, err := fs.ReadFile(name)
+			if exists && (err != nil || !bytes.Equal(got, want)) {
+				t.Fatalf("op %d verify %s: %d bytes vs %d, %v", i, name, len(got), len(want), err)
+			}
+			if !exists && err == nil {
+				t.Fatalf("op %d: %s should not exist", i, name)
+			}
+		}
+	}
+	m, err := Mount(fs.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range shadow {
+		got, err := m.ReadFile(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("after mount, %s: %v", name, err)
+		}
+	}
+}
+
+func TestNormalize83(t *testing.T) {
+	if _, err := normalize83(".."); !errors.Is(err, ErrBadName) {
+		t.Error("dot-dot accepted")
+	}
+	n, err := normalize83("ab.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format83(n) != "AB.C" {
+		t.Errorf("format = %q", format83(n))
+	}
+}
+
+func TestRemoveTrimsFlash(t *testing.T) {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 64, PagesPerBlock: 32, PageSize: 2048, SpareSize: 64},
+		StoreData: true,
+	})
+	drv, err := ftl.New(mtd.New(chip), ftl.Config{LogicalPages: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.New(drv, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(dev, FormatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("BIG.BIN", bytes.Repeat([]byte{1}, 8*fs.ClusterSize())); err != nil {
+		t.Fatal(err)
+	}
+	before := drv.Counters().Discards
+	if err := fs.Remove("BIG.BIN"); err != nil {
+		t.Fatal(err)
+	}
+	// 8 clusters × (2048/2048) pages each fully covered → ≥8 discards.
+	if got := drv.Counters().Discards - before; got < 8 {
+		t.Errorf("Remove issued %d discards, want ≥8", got)
+	}
+	// Truncate also trims.
+	if err := fs.WriteFile("T.BIN", bytes.Repeat([]byte{2}, 4*fs.ClusterSize())); err != nil {
+		t.Fatal(err)
+	}
+	before = drv.Counters().Discards
+	f, _ := fs.Open("T.BIN")
+	if err := f.Truncate(int64(fs.ClusterSize())); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if got := drv.Counters().Discards - before; got < 3 {
+		t.Errorf("Truncate issued %d discards, want ≥3", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	fs := newFS(t)
+	label, err := fs.Label()
+	if err != nil || label != "TEST" {
+		t.Errorf("Label = %q, %v", label, err)
+	}
+}

@@ -1,0 +1,304 @@
+package fat
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File is an open regular file. Not safe for concurrent use. Writes extend
+// the cluster chain as needed; metadata (size, first cluster) is flushed to
+// the directory entry by Sync and Close.
+type File struct {
+	fs     *FS
+	entry  DirEntry
+	pos    int64
+	dirty  bool
+	closed bool
+}
+
+// Create creates a file (failing if the path exists) and opens it.
+func (fs *FS) Create(path string) (*File, error) {
+	parent, name, err := fs.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fs.lookup(parent, name); err == nil {
+		return nil, fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	e := DirEntry{Name: format83(name), raw: name}
+	raw := encodeEntry(&e)
+	sector, off, err := fs.findFreeSlot(parent)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.writeSlot(sector, off, raw[:]); err != nil {
+		return nil, err
+	}
+	e.slotSector, e.slotOffset = sector, off
+	if err := fs.Sync(); err != nil {
+		return nil, err
+	}
+	fs.openFiles++
+	return &File{fs: fs, entry: e}, nil
+}
+
+// Open opens an existing file for reading and writing.
+func (fs *FS) Open(path string) (*File, error) {
+	parent, name, err := fs.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	e, err := fs.lookup(parent, name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", err, path)
+	}
+	if e.IsDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	fs.openFiles++
+	return &File{fs: fs, entry: *e}, nil
+}
+
+// WriteFile creates (or replaces) a file with the given content.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	if _, err := fs.Stat(path); err == nil {
+		if err := fs.Remove(path); err != nil {
+			return err
+		}
+	}
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile returns a file's full content.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make([]byte, f.Size())
+	if _, err := io.ReadFull(f, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Name returns the file's 8.3 name.
+func (f *File) Name() string { return f.entry.Name }
+
+// Size returns the current file size in bytes.
+func (f *File) Size() int64 { return f.entry.Size }
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.entry.Size
+	default:
+		return 0, fmt.Errorf("fat: bad whence %d", whence)
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, errors.New("fat: negative seek position")
+	}
+	f.pos = n
+	return n, nil
+}
+
+// clusterAt walks the chain to the cluster holding byte index pos,
+// extending the chain when extend is set (for writes past the end).
+func (f *File) clusterAt(pos int64, extend bool) (int, error) {
+	cs := int64(f.fs.ClusterSize())
+	idx := pos / cs
+	if f.entry.firstCluster < firstCluster {
+		if !extend {
+			return 0, io.EOF
+		}
+		c, err := f.fs.allocCluster()
+		if err != nil {
+			return 0, err
+		}
+		f.entry.firstCluster = c
+		f.dirty = true
+	}
+	c := f.entry.firstCluster
+	for i := int64(0); i < idx; i++ {
+		next := f.fs.fatGet(c)
+		if isEOC(next) {
+			if !extend {
+				return 0, io.EOF
+			}
+			nc, err := f.fs.allocCluster()
+			if err != nil {
+				return 0, err
+			}
+			f.fs.fatSet(c, uint16(nc))
+			next = uint16(nc)
+		}
+		c = int(next)
+	}
+	return c, nil
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("fat: file closed")
+	}
+	if f.pos >= f.entry.Size {
+		return 0, io.EOF
+	}
+	if rem := f.entry.Size - f.pos; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	total := 0
+	cs := int64(f.fs.ClusterSize())
+	for len(p) > 0 {
+		cluster, err := f.clusterAt(f.pos, false)
+		if err != nil {
+			if err == io.EOF && total > 0 {
+				return total, nil
+			}
+			return total, err
+		}
+		inCluster := f.pos % cs
+		sector := f.fs.clusterSector(cluster) + inCluster/sectorSize
+		inSector := int(inCluster % sectorSize)
+		chunk := sectorSize - inSector
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		if err := f.fs.dev.ReadSectors(sector, f.fs.secBuf); err != nil {
+			return total, err
+		}
+		copy(p[:chunk], f.fs.secBuf[inSector:inSector+chunk])
+		p = p[chunk:]
+		f.pos += int64(chunk)
+		total += chunk
+	}
+	return total, nil
+}
+
+// Write implements io.Writer at the current position, extending the file
+// as needed. Writing past the end after a seek zero-fills is not supported:
+// the gap is filled with whatever the fresh clusters contain (0xFF on
+// never-written flash); seek-past-end then write is rejected to keep
+// semantics predictable.
+func (f *File) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("fat: file closed")
+	}
+	if f.pos > f.entry.Size {
+		return 0, fmt.Errorf("fat: write at %d past end %d", f.pos, f.entry.Size)
+	}
+	total := 0
+	cs := int64(f.fs.ClusterSize())
+	for len(p) > 0 {
+		cluster, err := f.clusterAt(f.pos, true)
+		if err != nil {
+			return total, err
+		}
+		inCluster := f.pos % cs
+		sector := f.fs.clusterSector(cluster) + inCluster/sectorSize
+		inSector := int(inCluster % sectorSize)
+		chunk := sectorSize - inSector
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		if chunk == sectorSize {
+			if err := f.fs.dev.WriteSectors(sector, p[:chunk]); err != nil {
+				return total, err
+			}
+		} else {
+			if err := f.fs.dev.ReadSectors(sector, f.fs.secBuf); err != nil {
+				return total, err
+			}
+			copy(f.fs.secBuf[inSector:inSector+chunk], p[:chunk])
+			if err := f.fs.dev.WriteSectors(sector, f.fs.secBuf); err != nil {
+				return total, err
+			}
+		}
+		p = p[chunk:]
+		f.pos += int64(chunk)
+		total += chunk
+		if f.pos > f.entry.Size {
+			f.entry.Size = f.pos
+			f.dirty = true
+		}
+	}
+	return total, nil
+}
+
+// Truncate shrinks or keeps the file at n bytes (growing is done by Write).
+func (f *File) Truncate(n int64) error {
+	if f.closed {
+		return errors.New("fat: file closed")
+	}
+	if n < 0 || n > f.entry.Size {
+		return fmt.Errorf("fat: truncate to %d outside [0,%d]", n, f.entry.Size)
+	}
+	if n == f.entry.Size {
+		return nil
+	}
+	cs := int64(f.fs.ClusterSize())
+	keep := int((n + cs - 1) / cs) // clusters to keep
+	if keep == 0 {
+		if f.entry.firstCluster >= firstCluster {
+			f.fs.freeChain(f.entry.firstCluster)
+		}
+		f.entry.firstCluster = 0
+	} else {
+		c := f.entry.firstCluster
+		for i := 1; i < keep; i++ {
+			c = int(f.fs.fatGet(c))
+		}
+		next := f.fs.fatGet(c)
+		f.fs.fatSet(c, fatEOC)
+		if !isEOC(next) {
+			f.fs.freeChain(int(next))
+		}
+	}
+	f.entry.Size = n
+	if f.pos > n {
+		f.pos = n
+	}
+	f.dirty = true
+	return nil
+}
+
+// Sync flushes the directory entry and the FAT.
+func (f *File) Sync() error {
+	if f.dirty {
+		raw := encodeEntry(&f.entry)
+		if err := f.fs.writeSlot(f.entry.slotSector, f.entry.slotOffset, raw[:]); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return f.fs.Sync()
+}
+
+// Close flushes and releases the file.
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	err := f.Sync()
+	f.closed = true
+	f.fs.openFiles--
+	return err
+}

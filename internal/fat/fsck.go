@@ -1,0 +1,145 @@
+package fat
+
+import (
+	"fmt"
+)
+
+// Check is the result of an Fsck pass.
+type Check struct {
+	// Files and Dirs count reachable entries.
+	Files, Dirs int
+	// UsedClusters counts clusters referenced by reachable chains.
+	UsedClusters int
+	// LostClusters lists allocated clusters no reachable chain references
+	// (leaked by a crash between FAT and directory updates).
+	LostClusters []int
+	// CrossLinks lists clusters referenced by more than one chain — real
+	// corruption.
+	CrossLinks []int
+	// BadChains lists paths whose chain walk hit a free/out-of-range FAT
+	// entry before the file's size was covered.
+	BadChains []string
+	// SizeMismatches lists files whose directory size needs more clusters
+	// than their chain holds.
+	SizeMismatches []string
+}
+
+// Clean reports whether the volume has no inconsistencies at all.
+func (c *Check) Clean() bool {
+	return len(c.LostClusters) == 0 && len(c.CrossLinks) == 0 &&
+		len(c.BadChains) == 0 && len(c.SizeMismatches) == 0
+}
+
+// String summarizes the result.
+func (c *Check) String() string {
+	return fmt.Sprintf("files=%d dirs=%d used=%d lost=%d crosslinked=%d badchains=%d sizemismatch=%d",
+		c.Files, c.Dirs, c.UsedClusters, len(c.LostClusters), len(c.CrossLinks),
+		len(c.BadChains), len(c.SizeMismatches))
+}
+
+// Fsck walks every reachable directory tree and cluster chain, verifying
+// the FAT against the directory structure: every allocated cluster must be
+// referenced by exactly one chain, every chain must be long enough for its
+// file's size, and chains must terminate properly. It only reads; use
+// ReclaimLost to repair leaks.
+func (fs *FS) Fsck() (*Check, error) {
+	c := &Check{}
+	refs := make([]int, firstCluster+fs.geo.clusterCount)
+
+	var walkChain func(path string, start int, size int64, isDir bool) error
+	walkChain = func(path string, start int, size int64, isDir bool) error {
+		if start < firstCluster {
+			if !isDir && size > 0 {
+				c.SizeMismatches = append(c.SizeMismatches, path)
+			}
+			return nil
+		}
+		cs := int64(fs.ClusterSize())
+		need := (size + cs - 1) / cs
+		got := int64(0)
+		for cl := start; ; {
+			if cl < firstCluster || cl >= firstCluster+fs.geo.clusterCount {
+				c.BadChains = append(c.BadChains, path)
+				return nil
+			}
+			refs[cl]++
+			got++
+			next := fs.fatGet(cl)
+			if next == fatFree {
+				c.BadChains = append(c.BadChains, path)
+				return nil
+			}
+			if isEOC(next) {
+				break
+			}
+			cl = int(next)
+			if got > int64(fs.geo.clusterCount) {
+				c.BadChains = append(c.BadChains, path) // cycle
+				return nil
+			}
+		}
+		if !isDir && got < need {
+			c.SizeMismatches = append(c.SizeMismatches, path)
+		}
+		return nil
+	}
+
+	var walkDir func(path string, ref dirRef) error
+	walkDir = func(path string, ref dirRef) error {
+		return fs.iterDir(ref, func(sector int64, off int, raw []byte) (bool, error) {
+			switch raw[0] {
+			case 0x00:
+				return true, nil
+			case delMarker, '.':
+				return false, nil
+			}
+			e := parseEntry(sector, off, raw)
+			child := path + "/" + e.Name
+			if e.IsDir {
+				c.Dirs++
+				if err := walkChain(child, e.firstCluster, 0, true); err != nil {
+					return true, err
+				}
+				// Recurse with a fresh sector buffer: iterDir shares
+				// fs.secBuf, so nested walks must re-read their sector.
+				sub := dirRef{cluster: e.firstCluster}
+				if err := walkDir(child, sub); err != nil {
+					return true, err
+				}
+				// Restore this directory's sector for the ongoing scan.
+				if err := fs.dev.ReadSectors(sector, fs.secBuf); err != nil {
+					return true, err
+				}
+				return false, nil
+			}
+			c.Files++
+			return false, walkChain(child, e.firstCluster, e.Size, false)
+		})
+	}
+	if err := walkDir("", rootRef); err != nil {
+		return nil, err
+	}
+
+	for cl := firstCluster; cl < firstCluster+fs.geo.clusterCount; cl++ {
+		allocated := fs.fatGet(cl) != fatFree
+		switch {
+		case refs[cl] == 1:
+			c.UsedClusters++
+		case refs[cl] > 1:
+			c.CrossLinks = append(c.CrossLinks, cl)
+			c.UsedClusters++
+		case allocated:
+			c.LostClusters = append(c.LostClusters, cl)
+		}
+	}
+	return c, nil
+}
+
+// ReclaimLost frees clusters a prior Fsck found leaked and syncs the FAT.
+func (fs *FS) ReclaimLost(c *Check) error {
+	for _, cl := range c.LostClusters {
+		fs.fatSet(cl, fatFree)
+	}
+	c.LostClusters = nil
+	return fs.Sync()
+}

@@ -1,0 +1,167 @@
+package fat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFsckCleanVolume(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.Mkdir("D1")
+	_ = fs.Mkdir("D1/D2")
+	_ = fs.WriteFile("A.BIN", bytes.Repeat([]byte{1}, 5000))
+	_ = fs.WriteFile("D1/B.BIN", bytes.Repeat([]byte{2}, 100))
+	_ = fs.WriteFile("D1/D2/C.BIN", nil)
+	c, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Clean() {
+		t.Fatalf("fresh volume dirty: %s", c.String())
+	}
+	if c.Files != 3 || c.Dirs != 2 {
+		t.Errorf("files=%d dirs=%d, want 3, 2", c.Files, c.Dirs)
+	}
+	// A.BIN: 3 clusters; B.BIN: 1; C.BIN: 0; D1, D2: 1 each → 6.
+	if c.UsedClusters != 6 {
+		t.Errorf("used = %d, want 6", c.UsedClusters)
+	}
+	if !strings.Contains(c.String(), "files=3") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestFsckFindsLostClusters(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.WriteFile("A.BIN", bytes.Repeat([]byte{1}, 100))
+	// Leak two clusters: allocate chains no directory entry references.
+	c1, _ := fs.allocCluster()
+	c2, _ := fs.allocCluster()
+	fs.fatSet(c1, uint16(c2))
+	_ = fs.Sync()
+
+	c, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.LostClusters) != 2 {
+		t.Fatalf("lost = %v, want 2 clusters", c.LostClusters)
+	}
+	free := fs.FreeClusters()
+	if err := fs.ReclaimLost(c); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeClusters() != free+2 {
+		t.Errorf("reclaim freed %d, want 2", fs.FreeClusters()-free)
+	}
+	c2nd, _ := fs.Fsck()
+	if !c2nd.Clean() {
+		t.Errorf("still dirty after reclaim: %s", c2nd.String())
+	}
+}
+
+func TestFsckFindsCrossLinks(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.WriteFile("A.BIN", bytes.Repeat([]byte{1}, 2*fs.ClusterSize()))
+	_ = fs.WriteFile("B.BIN", bytes.Repeat([]byte{2}, 2*fs.ClusterSize()))
+	// Corrupt: point A's first cluster at B's first cluster.
+	a, _ := fs.Stat("A.BIN")
+	b, _ := fs.Stat("B.BIN")
+	fs.fatSet(a.firstCluster, uint16(b.firstCluster))
+	c, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.CrossLinks) == 0 {
+		t.Fatalf("cross-link not detected: %s", c.String())
+	}
+}
+
+func TestFsckFindsBadChains(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.WriteFile("A.BIN", bytes.Repeat([]byte{1}, 2*fs.ClusterSize()))
+	a, _ := fs.Stat("A.BIN")
+	// Truncate the chain in the FAT without fixing the directory size.
+	fs.fatSet(a.firstCluster, fatFree)
+	c, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.BadChains) != 1 || !strings.Contains(c.BadChains[0], "A.BIN") {
+		t.Fatalf("bad chain not detected: %s", c.String())
+	}
+}
+
+func TestFsckFindsSizeMismatch(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.WriteFile("A.BIN", bytes.Repeat([]byte{1}, 2*fs.ClusterSize()))
+	a, _ := fs.Stat("A.BIN")
+	// Cut the chain to one cluster but leave the 2-cluster size.
+	fs.fatSet(a.firstCluster, fatEOC)
+	c, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.SizeMismatches) != 1 {
+		t.Fatalf("size mismatch not detected: %s", c.String())
+	}
+	if len(c.LostClusters) != 1 {
+		t.Errorf("the orphaned second cluster should be lost: %s", c.String())
+	}
+}
+
+func TestFsckSurvivesChainCycle(t *testing.T) {
+	fs := newFS(t)
+	_ = fs.WriteFile("A.BIN", bytes.Repeat([]byte{1}, 2*fs.ClusterSize()))
+	a, _ := fs.Stat("A.BIN")
+	// Make the chain loop onto itself.
+	fs.fatSet(a.firstCluster, uint16(a.firstCluster))
+	c, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.BadChains) == 0 && len(c.CrossLinks) == 0 {
+		t.Fatalf("cycle not flagged: %s", c.String())
+	}
+}
+
+// TestFsckAfterPowerCut combines the crash machinery with fsck: after a cut
+// and remount, any damage is at worst leaked clusters — never cross-links
+// or bad chains of synced files — and reclaim restores a clean volume.
+func TestFsckAfterPowerCut(t *testing.T) {
+	for cutAfter := 3; cutAfter <= 43; cutAfter += 10 {
+		fs, arm, remount := newCrashFS(t)
+		stable := bytes.Repeat([]byte{9}, 6000)
+		if err := fs.WriteFile("KEEP.BIN", stable); err != nil {
+			t.Fatal(err)
+		}
+		arm(cutAfter)
+		_ = fs.WriteFile("DOOMED.BIN", bytes.Repeat([]byte{3}, 30_000))
+		arm(-1)
+
+		m, err := remount()
+		if err != nil {
+			t.Fatalf("cut %d: remount: %v", cutAfter, err)
+		}
+		c, err := m.Fsck()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.CrossLinks) != 0 {
+			t.Fatalf("cut %d: cross-links after crash: %s", cutAfter, c.String())
+		}
+		for _, path := range append(c.BadChains, c.SizeMismatches...) {
+			if strings.Contains(path, "KEEP.BIN") {
+				t.Fatalf("cut %d: synced file damaged: %s", cutAfter, c.String())
+			}
+		}
+		if err := m.ReclaimLost(c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.ReadFile("KEEP.BIN")
+		if err != nil || !bytes.Equal(got, stable) {
+			t.Fatalf("cut %d: KEEP.BIN: %v", cutAfter, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package fat
+
+import "testing"
+
+// FuzzNormalize83 hardens 8.3 name handling: any accepted name must format
+// back to a string that normalizes to the same 11 bytes (a fixpoint), and
+// rejection must be clean.
+func FuzzNormalize83(f *testing.F) {
+	for _, s := range []string{"A.TXT", "readme.md", "LONGNAME.BIN", "", "..", "a b", "x.y.z", "ALL CAPS.TXT"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		raw, err := normalize83(name)
+		if err != nil {
+			return
+		}
+		rendered := format83(raw)
+		again, err := normalize83(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q renders to %q which is rejected: %v", name, rendered, err)
+		}
+		if again != raw {
+			t.Fatalf("normalize not a fixpoint: %q → %v → %q → %v", name, raw, rendered, again)
+		}
+	})
+}
+
+// FuzzMountBootSector hardens Mount against corrupt boot sectors: any
+// 512-byte prefix must produce either a working mount or a clean error.
+func FuzzMountBootSector(f *testing.F) {
+	fs := newFuzzFS(f)
+	boot := make([]byte, sectorSize)
+	if err := fs.dev.ReadSectors(0, boot); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), boot...))
+	mutated := append([]byte(nil), boot...)
+	mutated[13] = 0 // zero sectors-per-cluster
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, sector []byte) {
+		if len(sector) != sectorSize {
+			return
+		}
+		if err := fs.dev.WriteSectors(0, sector); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Mount(fs.dev)
+		if err != nil {
+			return
+		}
+		// A successful mount must hold sane geometry.
+		if m.TotalClusters() < 1 || m.ClusterSize() < sectorSize {
+			t.Fatalf("mounted with insane geometry: %d clusters × %d", m.TotalClusters(), m.ClusterSize())
+		}
+		_, _ = m.ReadDir("")
+	})
+}
+
+// newFuzzFS builds a formatted volume for fuzzing (testing.F variant of
+// newFS).
+func newFuzzFS(f *testing.F) *FS {
+	f.Helper()
+	fs, err := buildFS()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return fs
+}

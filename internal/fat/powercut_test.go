@@ -1,0 +1,162 @@
+package fat
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+// errPowerCut simulates power loss mid-operation.
+var errPowerCut = errors.New("power cut")
+
+// TestPowerCutDuringWrite cuts power (every program fails) at each of many
+// points during a file write, then remounts the whole stack — FTL from
+// spare areas, FAT from its on-disk structures — and verifies previously
+// synced files are intact and the file system keeps working. In-flight data
+// may be lost (FAT16 has no journal); durability of synced state is the
+// contract under test.
+func TestPowerCutDuringWrite(t *testing.T) {
+	for cutAfter := 1; cutAfter <= 41; cutAfter += 8 {
+		t.Run(fmt.Sprintf("cut-after-%d-programs", cutAfter), func(t *testing.T) {
+			var programs int
+			cutAt := -1 // disabled until armed
+			chip := nand.New(nand.Config{
+				Geometry:  nand.Geometry{Blocks: 64, PagesPerBlock: 16, PageSize: 2048, SpareSize: 64},
+				StoreData: true,
+				FaultHook: func(op nand.Op, b, p int) error {
+					if op != nand.OpProgram {
+						return nil
+					}
+					programs++
+					if cutAt >= 0 && programs >= cutAt {
+						return errPowerCut
+					}
+					return nil
+				},
+			})
+			dev := mtd.New(chip)
+			drv, err := ftl.New(dev, ftl.Config{LogicalPages: 800})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bdev, err := blockdev.New(drv, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsys, err := Format(bdev, FormatOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Durable state: two synced files.
+			stable1 := bytes.Repeat([]byte{0x11}, 5000)
+			stable2 := bytes.Repeat([]byte{0x22}, 3000)
+			if err := fsys.WriteFile("KEEP1.BIN", stable1); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.WriteFile("KEEP2.BIN", stable2); err != nil {
+				t.Fatal(err)
+			}
+
+			// Arm the cut, then attempt a large write that will die midway.
+			cutAt = programs + cutAfter
+			wErr := fsys.WriteFile("DOOMED.BIN", bytes.Repeat([]byte{0x33}, 20_000))
+			if !errors.Is(wErr, errPowerCut) {
+				t.Fatalf("write survived the power cut: %v", wErr)
+			}
+
+			// "Reboot": disable the fault, rebuild every layer from flash.
+			cutAt = -1
+			drv2, err := ftl.Mount(dev, ftl.Config{LogicalPages: 800})
+			if err != nil {
+				t.Fatalf("ftl.Mount after cut: %v", err)
+			}
+			bdev2, err := blockdev.New(drv2, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fsys2, err := Mount(bdev2)
+			if err != nil {
+				t.Fatalf("fat.Mount after cut: %v", err)
+			}
+			got1, err := fsys2.ReadFile("KEEP1.BIN")
+			if err != nil || !bytes.Equal(got1, stable1) {
+				t.Fatalf("KEEP1 after cut: %d bytes, %v", len(got1), err)
+			}
+			got2, err := fsys2.ReadFile("KEEP2.BIN")
+			if err != nil || !bytes.Equal(got2, stable2) {
+				t.Fatalf("KEEP2 after cut: %d bytes, %v", len(got2), err)
+			}
+			// The volume keeps accepting work.
+			fresh := bytes.Repeat([]byte{0x44}, 4000)
+			if err := fsys2.WriteFile("AFTER.BIN", fresh); err != nil {
+				t.Fatalf("write after reboot: %v", err)
+			}
+			got, err := fsys2.ReadFile("AFTER.BIN")
+			if err != nil || !bytes.Equal(got, fresh) {
+				t.Fatalf("AFTER.BIN: %v", err)
+			}
+		})
+	}
+}
+
+// newCrashFS builds a formatted volume whose chip can be armed to cut power
+// (fail all programs) after N more program operations. It returns the file
+// system, the arm function (negative disarms), and a remount function that
+// rebuilds the whole stack from flash.
+func newCrashFS(t *testing.T) (*FS, func(int), func() (*FS, error)) {
+	t.Helper()
+	var programs, cutAt int
+	cutAt = -1
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 64, PagesPerBlock: 16, PageSize: 2048, SpareSize: 64},
+		StoreData: true,
+		FaultHook: func(op nand.Op, b, p int) error {
+			if op != nand.OpProgram {
+				return nil
+			}
+			programs++
+			if cutAt >= 0 && programs >= cutAt {
+				return errPowerCut
+			}
+			return nil
+		},
+	})
+	dev := mtd.New(chip)
+	drv, err := ftl.New(dev, ftl.Config{LogicalPages: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdev, err := blockdev.New(drv, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := Format(bdev, FormatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := func(after int) {
+		if after < 0 {
+			cutAt = -1
+			return
+		}
+		cutAt = programs + after
+	}
+	remountFn := func() (*FS, error) {
+		drv2, err := ftl.Mount(dev, ftl.Config{LogicalPages: 800})
+		if err != nil {
+			return nil, err
+		}
+		bdev2, err := blockdev.New(drv2, 2048)
+		if err != nil {
+			return nil, err
+		}
+		return Mount(bdev2)
+	}
+	return fsys, arm, remountFn
+}

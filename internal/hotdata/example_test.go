@@ -1,0 +1,25 @@
+package hotdata_test
+
+import (
+	"fmt"
+
+	"flashswl/internal/hotdata"
+)
+
+// Example identifies a frequently-rewritten address: after enough writes
+// the filter classifies it hot, and decay cools it back down.
+func Example() {
+	id, _ := hotdata.New(hotdata.Config{Counters: 1024, DecayEvery: 1 << 30})
+	for i := 0; i < 6; i++ {
+		id.RecordWrite(4242)
+	}
+	fmt.Println("hot after 6 writes:", id.IsHot(4242))
+	fmt.Println("neighbour is cold:", !id.IsHot(4243))
+	id.Decay()
+	id.Decay()
+	fmt.Println("hot after two decays:", id.IsHot(4242))
+	// Output:
+	// hot after 6 writes: true
+	// neighbour is cold: true
+	// hot after two decays: false
+}

@@ -1,0 +1,149 @@
+// Package hotdata implements on-line hot data identification with a
+// multi-hash counting filter, after the scheme the paper cites for dynamic
+// wear leveling (Hsieh, Chang, Kuo, "Efficient On-Line Identification of
+// Hot Data for Flash-Memory Management", SAC 2005): each write hashes its
+// logical address with K independent hash functions into a D-entry array of
+// saturating counters; an address is hot when every hashed counter is at or
+// above a threshold; an exponential decay (halving all counters) runs every
+// fixed number of writes so stale heat drains away.
+//
+// The filter needs K×D counter bits of RAM regardless of the address-space
+// size and answers queries in O(K) — the properties that made it practical
+// inside flash controllers.
+package hotdata
+
+import "fmt"
+
+// Config parameterizes an Identifier. The zero value of every field selects
+// a sensible default.
+type Config struct {
+	// Counters is D, the number of counters; rounded up to a power of two.
+	// Default 4096.
+	Counters int
+	// Hashes is K, the number of independent hash functions. Default 2.
+	Hashes int
+	// Max is the counter saturation value. Default 15 (4-bit counters).
+	Max uint8
+	// HotThreshold is the counter value at or above which all K hashed
+	// counters must sit for an address to be hot. Default 4.
+	HotThreshold uint8
+	// DecayEvery is the number of recorded writes between decays (each
+	// decay halves every counter). Default 4×Counters.
+	DecayEvery int
+}
+
+// Stats counts identifier activity.
+type Stats struct {
+	Writes int64
+	Decays int64
+}
+
+// Identifier is the multi-hash hot-data filter. Not safe for concurrent
+// use.
+type Identifier struct {
+	counters   []uint8
+	mask       uint32
+	k          int
+	max        uint8
+	threshold  uint8
+	decayEvery int
+	sinceDecay int
+	stats      Stats
+}
+
+// New builds an identifier.
+func New(cfg Config) (*Identifier, error) {
+	if cfg.Counters == 0 {
+		cfg.Counters = 4096
+	}
+	if cfg.Counters < 2 {
+		return nil, fmt.Errorf("hotdata: %d counters", cfg.Counters)
+	}
+	d := 1
+	for d < cfg.Counters {
+		d <<= 1
+	}
+	if cfg.Hashes == 0 {
+		cfg.Hashes = 2
+	}
+	if cfg.Hashes < 1 || cfg.Hashes > 8 {
+		return nil, fmt.Errorf("hotdata: %d hash functions", cfg.Hashes)
+	}
+	if cfg.Max == 0 {
+		cfg.Max = 15
+	}
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = 4
+	}
+	if cfg.HotThreshold > cfg.Max {
+		return nil, fmt.Errorf("hotdata: threshold %d above counter max %d", cfg.HotThreshold, cfg.Max)
+	}
+	if cfg.DecayEvery == 0 {
+		cfg.DecayEvery = 4 * d
+	}
+	if cfg.DecayEvery < 1 {
+		return nil, fmt.Errorf("hotdata: decay period %d", cfg.DecayEvery)
+	}
+	return &Identifier{
+		counters:   make([]uint8, d),
+		mask:       uint32(d - 1),
+		k:          cfg.Hashes,
+		max:        cfg.Max,
+		threshold:  cfg.HotThreshold,
+		decayEvery: cfg.DecayEvery,
+	}, nil
+}
+
+// hash returns the i-th hash of the address: multiplicative hashing with
+// per-function odd constants, mixed so low-entropy addresses spread.
+func (id *Identifier) hash(lba uint32, i int) uint32 {
+	x := lba*2654435761 + uint32(i)*0x9E3779B9
+	x ^= x >> 16
+	x *= 0x85EBCA6B
+	x ^= x >> 13
+	return x & id.mask
+}
+
+// RecordWrite folds one write to the address into the filter, decaying
+// when the period elapses.
+func (id *Identifier) RecordWrite(lba uint32) {
+	id.stats.Writes++
+	for i := 0; i < id.k; i++ {
+		c := &id.counters[id.hash(lba, i)]
+		if *c < id.max {
+			*c++
+		}
+	}
+	id.sinceDecay++
+	if id.sinceDecay >= id.decayEvery {
+		id.Decay()
+	}
+}
+
+// IsHot reports whether the address is currently classified hot: every
+// hashed counter at or above the threshold. False positives are possible
+// (hash collisions), false negatives are not, matching the cited design.
+func (id *Identifier) IsHot(lba uint32) bool {
+	for i := 0; i < id.k; i++ {
+		if id.counters[id.hash(lba, i)] < id.threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// Decay halves every counter (exponential aging). It runs automatically
+// every DecayEvery writes; exposed for hosts that prefer a timer.
+func (id *Identifier) Decay() {
+	for i := range id.counters {
+		id.counters[i] >>= 1
+	}
+	id.sinceDecay = 0
+	id.stats.Decays++
+}
+
+// Stats returns a snapshot of the activity counters.
+func (id *Identifier) Stats() Stats { return id.stats }
+
+// SizeBytes returns the filter's RAM footprint.
+func (id *Identifier) SizeBytes() int { return len(id.counters) }

@@ -1,0 +1,173 @@
+package hotdata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaults(t *testing.T) {
+	id, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.SizeBytes() != 4096 {
+		t.Errorf("SizeBytes = %d, want 4096", id.SizeBytes())
+	}
+	if id.k != 2 || id.max != 15 || id.threshold != 4 {
+		t.Errorf("defaults wrong: %+v", id)
+	}
+}
+
+func TestCountersRoundUpToPowerOfTwo(t *testing.T) {
+	id, err := New(Config{Counters: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.SizeBytes() != 1024 {
+		t.Errorf("SizeBytes = %d, want 1024", id.SizeBytes())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Counters: 1},
+		{Hashes: 9},
+		{Hashes: -1},
+		{HotThreshold: 9, Max: 8},
+		{DecayEvery: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}
+
+func TestRepeatedWritesBecomeHot(t *testing.T) {
+	id, _ := New(Config{Counters: 256, DecayEvery: 1 << 30})
+	if id.IsHot(42) {
+		t.Fatal("fresh address must be cold")
+	}
+	for i := 0; i < 4; i++ {
+		id.RecordWrite(42)
+	}
+	if !id.IsHot(42) {
+		t.Fatal("address written 4 times (threshold) must be hot")
+	}
+	if !id.IsHot(42) || id.IsHot(43) && id.IsHot(44) && id.IsHot(45) {
+		t.Error("heat leaked to many neighbours")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	// Any address written ≥ threshold times since the last decay must be
+	// hot: counters only grow on writes (until saturation).
+	id, _ := New(Config{Counters: 128, DecayEvery: 1 << 30})
+	rng := rand.New(rand.NewSource(1))
+	written := map[uint32]int{}
+	for i := 0; i < 2000; i++ {
+		lba := uint32(rng.Intn(64))
+		id.RecordWrite(lba)
+		written[lba]++
+	}
+	for lba, n := range written {
+		if n >= 15 && !id.IsHot(lba) {
+			t.Fatalf("lba %d written %d times but classified cold", lba, n)
+		}
+	}
+}
+
+func TestDecayCoolsOldData(t *testing.T) {
+	id, _ := New(Config{Counters: 256, DecayEvery: 1 << 30})
+	for i := 0; i < 5; i++ {
+		id.RecordWrite(7)
+	}
+	if !id.IsHot(7) {
+		t.Fatal("setup: 7 should be hot")
+	}
+	id.Decay()
+	id.Decay()
+	if id.IsHot(7) {
+		t.Error("two halvings must cool a counter of 5 below threshold 4")
+	}
+	if id.Stats().Decays != 2 {
+		t.Errorf("Decays = %d", id.Stats().Decays)
+	}
+}
+
+func TestAutomaticDecay(t *testing.T) {
+	id, _ := New(Config{Counters: 2, DecayEvery: 10})
+	for i := 0; i < 35; i++ {
+		id.RecordWrite(uint32(i))
+	}
+	if got := id.Stats().Decays; got != 3 {
+		t.Errorf("Decays = %d, want 3 over 35 writes with period 10", got)
+	}
+	if id.Stats().Writes != 35 {
+		t.Errorf("Writes = %d", id.Stats().Writes)
+	}
+}
+
+func TestSkewedWorkloadSeparates(t *testing.T) {
+	// 90% of writes to 16 hot addresses, 10% spread over 4096 cold ones:
+	// the filter must classify the hot set hot and nearly all of the cold
+	// set cold.
+	id, _ := New(Config{Counters: 4096})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100_000; i++ {
+		if rng.Float64() < 0.9 {
+			id.RecordWrite(uint32(rng.Intn(16)))
+		} else {
+			id.RecordWrite(1000 + uint32(rng.Intn(4096)))
+		}
+	}
+	for lba := uint32(0); lba < 16; lba++ {
+		if !id.IsHot(lba) {
+			t.Errorf("hot lba %d classified cold", lba)
+		}
+	}
+	falsePos := 0
+	for lba := uint32(1000); lba < 1000+4096; lba++ {
+		if id.IsHot(lba) {
+			falsePos++
+		}
+	}
+	if rate := float64(falsePos) / 4096; rate > 0.15 {
+		t.Errorf("cold false-positive rate %.2f too high", rate)
+	}
+}
+
+// Property: IsHot never reports false for an address written max times in
+// a row with no decay in between.
+func TestHotAfterSaturationProperty(t *testing.T) {
+	f := func(lba uint32) bool {
+		id, _ := New(Config{Counters: 64, DecayEvery: 1 << 30})
+		for i := 0; i < int(id.max); i++ {
+			id.RecordWrite(lba)
+		}
+		return id.IsHot(lba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counters never exceed the saturation value.
+func TestSaturationProperty(t *testing.T) {
+	f := func(lbas []uint32) bool {
+		id, _ := New(Config{Counters: 32, Max: 7, DecayEvery: 1 << 30})
+		for _, lba := range lbas {
+			id.RecordWrite(lba)
+		}
+		for _, c := range id.counters {
+			if c > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package mtd implements a Memory Technology Device driver layer over a
+// simulated NAND chip, mirroring the layering of Figure 1 in the paper: the
+// MTD driver provides the primitive read, write, and erase functions that a
+// Flash Translation Layer driver builds on.
+//
+// Pages are addressed linearly across the chip: page index
+// block*PagesPerBlock+offset. The driver adds no translation or policy; it
+// only validates addresses and exposes convenient primitives.
+package mtd
+
+import (
+	"fmt"
+
+	"flashswl/internal/nand"
+)
+
+// Info describes the device exposed by a driver.
+type Info struct {
+	Geometry  nand.Geometry
+	Endurance int
+}
+
+// Chip is the raw flash device the MTD driver manages. *nand.Chip
+// implements it; array.Array combines several chips behind the same
+// interface.
+type Chip interface {
+	Geometry() nand.Geometry
+	Endurance() int
+	ReadPage(b, p int, data, spare []byte) (int, error)
+	ProgramPage(b, p int, data, spare []byte) error
+	EraseBlock(b int) error
+	IsProgrammed(b, p int) bool
+	EraseCount(b int) int
+}
+
+// Driver is the MTD driver for one flash device. Like the device itself it
+// is not safe for concurrent use.
+type Driver struct {
+	chip Chip
+	geo  nand.Geometry
+}
+
+// New wraps a chip (or chip array) in an MTD driver.
+func New(chip Chip) *Driver {
+	return &Driver{chip: chip, geo: chip.Geometry()}
+}
+
+// Info returns the device description.
+func (d *Driver) Info() Info {
+	return Info{Geometry: d.geo, Endurance: d.chip.Endurance()}
+}
+
+// Chip exposes the underlying device, for layers that need raw state.
+func (d *Driver) Chip() Chip { return d.chip }
+
+// Pages returns the total number of pages on the device.
+func (d *Driver) Pages() int { return d.geo.Pages() }
+
+// Blocks returns the number of erase blocks on the device.
+func (d *Driver) Blocks() int { return d.geo.Blocks }
+
+// split converts a linear page index to (block, page-in-block).
+func (d *Driver) split(page int) (int, int, error) {
+	if page < 0 || page >= d.geo.Pages() {
+		return 0, 0, fmt.Errorf("mtd: page %d out of range [0,%d): %w", page, d.geo.Pages(), nand.ErrOutOfRange)
+	}
+	return page / d.geo.PagesPerBlock, page % d.geo.PagesPerBlock, nil
+}
+
+// PageOf returns the linear page index of (block, offset).
+func (d *Driver) PageOf(block, offset int) int {
+	return block*d.geo.PagesPerBlock + offset
+}
+
+// ReadPage reads page data and/or spare bytes at a linear page index.
+func (d *Driver) ReadPage(page int, data, oob []byte) (int, error) {
+	b, p, err := d.split(page)
+	if err != nil {
+		return 0, err
+	}
+	return d.chip.ReadPage(b, p, data, oob)
+}
+
+// WritePage programs page data and/or spare bytes at a linear page index.
+func (d *Driver) WritePage(page int, data, oob []byte) error {
+	b, p, err := d.split(page)
+	if err != nil {
+		return err
+	}
+	return d.chip.ProgramPage(b, p, data, oob)
+}
+
+// EraseBlock erases the given block.
+func (d *Driver) EraseBlock(block int) error {
+	return d.chip.EraseBlock(block)
+}
+
+// IsPageProgrammed reports whether the page at the linear index holds data.
+func (d *Driver) IsPageProgrammed(page int) bool {
+	b, p, err := d.split(page)
+	if err != nil {
+		return false
+	}
+	return d.chip.IsProgrammed(b, p)
+}
+
+// EraseCount returns the erase count of the given block.
+func (d *Driver) EraseCount(block int) int { return d.chip.EraseCount(block) }

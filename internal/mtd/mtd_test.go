@@ -1,0 +1,163 @@
+package mtd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flashswl/internal/nand"
+)
+
+func testDriver(t *testing.T, storeData bool) *Driver {
+	t.Helper()
+	return New(nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 4, PagesPerBlock: 4, PageSize: 32, SpareSize: 16},
+		StoreData: storeData,
+	}))
+}
+
+func TestLinearAddressing(t *testing.T) {
+	d := testDriver(t, true)
+	// Page 6 is block 1, offset 2.
+	if got := d.PageOf(1, 2); got != 6 {
+		t.Fatalf("PageOf(1,2) = %d, want 6", got)
+	}
+	if err := d.WritePage(6, []byte{0xAA}, nil); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if !d.Chip().IsProgrammed(1, 2) {
+		t.Error("linear page 6 must map to chip block 1, page 2")
+	}
+	buf := make([]byte, 1)
+	if _, err := d.ReadPage(6, buf, nil); err != nil || buf[0] != 0xAA {
+		t.Errorf("ReadPage = %x, %v; want AA, nil", buf, err)
+	}
+	if !d.IsPageProgrammed(6) || d.IsPageProgrammed(7) {
+		t.Error("IsPageProgrammed wrong")
+	}
+}
+
+func TestAddressBounds(t *testing.T) {
+	d := testDriver(t, false)
+	if _, err := d.ReadPage(-1, nil, nil); !errors.Is(err, nand.ErrOutOfRange) {
+		t.Errorf("ReadPage(-1) err = %v", err)
+	}
+	if err := d.WritePage(16, nil, nil); !errors.Is(err, nand.ErrOutOfRange) {
+		t.Errorf("WritePage(16) err = %v", err)
+	}
+	if d.IsPageProgrammed(99) {
+		t.Error("out-of-range page reported programmed")
+	}
+}
+
+func TestInfoAndCounts(t *testing.T) {
+	d := testDriver(t, false)
+	if d.Pages() != 16 || d.Blocks() != 4 {
+		t.Fatalf("Pages=%d Blocks=%d, want 16, 4", d.Pages(), d.Blocks())
+	}
+	if d.Info().Geometry.PageSize != 32 {
+		t.Errorf("Info geometry wrong: %+v", d.Info())
+	}
+	if err := d.EraseBlock(2); err != nil {
+		t.Fatalf("EraseBlock: %v", err)
+	}
+	if d.EraseCount(2) != 1 || d.EraseCount(0) != 0 {
+		t.Error("EraseCount not forwarded")
+	}
+}
+
+func TestBlockStoreRoundTrip(t *testing.T) {
+	d := testDriver(t, true)
+	s, err := NewBlockStore(d, 0, 1)
+	if err != nil {
+		t.Fatalf("NewBlockStore: %v", err)
+	}
+	if s.Slots() != 2 {
+		t.Fatalf("Slots = %d, want 2", s.Slots())
+	}
+	// Payload spanning multiple pages (page size 32, header 8 bytes).
+	payload := bytes.Repeat([]byte{0x5C}, 70)
+	if err := s.WriteSnapshot(0, payload); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, err := s.ReadSnapshot(0)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip mismatch: %d bytes vs %d", len(got), len(payload))
+	}
+	// The other slot stays empty.
+	if _, err := s.ReadSnapshot(1); !errors.Is(err, ErrNoSnapshot) {
+		t.Errorf("empty slot err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestBlockStoreOverwrite(t *testing.T) {
+	d := testDriver(t, true)
+	s, _ := NewBlockStore(d, 3)
+	for i := 0; i < 3; i++ {
+		want := []byte{byte(i), byte(i + 1)}
+		if err := s.WriteSnapshot(0, want); err != nil {
+			t.Fatalf("WriteSnapshot %d: %v", i, err)
+		}
+		got, err := s.ReadSnapshot(0)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("iteration %d: got %v, %v", i, got, err)
+		}
+	}
+	if d.EraseCount(3) != 3 {
+		t.Errorf("each overwrite must erase the slot block: count = %d", d.EraseCount(3))
+	}
+}
+
+func TestBlockStoreValidation(t *testing.T) {
+	d := testDriver(t, true)
+	if _, err := NewBlockStore(d); err == nil {
+		t.Error("zero slots must fail")
+	}
+	if _, err := NewBlockStore(d, 99); err == nil {
+		t.Error("out-of-range slot must fail")
+	}
+	s, _ := NewBlockStore(d, 0)
+	if err := s.WriteSnapshot(1, nil); err == nil {
+		t.Error("bad slot index must fail")
+	}
+	if _, err := s.ReadSnapshot(-1); err == nil {
+		t.Error("bad slot index must fail")
+	}
+	if err := s.WriteSnapshot(0, make([]byte, s.Capacity()+1)); err == nil {
+		t.Error("oversized snapshot must fail")
+	}
+	if err := s.WriteSnapshot(0, make([]byte, s.Capacity())); err != nil {
+		t.Errorf("full-capacity snapshot should fit: %v", err)
+	}
+}
+
+func TestBlockStoreEmptyPayload(t *testing.T) {
+	d := testDriver(t, true)
+	s, _ := NewBlockStore(d, 0)
+	if err := s.WriteSnapshot(0, nil); err != nil {
+		t.Fatalf("WriteSnapshot(nil): %v", err)
+	}
+	got, err := s.ReadSnapshot(0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty snapshot = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestBlockStoreUndecodableLengths(t *testing.T) {
+	d := testDriver(t, true)
+	s, _ := NewBlockStore(d, 2)
+	// Write raw garbage that happens to carry the magic but an absurd
+	// length: ReadSnapshot must refuse rather than run off the block.
+	raw := make([]byte, 32)
+	raw[0], raw[1], raw[2], raw[3] = 0x53, 0x54, 0x45, 0x42 // magic little-endian
+	raw[4], raw[5], raw[6], raw[7] = 0xFF, 0xFF, 0xFF, 0x7F
+	if err := d.WritePage(d.PageOf(2, 0), raw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadSnapshot(0); err == nil {
+		t.Error("absurd length accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package mtd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockStore persists small system snapshots (such as the SW Leveler's Block
+// Erasing Table) in reserved flash blocks, one block per slot. Two slots form
+// the dual buffer the paper suggests for crash resistance (§3.2): writers
+// alternate slots so one complete older snapshot always survives a crash
+// mid-write.
+//
+// The backing chip must be constructed with StoreData enabled, otherwise
+// snapshots read back empty.
+type BlockStore struct {
+	d     *Driver
+	slots []int // block index per slot
+}
+
+// ErrNoSnapshot reports that a slot holds no decodable snapshot.
+var ErrNoSnapshot = errors.New("mtd: no snapshot in slot")
+
+const storeMagic = 0x42455453 // "BETS"
+
+// NewBlockStore reserves the given blocks as snapshot slots. The Flash
+// Translation Layer driver above must exclude these blocks from its pool.
+func NewBlockStore(d *Driver, blocks ...int) (*BlockStore, error) {
+	if len(blocks) == 0 {
+		return nil, errors.New("mtd: block store needs at least one slot")
+	}
+	for _, b := range blocks {
+		if b < 0 || b >= d.Blocks() {
+			return nil, fmt.Errorf("mtd: slot block %d out of range", b)
+		}
+	}
+	return &BlockStore{d: d, slots: blocks}, nil
+}
+
+// Slots returns the number of snapshot slots.
+func (s *BlockStore) Slots() int { return len(s.slots) }
+
+// Capacity returns the maximum snapshot payload size in bytes.
+func (s *BlockStore) Capacity() int {
+	g := s.d.Info().Geometry
+	return g.BlockSize() - 8 // header: magic + length
+}
+
+// WriteSnapshot erases the slot's block and programs the payload into it.
+func (s *BlockStore) WriteSnapshot(slot int, data []byte) error {
+	if slot < 0 || slot >= len(s.slots) {
+		return fmt.Errorf("mtd: slot %d out of range", slot)
+	}
+	if len(data) > s.Capacity() {
+		return fmt.Errorf("mtd: snapshot of %d bytes exceeds slot capacity %d", len(data), s.Capacity())
+	}
+	block := s.slots[slot]
+	if err := s.d.EraseBlock(block); err != nil {
+		return err
+	}
+	g := s.d.Info().Geometry
+	header := make([]byte, 8)
+	binary.LittleEndian.PutUint32(header, storeMagic)
+	binary.LittleEndian.PutUint32(header[4:], uint32(len(data)))
+	payload := append(header, data...)
+	for p := 0; len(payload) > 0; p++ {
+		n := g.PageSize
+		if n > len(payload) {
+			n = len(payload)
+		}
+		if err := s.d.WritePage(s.d.PageOf(block, p), payload[:n], nil); err != nil {
+			return err
+		}
+		payload = payload[n:]
+	}
+	return nil
+}
+
+// ReadSnapshot returns the payload stored in the slot, or ErrNoSnapshot if
+// the slot is empty or undecodable (e.g. after a crash mid-write).
+func (s *BlockStore) ReadSnapshot(slot int) ([]byte, error) {
+	if slot < 0 || slot >= len(s.slots) {
+		return nil, fmt.Errorf("mtd: slot %d out of range", slot)
+	}
+	block := s.slots[slot]
+	g := s.d.Info().Geometry
+	page := make([]byte, g.PageSize)
+	if _, err := s.d.ReadPage(s.d.PageOf(block, 0), page, nil); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(page) != storeMagic {
+		return nil, ErrNoSnapshot
+	}
+	length := int(binary.LittleEndian.Uint32(page[4:]))
+	if length < 0 || length > s.Capacity() {
+		return nil, ErrNoSnapshot
+	}
+	out := make([]byte, 0, length)
+	out = append(out, page[8:min(8+length, g.PageSize)]...)
+	for p := 1; len(out) < length; p++ {
+		if _, err := s.d.ReadPage(s.d.PageOf(block, p), page, nil); err != nil {
+			return nil, err
+		}
+		out = append(out, page[:min(length-len(out), g.PageSize)]...)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,403 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testChip(t *testing.T, cfg Config) *Chip {
+	t.Helper()
+	if cfg.Geometry == (Geometry{}) {
+		cfg.Geometry = Geometry{Blocks: 4, PagesPerBlock: 4, PageSize: 64, SpareSize: 16}
+	}
+	return New(cfg)
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	c := testChip(t, Config{StoreData: true})
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	spare := SpareInfo{LBA: 7, Seq: 1, ECC: ComputeECC(data)}.Encode(make([]byte, SpareInfoSize))
+	if err := c.ProgramPage(1, 2, data, spare); err != nil {
+		t.Fatalf("ProgramPage: %v", err)
+	}
+	got := make([]byte, 64)
+	oob := make([]byte, 16)
+	n, err := c.ReadPage(1, 2, got, oob)
+	if err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if n != 64 || !bytes.Equal(got, data) {
+		t.Errorf("read %d bytes %x, want %x", n, got[:4], data[:4])
+	}
+	info, err := DecodeSpare(oob)
+	if err != nil {
+		t.Fatalf("DecodeSpare: %v", err)
+	}
+	if info.LBA != 7 || info.Seq != 1 {
+		t.Errorf("spare = %+v, want LBA 7 Seq 1", info)
+	}
+}
+
+func TestWriteOncePages(t *testing.T) {
+	c := testChip(t, Config{})
+	if err := c.ProgramPage(0, 0, []byte{1}, nil); err != nil {
+		t.Fatalf("first program: %v", err)
+	}
+	err := c.ProgramPage(0, 0, []byte{2}, nil)
+	if !errors.Is(err, ErrNotErased) {
+		t.Fatalf("second program err = %v, want ErrNotErased", err)
+	}
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatalf("EraseBlock: %v", err)
+	}
+	if err := c.ProgramPage(0, 0, []byte{3}, nil); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestEraseResetsPages(t *testing.T) {
+	c := testChip(t, Config{StoreData: true})
+	for p := 0; p < 4; p++ {
+		if err := c.ProgramPage(2, p, []byte{byte(p)}, []byte{byte(p)}); err != nil {
+			t.Fatalf("program page %d: %v", p, err)
+		}
+		if !c.IsProgrammed(2, p) {
+			t.Errorf("IsProgrammed(2,%d) = false after program", p)
+		}
+	}
+	if err := c.EraseBlock(2); err != nil {
+		t.Fatalf("EraseBlock: %v", err)
+	}
+	buf := make([]byte, 64)
+	for p := 0; p < 4; p++ {
+		if c.IsProgrammed(2, p) {
+			t.Errorf("IsProgrammed(2,%d) = true after erase", p)
+		}
+		if _, err := c.ReadPage(2, p, buf, nil); err != nil {
+			t.Fatalf("ReadPage: %v", err)
+		}
+		if buf[0] != 0xFF {
+			t.Errorf("page %d reads %#x after erase, want 0xFF", p, buf[0])
+		}
+	}
+	if c.EraseCount(2) != 1 {
+		t.Errorf("EraseCount(2) = %d, want 1", c.EraseCount(2))
+	}
+}
+
+func TestMetadataOnlyModeReadsErased(t *testing.T) {
+	c := testChip(t, Config{StoreData: false})
+	if err := c.ProgramPage(0, 1, []byte{0x11, 0x22}, []byte{9}); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	buf := make([]byte, 4)
+	oob := make([]byte, 1)
+	if _, err := c.ReadPage(0, 1, buf, oob); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if buf[0] != 0xFF {
+		t.Errorf("metadata-only read = %#x, want 0xFF filler", buf[0])
+	}
+	if oob[0] != 9 {
+		t.Errorf("spare must be retained even without data: got %d, want 9", oob[0])
+	}
+	if !c.IsProgrammed(0, 1) {
+		t.Error("page state must still be tracked without data storage")
+	}
+}
+
+func TestWearOutCallbackAndCounters(t *testing.T) {
+	var worn []int
+	c := New(Config{
+		Geometry:  Geometry{Blocks: 2, PagesPerBlock: 2, PageSize: 8, SpareSize: 4},
+		Endurance: 3,
+		OnWear:    func(b int) { worn = append(worn, b) },
+	})
+	for i := 0; i < 5; i++ {
+		if err := c.EraseBlock(1); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	if len(worn) != 1 || worn[0] != 1 {
+		t.Fatalf("OnWear fired %v, want exactly once for block 1", worn)
+	}
+	if c.WornBlocks() != 1 || c.FirstWornBlock() != 1 {
+		t.Errorf("WornBlocks=%d FirstWornBlock=%d, want 1,1", c.WornBlocks(), c.FirstWornBlock())
+	}
+	if c.EraseCount(1) != 5 {
+		t.Errorf("EraseCount = %d, want 5 (erases continue past wear)", c.EraseCount(1))
+	}
+}
+
+func TestFailOnWear(t *testing.T) {
+	c := New(Config{
+		Geometry:   Geometry{Blocks: 1, PagesPerBlock: 2, PageSize: 8, SpareSize: 4},
+		Endurance:  2,
+		FailOnWear: true,
+	})
+	for i := 0; i < 2; i++ {
+		if err := c.EraseBlock(0); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	err := c.EraseBlock(0)
+	if !errors.Is(err, ErrWornOut) {
+		t.Fatalf("erase past endurance err = %v, want ErrWornOut", err)
+	}
+	if c.EraseCount(0) != 2 {
+		t.Errorf("failed erase must not change the count: got %d, want 2", c.EraseCount(0))
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	c := testChip(t, Config{})
+	cases := []error{
+		func() error { _, err := c.ReadPage(-1, 0, nil, nil); return err }(),
+		func() error { _, err := c.ReadPage(4, 0, nil, nil); return err }(),
+		func() error { _, err := c.ReadPage(0, -1, nil, nil); return err }(),
+		func() error { _, err := c.ReadPage(0, 4, nil, nil); return err }(),
+		c.ProgramPage(0, 99, nil, nil),
+		c.ProgramPage(99, 0, nil, nil),
+		c.EraseBlock(-1),
+		c.EraseBlock(4),
+	}
+	for i, err := range cases {
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("case %d: err = %v, want ErrOutOfRange", i, err)
+		}
+	}
+}
+
+func TestBufferLengthValidation(t *testing.T) {
+	c := testChip(t, Config{})
+	if err := c.ProgramPage(0, 0, make([]byte, 65), nil); !errors.Is(err, ErrBadLength) {
+		t.Errorf("oversized data err = %v, want ErrBadLength", err)
+	}
+	if err := c.ProgramPage(0, 0, nil, make([]byte, 17)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("oversized spare err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	fail := false
+	c := testChip(t, Config{FaultHook: func(op Op, b, p int) error {
+		if fail && op == OpProgram {
+			return ErrInjected
+		}
+		return nil
+	}})
+	if err := c.ProgramPage(0, 0, []byte{1}, nil); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	fail = true
+	err := c.ProgramPage(0, 1, []byte{1}, nil)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if c.IsProgrammed(0, 1) {
+		t.Error("failed program must not change page state")
+	}
+	if got := c.Stats().Programs; got != 1 {
+		t.Errorf("failed program must not be counted: Programs = %d, want 1", got)
+	}
+}
+
+func TestStatsAndTiming(t *testing.T) {
+	c := New(Config{
+		Geometry: Geometry{Blocks: 2, PagesPerBlock: 2, PageSize: 8, SpareSize: 4},
+		Timing:   Timing{ReadPage: time.Microsecond, ProgramPage: 10 * time.Microsecond, EraseBlock: 100 * time.Microsecond},
+	})
+	_ = c.ProgramPage(0, 0, []byte{1}, nil)
+	_, _ = c.ReadPage(0, 0, make([]byte, 1), nil)
+	_, _ = c.ReadPage(0, 1, make([]byte, 1), nil)
+	_ = c.EraseBlock(0)
+	s := c.Stats()
+	if s.Reads != 2 || s.Programs != 1 || s.Erases != 1 {
+		t.Errorf("stats = %+v, want 2 reads, 1 program, 1 erase", s)
+	}
+	if want := 112 * time.Microsecond; s.Elapsed != want {
+		t.Errorf("Elapsed = %v, want %v", s.Elapsed, want)
+	}
+}
+
+func TestDefaultTiming(t *testing.T) {
+	if DefaultTiming(MLC2).EraseBlock != 1500*time.Microsecond {
+		t.Errorf("MLC×2 erase latency = %v, want 1.5ms per the paper", DefaultTiming(MLC2).EraseBlock)
+	}
+	if DefaultTiming(SLC).ReadPage >= DefaultTiming(MLC2).ReadPage {
+		t.Error("SLC reads should be faster than MLC×2 reads")
+	}
+}
+
+func TestEraseCountsSnapshot(t *testing.T) {
+	c := testChip(t, Config{})
+	_ = c.EraseBlock(0)
+	_ = c.EraseBlock(0)
+	_ = c.EraseBlock(3)
+	got := c.EraseCounts(nil)
+	want := []int{2, 0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EraseCounts = %v, want %v", got, want)
+		}
+	}
+	if c.EraseCount(-1) != 0 || c.EraseCount(99) != 0 {
+		t.Error("out-of-range EraseCount should be 0")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpProgram.String() != "program" || OpErase.String() != "erase" {
+		t.Error("Op.String names wrong")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op should still format")
+	}
+}
+
+// Property: any sequence of (program, erase) choices never lets a page read
+// back data while unprogrammed, and erase counts equal the erases issued.
+func TestChipStateMachineProperty(t *testing.T) {
+	f := func(script []byte) bool {
+		c := New(Config{Geometry: Geometry{Blocks: 2, PagesPerBlock: 4, PageSize: 4, SpareSize: 4}, StoreData: true})
+		erases := 0
+		next := [2]int{} // next free page per block, tracked independently
+		for _, op := range script {
+			b := int(op>>1) & 1
+			if op&1 == 0 && next[b] < 4 {
+				if err := c.ProgramPage(b, next[b], []byte{op}, nil); err != nil {
+					return false
+				}
+				next[b]++
+			} else if op&1 == 1 {
+				if err := c.EraseBlock(b); err != nil {
+					return false
+				}
+				next[b] = 0
+				erases++
+			}
+		}
+		if c.EraseCount(0)+c.EraseCount(1) != erases {
+			return false
+		}
+		for b := 0; b < 2; b++ {
+			for p := 0; p < 4; p++ {
+				if c.IsProgrammed(b, p) != (p < next[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	c := testChip(t, Config{StoreData: true})
+	if err := c.ProgramPage(0, 0, []byte{0x00, 0x00}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlipBit(0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	_, _ = c.ReadPage(0, 0, buf, nil)
+	if buf[1] != 0x02 {
+		t.Errorf("bit 9 not flipped: %x", buf)
+	}
+	if err := c.FlipBit(0, 0, 9999); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+	if err := c.FlipBit(0, 1, 0); err == nil {
+		t.Error("unprogrammed page accepted (no data to flip)")
+	}
+	if err := c.FlipBit(99, 0, 0); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestReadDisturbFlipsBits(t *testing.T) {
+	c := New(Config{
+		Geometry:         Geometry{Blocks: 2, PagesPerBlock: 4, PageSize: 64, SpareSize: 8},
+		StoreData:        true,
+		ReadDisturbEvery: 10,
+	})
+	orig := bytes.Repeat([]byte{0xA5}, 64)
+	for p := 0; p < 4; p++ {
+		if err := c.ProgramPage(0, p, orig, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		_, _ = c.ReadPage(0, i%4, buf, nil)
+	}
+	// 200 reads at one flip per 10 → ~20 flips across the block; at least
+	// one page must differ from the original now.
+	disturbed := false
+	for p := 0; p < 4; p++ {
+		_, _ = c.ReadPage(0, p, buf, nil)
+		if !bytes.Equal(buf, orig) {
+			disturbed = true
+			break
+		}
+	}
+	if !disturbed {
+		t.Fatal("read disturb never flipped a bit")
+	}
+	// Erase heals the block and resets the read counter.
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.blocks[0].reads != 0 {
+		t.Error("erase must reset the read-disturb counter")
+	}
+	// Block 1 (never read) is untouched.
+	if c.blocks[1].reads != 0 {
+		t.Error("block 1 read counter should be zero")
+	}
+}
+
+func TestReadDisturbOffByDefault(t *testing.T) {
+	c := testChip(t, Config{StoreData: true})
+	orig := bytes.Repeat([]byte{0x42}, 64)
+	_ = c.ProgramPage(0, 0, orig, nil)
+	buf := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		_, _ = c.ReadPage(0, 0, buf, nil)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("bits flipped with read disturb disabled")
+	}
+}
+
+func TestSequentialProgramConstraint(t *testing.T) {
+	c := New(Config{
+		Geometry:          Geometry{Blocks: 2, PagesPerBlock: 4, PageSize: 8, SpareSize: 4},
+		SequentialProgram: true,
+	})
+	if err := c.ProgramPage(0, 0, []byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProgramPage(0, 2, []byte{1}, nil); err != nil {
+		t.Fatalf("skipping forward is allowed: %v", err)
+	}
+	if err := c.ProgramPage(0, 1, []byte{1}, nil); !errors.Is(err, ErrProgOrder) {
+		t.Fatalf("backward program err = %v, want ErrProgOrder", err)
+	}
+	// Other blocks are independent; erase resets the order.
+	if err := c.ProgramPage(1, 0, []byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProgramPage(0, 0, []byte{1}, nil); err != nil {
+		t.Fatalf("after erase: %v", err)
+	}
+}

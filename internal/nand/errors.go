@@ -1,0 +1,67 @@
+package nand
+
+import "errors"
+
+// Sentinel errors returned by chip operations. Callers are expected to test
+// them with errors.Is; operation errors wrap these sentinels together with
+// the block/page address that failed.
+var (
+	// ErrOutOfRange reports a block or page address beyond the geometry.
+	ErrOutOfRange = errors.New("nand: address out of range")
+	// ErrNotErased reports a program to a page that was already programmed
+	// since the last erase of its block (NAND pages are write-once).
+	ErrNotErased = errors.New("nand: page not erased")
+	// ErrWornOut reports an erase of a block whose endurance is exhausted.
+	ErrWornOut = errors.New("nand: block worn out")
+	// ErrBadLength reports a data or spare buffer whose length exceeds the
+	// page or spare capacity.
+	ErrBadLength = errors.New("nand: buffer length exceeds page capacity")
+	// ErrInjected reports a fault introduced by a FaultHook.
+	ErrInjected = errors.New("nand: injected fault")
+	// ErrProgOrder reports an out-of-order page program on a chip that
+	// enforces sequential programming within a block (an MLC constraint).
+	ErrProgOrder = errors.New("nand: page programmed out of order")
+)
+
+// AddrError wraps a sentinel error with the physical address it occurred at.
+type AddrError struct {
+	Op    string // "read", "program", or "erase"
+	Block int
+	Page  int // -1 for block-level operations
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *AddrError) Error() string {
+	if e.Page < 0 {
+		return e.Op + " block " + itoa(e.Block) + ": " + e.Err.Error()
+	}
+	return e.Op + " page (" + itoa(e.Block) + "," + itoa(e.Page) + "): " + e.Err.Error()
+}
+
+// Unwrap returns the underlying sentinel error.
+func (e *AddrError) Unwrap() error { return e.Err }
+
+// itoa is a minimal integer formatter so that the hot error path does not
+// pull fmt into every call site.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,135 @@
+// Package nand simulates NAND flash memory chips at the block/page level.
+//
+// The model follows the device characteristics assumed by Chang, Hsieh, and
+// Kuo (DAC 2007): a chip is an array of blocks, a block is an array of pages,
+// reads and programs operate on pages, erases operate on whole blocks, and a
+// page must be erased before it can be programmed again (write-once pages).
+// Every block has a bounded erase endurance; exceeding it wears the block
+// out, which is the failure event that wear leveling postpones.
+package nand
+
+import "fmt"
+
+// CellKind identifies the cell technology of a chip. It determines the
+// default erase endurance of each block.
+type CellKind int
+
+const (
+	// SLC is single-level-cell NAND: one bit per cell, ~100,000 erases.
+	SLC CellKind = iota
+	// MLC2 is two-bit multi-level-cell NAND: ~10,000 erases per block.
+	MLC2
+)
+
+// String returns the conventional name of the cell technology.
+func (k CellKind) String() string {
+	switch k {
+	case SLC:
+		return "SLC"
+	case MLC2:
+		return "MLC×2"
+	default:
+		return fmt.Sprintf("CellKind(%d)", int(k))
+	}
+}
+
+// Endurance returns the nominal erase-cycle endurance of a block of this
+// cell kind, per the figures quoted in the paper's introduction.
+func (k CellKind) Endurance() int {
+	switch k {
+	case MLC2:
+		return 10_000
+	default:
+		return 100_000
+	}
+}
+
+// Geometry describes the physical layout of a NAND chip.
+type Geometry struct {
+	// Blocks is the number of erase blocks on the chip.
+	Blocks int
+	// PagesPerBlock is the number of pages in each block.
+	PagesPerBlock int
+	// PageSize is the user-data capacity of one page, in bytes.
+	PageSize int
+	// SpareSize is the out-of-band (spare) area of one page, in bytes.
+	SpareSize int
+}
+
+// Standard geometries from the paper's Section 1: small-block SLC stores
+// 512 B × 32 pages per block, large-block SLC stores 2 KB × 64 pages, and
+// MLC×2 matches large-block SLC but with 128 pages per block.
+const (
+	smallBlockPageSize  = 512
+	smallBlockPages     = 32
+	largeBlockPageSize  = 2048
+	largeBlockPages     = 64
+	mlc2Pages           = 128
+	defaultSparePerPage = 64
+)
+
+// SmallBlockSLC returns the geometry of a small-block SLC chip with the
+// given number of blocks (512 B pages, 32 pages per block).
+func SmallBlockSLC(blocks int) Geometry {
+	return Geometry{Blocks: blocks, PagesPerBlock: smallBlockPages, PageSize: smallBlockPageSize, SpareSize: 16}
+}
+
+// LargeBlockSLC returns the geometry of a large-block SLC chip with the
+// given number of blocks (2 KB pages, 64 pages per block).
+func LargeBlockSLC(blocks int) Geometry {
+	return Geometry{Blocks: blocks, PagesPerBlock: largeBlockPages, PageSize: largeBlockPageSize, SpareSize: defaultSparePerPage}
+}
+
+// MLC2Geometry returns the geometry of an MLC×2 chip with the given number
+// of blocks (2 KB pages, 128 pages per block).
+func MLC2Geometry(blocks int) Geometry {
+	return Geometry{Blocks: blocks, PagesPerBlock: mlc2Pages, PageSize: largeBlockPageSize, SpareSize: defaultSparePerPage}
+}
+
+// GeometryForCapacity returns the geometry of the given cell kind sized to
+// the requested user-data capacity in bytes. It panics if the capacity is
+// not a whole number of blocks.
+func GeometryForCapacity(kind CellKind, capacity int64) Geometry {
+	var g Geometry
+	switch kind {
+	case MLC2:
+		g = MLC2Geometry(0)
+	default:
+		g = LargeBlockSLC(0)
+	}
+	bs := int64(g.BlockSize())
+	if capacity <= 0 || capacity%bs != 0 {
+		panic(fmt.Sprintf("nand: capacity %d is not a multiple of the %d-byte block size", capacity, bs))
+	}
+	g.Blocks = int(capacity / bs)
+	return g
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Blocks <= 0:
+		return fmt.Errorf("nand: geometry has %d blocks", g.Blocks)
+	case g.PagesPerBlock <= 0:
+		return fmt.Errorf("nand: geometry has %d pages per block", g.PagesPerBlock)
+	case g.PageSize <= 0:
+		return fmt.Errorf("nand: geometry has page size %d", g.PageSize)
+	case g.SpareSize < 0:
+		return fmt.Errorf("nand: geometry has spare size %d", g.SpareSize)
+	}
+	return nil
+}
+
+// Pages returns the total number of pages on the chip.
+func (g Geometry) Pages() int { return g.Blocks * g.PagesPerBlock }
+
+// BlockSize returns the user-data capacity of one block, in bytes.
+func (g Geometry) BlockSize() int { return g.PagesPerBlock * g.PageSize }
+
+// Capacity returns the total user-data capacity of the chip, in bytes.
+func (g Geometry) Capacity() int64 { return int64(g.Blocks) * int64(g.BlockSize()) }
+
+// String summarizes the geometry, e.g. "4096 blocks × 128 pages × 2048 B".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%d blocks × %d pages × %d B (+%d B spare)", g.Blocks, g.PagesPerBlock, g.PageSize, g.SpareSize)
+}

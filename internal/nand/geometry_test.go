@@ -1,0 +1,118 @@
+package nand
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetGeometries(t *testing.T) {
+	tests := []struct {
+		name           string
+		g              Geometry
+		pagesPerBlock  int
+		pageSize       int
+		blockSizeBytes int
+	}{
+		{"small-block SLC", SmallBlockSLC(8), 32, 512, 16 * 1024},
+		{"large-block SLC", LargeBlockSLC(8), 64, 2048, 128 * 1024},
+		{"MLC×2", MLC2Geometry(8), 128, 2048, 256 * 1024},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.PagesPerBlock != tt.pagesPerBlock {
+				t.Errorf("PagesPerBlock = %d, want %d", tt.g.PagesPerBlock, tt.pagesPerBlock)
+			}
+			if tt.g.PageSize != tt.pageSize {
+				t.Errorf("PageSize = %d, want %d", tt.g.PageSize, tt.pageSize)
+			}
+			if tt.g.BlockSize() != tt.blockSizeBytes {
+				t.Errorf("BlockSize() = %d, want %d", tt.g.BlockSize(), tt.blockSizeBytes)
+			}
+			if err := tt.g.Validate(); err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	// The paper's device: 1 GB MLC×2 = 4096 blocks of 256 KB.
+	g := MLC2Geometry(4096)
+	if got, want := g.Capacity(), int64(1)<<30; got != want {
+		t.Errorf("Capacity() = %d, want %d", got, want)
+	}
+	if got, want := g.Pages(), 4096*128; got != want {
+		t.Errorf("Pages() = %d, want %d", got, want)
+	}
+}
+
+func TestGeometryForCapacity(t *testing.T) {
+	g := GeometryForCapacity(MLC2, 1<<30)
+	if g.Blocks != 4096 {
+		t.Errorf("blocks = %d, want 4096", g.Blocks)
+	}
+	g = GeometryForCapacity(SLC, 1<<30)
+	if g.Blocks != 8192 {
+		t.Errorf("SLC blocks = %d, want 8192", g.Blocks)
+	}
+}
+
+func TestGeometryForCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-block-aligned capacity")
+		}
+	}()
+	GeometryForCapacity(MLC2, 1000)
+}
+
+func TestGeometryValidateErrors(t *testing.T) {
+	bad := []Geometry{
+		{Blocks: 0, PagesPerBlock: 1, PageSize: 1},
+		{Blocks: 1, PagesPerBlock: 0, PageSize: 1},
+		{Blocks: 1, PagesPerBlock: 1, PageSize: 0},
+		{Blocks: 1, PagesPerBlock: 1, PageSize: 1, SpareSize: -1},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("case %d: Validate() = nil, want error for %+v", i, g)
+		}
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	s := MLC2Geometry(4096).String()
+	for _, want := range []string{"4096", "128", "2048"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestCellKind(t *testing.T) {
+	if SLC.Endurance() != 100_000 {
+		t.Errorf("SLC endurance = %d, want 100000", SLC.Endurance())
+	}
+	if MLC2.Endurance() != 10_000 {
+		t.Errorf("MLC×2 endurance = %d, want 10000", MLC2.Endurance())
+	}
+	if SLC.String() != "SLC" || MLC2.String() != "MLC×2" {
+		t.Errorf("String() = %q/%q", SLC.String(), MLC2.String())
+	}
+	if s := CellKind(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown kind String() = %q", s)
+	}
+}
+
+func TestGeometryCapacityConsistency(t *testing.T) {
+	// Capacity must always equal Blocks × PagesPerBlock × PageSize.
+	f := func(blocks, pages, size uint8) bool {
+		g := Geometry{Blocks: int(blocks%64) + 1, PagesPerBlock: int(pages%64) + 1, PageSize: (int(size%8) + 1) * 512}
+		return g.Capacity() == int64(g.Blocks)*int64(g.PagesPerBlock)*int64(g.PageSize) &&
+			g.Pages() == g.Blocks*g.PagesPerBlock
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package nand
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Flash image persistence: a chip's full state — geometry, per-block erase
+// counts, and every programmed page's data and spare — serializes to a
+// stream, so command-line tools can operate on a simulated device across
+// invocations the way they would on a real device file.
+//
+// Layout (little-endian): header (magic, version, geometry, endurance),
+// then per block: erase count, worn flag, and for each programmed page a
+// (page-index, data-length, spare-length, data, spare) record, terminated
+// by page index 0xFFFF; a trailing CRC32 covers everything.
+
+const (
+	imageMagic   = 0x464C4153 // "FLAS"
+	imageVersion = 1
+	pageEndMark  = 0xFFFF
+)
+
+// ErrBadImage reports an undecodable or corrupt flash image.
+var ErrBadImage = errors.New("nand: bad flash image")
+
+// crcWriter wraps a writer, accumulating a CRC32 of all bytes.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// WriteImage serializes the chip state.
+func (c *Chip) WriteImage(w io.Writer) error {
+	cw := &crcWriter{w: bufio.NewWriter(w)}
+	hdr := make([]byte, 32)
+	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
+	hdr[4] = imageVersion
+	hdr[5] = byte(c.cfg.Cell)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(c.cfg.Geometry.Blocks))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(c.cfg.Geometry.PagesPerBlock))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(c.cfg.Geometry.PageSize))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(c.cfg.Geometry.SpareSize))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(c.end))
+	if _, err := cw.Write(hdr); err != nil {
+		return err
+	}
+	var rec [8]byte
+	for b := range c.blocks {
+		blk := &c.blocks[b]
+		binary.LittleEndian.PutUint32(rec[0:], uint32(blk.eraseCount))
+		if blk.worn {
+			rec[4] = 1
+		} else {
+			rec[4] = 0
+		}
+		rec[5], rec[6], rec[7] = 0, 0, 0
+		if _, err := cw.Write(rec[:]); err != nil {
+			return err
+		}
+		for p := range blk.pages {
+			pg := &blk.pages[p]
+			if !pg.programmed {
+				continue
+			}
+			var ph [6]byte
+			binary.LittleEndian.PutUint16(ph[0:], uint16(p))
+			binary.LittleEndian.PutUint16(ph[2:], uint16(len(pg.data)))
+			binary.LittleEndian.PutUint16(ph[4:], uint16(len(pg.spare)))
+			if _, err := cw.Write(ph[:]); err != nil {
+				return err
+			}
+			if _, err := cw.Write(pg.data); err != nil {
+				return err
+			}
+			if _, err := cw.Write(pg.spare); err != nil {
+				return err
+			}
+		}
+		var end [6]byte
+		binary.LittleEndian.PutUint16(end[0:], pageEndMark)
+		if _, err := cw.Write(end[:]); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := cw.w.Write(tail[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// crcReader wraps a reader, accumulating a CRC32 of all bytes read.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) read(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p)
+	return nil
+}
+
+// ReadImage reconstructs a chip from a serialized image. The returned chip
+// always retains data (StoreData); pass cfg overrides for hooks.
+func ReadImage(r io.Reader, hooks Config) (*Chip, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	hdr := make([]byte, 32)
+	if err := cr.read(hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr) != imageMagic || hdr[4] != imageVersion {
+		return nil, fmt.Errorf("%w: bad header", ErrBadImage)
+	}
+	cfg := hooks
+	cfg.Cell = CellKind(hdr[5])
+	cfg.Geometry = Geometry{
+		Blocks:        int(binary.LittleEndian.Uint32(hdr[8:])),
+		PagesPerBlock: int(binary.LittleEndian.Uint32(hdr[12:])),
+		PageSize:      int(binary.LittleEndian.Uint32(hdr[16:])),
+		SpareSize:     int(binary.LittleEndian.Uint32(hdr[20:])),
+	}
+	cfg.Endurance = int(binary.LittleEndian.Uint32(hdr[24:]))
+	cfg.StoreData = true
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if cfg.Geometry.Blocks > 1<<22 || cfg.Geometry.PagesPerBlock > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible geometry", ErrBadImage)
+	}
+	c := New(cfg)
+	var rec [8]byte
+	var ph [6]byte
+	for b := 0; b < cfg.Geometry.Blocks; b++ {
+		if err := cr.read(rec[:]); err != nil {
+			return nil, err
+		}
+		blk := &c.blocks[b]
+		blk.eraseCount = int(binary.LittleEndian.Uint32(rec[0:]))
+		blk.worn = rec[4] == 1
+		if blk.worn {
+			c.worn++
+			if c.first < 0 {
+				c.first = b
+			}
+		}
+		for {
+			if err := cr.read(ph[:]); err != nil {
+				return nil, err
+			}
+			idx := binary.LittleEndian.Uint16(ph[0:])
+			if idx == pageEndMark {
+				break
+			}
+			if int(idx) >= cfg.Geometry.PagesPerBlock {
+				return nil, fmt.Errorf("%w: page index %d", ErrBadImage, idx)
+			}
+			dlen := int(binary.LittleEndian.Uint16(ph[2:]))
+			slen := int(binary.LittleEndian.Uint16(ph[4:]))
+			if dlen > cfg.Geometry.PageSize || slen > cfg.Geometry.SpareSize {
+				return nil, fmt.Errorf("%w: record sizes %d/%d", ErrBadImage, dlen, slen)
+			}
+			pg := &blk.pages[idx]
+			pg.programmed = true
+			pg.data = make([]byte, dlen)
+			pg.spare = make([]byte, slen)
+			if err := cr.read(pg.data); err != nil {
+				return nil, err
+			}
+			if err := cr.read(pg.spare); err != nil {
+				return nil, err
+			}
+			if int(idx) > blk.lastProg {
+				blk.lastProg = int(idx)
+			}
+		}
+	}
+	want := cr.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadImage)
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+	return c, nil
+}

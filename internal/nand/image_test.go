@@ -1,0 +1,153 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func populatedChip(t *testing.T) *Chip {
+	t.Helper()
+	c := New(Config{
+		Geometry:  Geometry{Blocks: 8, PagesPerBlock: 4, PageSize: 64, SpareSize: 16},
+		Cell:      MLC2,
+		Endurance: 50,
+		StoreData: true,
+	})
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 64)
+	spare := make([]byte, 16)
+	for b := 0; b < 8; b++ {
+		for e := 0; e < b; e++ { // distinct erase counts per block
+			if err := c.EraseBlock(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for p := 0; p < 4; p++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			rng.Read(data)
+			rng.Read(spare)
+			if err := c.ProgramPage(b, p, data, spare); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	orig := populatedChip(t)
+	var buf bytes.Buffer
+	if err := orig.WriteImage(&buf); err != nil {
+		t.Fatalf("WriteImage: %v", err)
+	}
+	got, err := ReadImage(&buf, Config{})
+	if err != nil {
+		t.Fatalf("ReadImage: %v", err)
+	}
+	if got.Geometry() != orig.Geometry() {
+		t.Fatalf("geometry = %+v, want %+v", got.Geometry(), orig.Geometry())
+	}
+	if got.Endurance() != 50 {
+		t.Errorf("endurance = %d", got.Endurance())
+	}
+	wantData := make([]byte, 64)
+	gotData := make([]byte, 64)
+	wantSpare := make([]byte, 16)
+	gotSpare := make([]byte, 16)
+	for b := 0; b < 8; b++ {
+		if got.EraseCount(b) != orig.EraseCount(b) {
+			t.Fatalf("block %d erase count %d, want %d", b, got.EraseCount(b), orig.EraseCount(b))
+		}
+		for p := 0; p < 4; p++ {
+			if got.IsProgrammed(b, p) != orig.IsProgrammed(b, p) {
+				t.Fatalf("page (%d,%d) programmed state differs", b, p)
+			}
+			if !orig.IsProgrammed(b, p) {
+				continue
+			}
+			if _, err := orig.ReadPage(b, p, wantData, wantSpare); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := got.ReadPage(b, p, gotData, gotSpare); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotData, wantData) || !bytes.Equal(gotSpare, wantSpare) {
+				t.Fatalf("page (%d,%d) content differs", b, p)
+			}
+		}
+	}
+}
+
+func TestImageRoundTripWornState(t *testing.T) {
+	c := New(Config{Geometry: Geometry{Blocks: 2, PagesPerBlock: 2, PageSize: 8, SpareSize: 4}, Endurance: 2, StoreData: true})
+	_ = c.EraseBlock(1)
+	_ = c.EraseBlock(1)
+	if c.WornBlocks() != 1 {
+		t.Fatal("setup")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WornBlocks() != 1 || got.FirstWornBlock() != 1 {
+		t.Errorf("worn state lost: %d / %d", got.WornBlocks(), got.FirstWornBlock())
+	}
+}
+
+func TestImageDetectsCorruption(t *testing.T) {
+	orig := populatedChip(t)
+	var buf bytes.Buffer
+	_ = orig.WriteImage(&buf)
+	img := buf.Bytes()
+
+	for _, corrupt := range []func([]byte) []byte{
+		func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }, // payload flip
+		func(b []byte) []byte { return b[:len(b)-3] },           // truncation
+		func(b []byte) []byte { b[0] = 'X'; return b },          // magic
+	} {
+		c := corrupt(append([]byte(nil), img...))
+		if _, err := ReadImage(bytes.NewReader(c), Config{}); !errors.Is(err, ErrBadImage) {
+			t.Errorf("corrupt image read error = %v, want ErrBadImage", err)
+		}
+	}
+}
+
+func TestImageEmptyChip(t *testing.T) {
+	c := New(Config{Geometry: Geometry{Blocks: 3, PagesPerBlock: 2, PageSize: 8, SpareSize: 4}})
+	var buf bytes.Buffer
+	if err := c.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats().Programs != 0 || got.EraseCount(0) != 0 {
+		t.Error("empty chip round trip not empty")
+	}
+}
+
+func TestImageHooksPreserved(t *testing.T) {
+	c := populatedChip(t)
+	var buf bytes.Buffer
+	_ = c.WriteImage(&buf)
+	worn := 0
+	got, err := ReadImage(&buf, Config{OnWear: func(int) { worn++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		_ = got.EraseBlock(0)
+	}
+	if worn != 1 {
+		t.Errorf("OnWear hook not active on restored chip: %d", worn)
+	}
+}

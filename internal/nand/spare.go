@@ -1,0 +1,58 @@
+package nand
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// SpareInfo is the structured content a Flash Translation Layer driver
+// stores in a page's spare (out-of-band) area, per Figure 2(a) of the paper:
+// the logical address the page holds, a status, and an ECC. A monotonic
+// sequence number is included so a driver can order versions of the same
+// logical page when rebuilding its translation table after a crash.
+type SpareInfo struct {
+	// LBA is the logical block address (a page-granularity sector number).
+	LBA uint32
+	// Seq is a driver-maintained monotonic write sequence number.
+	Seq uint32
+	// ECC is an error-detection code over the page's user data.
+	ECC uint32
+}
+
+// SpareInfoSize is the encoded size of a SpareInfo, in bytes.
+const SpareInfoSize = 14
+
+const spareMagic = 0xA5
+
+// ErrSpareCorrupt reports a spare area that does not decode to a SpareInfo.
+var ErrSpareCorrupt = errors.New("nand: spare area corrupt")
+
+// ComputeECC returns the error-detection code for a page's user data.
+func ComputeECC(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// Encode serializes the SpareInfo into buf, which must hold at least
+// SpareInfoSize bytes, and returns the encoded prefix.
+func (s SpareInfo) Encode(buf []byte) []byte {
+	_ = buf[SpareInfoSize-1]
+	buf[0] = spareMagic
+	buf[1] = ^spareMagic & 0xFF
+	binary.LittleEndian.PutUint32(buf[2:], s.LBA)
+	binary.LittleEndian.PutUint32(buf[6:], s.Seq)
+	binary.LittleEndian.PutUint32(buf[10:], s.ECC)
+	return buf[:SpareInfoSize]
+}
+
+// DecodeSpare parses a spare area previously produced by Encode. A spare
+// full of 0xFF (an unprogrammed page) and any other malformed content fail
+// with ErrSpareCorrupt.
+func DecodeSpare(buf []byte) (SpareInfo, error) {
+	if len(buf) < SpareInfoSize || buf[0] != spareMagic || buf[1] != ^byte(spareMagic) {
+		return SpareInfo{}, ErrSpareCorrupt
+	}
+	return SpareInfo{
+		LBA: binary.LittleEndian.Uint32(buf[2:]),
+		Seq: binary.LittleEndian.Uint32(buf[6:]),
+		ECC: binary.LittleEndian.Uint32(buf[10:]),
+	}, nil
+}

@@ -1,0 +1,73 @@
+package nand
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpareRoundTrip(t *testing.T) {
+	in := SpareInfo{LBA: 0xDEADBEEF, Seq: 42, ECC: ComputeECC([]byte("hello"))}
+	buf := make([]byte, SpareInfoSize)
+	out, err := DecodeSpare(in.Encode(buf))
+	if err != nil {
+		t.Fatalf("DecodeSpare: %v", err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeSpareRejectsErased(t *testing.T) {
+	erased := make([]byte, SpareInfoSize)
+	for i := range erased {
+		erased[i] = 0xFF
+	}
+	if _, err := DecodeSpare(erased); !errors.Is(err, ErrSpareCorrupt) {
+		t.Errorf("erased spare err = %v, want ErrSpareCorrupt", err)
+	}
+}
+
+func TestDecodeSpareRejectsShortAndCorrupt(t *testing.T) {
+	if _, err := DecodeSpare(make([]byte, 3)); !errors.Is(err, ErrSpareCorrupt) {
+		t.Errorf("short buffer err = %v, want ErrSpareCorrupt", err)
+	}
+	buf := SpareInfo{LBA: 1}.Encode(make([]byte, SpareInfoSize))
+	buf[1] ^= 0xFF // break the magic complement
+	if _, err := DecodeSpare(buf); !errors.Is(err, ErrSpareCorrupt) {
+		t.Errorf("corrupt magic err = %v, want ErrSpareCorrupt", err)
+	}
+}
+
+func TestComputeECCDetectsChange(t *testing.T) {
+	a := ComputeECC([]byte{1, 2, 3})
+	b := ComputeECC([]byte{1, 2, 4})
+	if a == b {
+		t.Error("ECC must differ for different data")
+	}
+}
+
+func TestSpareRoundTripProperty(t *testing.T) {
+	f := func(lba, seq, ecc uint32) bool {
+		in := SpareInfo{LBA: lba, Seq: seq, ECC: ecc}
+		out, err := DecodeSpare(in.Encode(make([]byte, SpareInfoSize)))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrErrorFormatting(t *testing.T) {
+	e := &AddrError{Op: "program", Block: 12, Page: 34, Err: ErrNotErased}
+	if got := e.Error(); got != "program page (12,34): nand: page not erased" {
+		t.Errorf("Error() = %q", got)
+	}
+	be := &AddrError{Op: "erase", Block: -5, Page: -1, Err: ErrWornOut}
+	if got := be.Error(); got != "erase block -5: nand: block worn out" {
+		t.Errorf("Error() = %q", got)
+	}
+	if !errors.Is(e, ErrNotErased) {
+		t.Error("AddrError must unwrap to its sentinel")
+	}
+}

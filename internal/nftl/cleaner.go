@@ -1,0 +1,258 @@
+package nftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flashswl/internal/nand"
+)
+
+// The NFTL Cleaner: garbage collection merges a virtual block's primary and
+// replacement blocks into a fresh primary block, erasing the old pair. The
+// victim is chosen with the same greedy cost-benefit rule as the FTL
+// cleaner — one unit of benefit per invalid page, one unit of cost per valid
+// page to copy — over a cyclic scan of the physical blocks (paper §5.1).
+
+// ensureHeadroom merges replacement pairs until the free pool is above the
+// watermark.
+func (d *Driver) ensureHeadroom() error {
+	for d.freeCount <= d.watermark {
+		vba, ok := d.pickVictim()
+		if !ok {
+			return ErrNoSpace
+		}
+		d.counters.GCRuns++
+		if err := d.merge(vba); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validPages returns how many of the VBA's offsets have a live copy, plus
+// the total pages programmed across its primary and replacement blocks.
+func (d *Driver) validPages(vba int) (valid, written int) {
+	for i := range d.offScratch {
+		d.offScratch[i] = 0
+	}
+	if rb := d.replacement[vba]; rb != noBlock {
+		base := int(rb) * d.ppb
+		n := int(d.replWrites[rb])
+		written += n
+		for i := 0; i < n; i++ {
+			off := int(d.offsets[base+i])
+			w, m := off>>6, uint64(1)<<uint(off&63)
+			if d.offScratch[w]&m == 0 {
+				d.offScratch[w] |= m
+				valid++
+			}
+		}
+	}
+	if pb := d.primary[vba]; pb != noBlock {
+		base := int(pb) * d.ppb
+		for off := 0; off < d.ppb; off++ {
+			if !d.dev.IsPageProgrammed(base + off) {
+				continue
+			}
+			written++
+			w, m := off>>6, uint64(1)<<uint(off&63)
+			if d.offScratch[w]&m == 0 {
+				// Not superseded by the replacement block.
+				valid++
+			}
+		}
+	}
+	return valid, written
+}
+
+// pickVictim scans the physical blocks cyclically for a replacement block
+// whose pair has more invalid than valid pages; among such candidates the
+// pair with the lowest combined erase count wins (the dynamic wear leveling
+// the paper's Cleaners already adopt, §5.1). Failing the greedy test it
+// falls back to the replacement pair with the most invalid pages. It
+// returns the owning VBA.
+func (d *Driver) pickVictim() (int, bool) {
+	best, bestErases := -1, int(^uint(0)>>1)
+	fallback, fallbackInvalid := -1, 0
+	for i := 0; i < d.nblocks; i++ {
+		b := d.scanPos + i
+		if b >= d.nblocks {
+			b -= d.nblocks
+		}
+		if d.role[b] != roleReplacement {
+			continue
+		}
+		vba := int(d.owner[b])
+		valid, written := d.validPages(vba)
+		invalid := written - valid
+		if invalid > valid {
+			ec := d.dev.EraseCount(b)
+			if pb := d.primary[vba]; pb != noBlock {
+				ec += d.dev.EraseCount(int(pb))
+			}
+			if ec < bestErases {
+				best, bestErases = vba, ec
+			}
+			continue
+		}
+		if invalid > fallbackInvalid {
+			fallback, fallbackInvalid = vba, invalid
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	if fallback >= 0 {
+		return fallback, true
+	}
+	return 0, false
+}
+
+// merge folds the newest copy of every offset of the VBA into a fresh
+// primary block, then erases and frees the old primary and replacement
+// blocks. With no replacement block this is a fold: the primary's live
+// pages move to a new block (this is how static wear leveling relocates
+// cold data under NFTL).
+func (d *Driver) merge(vba int) error {
+	oldP := d.primary[vba]
+	oldR := d.replacement[vba]
+	if oldP == noBlock && oldR == noBlock {
+		return nil
+	}
+	np, err := d.takeFreeBlock()
+	if err != nil {
+		return err
+	}
+	d.counters.Merges++
+	if d.copyBuf == nil {
+		d.copyBuf = make([]byte, d.dev.Info().Geometry.PageSize)
+	}
+	for off := 0; off < d.ppb; off++ {
+		src := d.findLatest(vba, off)
+		if src < 0 {
+			continue
+		}
+		if d.cfg.ECC {
+			// Scrub while merging: rot on the source page is repaired
+			// before the data moves to the new primary.
+			if _, err := d.readCorrected(src, d.copyBuf); err != nil {
+				return err
+			}
+		} else if _, err := d.dev.ReadPage(src, d.copyBuf, nil); err != nil {
+			return err
+		}
+		if err := d.program(np*d.ppb+off, vba*d.ppb+off, d.copyBuf); err != nil {
+			return err
+		}
+		d.counters.LiveCopies++
+		if d.inForced {
+			d.counters.ForcedCopies++
+		}
+	}
+	// Commit the new primary before erasing the sources.
+	d.adopt(np, rolePrimary, vba)
+	d.primary[vba] = int32(np)
+	d.replacement[vba] = noBlock
+	if oldP != noBlock {
+		if err := d.release(int(oldP)); err != nil {
+			return err
+		}
+	}
+	if oldR != noBlock {
+		if err := d.release(int(oldR)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// release erases a block and returns it to the free pool, retiring it
+// instead when its endurance is exhausted on fail-on-wear chips.
+func (d *Driver) release(b int) error {
+	wasFree := d.role[b] == roleFree
+	if err := d.dev.EraseBlock(b); err != nil {
+		if errors.Is(err, nand.ErrWornOut) {
+			d.role[b] = roleReserved
+			d.owner[b] = noBlock
+			d.counters.RetiredBlocks++
+			if wasFree {
+				d.freeCount--
+			}
+			return nil
+		}
+		return err
+	}
+	d.counters.Erases++
+	if d.inForced {
+		d.counters.ForcedErases++
+		if b >= d.forcedLo && b < d.forcedHi {
+			d.forcedDone[b-d.forcedLo] = true
+		}
+	}
+	d.role[b] = roleFree
+	d.owner[b] = noBlock
+	d.replWrites[b] = 0
+	if !wasFree {
+		d.freeCount++
+		d.freeQueue = append(d.freeQueue, int32(b))
+	}
+	if d.onErase != nil {
+		d.onErase(b)
+	}
+	return nil
+}
+
+// EraseBlockSet garbage-collects every block of block set findex under
+// mapping mode k for the SW Leveler (core.Cleaner): primary blocks are
+// folded into fresh blocks, replacement blocks are merged with their
+// primaries, and free blocks are erased in place.
+func (d *Driver) EraseBlockSet(findex, k int) error {
+	if k < 0 || findex < 0 {
+		return fmt.Errorf("nftl: invalid block set (%d, %d)", findex, k)
+	}
+	lo := findex << uint(k)
+	if lo >= d.nblocks {
+		return fmt.Errorf("nftl: block set %d out of range under k=%d", findex, k)
+	}
+	hi := lo + 1<<uint(k)
+	if hi > d.nblocks {
+		hi = d.nblocks
+	}
+	d.counters.ForcedSets++
+	if err := d.ensureHeadroom(); err != nil {
+		return err
+	}
+	d.inForced = true
+	d.forcedLo, d.forcedHi = lo, hi
+	if cap(d.forcedDone) < hi-lo {
+		d.forcedDone = make([]bool, hi-lo)
+	}
+	d.forcedDone = d.forcedDone[:hi-lo]
+	for i := range d.forcedDone {
+		d.forcedDone[i] = false
+	}
+	defer func() { d.inForced = false; d.forcedLo, d.forcedHi = 0, 0 }()
+	for b := lo; b < hi; b++ {
+		// Skip blocks already erased by this pass (merge partners or
+		// reused copy destinations): their flags are refreshed.
+		if d.forcedDone[b-lo] {
+			continue
+		}
+		switch d.role[b] {
+		case roleReserved:
+			continue
+		case roleFree:
+			if err := d.release(b); err != nil {
+				return err
+			}
+		case rolePrimary, roleReplacement:
+			// Merging the owner frees this block (it may also free its
+			// partner, which could be a later block of the same set —
+			// that one will then take the free path).
+			if err := d.merge(int(d.owner[b])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+// Package nftl implements NFTL, the block-level Flash Translation Layer of
+// Section 2.2 / Figure 2(b) of the paper. A logical page address is split
+// into a virtual block address (VBA = LBA / pagesPerBlock) and a block
+// offset; each VBA maps to a primary physical block whose pages are written
+// in-place at their offset. Overwrites that cannot land in the primary block
+// go sequentially into a per-VBA replacement block; when the replacement
+// block fills, the valid pages of the pair are merged into a fresh primary
+// block and both old blocks are erased.
+//
+// Like the FTL driver, the package exposes an erase-notification hook and
+// EraseBlockSet for the SW Leveler, and nothing else.
+package nftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flashswl/internal/ecc"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadLPN reports a logical page number outside the exported space.
+	ErrBadLPN = errors.New("nftl: logical page out of range")
+	// ErrNoSpace reports that no free block is available and nothing can
+	// be merged to produce one.
+	ErrNoSpace = errors.New("nftl: no reclaimable space")
+)
+
+// Config parameterizes a Driver.
+type Config struct {
+	// VirtualBlocks is the number of virtual (logical) blocks exported;
+	// the logical space is VirtualBlocks × pagesPerBlock pages. Each VBA
+	// can pin up to two physical blocks (primary + replacement), so the
+	// value must leave slack. Defaults to 85% of available blocks.
+	VirtualBlocks int
+	// GCFreeFraction is the garbage-collection watermark as a fraction of
+	// all blocks (paper: 0.2%). Defaults to 0.002.
+	GCFreeFraction float64
+	// MinFreeBlocks floors the watermark. Defaults to 3.
+	MinFreeBlocks int
+	// NoSpare disables per-page SpareInfo writes (see ftl.Config.NoSpare).
+	NoSpare bool
+	// ECC protects full-page writes with the SmartMedia Hamming code and
+	// corrects single-bit errors on full-page reads, exactly as in
+	// ftl.Config.ECC. Merges scrub accumulated bit rot.
+	ECC bool
+	// ReadRefresh relocates a page whose read needed correction by
+	// merging its virtual block (NFTL's unit of relocation). Requires ECC.
+	ReadRefresh bool
+	// Reserved lists physical blocks excluded from the pool.
+	Reserved []int
+}
+
+// Counters mirrors ftl.Counters for the NFTL driver.
+type Counters struct {
+	HostReads     int64
+	HostWrites    int64
+	GCRuns        int64 // merges forced by the free-space watermark
+	Merges        int64 // all primary/replacement merges and folds
+	Erases        int64
+	LiveCopies    int64
+	ForcedSets    int64
+	ForcedErases  int64
+	ForcedCopies  int64
+	RetiredBlocks int64
+	ECCCorrected  int64 // single-bit errors repaired on reads
+	Refreshes     int64 // merges triggered by read refresh
+}
+
+type blockRole uint8
+
+const (
+	roleFree blockRole = iota
+	rolePrimary
+	roleReplacement
+	roleReserved
+)
+
+const noBlock = -1
+
+// Driver is the NFTL instance over one MTD device. Not safe for concurrent
+// use.
+type Driver struct {
+	dev *mtd.Driver
+	cfg Config
+
+	ppb     int
+	nblocks int
+
+	primary     []int32 // vba → primary block
+	replacement []int32 // vba → replacement block
+	owner       []int32 // block → owning vba
+	role        []blockRole
+	replWrites  []int32  // per block: pages written (meaningful for replacements)
+	offsets     []uint16 // per physical page of a replacement block: block offset stored there
+
+	freeQueue []int32
+	freeCount int
+	watermark int
+	scanPos   int
+	seq       uint32
+
+	forcedLo, forcedHi int // block-set bounds during EraseBlockSet
+	forcedDone         []bool
+
+	onErase  func(block int)
+	inForced bool
+	counters Counters
+
+	spareBuf   [nand.SpareInfoSize]byte
+	oobBuf     []byte // full-spare scratch when ECC is on
+	copyBuf    []byte
+	pageSize   int
+	offScratch []uint64
+}
+
+// New creates an NFTL driver over a device whose non-reserved blocks all
+// start free.
+func New(dev *mtd.Driver, cfg Config) (*Driver, error) {
+	nblocks := dev.Blocks()
+	ppb := dev.Info().Geometry.PagesPerBlock
+	reserved := make(map[int]bool, len(cfg.Reserved))
+	for _, b := range cfg.Reserved {
+		if b < 0 || b >= nblocks {
+			return nil, fmt.Errorf("nftl: reserved block %d out of range", b)
+		}
+		reserved[b] = true
+	}
+	available := nblocks - len(reserved)
+	if cfg.GCFreeFraction == 0 {
+		cfg.GCFreeFraction = 0.002
+	}
+	if cfg.MinFreeBlocks == 0 {
+		cfg.MinFreeBlocks = 3
+	}
+	if cfg.VirtualBlocks == 0 {
+		cfg.VirtualBlocks = available * 85 / 100
+		if max := available - (cfg.MinFreeBlocks + 2); cfg.VirtualBlocks > max {
+			cfg.VirtualBlocks = max
+		}
+	}
+	if cfg.VirtualBlocks <= 0 {
+		return nil, fmt.Errorf("nftl: virtual space %d blocks is empty", cfg.VirtualBlocks)
+	}
+	minSlack := cfg.MinFreeBlocks + 2
+	if cfg.VirtualBlocks > available-minSlack {
+		return nil, fmt.Errorf("nftl: %d virtual blocks leave less than %d blocks of slack on %d available",
+			cfg.VirtualBlocks, minSlack, available)
+	}
+	d := &Driver{
+		dev:         dev,
+		cfg:         cfg,
+		ppb:         ppb,
+		nblocks:     nblocks,
+		primary:     make([]int32, cfg.VirtualBlocks),
+		replacement: make([]int32, cfg.VirtualBlocks),
+		owner:       make([]int32, nblocks),
+		role:        make([]blockRole, nblocks),
+		replWrites:  make([]int32, nblocks),
+		offsets:     make([]uint16, nblocks*ppb),
+		offScratch:  make([]uint64, (ppb+63)/64),
+	}
+	for i := range d.primary {
+		d.primary[i] = noBlock
+		d.replacement[i] = noBlock
+	}
+	for b := 0; b < nblocks; b++ {
+		d.owner[b] = noBlock
+		if reserved[b] {
+			d.role[b] = roleReserved
+		} else {
+			d.freeQueue = append(d.freeQueue, int32(b))
+			d.freeCount++
+		}
+	}
+	d.watermark = int(float64(nblocks) * cfg.GCFreeFraction)
+	if d.watermark < cfg.MinFreeBlocks {
+		d.watermark = cfg.MinFreeBlocks
+	}
+	d.pageSize = dev.Info().Geometry.PageSize
+	if cfg.ReadRefresh && !cfg.ECC {
+		return nil, errors.New("nftl: read refresh requires ECC")
+	}
+	if cfg.ECC {
+		if cfg.NoSpare {
+			return nil, errors.New("nftl: ECC needs spare areas")
+		}
+		if d.pageSize%ecc.ChunkSize != 0 {
+			return nil, fmt.Errorf("nftl: page size %d not a multiple of the %d-byte ECC chunk", d.pageSize, ecc.ChunkSize)
+		}
+		need := nand.SpareInfoSize + d.pageSize/ecc.ChunkSize*ecc.Size
+		if dev.Info().Geometry.SpareSize < need {
+			return nil, fmt.Errorf("nftl: ECC needs %d spare bytes, device has %d", need, dev.Info().Geometry.SpareSize)
+		}
+		d.oobBuf = make([]byte, dev.Info().Geometry.SpareSize)
+	}
+	return d, nil
+}
+
+// LogicalPages returns the exported logical space in pages.
+func (d *Driver) LogicalPages() int { return len(d.primary) * d.ppb }
+
+// Counters returns a snapshot of the activity counters.
+func (d *Driver) Counters() Counters { return d.counters }
+
+// Device returns the underlying MTD driver.
+func (d *Driver) Device() *mtd.Driver { return d.dev }
+
+// FreeBlocks returns the number of free blocks in the pool.
+func (d *Driver) FreeBlocks() int { return d.freeCount }
+
+// SetOnErase registers the erase observer (the SW Leveler's OnErase).
+func (d *Driver) SetOnErase(fn func(block int)) { d.onErase = fn }
+
+// split converts a logical page number into (vba, offset).
+func (d *Driver) split(lpn int) (int, int, error) {
+	if lpn < 0 || lpn >= d.LogicalPages() {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadLPN, lpn)
+	}
+	return lpn / d.ppb, lpn % d.ppb, nil
+}
+
+// findLatest returns the physical page holding the newest copy of (vba,
+// offset), or -1: the replacement block is searched backwards first (later
+// writes supersede), then the primary block's in-place page.
+func (d *Driver) findLatest(vba, off int) int {
+	if rb := d.replacement[vba]; rb != noBlock {
+		base := int(rb) * d.ppb
+		for i := int(d.replWrites[rb]) - 1; i >= 0; i-- {
+			if int(d.offsets[base+i]) == off {
+				return base + i
+			}
+		}
+	}
+	if pb := d.primary[vba]; pb != noBlock {
+		ppn := int(pb)*d.ppb + off
+		if d.dev.IsPageProgrammed(ppn) {
+			return ppn
+		}
+	}
+	return -1
+}
+
+// IsMapped reports whether the logical page has valid data.
+func (d *Driver) IsMapped(lpn int) bool {
+	vba, off, err := d.split(lpn)
+	if err != nil {
+		return false
+	}
+	return d.findLatest(vba, off) >= 0
+}
+
+// ReadPage reads the newest copy of the logical page into buf. Unmapped
+// pages fill buf with 0xFF and report ok=false.
+func (d *Driver) ReadPage(lpn int, buf []byte) (ok bool, err error) {
+	vba, off, err := d.split(lpn)
+	if err != nil {
+		return false, err
+	}
+	ppn := d.findLatest(vba, off)
+	if ppn < 0 {
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+		return false, nil
+	}
+	d.counters.HostReads++
+	if d.cfg.ECC && len(buf) == d.pageSize {
+		n, err := d.readCorrected(ppn, buf)
+		if err != nil {
+			return false, err
+		}
+		if n > 0 && d.cfg.ReadRefresh {
+			// Relocate the whole virtual block — NFTL's unit of movement —
+			// before more rot accumulates.
+			if err := d.merge(vba); err != nil {
+				return false, err
+			}
+			d.counters.Refreshes++
+		}
+		return true, nil
+	}
+	if _, err := d.dev.ReadPage(ppn, buf, nil); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// WritePage writes data to the logical page: into the primary block's page
+// at the matching offset when that page is still erased, otherwise appended
+// to the VBA's replacement block. A replacement block that fills up is
+// merged immediately.
+func (d *Driver) WritePage(lpn int, data []byte) error {
+	vba, off, err := d.split(lpn)
+	if err != nil {
+		return err
+	}
+	if err := d.ensureHeadroom(); err != nil {
+		return err
+	}
+	pb := d.primary[vba]
+	if pb == noBlock {
+		b, err := d.takeFreeBlock()
+		if err != nil {
+			return err
+		}
+		d.adopt(b, rolePrimary, vba)
+		d.primary[vba] = int32(b)
+		pb = int32(b)
+	}
+	primPPN := int(pb)*d.ppb + off
+	if !d.dev.IsPageProgrammed(primPPN) {
+		if err := d.program(primPPN, lpn, data); err != nil {
+			return err
+		}
+		d.counters.HostWrites++
+		return nil
+	}
+	rb := d.replacement[vba]
+	if rb == noBlock {
+		b, err := d.takeFreeBlock()
+		if err != nil {
+			return err
+		}
+		d.adopt(b, roleReplacement, vba)
+		d.replacement[vba] = int32(b)
+		rb = int32(b)
+	}
+	slot := int(d.replWrites[rb])
+	ppn := int(rb)*d.ppb + slot
+	if err := d.program(ppn, lpn, data); err != nil {
+		return err
+	}
+	d.counters.HostWrites++
+	d.offsets[ppn] = uint16(off)
+	d.replWrites[rb]++
+	if int(d.replWrites[rb]) == d.ppb {
+		return d.merge(vba)
+	}
+	return nil
+}
+
+// adopt assigns a block a role and owner.
+func (d *Driver) adopt(b int, r blockRole, vba int) {
+	d.role[b] = r
+	d.owner[b] = int32(vba)
+	d.replWrites[b] = 0
+}
+
+// program writes data plus the logical address to a physical page, with
+// Hamming codes appended when ECC is on and a full page is supplied.
+func (d *Driver) program(ppn, lpn int, data []byte) error {
+	var oob []byte
+	if !d.cfg.NoSpare {
+		d.seq++
+		info := nand.SpareInfo{LBA: uint32(lpn), Seq: d.seq, ECC: nand.ComputeECC(data)}
+		if d.cfg.ECC && len(data) == d.pageSize {
+			info.Encode(d.oobBuf)
+			codes, err := ecc.CalcPage(data)
+			if err != nil {
+				return err
+			}
+			copy(d.oobBuf[nand.SpareInfoSize:], codes)
+			oob = d.oobBuf[:nand.SpareInfoSize+len(codes)]
+		} else {
+			oob = info.Encode(d.spareBuf[:])
+		}
+	}
+	return d.dev.WritePage(ppn, data, oob)
+}
+
+// readCorrected reads a full page and repairs single-bit errors against the
+// stored Hamming codes; pages written without codes pass through.
+func (d *Driver) readCorrected(ppn int, buf []byte) (int, error) {
+	if _, err := d.dev.ReadPage(ppn, buf, d.oobBuf); err != nil {
+		return 0, err
+	}
+	codes := d.oobBuf[nand.SpareInfoSize : nand.SpareInfoSize+d.pageSize/ecc.ChunkSize*ecc.Size]
+	blank := true
+	for _, b := range codes {
+		if b != 0xFF {
+			blank = false
+			break
+		}
+	}
+	if blank {
+		return 0, nil
+	}
+	n, err := ecc.CorrectPage(buf, codes)
+	if err != nil {
+		return n, fmt.Errorf("nftl: page %d: %w", ppn, err)
+	}
+	d.counters.ECCCorrected += int64(n)
+	return n, nil
+}
+
+// takeFreeBlock pops the head of the free queue (FIFO rotation through the
+// pool — the Allocator's dynamic wear leveling, as in the FTL driver).
+func (d *Driver) takeFreeBlock() (int, error) {
+	for len(d.freeQueue) > 0 {
+		b := int(d.freeQueue[0])
+		d.freeQueue = d.freeQueue[1:]
+		if d.role[b] != roleFree {
+			continue // retired after being queued
+		}
+		d.freeCount--
+		return b, nil
+	}
+	return 0, ErrNoSpace
+}

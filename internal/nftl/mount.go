@@ -1,0 +1,182 @@
+package nftl
+
+import (
+	"errors"
+
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+// mountScan is what Mount learns about one physical block from its spares.
+type mountScan struct {
+	vba      int      // owning virtual block, -1 if none/unknown
+	written  int      // programmed prefix length
+	offsets  []uint16 // block offset stored at each programmed page
+	minSeq   uint32   // oldest write sequence seen in the block
+	inOrder  bool     // every decodable page's offset equals its position
+	occupied bool     // any page programmed
+}
+
+// Mount adopts a device that already holds NFTL-managed data, rebuilding the
+// virtual-block tables from the spare areas a previous Driver wrote.
+//
+// Classification works from the per-page logical addresses: every decodable
+// page of a block belongs to one VBA (blocks are never shared). A block
+// holding any page whose offset does not match its physical position must
+// be a replacement block (replacement writes land sequentially, wherever
+// the next slot is). When both blocks of a pair look primary-shaped — a
+// replacement that happened to receive offsets in physical order — the
+// write sequence numbers break the tie: the replacement was allocated
+// strictly after the primary's first program, so the block holding the
+// oldest write is the primary. Blocks with undecodable or foreign content
+// are erased back into the free pool, and a replacement block found full
+// (a crash interrupted its merge) is merged during mount.
+func Mount(dev *mtd.Driver, cfg Config) (*Driver, error) {
+	if cfg.NoSpare {
+		return nil, errors.New("nftl: cannot mount without spare areas")
+	}
+	d, err := New(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	oob := make([]byte, dev.Info().Geometry.SpareSize)
+	scans := make([]mountScan, d.nblocks)
+	var maxSeq uint32
+	for b := 0; b < d.nblocks; b++ {
+		s := &scans[b]
+		s.vba = -1
+		s.inOrder = true
+		if d.role[b] == roleReserved {
+			continue
+		}
+		for p := 0; p < d.ppb; p++ {
+			ppn := b*d.ppb + p
+			if !dev.IsPageProgrammed(ppn) {
+				continue
+			}
+			s.occupied = true
+			if _, err := dev.ReadPage(ppn, nil, oob); err != nil {
+				return nil, err
+			}
+			info, err := nand.DecodeSpare(oob)
+			if err != nil {
+				s.vba = -2 // foreign data
+				break
+			}
+			lpn := int(info.LBA)
+			if lpn < 0 || lpn >= d.LogicalPages() {
+				s.vba = -2
+				break
+			}
+			vba, off := lpn/d.ppb, lpn%d.ppb
+			switch s.vba {
+			case -1:
+				s.vba = vba
+				s.minSeq = info.Seq
+			case vba:
+				if info.Seq < s.minSeq {
+					s.minSeq = info.Seq
+				}
+			default:
+				s.vba = -2 // mixed VBAs cannot come from this driver
+			}
+			if s.vba == -2 {
+				break
+			}
+			if info.Seq > maxSeq {
+				maxSeq = info.Seq
+			}
+			for len(s.offsets) < p {
+				s.offsets = append(s.offsets, 0) // gap in a sparse primary
+			}
+			s.offsets = append(s.offsets, uint16(off))
+			if off != p {
+				s.inOrder = false
+			}
+			s.written = p + 1
+		}
+	}
+
+	// Group claimants per VBA and assign roles.
+	claim := map[int][]int{}
+	for b := range scans {
+		if scans[b].occupied && scans[b].vba >= 0 {
+			claim[scans[b].vba] = append(claim[scans[b].vba], b)
+		}
+	}
+	d.freeCount = 0
+	d.freeQueue = d.freeQueue[:0]
+	for vba, blocksOf := range claim {
+		primary, replacement := pickPair(scans, blocksOf)
+		if primary >= 0 && !scans[primary].inOrder && replacement < 0 {
+			// A lone out-of-order block is a replacement whose primary was
+			// erased mid-merge; keep it readable as the replacement.
+			replacement, primary = primary, -1
+		}
+		if primary >= 0 {
+			d.adopt(primary, rolePrimary, vba)
+			d.primary[vba] = int32(primary)
+		}
+		if replacement >= 0 {
+			d.adopt(replacement, roleReplacement, vba)
+			d.replacement[vba] = int32(replacement)
+			d.replWrites[replacement] = int32(scans[replacement].written)
+			base := replacement * d.ppb
+			for i, off := range scans[replacement].offsets {
+				d.offsets[base+i] = off
+			}
+		}
+	}
+	// Everything unclaimed returns to the free pool; occupied-but-unknown
+	// blocks are erased first, as firmware does with unrecognizable data.
+	for b := 0; b < d.nblocks; b++ {
+		if d.role[b] != roleFree {
+			continue
+		}
+		if scans[b].occupied {
+			if err := d.dev.EraseBlock(b); err != nil && !errors.Is(err, nand.ErrWornOut) {
+				return nil, err
+			}
+			d.counters.Erases++
+		}
+		d.freeQueue = append(d.freeQueue, int32(b))
+		d.freeCount++
+	}
+	// A crash can leave a replacement block full without its merge; redo it.
+	for vba := range d.primary {
+		if rb := d.replacement[vba]; rb != noBlock && int(d.replWrites[rb]) >= d.ppb {
+			if err := d.merge(vba); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.seq = maxSeq
+	return d, nil
+}
+
+// pickPair chooses (primary, replacement) among a VBA's claimant blocks:
+// the block with the oldest write is the primary; among the rest the newest
+// is the replacement (older extras are stale pre-merge leftovers that stay
+// unclaimed). It returns -1 slots when absent.
+func pickPair(scans []mountScan, blocks []int) (primary, replacement int) {
+	if len(blocks) == 0 {
+		return -1, -1
+	}
+	primary = blocks[0]
+	for _, b := range blocks[1:] {
+		if scans[b].minSeq < scans[primary].minSeq {
+			primary = b
+		}
+	}
+	replacement = -1
+	for _, b := range blocks {
+		if b == primary {
+			continue
+		}
+		if replacement < 0 || scans[b].minSeq > scans[replacement].minSeq {
+			replacement = b
+		}
+	}
+	return primary, replacement
+}

@@ -1,0 +1,254 @@
+package nftl
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+)
+
+func TestMountRebuildsTables(t *testing.T) {
+	d, dev := newTestNFTL(t, Config{})
+	rng := rand.New(rand.NewSource(21))
+	want := map[int]byte{}
+	for i := 0; i < 500; i++ {
+		lpn := rng.Intn(32)
+		v := byte(rng.Intn(250)) + 1
+		if err := d.WritePage(lpn, bytes.Repeat([]byte{v}, 32)); err != nil {
+			t.Fatal(err)
+		}
+		want[lpn] = v
+	}
+
+	m, err := Mount(dev, Config{VirtualBlocks: 8})
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	buf := make([]byte, 32)
+	for lpn, v := range want {
+		ok, err := m.ReadPage(lpn, buf)
+		if !ok || err != nil {
+			t.Fatalf("mounted ReadPage(%d) = %v,%v", lpn, ok, err)
+		}
+		if buf[0] != v {
+			t.Fatalf("lpn %d after mount = %d, want %d", lpn, buf[0], v)
+		}
+	}
+	if err := checkInvariants(m); err != nil {
+		t.Fatalf("mounted driver: %v", err)
+	}
+
+	// The mounted driver keeps working.
+	for i := 0; i < 300; i++ {
+		lpn := rng.Intn(32)
+		v := byte(rng.Intn(250)) + 1
+		if err := m.WritePage(lpn, bytes.Repeat([]byte{v}, 32)); err != nil {
+			t.Fatalf("post-mount write: %v", err)
+		}
+		want[lpn] = v
+	}
+	for lpn, v := range want {
+		if ok, _ := m.ReadPage(lpn, buf); !ok || buf[0] != v {
+			t.Fatalf("lpn %d after post-mount writes = %d, want %d", lpn, buf[0], v)
+		}
+	}
+}
+
+func TestMountClassifiesPrimaryAndReplacement(t *testing.T) {
+	d, dev := newTestNFTL(t, Config{})
+	// vba 1: primary with offsets 0 and 2, replacement with one overwrite.
+	_ = d.WritePage(4, pageData(1))
+	_ = d.WritePage(6, pageData(2))
+	_ = d.WritePage(4, pageData(3)) // replacement slot 0, offset 0
+	wantPrimary := int(d.primary[1])
+	wantRepl := int(d.replacement[1])
+
+	m, err := Mount(dev, Config{VirtualBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(m.primary[1]); got != wantPrimary {
+		t.Errorf("primary = %d, want %d", got, wantPrimary)
+	}
+	if got := int(m.replacement[1]); got != wantRepl {
+		t.Errorf("replacement = %d, want %d", got, wantRepl)
+	}
+	if m.replWrites[wantRepl] != 1 || int(m.offsets[wantRepl*m.ppb]) != 0 {
+		t.Errorf("replacement bookkeeping wrong: writes=%d off=%d",
+			m.replWrites[wantRepl], m.offsets[wantRepl*m.ppb])
+	}
+	buf := make([]byte, 32)
+	if ok, _ := m.ReadPage(4, buf); !ok || buf[0] != 3 {
+		t.Errorf("lpn 4 = %d, want newest 3", buf[0])
+	}
+}
+
+func TestMountAmbiguousInOrderReplacement(t *testing.T) {
+	// A replacement block that received offsets 0,1 in physical order looks
+	// primary-shaped; the seq tiebreak must still classify it correctly.
+	d, dev := newTestNFTL(t, Config{})
+	_ = d.WritePage(4, pageData(1)) // primary offset 0
+	_ = d.WritePage(5, pageData(2)) // primary offset 1
+	_ = d.WritePage(4, pageData(3)) // replacement slot 0 ← offset 0
+	_ = d.WritePage(5, pageData(4)) // replacement slot 1 ← offset 1
+	wantPrimary := int(d.primary[1])
+	wantRepl := int(d.replacement[1])
+
+	m, err := Mount(dev, Config{VirtualBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(m.primary[1]) != wantPrimary || int(m.replacement[1]) != wantRepl {
+		t.Fatalf("pair = (%d,%d), want (%d,%d)", m.primary[1], m.replacement[1], wantPrimary, wantRepl)
+	}
+	buf := make([]byte, 32)
+	if ok, _ := m.ReadPage(4, buf); !ok || buf[0] != 3 {
+		t.Errorf("lpn 4 = %d, want 3", buf[0])
+	}
+	if ok, _ := m.ReadPage(5, buf); !ok || buf[0] != 4 {
+		t.Errorf("lpn 5 = %d, want 4", buf[0])
+	}
+}
+
+func TestMountErasesForeignBlocks(t *testing.T) {
+	dev := mtd.New(nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 16, PagesPerBlock: 4, PageSize: 32, SpareSize: 16},
+		StoreData: true,
+	}))
+	// Write garbage (no decodable spare) into block 5.
+	if err := dev.WritePage(dev.PageOf(5, 0), []byte{1, 2, 3}, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Mount(dev, Config{VirtualBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.EraseCount(5) != 1 {
+		t.Errorf("foreign block erase count = %d, want 1", dev.EraseCount(5))
+	}
+	if m.FreeBlocks() != 16 {
+		t.Errorf("free blocks = %d, want 16", m.FreeBlocks())
+	}
+}
+
+func TestMountRequiresSpare(t *testing.T) {
+	_, dev := newTestNFTL(t, Config{})
+	if _, err := Mount(dev, Config{VirtualBlocks: 8, NoSpare: true}); err == nil {
+		t.Error("Mount must refuse NoSpare configs")
+	}
+}
+
+func TestMountEmptyDevice(t *testing.T) {
+	dev := mtd.New(nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 16, PagesPerBlock: 4, PageSize: 32, SpareSize: 16},
+		StoreData: true,
+	}))
+	m, err := Mount(dev, Config{VirtualBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 16 {
+		t.Errorf("free = %d", m.FreeBlocks())
+	}
+	if err := m.WritePage(0, pageData(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMountAfterHeavyChurnFuzz mounts after many random workloads and
+// verifies the newest data always survives.
+func TestMountAfterHeavyChurnFuzz(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d, dev := newTestNFTL(t, Config{})
+		rng := rand.New(rand.NewSource(seed))
+		want := map[int]byte{}
+		n := 100 + rng.Intn(900)
+		for i := 0; i < n; i++ {
+			lpn := rng.Intn(32)
+			v := byte(rng.Intn(250)) + 1
+			if err := d.WritePage(lpn, bytes.Repeat([]byte{v}, 32)); err != nil {
+				t.Fatal(err)
+			}
+			want[lpn] = v
+		}
+		m, err := Mount(dev, Config{VirtualBlocks: 8})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		buf := make([]byte, 32)
+		for lpn, v := range want {
+			if ok, _ := m.ReadPage(lpn, buf); !ok || buf[0] != v {
+				t.Fatalf("seed %d: lpn %d = %d, want %d", seed, lpn, buf[0], v)
+			}
+		}
+		if err := checkInvariants(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestMountAfterPowerCut cuts power (all programs fail) mid-write at many
+// points, remounts, and verifies every write completed before the cut is
+// readable — NFTL's durability contract.
+func TestMountAfterPowerCut(t *testing.T) {
+	for cutAfter := 1; cutAfter <= 60; cutAfter += 7 {
+		var programs, cutAt int
+		cutAt = -1
+		chip := nand.New(nand.Config{
+			Geometry:  nand.Geometry{Blocks: 16, PagesPerBlock: 4, PageSize: 32, SpareSize: 16},
+			StoreData: true,
+			FaultHook: func(op nand.Op, b, p int) error {
+				if op != nand.OpProgram {
+					return nil
+				}
+				programs++
+				if cutAt >= 0 && programs >= cutAt {
+					return errPowerCut
+				}
+				return nil
+			},
+		})
+		dev := mtd.New(chip)
+		d, err := New(dev, Config{VirtualBlocks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(cutAfter)))
+		completed := map[int]byte{}
+		cutAt = programs + cutAfter + 20 // room for some successful writes
+		for i := 0; ; i++ {
+			lpn := rng.Intn(32)
+			v := byte(rng.Intn(250)) + 1
+			if err := d.WritePage(lpn, bytes.Repeat([]byte{v}, 32)); err != nil {
+				if !errors.Is(err, errPowerCut) {
+					t.Fatalf("cut %d: unexpected error %v", cutAfter, err)
+				}
+				break
+			}
+			completed[lpn] = v
+			if i > 10_000 {
+				t.Fatal("cut never fired")
+			}
+		}
+		// Reboot and remount from the spare areas.
+		cutAt = -1
+		m, err := Mount(dev, Config{VirtualBlocks: 8})
+		if err != nil {
+			t.Fatalf("cut %d: Mount: %v", cutAfter, err)
+		}
+		buf := make([]byte, 32)
+		for lpn, v := range completed {
+			ok, err := m.ReadPage(lpn, buf)
+			if err != nil || !ok || buf[0] != v {
+				t.Fatalf("cut %d: lpn %d = %d (ok=%v err=%v), want %d", cutAfter, lpn, buf[0], ok, err, v)
+			}
+		}
+		// And it keeps working.
+		if err := m.WritePage(0, bytes.Repeat([]byte{0xEE}, 32)); err != nil {
+			t.Fatalf("cut %d: write after reboot: %v", cutAfter, err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package sim is the trace-driven simulation harness that reproduces the
+// paper's experiments: it binds a workload trace to a Flash Translation
+// Layer (FTL, NFTL, or DFTL), optionally attaches the SW Leveler, runs the trace
+// against a simulated NAND chip, and reports endurance metrics — the first
+// failure time (first block to exhaust its endurance, in simulated years)
+// and the erase-count distribution — together with the overhead counters
+// used for Figures 6 and 7.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"flashswl/internal/core"
+	"flashswl/internal/dftl"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+	"flashswl/internal/nftl"
+	"flashswl/internal/stats"
+	"flashswl/internal/trace"
+)
+
+// Layer is the view the harness has of a Flash Translation Layer driver;
+// ftl.Driver, nftl.Driver, and dftl.Driver satisfy it.
+type Layer interface {
+	WritePage(lpn int, data []byte) error
+	ReadPage(lpn int, buf []byte) (bool, error)
+	LogicalPages() int
+	FreeBlocks() int
+	SetOnErase(func(block int))
+	EraseBlockSet(findex, k int) error
+}
+
+// LayerKind selects the translation layer implementation.
+type LayerKind int
+
+const (
+	// FTL is the page-mapping layer.
+	FTL LayerKind = iota
+	// NFTL is the block-mapping layer.
+	NFTL
+	// DFTL is the demand-paged page-mapping layer (cached translation
+	// pages stored in flash).
+	DFTL
+)
+
+// String names the layer.
+func (k LayerKind) String() string {
+	switch k {
+	case NFTL:
+		return "NFTL"
+	case DFTL:
+		return "DFTL"
+	default:
+		return "FTL"
+	}
+}
+
+// Config assembles a simulation run.
+type Config struct {
+	// Geometry and Cell describe the chip; Endurance overrides the cell's
+	// nominal limit when positive (scaled-down experiments).
+	Geometry  nand.Geometry
+	Cell      nand.CellKind
+	Endurance int
+	// Layer picks the translation layer implementation.
+	Layer LayerKind
+	// LogicalSectors is the exported space in 512-byte sectors; the trace
+	// must stay within it. Defaults to the layer's own default export.
+	LogicalSectors int64
+	// SWL enables the static wear leveler with mapping mode K and
+	// unevenness threshold T.
+	SWL bool
+	K   int
+	T   float64
+	// Seed drives the leveler's random BET restart position.
+	Seed int64
+	// StoreData makes the chip retain page payloads (slower; tests only).
+	StoreData bool
+	// NoSpare disables per-page spare writes in the layer (faster).
+	NoSpare bool
+	// GCFreeFraction overrides the layers' garbage-collection watermark
+	// (the paper uses 0.2%; see the ablation benchmarks).
+	GCFreeFraction float64
+	// FTLDualFrontier selects the FTL's dual write frontier (an ablation;
+	// the paper's FTL mixes relocated and fresh data in one frontier).
+	FTLDualFrontier bool
+	// SelectRandom switches the leveler from the paper's cyclic scan to
+	// random block-set selection (an ablation; §3.3 surmises they are
+	// close).
+	SelectRandom bool
+	// Periodic replaces the SW Leveler with the TrueFFS-style baseline
+	// (core.PeriodicLeveler): a forced recycle of one random block set
+	// every Period erases. SWL must also be set; K applies, T is ignored.
+	Periodic bool
+	// Period is the erase count between the periodic baseline's forced
+	// recycles.
+	Period int64
+	// DFTLCache is the DFTL layer's translation-page cache budget (0 =
+	// package default).
+	DFTLCache int
+	// MaxEvents bounds the run by trace events (0 = unbounded).
+	MaxEvents int64
+	// MaxSimTime bounds the run by simulated time (0 = unbounded).
+	MaxSimTime time.Duration
+	// StopOnFirstWear ends the run when any block exhausts its endurance
+	// (the paper's first-failure-time experiments).
+	StopOnFirstWear bool
+}
+
+// Result reports a finished run.
+type Result struct {
+	// FirstWear is the simulated time of the first block wear-out, or <0
+	// if no block wore out before the run ended.
+	FirstWear time.Duration
+	// SimTime is the simulated time covered.
+	SimTime time.Duration
+	// Events, PageWrites, PageReads count trace-driven work.
+	Events     int64
+	PageWrites int64
+	PageReads  int64
+	// Erases is the total block erases; LiveCopies the total valid pages
+	// copied during recycling; ForcedErases/ForcedCopies the share done on
+	// behalf of the SW Leveler; GCRuns the watermark-triggered cleanings.
+	Erases       int64
+	LiveCopies   int64
+	ForcedErases int64
+	ForcedCopies int64
+	GCRuns       int64
+	// EraseCounts is the final per-block erase distribution and
+	// EraseStats its summary (Table 4 reports avg/dev/max).
+	EraseCounts []int
+	EraseStats  stats.Running
+	// WornBlocks is how many blocks exceeded their endurance.
+	WornBlocks int
+	// Leveler carries the SW Leveler's own activity counters when enabled.
+	Leveler core.Stats
+	// Err records a layer failure (e.g. device full) that ended the run
+	// early; the partial results are still valid.
+	Err error
+}
+
+// FirstWearYears converts the first failure time to years, the unit of
+// Figure 5. It returns 0 when no block wore out.
+func (r *Result) FirstWearYears() float64 {
+	if r.FirstWear < 0 {
+		return 0
+	}
+	return r.FirstWear.Hours() / (24 * 365)
+}
+
+// EraseRatio returns this run's total erases relative to a baseline run,
+// as a percentage (Figure 6 reports these with the baseline at 100%).
+func (r *Result) EraseRatio(baseline *Result) float64 {
+	if baseline.Erases == 0 {
+		return 0
+	}
+	return 100 * float64(r.Erases) / float64(baseline.Erases)
+}
+
+// CopyRatio returns this run's live-page copyings relative to a baseline
+// run, as a percentage (Figure 7).
+func (r *Result) CopyRatio(baseline *Result) float64 {
+	if baseline.LiveCopies == 0 {
+		if r.LiveCopies == 0 {
+			return 100
+		}
+		return 100 + 100*float64(r.LiveCopies)
+	}
+	return 100 * float64(r.LiveCopies) / float64(baseline.LiveCopies)
+}
+
+// Leveler is the harness's view of a wear leveling module: the SW Leveler
+// or the periodic baseline.
+type Leveler interface {
+	OnErase(bindex int)
+	NeedsLeveling() bool
+	Level() error
+	Stats() core.Stats
+}
+
+// Runner is a configured simulation bound to a chip, layer, and leveler.
+type Runner struct {
+	cfg     Config
+	chip    *nand.Chip
+	layer   Layer
+	leveler Leveler
+	spp     int // sectors per page
+
+	now       time.Duration
+	firstWear time.Duration
+	worn      int
+}
+
+// NewRunner builds the full stack for a run.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg, firstWear: -1}
+	r.spp = cfg.Geometry.PageSize / 512
+	if r.spp < 1 {
+		r.spp = 1
+	}
+	r.chip = nand.New(nand.Config{
+		Geometry:  cfg.Geometry,
+		Cell:      cfg.Cell,
+		Endurance: cfg.Endurance,
+		StoreData: cfg.StoreData,
+		OnWear: func(block int) {
+			r.worn++
+			if r.firstWear < 0 {
+				r.firstWear = r.now
+			}
+		},
+	})
+	dev := mtd.New(r.chip)
+	logicalPages := 0
+	if cfg.LogicalSectors > 0 {
+		logicalPages = int((cfg.LogicalSectors + int64(r.spp) - 1) / int64(r.spp))
+	}
+	switch cfg.Layer {
+	case FTL:
+		d, err := ftl.New(dev, ftl.Config{
+			LogicalPages:   logicalPages,
+			NoSpare:        cfg.NoSpare,
+			GCFreeFraction: cfg.GCFreeFraction,
+			DualFrontier:   cfg.FTLDualFrontier,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.layer = d
+	case NFTL:
+		vblocks := 0
+		if logicalPages > 0 {
+			vblocks = (logicalPages + cfg.Geometry.PagesPerBlock - 1) / cfg.Geometry.PagesPerBlock
+		}
+		d, err := nftl.New(dev, nftl.Config{
+			VirtualBlocks:  vblocks,
+			NoSpare:        cfg.NoSpare,
+			GCFreeFraction: cfg.GCFreeFraction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.layer = d
+	case DFTL:
+		d, err := dftl.New(dev, dftl.Config{
+			LogicalPages: logicalPages,
+			NoSpare:      cfg.NoSpare,
+			CachedTPages: cfg.DFTLCache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.layer = d
+	default:
+		return nil, fmt.Errorf("sim: unknown layer kind %d", cfg.Layer)
+	}
+	if cfg.SWL {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := newSplitMix(uint64(seed))
+		randFn := func(n int) int { return int(rng.next() % uint64(n)) }
+		var lv Leveler
+		var err error
+		if cfg.Periodic {
+			lv, err = core.NewPeriodicLeveler(core.PeriodicConfig{
+				Blocks: cfg.Geometry.Blocks,
+				K:      cfg.K,
+				Period: cfg.Period,
+				Rand:   randFn,
+			}, r.layer)
+		} else {
+			policy := core.SelectCyclic
+			if cfg.SelectRandom {
+				policy = core.SelectRandom
+			}
+			lv, err = core.NewLeveler(core.Config{
+				Blocks:    cfg.Geometry.Blocks,
+				K:         cfg.K,
+				Threshold: cfg.T,
+				Rand:      randFn,
+				Select:    policy,
+			}, r.layer)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.leveler = lv
+		r.layer.SetOnErase(lv.OnErase)
+	}
+	return r, nil
+}
+
+// Layer exposes the translation layer (for white-box tests and examples).
+func (r *Runner) Layer() Layer { return r.layer }
+
+// Chip exposes the simulated chip.
+func (r *Runner) Chip() *nand.Chip { return r.chip }
+
+// Leveler returns the attached wear leveler, or nil.
+func (r *Runner) Leveler() Leveler { return r.leveler }
+
+// Run consumes the source until a stop condition and reports the results.
+// A layer error (such as running out of space on a worn-out device) stops
+// the run and is recorded in Result.Err rather than returned, since partial
+// endurance results are exactly what the experiments need.
+func (r *Runner) Run(src trace.Source) (*Result, error) {
+	res := &Result{FirstWear: -1}
+	var runErr error
+
+loop:
+	for {
+		if r.cfg.MaxEvents > 0 && res.Events >= r.cfg.MaxEvents {
+			break
+		}
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.cfg.MaxSimTime > 0 && e.Time > r.cfg.MaxSimTime {
+			break
+		}
+		r.now = e.Time
+		res.Events++
+
+		first := int(e.LBA) / r.spp
+		last := int(e.LBA+int64(e.Count)-1) / r.spp
+		for lpn := first; lpn <= last; lpn++ {
+			if lpn >= r.layer.LogicalPages() {
+				break // trace touches space beyond the exported device
+			}
+			switch e.Op {
+			case trace.Write:
+				if err := r.layer.WritePage(lpn, nil); err != nil {
+					runErr = err
+					break loop
+				}
+				res.PageWrites++
+			case trace.Read:
+				if _, err := r.layer.ReadPage(lpn, nil); err != nil {
+					runErr = err
+					break loop
+				}
+				res.PageReads++
+			}
+		}
+		if r.leveler != nil && r.leveler.NeedsLeveling() {
+			if err := r.leveler.Level(); err != nil {
+				runErr = err
+				break
+			}
+		}
+		if r.cfg.StopOnFirstWear && r.worn > 0 {
+			break
+		}
+	}
+
+	res.SimTime = r.now
+	res.FirstWear = r.firstWear
+	res.WornBlocks = r.worn
+	res.EraseCounts = r.chip.EraseCounts(nil)
+	res.EraseStats = stats.Summarize(res.EraseCounts)
+	switch l := r.layer.(type) {
+	case *ftl.Driver:
+		c := l.Counters()
+		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies, c.GCRuns
+		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
+	case *nftl.Driver:
+		c := l.Counters()
+		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies, c.GCRuns
+		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
+	case *dftl.Driver:
+		c := l.Counters()
+		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies+c.TPageCopies, c.GCRuns
+		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
+	}
+	if r.leveler != nil {
+		res.Leveler = r.leveler.Stats()
+	}
+	res.Err = runErr
+	return res, nil
+}
+
+// Run builds a runner for cfg and consumes src. See Runner.Run.
+func Run(cfg Config, src trace.Source) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(src)
+}
+
+// splitMix is a tiny deterministic RNG so runs are reproducible without
+// sharing math/rand state with the workload generators.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

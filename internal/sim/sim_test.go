@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"flashswl/internal/nand"
+	"flashswl/internal/trace"
+	"flashswl/internal/workload"
+)
+
+// smallGeometry is a 64-block × 8-page × 512 B device (256 KB).
+func smallGeometry() nand.Geometry {
+	return nand.Geometry{Blocks: 64, PagesPerBlock: 8, PageSize: 512, SpareSize: 16}
+}
+
+// worstCfg wires the Figure 4 scenario: 50 hot pages, 300 cold pages on a
+// 512-page device. Endurance 300 gives the leveler on the order of ten
+// resetting intervals before the first wear-out, enough for pool rotation
+// to average (one or two intervals cannot level anything).
+func worstCfg(layer LayerKind, swl bool, t float64) Config {
+	return Config{
+		Geometry:       smallGeometry(),
+		Endurance:      300,
+		Layer:          layer,
+		LogicalSectors: 400,
+		SWL:            swl,
+		K:              0,
+		T:              t,
+		NoSpare:        true,
+		Seed:           7,
+	}
+}
+
+func worstSource() trace.Source {
+	return NewWorstCaseSource(1, 50, 300, time.Millisecond)
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Config{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	bad := worstCfg(FTL, true, 0.5) // threshold < 1
+	if _, err := NewRunner(bad); err == nil {
+		t.Error("bad threshold must fail")
+	}
+	bad2 := worstCfg(LayerKind(9), false, 100)
+	if _, err := NewRunner(bad2); err == nil {
+		t.Error("unknown layer must fail")
+	}
+}
+
+func TestFTLBaselineFirstWear(t *testing.T) {
+	cfg := worstCfg(FTL, false, 0)
+	cfg.StopOnFirstWear = true
+	res, err := Run(cfg, worstSource())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run ended with layer error: %v", res.Err)
+	}
+	if res.FirstWear < 0 {
+		t.Fatal("hot-only workload must wear a block out")
+	}
+	if res.WornBlocks == 0 || res.FirstWearYears() <= 0 {
+		t.Errorf("worn=%d years=%g", res.WornBlocks, res.FirstWearYears())
+	}
+	if res.Erases == 0 || res.PageWrites == 0 {
+		t.Errorf("counters empty: %+v", res)
+	}
+	// Cold blocks must be untouched in the baseline: many zero erase
+	// counts.
+	zeros := 0
+	for _, ec := range res.EraseCounts {
+		if ec == 0 {
+			zeros++
+		}
+	}
+	if zeros < 20 {
+		t.Errorf("baseline should leave cold blocks unerased; zeros = %d", zeros)
+	}
+}
+
+// TestSWLExtendsFirstFailure is the paper's headline claim (Figure 5): with
+// static wear leveling the first failure comes substantially later, on both
+// FTL and NFTL.
+func TestSWLExtendsFirstFailure(t *testing.T) {
+	for _, layer := range []LayerKind{FTL, NFTL} {
+		base := worstCfg(layer, false, 0)
+		base.StopOnFirstWear = true
+		baseRes, err := Run(base, worstSource())
+		if err != nil || baseRes.Err != nil {
+			t.Fatalf("%v baseline: %v / %v", layer, err, baseRes.Err)
+		}
+		lev := worstCfg(layer, true, 10)
+		lev.StopOnFirstWear = true
+		levRes, err := Run(lev, worstSource())
+		if err != nil || levRes.Err != nil {
+			t.Fatalf("%v + SWL: %v / %v", layer, err, levRes.Err)
+		}
+		if levRes.FirstWear < 0 {
+			t.Fatalf("%v + SWL never wore out (source is infinite)", layer)
+		}
+		if levRes.FirstWear <= baseRes.FirstWear*12/10 {
+			t.Errorf("%v: SWL first wear %v not >1.2× baseline %v", layer, levRes.FirstWear, baseRes.FirstWear)
+		}
+		if levRes.Leveler.SetsRecycled == 0 {
+			t.Errorf("%v: leveler never recycled anything", layer)
+		}
+	}
+}
+
+// TestSWLReducesDeviation mirrors Table 4: same simulated span, much lower
+// erase-count deviation with SWL.
+func TestSWLReducesDeviation(t *testing.T) {
+	const events = 40_000
+	for _, layer := range []LayerKind{FTL, NFTL} {
+		base := worstCfg(layer, false, 0)
+		base.MaxEvents = events
+		baseRes, err := Run(base, worstSource())
+		if err != nil || baseRes.Err != nil {
+			t.Fatalf("%v baseline: %v / %v", layer, err, baseRes.Err)
+		}
+		lev := worstCfg(layer, true, 10)
+		lev.MaxEvents = events
+		levRes, err := Run(lev, worstSource())
+		if err != nil || levRes.Err != nil {
+			t.Fatalf("%v + SWL: %v / %v", layer, err, levRes.Err)
+		}
+		if levRes.EraseStats.StdDev() >= baseRes.EraseStats.StdDev()*0.8 {
+			t.Errorf("%v: SWL dev %.1f not well below baseline dev %.1f",
+				layer, levRes.EraseStats.StdDev(), baseRes.EraseStats.StdDev())
+		}
+		if levRes.EraseStats.Max() >= baseRes.EraseStats.Max() {
+			t.Errorf("%v: SWL max %g not below baseline max %g",
+				layer, levRes.EraseStats.Max(), baseRes.EraseStats.Max())
+		}
+	}
+}
+
+// TestSWLOverheadBounded mirrors Figure 6: the extra erases due to SWL stay
+// a modest percentage for a reasonable T.
+func TestSWLOverheadBounded(t *testing.T) {
+	const events = 40_000
+	base := worstCfg(FTL, false, 0)
+	base.MaxEvents = events
+	baseRes, _ := Run(base, worstSource())
+
+	lev := worstCfg(FTL, true, 100)
+	lev.MaxEvents = events
+	levRes, _ := Run(lev, worstSource())
+
+	ratio := levRes.EraseRatio(baseRes)
+	if ratio < 100 {
+		t.Errorf("SWL cannot erase less than baseline: %.2f%%", ratio)
+	}
+	if ratio > 115 {
+		t.Errorf("extra erase ratio %.2f%% too large for T=100", ratio)
+	}
+}
+
+func TestMaxEventsAndMaxSimTime(t *testing.T) {
+	cfg := worstCfg(FTL, false, 0)
+	cfg.MaxEvents = 100
+	res, err := Run(cfg, worstSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 100 {
+		t.Errorf("Events = %d, want 100", res.Events)
+	}
+
+	cfg = worstCfg(FTL, false, 0)
+	cfg.MaxSimTime = 50 * time.Millisecond
+	res, err = Run(cfg, worstSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime > 50*time.Millisecond {
+		t.Errorf("SimTime = %v beyond limit", res.SimTime)
+	}
+}
+
+func TestRunWithSyntheticWorkload(t *testing.T) {
+	m := workload.PaperScaled(smallGeometry().Capacity() / 512 * 4 / 10) // ~40% of device
+	m.Duration = time.Hour
+	m.FillSegments = 2
+	cfg := Config{
+		Geometry:       smallGeometry(),
+		Endurance:      1000,
+		Layer:          NFTL,
+		LogicalSectors: m.Sectors,
+		SWL:            true,
+		K:              0,
+		T:              50,
+		NoSpare:        true,
+	}
+	res, err := Run(cfg, m.Source())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("layer error: %v", res.Err)
+	}
+	if res.PageWrites == 0 || res.PageReads == 0 {
+		t.Errorf("workload produced no traffic: %+v", res)
+	}
+	if res.SimTime <= 0 {
+		t.Error("simulated time did not advance")
+	}
+}
+
+func TestRatiosAgainstBaseline(t *testing.T) {
+	a := &Result{Erases: 103, LiveCopies: 11}
+	b := &Result{Erases: 100, LiveCopies: 10}
+	if got := a.EraseRatio(b); got != 103 {
+		t.Errorf("EraseRatio = %g, want 103", got)
+	}
+	if got := a.CopyRatio(b); got != 110 {
+		t.Errorf("CopyRatio = %g, want 110", got)
+	}
+	zero := &Result{}
+	if got := a.EraseRatio(zero); got != 0 {
+		t.Errorf("EraseRatio vs zero baseline = %g", got)
+	}
+	if got := zero.CopyRatio(zero); got != 100 {
+		t.Errorf("zero/zero CopyRatio = %g, want 100", got)
+	}
+}
+
+func TestWorstCaseSourceShape(t *testing.T) {
+	s := NewWorstCaseSource(4, 2, 3, time.Millisecond)
+	var lpns []int64
+	for i := 0; i < 9; i++ {
+		e, ok := s.Next()
+		if !ok || e.Op != trace.Write || e.Count != 4 {
+			t.Fatalf("event %d = %+v,%v", i, e, ok)
+		}
+		lpns = append(lpns, e.LBA/4)
+	}
+	want := []int64{2, 3, 4, 0, 1, 0, 1, 0, 1} // cold fill 2..4, then hot cycle
+	for i := range want {
+		if lpns[i] != want[i] {
+			t.Fatalf("lpn sequence = %v, want %v", lpns, want)
+		}
+	}
+}
+
+func TestWorstCaseSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorstCaseSource(0, 1, 1, time.Millisecond)
+}
+
+func TestLayerKindString(t *testing.T) {
+	if FTL.String() != "FTL" || NFTL.String() != "NFTL" {
+		t.Error("LayerKind names wrong")
+	}
+}
+
+// TestSWLBeatsPeriodicBaseline compares the paper's BET-guided leveler with
+// the TrueFFS-style periodic-random baseline at a matched forced-recycle
+// budget: BET guidance should last at least as long, because it never
+// spends a forced recycle on a block set that is already circulating.
+func TestSWLBeatsPeriodicBaseline(t *testing.T) {
+	swl := worstCfg(FTL, true, 10)
+	swl.StopOnFirstWear = true
+	swlRes, err := Run(swl, worstSource())
+	if err != nil || swlRes.Err != nil {
+		t.Fatalf("swl: %v / %v", err, swlRes.Err)
+	}
+	// Match the baseline's budget: one forced set per (erases/sets) of the
+	// SWL run.
+	period := swlRes.Erases / swlRes.Leveler.SetsRecycled
+	per := worstCfg(FTL, true, 10)
+	per.Periodic = true
+	per.Period = period
+	per.StopOnFirstWear = true
+	perRes, err := Run(per, worstSource())
+	if err != nil || perRes.Err != nil {
+		t.Fatalf("periodic: %v / %v", err, perRes.Err)
+	}
+	if perRes.Leveler.SetsRecycled == 0 {
+		t.Fatal("periodic baseline never recycled")
+	}
+	if swlRes.FirstWear < perRes.FirstWear*9/10 {
+		t.Errorf("SWL first wear %v clearly below periodic baseline %v at matched budget",
+			swlRes.FirstWear, perRes.FirstWear)
+	}
+}
+
+func TestPeriodicConfigValidation(t *testing.T) {
+	cfg := worstCfg(FTL, true, 10)
+	cfg.Periodic = true
+	cfg.Period = 0
+	if _, err := NewRunner(cfg); err == nil {
+		t.Error("periodic with zero period must fail")
+	}
+}
+
+// TestDFTLLayerUnderSWL runs the demand-paged layer through the harness:
+// baseline wears out, SWL extends it, and the translation-page machinery
+// stays consistent under the worst-case workload.
+func TestDFTLLayerUnderSWL(t *testing.T) {
+	base := worstCfg(DFTL, false, 0)
+	base.StopOnFirstWear = true
+	baseRes, err := Run(base, worstSource())
+	if err != nil || baseRes.Err != nil {
+		t.Fatalf("baseline: %v / %v", err, baseRes.Err)
+	}
+	if baseRes.FirstWear < 0 {
+		t.Fatal("DFTL baseline never wore out")
+	}
+	lev := worstCfg(DFTL, true, 10)
+	lev.StopOnFirstWear = true
+	levRes, err := Run(lev, worstSource())
+	if err != nil || levRes.Err != nil {
+		t.Fatalf("SWL: %v / %v", err, levRes.Err)
+	}
+	if levRes.FirstWear <= baseRes.FirstWear {
+		t.Errorf("SWL first wear %v not beyond baseline %v", levRes.FirstWear, baseRes.FirstWear)
+	}
+	if levRes.Leveler.SetsRecycled == 0 {
+		t.Error("leveler idle on DFTL")
+	}
+	if DFTL.String() != "DFTL" {
+		t.Error("name wrong")
+	}
+}
+
+// TestSWLNeutralOnUniformWorkload is the negative control: with no cold
+// data to unpin, static wear leveling must neither help nor hurt first
+// failure beyond a few percent.
+func TestSWLNeutralOnUniformWorkload(t *testing.T) {
+	run := func(swl bool) *Result {
+		cfg := worstCfg(FTL, swl, 10)
+		cfg.StopOnFirstWear = true
+		src := workload.NewUniform(400, 3, 1, 4, 7)
+		res, err := Run(cfg, src)
+		if err != nil || res.Err != nil {
+			t.Fatalf("swl=%v: %v / %v", swl, err, res.Err)
+		}
+		return res
+	}
+	base := run(false)
+	lev := run(true)
+	ratio := float64(lev.FirstWear) / float64(base.FirstWear)
+	if ratio < 0.93 || ratio > 1.10 {
+		t.Errorf("SWL changed uniform-workload lifetime by %.1f%% (base %v, swl %v) — should be neutral",
+			100*(ratio-1), base.FirstWear, lev.FirstWear)
+	}
+	// The leveler should barely trigger: uniform wear keeps unevenness low.
+	if lev.ForcedErases > lev.Erases/20 {
+		t.Errorf("leveler forced %d of %d erases on a uniform workload", lev.ForcedErases, lev.Erases)
+	}
+}

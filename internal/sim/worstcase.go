@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"time"
+
+	"flashswl/internal/trace"
+)
+
+// WorstCaseSource produces the adversarial workload of the paper's Section 4
+// worst-case analysis (Figure 4): a region of cold data written exactly once
+// up front, after which updates cycle round-robin over a hot region forever.
+// Under this workload, cold blocks are erased only by static wear leveling,
+// which maximizes the leveler's relative overhead — it is the workload
+// behind Tables 2 and 3.
+type WorstCaseSource struct {
+	spp      int
+	hotPages int
+	coldPage int // next cold page to fill
+	coldEnd  int
+	hotNext  int
+	interval time.Duration
+	now      time.Duration
+}
+
+// NewWorstCaseSource builds the source. Logical pages [0, hotPages) are hot;
+// [hotPages, hotPages+coldPages) are cold and written once first. Each event
+// writes one page (spp sectors) and advances simulated time by interval.
+func NewWorstCaseSource(spp, hotPages, coldPages int, interval time.Duration) *WorstCaseSource {
+	if spp <= 0 || hotPages <= 0 || coldPages < 0 || interval <= 0 {
+		panic("sim: invalid worst-case source shape")
+	}
+	return &WorstCaseSource{
+		spp:      spp,
+		hotPages: hotPages,
+		coldPage: hotPages,
+		coldEnd:  hotPages + coldPages,
+		interval: interval,
+	}
+}
+
+// Next implements trace.Source; the stream never ends.
+func (s *WorstCaseSource) Next() (trace.Event, bool) {
+	var lpn int
+	if s.coldPage < s.coldEnd {
+		lpn = s.coldPage
+		s.coldPage++
+	} else {
+		lpn = s.hotNext
+		s.hotNext = (s.hotNext + 1) % s.hotPages
+	}
+	e := trace.Event{
+		Time:  s.now,
+		Op:    trace.Write,
+		LBA:   int64(lpn) * int64(s.spp),
+		Count: s.spp,
+	}
+	s.now += s.interval
+	return e, true
+}

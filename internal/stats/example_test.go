@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"flashswl/internal/stats"
+)
+
+// ExampleSummarize condenses an erase-count distribution the way Table 4
+// reports it.
+func ExampleSummarize() {
+	counts := []int{900, 905, 890, 910, 895}
+	r := stats.Summarize(counts)
+	fmt.Printf("avg=%.0f dev=%.1f max=%.0f\n", r.Mean(), r.StdDev(), r.Max())
+	// Output: avg=900 dev=7.1 max=910
+}
+
+// ExampleHeatmap renders per-block wear as a terminal map.
+func ExampleHeatmap() {
+	fmt.Print(stats.Heatmap([]int{0, 2, 5, 10, 10, 9, 1, 0}, 4))
+	// Output:
+	// ·░▒█
+	// █▓░·
+}

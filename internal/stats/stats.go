@@ -1,0 +1,173 @@
+// Package stats provides the streaming statistics used to report erase-count
+// distributions (Table 4 of the paper): average, standard deviation, and
+// maximum, plus simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of values with Welford's algorithm, giving
+// numerically stable mean and variance without storing the stream.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds a value into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of values added.
+func (r Running) N() int64 { return r.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (r Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance (0 when fewer than two values).
+func (r Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r Running) StdDev() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest value added (0 when empty).
+func (r Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest value added (0 when empty).
+func (r Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// String formats the summary as "avg=… dev=… min=… max=… n=…".
+func (r Running) String() string {
+	return fmt.Sprintf("avg=%.1f dev=%.1f min=%.0f max=%.0f n=%d", r.Mean(), r.StdDev(), r.Min(), r.Max(), r.n)
+}
+
+// Summarize computes a Running over a slice of ints (e.g. erase counts).
+func Summarize(xs []int) Running {
+	var r Running
+	for _, x := range xs {
+		r.Add(float64(x))
+	}
+	return r
+}
+
+// Percentile returns the p-th percentile (0..100) of the values using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(xs []int, p float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// Histogram counts values into fixed-width buckets starting at zero.
+type Histogram struct {
+	Width   int
+	Buckets []int64
+}
+
+// NewHistogram creates a histogram with the given bucket width.
+func NewHistogram(width int) *Histogram {
+	if width <= 0 {
+		panic("stats: histogram width must be positive")
+	}
+	return &Histogram{Width: width}
+}
+
+// Add counts a non-negative value; negative values clamp to bucket 0.
+func (h *Histogram) Add(x int) {
+	b := 0
+	if x > 0 {
+		b = x / h.Width
+	}
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+}
+
+// Total returns the number of values added.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Buckets {
+		t += c
+	}
+	return t
+}
+
+// Heatmap renders values (e.g. per-block erase counts) as rows of shade
+// characters, width cells per row, scaled to the maximum value: a terminal
+// wear map. An empty input yields an empty string.
+func Heatmap(values []int, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	max := 0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	shades := []rune("·░▒▓█")
+	var b []rune
+	for i, v := range values {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = 1 + v*(len(shades)-2)/max
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+		}
+		b = append(b, shades[idx])
+		if (i+1)%width == 0 {
+			b = append(b, '\n')
+		}
+	}
+	if len(values)%width != 0 {
+		b = append(b, '\n')
+	}
+	return string(b)
+}

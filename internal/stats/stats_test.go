@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.StdDev() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Error("empty Running must report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %g, want 5", r.Mean())
+	}
+	if r.StdDev() != 2 { // classic population-stddev example
+		t.Errorf("StdDev = %g, want 2", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleValue(t *testing.T) {
+	var r Running
+	r.Add(-3)
+	if r.Mean() != -3 || r.StdDev() != 0 || r.Min() != -3 || r.Max() != -3 {
+		t.Errorf("single value stats wrong: %s", r.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := Summarize([]int{1, 2, 3})
+	if r.Mean() != 2 || r.Max() != 3 || r.N() != 3 {
+		t.Errorf("Summarize = %s", r.String())
+	}
+}
+
+func TestRunningString(t *testing.T) {
+	var r Running
+	r.Add(1)
+	r.Add(3)
+	s := r.String()
+	for _, want := range []string{"avg=2.0", "max=3", "n=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want int
+	}{{0, 1}, {20, 1}, {50, 3}, {100, 5}, {-5, 1}, {150, 5}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty slice percentile must be 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, x := range []int{0, 5, 9, 10, 25, -3} {
+		h.Add(x)
+	}
+	if len(h.Buckets) != 3 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.Buckets[0] != 4 || h.Buckets[1] != 1 || h.Buckets[2] != 1 {
+		t.Errorf("buckets = %v, want [4 1 1]", h.Buckets)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+// Property: Welford agrees with the naive two-pass computation.
+func TestRunningMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var r Running
+		sum := 0.0
+		for _, x := range clean {
+			r.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		varSum := 0.0
+		for _, x := range clean {
+			varSum += (x - mean) * (x - mean)
+		}
+		naiveDev := math.Sqrt(varSum / float64(len(clean)))
+		return math.Abs(r.Mean()-mean) < 1e-6 && math.Abs(r.StdDev()-naiveDev) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap([]int{0, 1, 5, 10}, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", out)
+	}
+	runes := []rune(lines[0] + lines[1])
+	if runes[0] != '·' {
+		t.Errorf("zero cell = %c, want ·", runes[0])
+	}
+	if runes[3] != '█' {
+		t.Errorf("max cell = %c, want █", runes[3])
+	}
+	if Heatmap(nil, 4) != "" || Heatmap([]int{1}, 0) != "" {
+		t.Error("degenerate inputs must yield empty output")
+	}
+	// All-zero input renders all dots.
+	if got := Heatmap([]int{0, 0}, 2); got != "··\n" {
+		t.Errorf("all-zero = %q", got)
+	}
+	// Non-multiple width still terminates with a newline.
+	if got := Heatmap([]int{1, 1, 1}, 2); !strings.HasSuffix(got, "\n") {
+		t.Errorf("ragged = %q", got)
+	}
+}
+
+func TestPercentileSpread(t *testing.T) {
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i + 1 // 1..100
+	}
+	if got := Percentile(xs, 50); got != 50 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := Percentile(xs, 99); got != 99 {
+		t.Errorf("p99 = %d", got)
+	}
+	if got := Percentile(xs, 1); got != 1 {
+		t.Errorf("p1 = %d", got)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func randomTrace(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]Event, 0, n)
+	t := time.Duration(0)
+	for i := 0; i < n; i++ {
+		t += time.Duration(rng.Intn(1_000_000)) * time.Microsecond
+		op := Read
+		if rng.Intn(2) == 0 {
+			op = Write
+		}
+		events = append(events, Event{
+			Time:  t,
+			Op:    op,
+			LBA:   rng.Int63n(2_097_152),
+			Count: rng.Intn(64) + 1,
+		})
+	}
+	return events
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := randomTrace(5000, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewSliceSource(events)); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryIsCompact(t *testing.T) {
+	events := randomTrace(5000, 2)
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, NewSliceSource(events)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, NewSliceSource(events)); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*2 >= txt.Len() {
+		t.Errorf("binary %d bytes not well below half of text %d", bin.Len(), txt.Len())
+	}
+	perEvent := float64(bin.Len()) / 5000
+	if perEvent > 10 {
+		t.Errorf("binary uses %.1f bytes/event", perEvent)
+	}
+}
+
+func TestBinaryStreaming(t *testing.T) {
+	events := randomTrace(100, 3)
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, NewSliceSource(events))
+	br, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		e, ok := br.Next()
+		if !ok {
+			if i != 100 {
+				t.Fatalf("stream ended at %d", i)
+			}
+			break
+		}
+		if e != events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if br.Err() != nil {
+		t.Fatal(br.Err())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := NewBinaryReader(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	if _, err := NewBinaryReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("empty err = %v", err)
+	}
+	// Truncated mid-event.
+	events := randomTrace(10, 4)
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, NewSliceSource(events))
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated err = %v", err)
+	}
+}
+
+func TestBinaryRejectsBadEvents(t *testing.T) {
+	outOfOrder := []Event{
+		{Time: time.Second, Op: Write, LBA: 0, Count: 1},
+		{Time: 0, Op: Write, LBA: 0, Count: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewSliceSource(outOfOrder)); err == nil {
+		t.Error("out-of-order events accepted")
+	}
+	bad := []Event{{Time: 0, Op: Write, LBA: 0, Count: 0}}
+	if err := WriteBinary(&buf, NewSliceSource(bad)); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, NewSliceSource(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty trace = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text codec: one event per line, "<time_us> <R|W> <lba> <count>", with
+// blank lines and #-comments ignored. The format round-trips through
+// Event.String.
+
+// WriteText writes events from a source to w in the text format.
+func WriteText(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a whole text trace into memory.
+func ReadText(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+func parseLine(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Event{}, fmt.Errorf("want 4 fields, got %d", len(fields))
+	}
+	us, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || us < 0 || us > math.MaxInt64/int64(time.Microsecond) {
+		return Event{}, fmt.Errorf("bad timestamp %q", fields[0])
+	}
+	var op Op
+	switch fields[1] {
+	case "R", "r":
+		op = Read
+	case "W", "w":
+		op = Write
+	default:
+		return Event{}, fmt.Errorf("bad op %q", fields[1])
+	}
+	lba, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || lba < 0 {
+		return Event{}, fmt.Errorf("bad lba %q", fields[2])
+	}
+	count, err := strconv.Atoi(fields[3])
+	if err != nil || count <= 0 {
+		return Event{}, fmt.Errorf("bad count %q", fields[3])
+	}
+	return Event{Time: time.Duration(us) * time.Microsecond, Op: op, LBA: lba, Count: count}, nil
+}

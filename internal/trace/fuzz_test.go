@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText hardens the trace parser: arbitrary input must either parse
+// into well-formed events or fail cleanly, and whatever parses must
+// round-trip through the writer.
+func FuzzReadText(f *testing.F) {
+	f.Add("100 W 5 2\n200 r 6 1\n")
+	f.Add("# comment\n\n0 R 0 1")
+	f.Add("9999999999999 W 99999999999 64")
+	f.Add("x W 2 1")
+	f.Add("1 W 2")
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, e := range events {
+			if e.Time < 0 || e.LBA < 0 || e.Count <= 0 {
+				t.Fatalf("parsed malformed event %+v", e)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, NewSliceSource(events)); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(again), len(events))
+		}
+		for i := range events {
+			// Times round to microseconds in the text format.
+			if again[i].Op != events[i].Op || again[i].LBA != events[i].LBA || again[i].Count != events[i].Count {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, again[i], events[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SegmentFunc returns the events of segment i of a base trace, with times
+// relative to the segment's start and in non-decreasing order. Segment
+// indexes run [0, n) for a finite base trace.
+type SegmentFunc func(i int) []Event
+
+// Resampler implements the paper's "virtually unlimited trace" (§5.1): an
+// endless stream derived from a finite base trace by repeatedly picking a
+// random fixed-length segment (the paper uses 10 minutes) and splicing it
+// onto the timeline.
+type Resampler struct {
+	segf   SegmentFunc
+	nseg   int
+	segLen time.Duration
+	rng    *rand.Rand
+	cur    []Event
+	pos    int
+	base   time.Duration
+}
+
+// NewResampler builds an infinite source over nseg segments of length
+// segLen, chosen by a deterministic RNG seeded with seed.
+func NewResampler(segf SegmentFunc, nseg int, segLen time.Duration, seed int64) *Resampler {
+	if nseg <= 0 || segLen <= 0 {
+		panic("trace: resampler needs segments")
+	}
+	return &Resampler{segf: segf, nseg: nseg, segLen: segLen, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Source; it never reports false.
+func (r *Resampler) Next() (Event, bool) {
+	for r.pos >= len(r.cur) {
+		r.cur = r.segf(r.rng.Intn(r.nseg))
+		r.pos = 0
+		if len(r.cur) == 0 {
+			// Empty segment: the timeline still advances.
+			r.base += r.segLen
+		}
+	}
+	e := r.cur[r.pos]
+	r.pos++
+	e.Time += r.base
+	if r.pos >= len(r.cur) {
+		r.base += r.segLen
+		r.cur = nil
+	}
+	return e, true
+}
+
+// SliceSegments splits an in-memory trace into fixed-length segments and
+// returns the SegmentFunc plus the segment count. Event times must be
+// non-decreasing.
+func SliceSegments(events []Event, segLen time.Duration) (SegmentFunc, int) {
+	if segLen <= 0 {
+		panic("trace: segment length must be positive")
+	}
+	var end time.Duration
+	if n := len(events); n > 0 {
+		end = events[n-1].Time
+	}
+	nseg := int(end/segLen) + 1
+	// Precompute segment boundaries by binary search at call time; the
+	// events slice is shared, segments are materialized lazily.
+	segf := func(i int) []Event {
+		lo := time.Duration(i) * segLen
+		hi := lo + segLen
+		start := sort.Search(len(events), func(j int) bool { return events[j].Time >= lo })
+		stop := sort.Search(len(events), func(j int) bool { return events[j].Time >= hi })
+		if start >= stop {
+			return nil
+		}
+		out := make([]Event, stop-start)
+		for j := start; j < stop; j++ {
+			e := events[j]
+			e.Time -= lo
+			out[j-start] = e
+		}
+		return out
+	}
+	return segf, nseg
+}

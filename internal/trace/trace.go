@@ -1,0 +1,117 @@
+// Package trace models disk-level access traces: timestamped read/write
+// requests over 512-byte sector addresses, as collected by the paper from a
+// month of mobile-PC use. It provides the event model, a text codec, and a
+// resampler that derives the paper's "virtually unlimited trace" by
+// replaying randomly chosen 10-minute segments.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op is a request direction.
+type Op uint8
+
+const (
+	// Read is a sector read request.
+	Read Op = iota
+	// Write is a sector write request.
+	Write
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	if o == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Event is one disk request: Count sectors starting at sector LBA, issued
+// at Time since the start of the trace.
+type Event struct {
+	Time  time.Duration
+	Op    Op
+	LBA   int64
+	Count int
+}
+
+// String formats the event in the text-codec line format.
+func (e Event) String() string {
+	return fmt.Sprintf("%d %s %d %d", e.Time.Microseconds(), e.Op, e.LBA, e.Count)
+}
+
+// Source is a stream of events in non-decreasing time order. Next reports
+// false when the stream ends; infinite sources never do.
+type Source interface {
+	Next() (Event, bool)
+}
+
+// SliceSource adapts an in-memory event slice to a Source.
+type SliceSource struct {
+	events []Event
+	pos    int
+}
+
+// NewSliceSource wraps events (not copied) in a Source.
+func NewSliceSource(events []Event) *SliceSource { return &SliceSource{events: events} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Event, bool) {
+	if s.pos >= len(s.events) {
+		return Event{}, false
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Stats summarizes a trace the way the paper characterizes its workload.
+type Stats struct {
+	Events     int
+	Writes     int
+	Reads      int
+	Duration   time.Duration
+	WriteRate  float64 // write requests per second
+	ReadRate   float64 // read requests per second
+	SectorsW   int64   // total sectors written
+	SectorsR   int64   // total sectors read
+	UniqueLBAs int     // distinct sectors written at least once
+}
+
+// Summarize scans a source and computes its Stats. The source is consumed.
+func Summarize(src Source) Stats {
+	var st Stats
+	written := make(map[int64]struct{})
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		st.Events++
+		if e.Time > st.Duration {
+			st.Duration = e.Time
+		}
+		switch e.Op {
+		case Write:
+			st.Writes++
+			st.SectorsW += int64(e.Count)
+			for s := e.LBA; s < e.LBA+int64(e.Count); s++ {
+				written[s] = struct{}{}
+			}
+		case Read:
+			st.Reads++
+			st.SectorsR += int64(e.Count)
+		}
+	}
+	st.UniqueLBAs = len(written)
+	if secs := st.Duration.Seconds(); secs > 0 {
+		st.WriteRate = float64(st.Writes) / secs
+		st.ReadRate = float64(st.Reads) / secs
+	}
+	return st
+}

@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flashswl/internal/trace"
+)
+
+// smallModel is a fast model for tests: 1/16 of the paper device, 2 hours
+// of trace.
+func smallModel() Model {
+	m := PaperScaled(131_072) // 64 MB of sectors
+	m.Duration = 2 * time.Hour
+	m.FillSegments = 4
+	return m
+}
+
+func TestPaperModelValidates(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatalf("Paper(): %v", err)
+	}
+	if err := smallModel().Validate(); err != nil {
+		t.Fatalf("smallModel: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	mods := []func(*Model){
+		func(m *Model) { m.Sectors = 0 },
+		func(m *Model) { m.ExtentSectors = 0 },
+		func(m *Model) { m.ExtentSectors = int(m.Sectors) + 1 },
+		func(m *Model) { m.Duration = 0 },
+		func(m *Model) { m.SegmentLen = m.Duration * 2 },
+		func(m *Model) { m.WriteRate, m.ReadRate = 0, 0 },
+		func(m *Model) { m.WriteRate = -1 },
+		func(m *Model) { m.WrittenFraction = 0 },
+		func(m *Model) { m.WrittenFraction = 1.5 },
+		func(m *Model) { m.HotFraction = 0.9; m.WarmFraction = 0.9 },
+		func(m *Model) { m.HotWriteRatio = 2 },
+		func(m *Model) { m.MeanRequestSectors = 0 },
+		func(m *Model) { m.BurstMean = 0 },
+		func(m *Model) { m.FillSegments = -1 },
+	}
+	for i, mod := range mods {
+		m := Paper()
+		mod(&m)
+		if m.Validate() == nil {
+			t.Errorf("case %d: bad model validated", i)
+		}
+	}
+}
+
+func TestSegmentsDeterministic(t *testing.T) {
+	m := smallModel()
+	a := m.Segment(3)
+	b := m.Segment(3)
+	if len(a) == 0 {
+		t.Fatal("segment 3 empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different segments differ.
+	c := m.Segment(4)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("segments 3 and 4 are identical")
+	}
+}
+
+func TestSegmentEventsSortedAndBounded(t *testing.T) {
+	m := smallModel()
+	for _, i := range []int{0, 1, 7, m.Segments() - 1} {
+		events := m.Segment(i)
+		var last time.Duration
+		for _, e := range events {
+			if e.Time < last {
+				t.Fatalf("segment %d not sorted", i)
+			}
+			last = e.Time
+			if e.Time >= m.SegmentLen {
+				t.Fatalf("segment %d event at %v beyond segment length", i, e.Time)
+			}
+			if e.LBA < 0 || e.LBA+int64(e.Count) > m.Sectors {
+				t.Fatalf("segment %d event out of range: %+v", i, e)
+			}
+			if e.Count <= 0 {
+				t.Fatalf("segment %d event with count %d", i, e.Count)
+			}
+		}
+	}
+}
+
+func TestRatesMatchPaper(t *testing.T) {
+	m := smallModel()
+	st := trace.Summarize(m.Source())
+	if math.Abs(st.WriteRate-m.WriteRate)/m.WriteRate > 0.10 {
+		t.Errorf("write rate = %.3f/s, want ≈ %.2f/s", st.WriteRate, m.WriteRate)
+	}
+	if math.Abs(st.ReadRate-m.ReadRate)/m.ReadRate > 0.10 {
+		t.Errorf("read rate = %.3f/s, want ≈ %.2f/s", st.ReadRate, m.ReadRate)
+	}
+}
+
+func TestWrittenFootprintMatchesPaper(t *testing.T) {
+	// After the fill phase completes, the unique written LBAs must come
+	// out near the configured WrittenFraction (36.62% in the paper).
+	m := smallModel()
+	st := trace.Summarize(m.Source())
+	frac := float64(st.UniqueLBAs) / float64(m.Sectors)
+	if frac < m.WrittenFraction*0.85 || frac > m.WrittenFraction*1.10 {
+		t.Errorf("written fraction = %.4f, want ≈ %.4f", frac, m.WrittenFraction)
+	}
+}
+
+func TestLayoutClassesDisjointAndSized(t *testing.T) {
+	m := smallModel()
+	l := m.Layout()
+	seen := map[int64]string{}
+	for _, s := range l.Hot {
+		seen[s] = "hot"
+	}
+	for _, s := range l.Warm {
+		if seen[s] != "" {
+			t.Fatalf("extent %d in both hot and warm", s)
+		}
+		seen[s] = "warm"
+	}
+	for _, s := range l.Cold {
+		if seen[s] != "" {
+			t.Fatalf("extent %d in %s and cold", s, seen[s])
+		}
+		seen[s] = "cold"
+	}
+	total := len(l.Hot) + len(l.Warm) + len(l.Cold)
+	wantTotal := float64(m.Sectors) / float64(m.ExtentSectors) * m.WrittenFraction
+	if math.Abs(float64(total)-wantTotal) > wantTotal*0.05+2 {
+		t.Errorf("written extents = %d, want ≈ %.0f", total, wantTotal)
+	}
+	if len(l.Cold) <= len(l.Hot) {
+		t.Errorf("cold (%d) must dominate hot (%d) per the paper's premise", len(l.Cold), len(l.Hot))
+	}
+	for s := range seen {
+		if s%int64(m.ExtentSectors) != 0 || s >= m.Sectors {
+			t.Fatalf("extent start %d misaligned", s)
+		}
+	}
+}
+
+func TestColdExtentsWrittenOnlyDuringFill(t *testing.T) {
+	m := smallModel()
+	l := m.Layout()
+	coldSet := map[int64]bool{}
+	for _, s := range l.Cold {
+		coldSet[s] = true
+	}
+	ext := int64(m.ExtentSectors)
+	src := m.Source()
+	fillEnd := time.Duration(m.FillSegments) * m.SegmentLen
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.Op != trace.Write {
+			continue
+		}
+		if coldSet[e.LBA/ext*ext] && e.Time >= fillEnd {
+			t.Fatalf("cold extent written at %v, after the fill phase ends at %v", e.Time, fillEnd)
+		}
+	}
+}
+
+func TestHotSetReceivesMostWrites(t *testing.T) {
+	m := smallModel()
+	l := m.Layout()
+	hotSet := map[int64]bool{}
+	for _, s := range l.Hot {
+		hotSet[s] = true
+	}
+	ext := int64(m.ExtentSectors)
+	src := m.Source()
+	hot, postFill := 0, 0
+	fillEnd := time.Duration(m.FillSegments) * m.SegmentLen
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.Op != trace.Write || e.Time < fillEnd {
+			continue
+		}
+		postFill++
+		if hotSet[e.LBA/ext*ext] {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(postFill)
+	if math.Abs(frac-m.HotWriteRatio) > 0.05 {
+		t.Errorf("hot write share = %.3f, want ≈ %.2f", frac, m.HotWriteRatio)
+	}
+}
+
+func TestInfiniteSourceNeverEnds(t *testing.T) {
+	m := smallModel()
+	src := m.Infinite(99)
+	var last time.Duration = -1
+	for i := 0; i < 5000; i++ {
+		e, ok := src.Next()
+		if !ok {
+			t.Fatal("infinite source ended")
+		}
+		if e.Time < last {
+			t.Fatalf("time went backwards at event %d", i)
+		}
+		last = e.Time
+	}
+	if last <= 0 {
+		t.Error("timeline did not advance")
+	}
+}
+
+func TestInfiniteSourcesDifferBySeed(t *testing.T) {
+	m := smallModel()
+	a, b := m.Infinite(1), m.Infinite(2)
+	// The deterministic fill prefix is identical by design; skip past it.
+	fillEnd := time.Duration(m.FillSegments) * m.SegmentLen
+	skip := func(s trace.Source) trace.Event {
+		for {
+			e, _ := s.Next()
+			if e.Time >= fillEnd {
+				return e
+			}
+		}
+	}
+	ea, eb := skip(a), skip(b)
+	diff := ea != eb
+	for i := 0; i < 200 && !diff; i++ {
+		ea, _ = a.Next()
+		eb, _ = b.Next()
+		diff = ea != eb
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams after the fill")
+	}
+}
+
+func TestInfiniteSourceStartsWithFill(t *testing.T) {
+	m := smallModel()
+	l := m.Layout()
+	coldSet := map[int64]bool{}
+	for _, s := range l.Cold {
+		coldSet[s] = true
+	}
+	src := m.Infinite(5)
+	fillEnd := time.Duration(m.FillSegments) * m.SegmentLen
+	coldWrites := map[int64]bool{}
+	for {
+		e, _ := src.Next()
+		if e.Time >= fillEnd {
+			break
+		}
+		if e.Op == trace.Write {
+			ext := e.LBA / int64(m.ExtentSectors) * int64(m.ExtentSectors)
+			if coldSet[ext] {
+				coldWrites[ext] = true
+			}
+		}
+	}
+	if len(coldWrites) != len(l.Cold) {
+		t.Errorf("fill prefix wrote %d of %d cold extents", len(coldWrites), len(l.Cold))
+	}
+}
+
+func TestPaperScaledKeepsClassesOnTinyDevices(t *testing.T) {
+	m := PaperScaled(8192) // 4 MB of sectors
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layout()
+	if len(l.Hot) < 1 || len(l.Cold) < 1 || len(l.Warm) < 1 {
+		t.Errorf("tiny device lost classes: hot=%d warm=%d cold=%d", len(l.Hot), len(l.Warm), len(l.Cold))
+	}
+}
+
+func TestUniformSourceShape(t *testing.T) {
+	u := NewUniform(10_000, 3, 1, 8, 1)
+	writes, total := 0, 20_000
+	var last time.Duration = -1
+	for i := 0; i < total; i++ {
+		e, ok := u.Next()
+		if !ok {
+			t.Fatal("uniform source ended")
+		}
+		if e.Time < last {
+			t.Fatal("time went backwards")
+		}
+		last = e.Time
+		if e.LBA < 0 || e.LBA+int64(e.Count) > 10_000 || e.Count < 1 {
+			t.Fatalf("bad event %+v", e)
+		}
+		if e.Op == trace.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if frac < 0.72 || frac > 0.78 {
+		t.Errorf("write fraction = %.3f, want ≈ 0.75", frac)
+	}
+	// 20k events at 4/s → ~5000 seconds.
+	if last < 4000*time.Second || last > 6000*time.Second {
+		t.Errorf("clock = %v, want ≈ 5000s", last)
+	}
+}
+
+func TestUniformSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniform(0, 1, 1, 8, 1)
+}
