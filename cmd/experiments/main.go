@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"flashswl/internal/experiments"
+	"flashswl/internal/faultinject"
 	"flashswl/internal/sim"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the trace/leveler seed")
 	csv := flag.Bool("csv", false, "emit figures and Table 4 as CSV rows for plotting")
 	withDFTL := flag.Bool("dftl", false, "add the demand-paged DFTL layer to Figure 5 (beyond the paper)")
+	faults := flag.Bool("faults", false, "inject a 1e-3 transient program/erase fault rate into every run")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -41,7 +43,18 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	if *faults {
+		sc.Faults = &faultinject.Config{
+			Seed:            sc.Seed,
+			ProgramFailRate: 1e-3,
+			EraseFailRate:   1e-3,
+		}
+	}
 	fmt.Printf("scale: %s — %s, endurance %d, T scale ×%g\n\n", sc.Name, sc.Geometry, sc.Endurance, sc.TFactor)
+	if sc.Faults != nil {
+		fmt.Printf("fault injection: program %g, erase %g (transient, seed %d)\n\n",
+			sc.Faults.ProgramFailRate, sc.Faults.EraseFailRate, sc.Faults.Seed)
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	start := time.Now()
@@ -118,12 +131,17 @@ func main() {
 		}
 		if want("fig7") {
 			for _, layer := range []sim.LayerKind{sim.FTL, sim.NFTL} {
+				s := aged.Figure7(layer)
 				if *csv {
-					fmt.Print(experiments.SeriesCSV("fig7", aged.Figure7(layer), experiments.PaperKs, experiments.PaperTs))
+					fmt.Print(experiments.SeriesCSV("fig7", s, experiments.PaperKs, experiments.PaperTs))
 					continue
 				}
+				unit := "% of baseline"
+				if s.Absolute {
+					unit = "absolute live-page copies (baseline made none)"
+				}
 				fmt.Println("== Figure 7: increased ratio of live-page copyings —", layer, "==")
-				fmt.Println(experiments.FormatSeries(aged.Figure7(layer), fmt.Sprintf("Figure 7(%s)", layer), "% of baseline", experiments.PaperKs, experiments.PaperTs))
+				fmt.Println(experiments.FormatSeries(s, fmt.Sprintf("Figure 7(%s)", layer), unit, experiments.PaperKs, experiments.PaperTs))
 			}
 		}
 	}

@@ -7,6 +7,8 @@
 //	swlsim -layer ftl -swl -k 0 -T 100 -blocks 128 -endurance 300
 //	swlsim -layer nftl -trace day.trace     # replay a recorded trace
 //	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
+//	swlsim -layer ftl -swl -pfail 1e-3 -efail 1e-3   # transient fault injection
+//	swlsim -layer nftl -cutafter 5000 -T 4  # power-cut/remount recovery check
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"flashswl/internal/faultinject"
 	"flashswl/internal/nand"
 	"flashswl/internal/sim"
 	"flashswl/internal/stats"
@@ -37,6 +40,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for trace resampling and the leveler")
 	traceFile := flag.String("trace", "", "replay this text trace instead of the synthetic workload")
 	heatmap := flag.Bool("heatmap", false, "print a per-block wear heatmap")
+	pfail := flag.Float64("pfail", 0, "transient program fault rate (e.g. 1e-3)")
+	efail := flag.Float64("efail", 0, "transient erase fault rate")
+	badEvery := flag.Int64("badevery", 0, "mark the target of every Nth erase grown-bad (0 = off)")
+	maxBad := flag.Int("maxbad", 0, "cap on grown-bad blocks (0 = unlimited)")
+	flipEvery := flag.Int64("flipevery", 0, "flip a stored bit on every Nth read (0 = off)")
+	cutAfter := flag.Int64("cutafter", 0, "power-cut/recovery mode: cut after N flash ops, then remount and verify")
 	flag.Parse()
 
 	var layer sim.LayerKind
@@ -51,6 +60,21 @@ func main() {
 	}
 
 	geo := nand.Geometry{Blocks: *blocks, PagesPerBlock: *ppb, PageSize: *pageSize, SpareSize: 64}
+	var fcfg *faultinject.Config
+	if *pfail > 0 || *efail > 0 || *badEvery > 0 || *flipEvery > 0 {
+		fcfg = &faultinject.Config{
+			Seed:            *seed,
+			ProgramFailRate: *pfail,
+			EraseFailRate:   *efail,
+			GrownBadEvery:   *badEvery,
+			MaxGrownBad:     *maxBad,
+			BitFlipEvery:    *flipEvery,
+		}
+	}
+	if *cutAfter > 0 {
+		runRecovery(geo, layer, fcfg, *endurance, *k, *threshold, *seed, *cutAfter)
+		return
+	}
 	spp := int64(*pageSize / 512)
 	logicalPages := int64(geo.Pages()) * 88 / 100
 	if max := int64(geo.Pages() - 6**ppb); logicalPages > max {
@@ -101,6 +125,8 @@ func main() {
 		T:              *threshold,
 		NoSpare:        true,
 		Seed:           *seed,
+		Faults:         fcfg,
+		StoreData:      *flipEvery > 0, // bit flips need retained page payloads
 		MaxEvents:      *maxEvents,
 	}
 	if *years > 0 {
@@ -130,11 +156,59 @@ func main() {
 	if *swl {
 		fmt.Printf("leveler:         %+v\n", res.Leveler)
 	}
+	if fcfg != nil {
+		fmt.Printf("faults injected: %+v\n", res.Faults)
+		fmt.Printf("fault recovery:  %d program retries, %d erase retries, %d blocks retired\n",
+			res.ProgramRetries, res.EraseRetries, res.RetiredBlocks)
+	}
 	if res.Err != nil {
 		fmt.Printf("ended early:     %v\n", res.Err)
 	}
 	if *heatmap {
 		fmt.Printf("wear map (rows of 32 blocks, darker = more erases):\n%s",
 			stats.Heatmap(res.EraseCounts, 32))
+	}
+}
+
+// runRecovery executes the power-cut/remount experiment (-cutafter): a
+// random write workload with periodic leveler snapshots, cut after exactly
+// N flash operations, then remounted from the spare areas and verified.
+func runRecovery(geo nand.Geometry, layer sim.LayerKind, fcfg *faultinject.Config, endurance, k int, t float64, seed, cutAfter int64) {
+	res, err := sim.RunPowerCut(sim.RecoveryConfig{
+		Geometry:      geo,
+		Endurance:     endurance,
+		Layer:         layer,
+		K:             k,
+		T:             t,
+		Seed:          seed,
+		Writes:        10_000,
+		CutAfterOps:   cutAfter,
+		SnapshotEvery: 250,
+		Faults:        fcfg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swlsim: recovery run: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("configuration:   %s  k=%d T=%g  %s endurance=%d\n", layer, k, t, geo, endurance)
+	if res.Cut {
+		fmt.Printf("power cut:       after %d flash operations\n", res.CutOps)
+	} else {
+		fmt.Printf("power cut:       never fired (run completed first)\n")
+	}
+	fmt.Printf("host writes:     %d acknowledged before the cut\n", res.AckedWrites)
+	fmt.Printf("after remount:   %d pages verified, %d lost\n", res.VerifiedPages, res.LostPages)
+	if res.LevelerRestored {
+		fmt.Printf("leveler:         restored from snapshot seq %d (newest completed save: %d)\n",
+			res.RestoredSeq, res.LastSavedSeq)
+	} else {
+		fmt.Printf("leveler:         no decodable snapshot (newest completed save: %d); fresh interval\n",
+			res.LastSavedSeq)
+	}
+	fmt.Printf("retired blocks:  %d during remount\n", res.RetiredBlocks)
+	fmt.Printf("faults injected: %+v\n", res.Faults)
+	if res.LostPages > 0 {
+		fmt.Fprintln(os.Stderr, "swlsim: acknowledged data was lost across the power cut")
+		os.Exit(1)
 	}
 }

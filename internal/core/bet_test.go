@@ -158,6 +158,59 @@ func TestNextClearLargeSkipsWords(t *testing.T) {
 	}
 }
 
+func TestNextClearWrapsFromHighStart(t *testing.T) {
+	// Start deep in the table with only low indexes clear: the scan must
+	// word-skip through the set tail, wrap to 0, and land on the first
+	// clear flag — exercising the fast path's wraparound reset.
+	b := NewBET(512, 0)
+	for i := 0; i < b.Size(); i++ {
+		if i != 3 {
+			b.Set(i)
+		}
+	}
+	for _, from := range []int{448, 500, 511} {
+		got, ok := b.NextClear(from)
+		if !ok || got != 3 {
+			t.Errorf("NextClear(%d) = %d,%v; want 3,true", from, got, ok)
+		}
+	}
+}
+
+func TestNextClearPartialFinalWord(t *testing.T) {
+	// 130 sets = two full words + a 2-bit partial word. The fast path must
+	// not consult the out-of-range tail bits of the last word: set all of
+	// words 0–1 and flag 128, leaving only flag 129 clear.
+	b := NewBET(130, 0)
+	for i := 0; i < 129; i++ {
+		b.Set(i)
+	}
+	for _, from := range []int{0, 64, 127, 128, 129} {
+		got, ok := b.NextClear(from)
+		if !ok || got != 129 {
+			t.Errorf("NextClear(%d) = %d,%v; want 129,true", from, got, ok)
+		}
+	}
+}
+
+func TestNextClearOnlyLastBitClear(t *testing.T) {
+	// Word-aligned size with every flag set except the very last bit of the
+	// very last word: the skip loop must stop before skipping that word.
+	b := NewBET(256, 0)
+	for i := 0; i < b.Size()-1; i++ {
+		b.Set(i)
+	}
+	for _, from := range []int{0, 63, 64, 192, 255} {
+		got, ok := b.NextClear(from)
+		if !ok || got != 255 {
+			t.Errorf("NextClear(%d) = %d,%v; want 255,true", from, got, ok)
+		}
+	}
+	b.Set(255)
+	if _, ok := b.NextClear(0); ok {
+		t.Error("NextClear must report false once the last bit is set")
+	}
+}
+
 // TestBETSizeTable1 checks every cell of Table 1: BET bytes for SLC flash
 // from 128 MB to 4 GB under k = 0..3. Large-block SLC has 128 KB blocks.
 func TestBETSizeTable1(t *testing.T) {

@@ -16,9 +16,12 @@ type Cleaner interface {
 }
 
 // ErrNoProgress reports that the Cleaner repeatedly failed to erase anything
-// in the block sets the leveler selected, so the unevenness level can never
-// drop below the threshold. A correct Cleaner erases at least one block per
-// EraseBlockSet call (a free block is simply erased).
+// in the block sets the leveler selected.
+//
+// Level no longer returns it: a block set that produces no accountable erase
+// (for example because every block in it was retired as grown-bad) has its
+// BET flag set directly and is skipped, counted in Stats.SetsSkipped. The
+// sentinel remains exported so hosts that matched on it keep compiling.
 var ErrNoProgress = errors.New("core: cleaner made no progress during static wear leveling")
 
 // SelectPolicy chooses how SWL-Procedure picks the next block set.
@@ -72,6 +75,11 @@ type Stats struct {
 	Triggered int64
 	// SetsRecycled counts block sets passed to Cleaner.EraseBlockSet.
 	SetsRecycled int64
+	// SetsSkipped counts block sets whose recycling produced no erase the
+	// leveler could account for — every block retired or otherwise
+	// unerasable — and whose flag was therefore set directly so the cyclic
+	// scan moves past them.
+	SetsSkipped int64
 	// Resets counts BET resetting intervals completed.
 	Resets int64
 }
@@ -209,7 +217,6 @@ func (l *Leveler) Level() error {
 		return nil
 	}
 	acted := false
-	noProgress := 0
 	for l.Unevenness() >= l.cfg.Threshold { // step 2
 		if l.bet.Full() { // step 3
 			l.ecnt = 0                      // step 4 (fcnt reset with the BET, step 5)
@@ -235,14 +242,13 @@ func (l *Leveler) Level() error {
 		acted = true
 		l.stats.SetsRecycled++
 		if l.bet.Fcnt() == before {
-			// The erase did not reach this interval's accounting: a broken
-			// Cleaner integration. Bound the scan so we cannot spin forever.
-			noProgress++
-			if noProgress > l.bet.Size() {
-				return ErrNoProgress
-			}
-		} else {
-			noProgress = 0
+			// Recycling produced no erase this interval could account for:
+			// every block of the set is retired, reserved, or otherwise
+			// unerasable. Flag the set directly so the scan moves past it —
+			// each loop iteration now raises fcnt one way or the other, so
+			// the BET always reaches Full and the interval resets.
+			l.bet.Set(l.findex)
+			l.stats.SetsSkipped++
 		}
 		l.findex = (l.findex + 1) % l.bet.Size() // step 12
 	}

@@ -208,14 +208,24 @@ func TestLevelPropagatesCleanerError(t *testing.T) {
 	}
 }
 
-func TestLevelNoProgressGuard(t *testing.T) {
-	l, c := newTestLeveler(t, 8, 0, 2)
-	c.silent = true // cleaner never reports erases: broken integration
+func TestLevelSkipsUnerasableSets(t *testing.T) {
+	// T=1 with ecnt=10 keeps unevenness above threshold no matter how many
+	// sets get flagged, so Level must march all the way to a full BET.
+	l, c := newTestLeveler(t, 8, 0, 1)
+	c.silent = true // cleaner never reports erases: every set looks retired
 	for i := 0; i < 10; i++ {
 		l.OnErase(0)
 	}
-	if err := l.Level(); !errors.Is(err, ErrNoProgress) {
-		t.Fatalf("Level err = %v, want ErrNoProgress", err)
+	// Rather than aborting the run, Level must flag each unproductive set
+	// itself, march the scan to Full, and reset the interval.
+	if err := l.Level(); err != nil {
+		t.Fatalf("Level: %v", err)
+	}
+	if l.Stats().SetsSkipped == 0 {
+		t.Error("SetsSkipped = 0, want every silent set counted")
+	}
+	if l.Stats().Resets != 1 {
+		t.Errorf("Resets = %d, want 1 (skipping must still fill the BET)", l.Stats().Resets)
 	}
 }
 

@@ -129,10 +129,16 @@ func NewPersister(store SnapshotStore) (*Persister, error) {
 	return &Persister{store: store}, nil
 }
 
+// Seq returns the sequence number of the last snapshot written or adopted.
+// It is 0 before any Save or successful Load.
+func (p *Persister) Seq() uint64 { return p.seq }
+
 // Save writes the leveler state to the next slot in rotation.
 func (p *Persister) Save(l *Leveler) error {
 	p.seq++
-	slot := int(p.seq) % p.store.Slots()
+	// Reduce modulo first: int(p.seq) alone truncates, and on 32-bit ints
+	// a truncated sequence can go negative, producing a negative slot.
+	slot := int(p.seq % uint64(p.store.Slots()))
 	return p.store.WriteSnapshot(slot, encodeSnapshot(l, p.seq))
 }
 

@@ -119,6 +119,48 @@ func TestPersistFallsBackToOlderSlot(t *testing.T) {
 	}
 }
 
+func TestPersistFallsBackOnCorruptNewest(t *testing.T) {
+	// Unlike the truncation test above, the newer snapshot here has the
+	// right length and an intact header — the damage is a flipped bit in
+	// the middle of the payload, caught only by the CRC. Load must fall
+	// back to the older slot and resume its sequence.
+	l := levelerForPersist(t)
+	l.OnErase(5)
+	store := newMemStore(2)
+	p, _ := NewPersister(store)
+	_ = p.Save(l) // seq 1 → slot 1, valid
+	l.OnErase(6)
+	_ = p.Save(l) // seq 2 → slot 0, newer
+	store.slots[0][len(store.slots[0])/2] ^= 0x08
+
+	restored := levelerForPersist(t)
+	p2, _ := NewPersister(store)
+	if err := p2.Load(restored); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if restored.Ecnt() != 1 || !restored.BET().IsSet(restored.BET().SetIndex(5)) {
+		t.Errorf("restored from wrong snapshot: ecnt=%d", restored.Ecnt())
+	}
+	if got := p2.Seq(); got != 1 {
+		t.Errorf("Seq() = %d, want 1 (resumed from the surviving snapshot)", got)
+	}
+	// The next save must overwrite the corrupt slot, not the survivor.
+	if err := p2.Save(restored); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Seq() != 2 {
+		t.Errorf("Seq() after save = %d, want 2", p2.Seq())
+	}
+	again := levelerForPersist(t)
+	p3, _ := NewPersister(store)
+	if err := p3.Load(again); err != nil {
+		t.Fatalf("Load after repair save: %v", err)
+	}
+	if p3.Seq() != 2 {
+		t.Errorf("repaired store restores seq %d, want 2", p3.Seq())
+	}
+}
+
 func TestPersistNoSavedState(t *testing.T) {
 	restored := levelerForPersist(t)
 	p, _ := NewPersister(newMemStore(2))

@@ -81,11 +81,8 @@ func (d *Driver) recycle(b int) error {
 		if owner&tTag != 0 {
 			// Live translation page: move it and repoint the GTD.
 			t := int(owner &^ tTag)
-			dst, err := d.allocPage()
+			dst, err := d.allocProgram(uint32(tTag) | uint32(t))
 			if err != nil {
-				return err
-			}
-			if err := d.program(dst, uint32(tTag)|uint32(t)); err != nil {
 				return err
 			}
 			d.gtd[t] = int32(dst)
@@ -106,11 +103,8 @@ func (d *Driver) recycle(b int) error {
 		if err != nil {
 			return err
 		}
-		dst, err := d.allocPage()
+		dst, err := d.allocProgram(uint32(lpn))
 		if err != nil {
-			return err
-		}
-		if err := d.program(dst, uint32(lpn)); err != nil {
 			return err
 		}
 		tp.entries[lpn%d.perT] = int32(dst)
@@ -127,11 +121,17 @@ func (d *Driver) recycle(b int) error {
 	return d.eraseToFree(b)
 }
 
-// eraseToFree erases a block back into the pool, retiring it on wear-out.
+// eraseToFree erases a block back into the pool, retrying once on injected
+// transient faults and retiring the block on wear-out or persistent failure.
 func (d *Driver) eraseToFree(b int) error {
 	wasFree := d.state[b] == blockFree
-	if err := d.dev.EraseBlock(b); err != nil {
-		if errors.Is(err, nand.ErrWornOut) {
+	err := d.dev.EraseBlock(b)
+	if err != nil && errors.Is(err, nand.ErrInjected) {
+		d.counters.EraseRetries++
+		err = d.dev.EraseBlock(b)
+	}
+	if err != nil {
+		if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrInjected) {
 			d.state[b] = blockReserved
 			d.counters.RetiredBlocks++
 			if wasFree {

@@ -67,11 +67,13 @@ type Counters struct {
 	ForcedSets    int64
 	ForcedErases  int64
 	ForcedCopies  int64
-	TPageReads    int64 // cache-miss loads from flash
-	TPageWrites   int64 // dirty evictions and updates written to flash
-	CacheHits     int64
-	CacheMisses   int64
-	RetiredBlocks int64
+	TPageReads     int64 // cache-miss loads from flash
+	TPageWrites    int64 // dirty evictions and updates written to flash
+	CacheHits      int64
+	CacheMisses    int64
+	RetiredBlocks  int64
+	ProgramRetries int64 // programs rerouted to a fresh page after an injected fault
+	EraseRetries   int64 // erases retried after an injected fault
 }
 
 type blockState uint8
@@ -307,11 +309,8 @@ func (d *Driver) evictOne() error {
 // flushTPage writes a dirty translation page to flash out-of-place,
 // invalidating its previous copy and updating the GTD.
 func (d *Driver) flushTPage(tp *tpage) error {
-	ppn, err := d.allocPage()
+	ppn, err := d.allocProgram(uint32(tTag) | uint32(tp.idx))
 	if err != nil {
-		return err
-	}
-	if err := d.program(ppn, uint32(tTag)|uint32(tp.idx)); err != nil {
 		return err
 	}
 	if old := d.gtd[tp.idx]; old != invalidPPN {
@@ -334,6 +333,35 @@ func (d *Driver) program(ppn int, owner uint32) error {
 		oob = nand.SpareInfo{LBA: owner, Seq: d.seq}.Encode(d.spareBuf[:])
 	}
 	return d.dev.WritePage(ppn, nil, oob)
+}
+
+// maxProgramRetries bounds the fresh pages one logical write may burn before
+// its failure is surfaced; each retry lands in a different block.
+const maxProgramRetries = 8
+
+// allocProgram allocates a page and programs it, rerouting to a fresh page
+// on an injected program fault. The failed page stays allocated but dead
+// (garbage collection reclaims it) and the active frontier is closed over
+// the failed block, so a grown-bad block cannot absorb every attempt.
+func (d *Driver) allocProgram(owner uint32) (int, error) {
+	for attempt := 0; ; attempt++ {
+		ppn, err := d.allocPage()
+		if err != nil {
+			return 0, err
+		}
+		err = d.program(ppn, owner)
+		if err == nil {
+			return ppn, nil
+		}
+		if !errors.Is(err, nand.ErrInjected) || attempt >= maxProgramRetries {
+			return 0, err
+		}
+		d.counters.ProgramRetries++
+		if b := ppn / d.ppb; d.active == b {
+			d.active = -1
+			d.state[b] = blockInUse
+		}
+	}
 }
 
 // allocPage hands out the next free physical page (FIFO block rotation).
@@ -377,11 +405,8 @@ func (d *Driver) WritePage(lpn int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	ppn, err := d.allocPage()
+	ppn, err := d.allocProgram(uint32(lpn))
 	if err != nil {
-		return err
-	}
-	if err := d.program(ppn, uint32(lpn)); err != nil {
 		return err
 	}
 	d.counters.HostWrites++

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
+	"flashswl/internal/faultinject"
 	"flashswl/internal/sim"
 	"flashswl/internal/trace"
 )
@@ -122,6 +124,61 @@ func TestAgedRunsProjections(t *testing.T) {
 		if c7 := f7.CellAt(0, 100); c7 == nil || c7.Value <= 0 {
 			t.Fatalf("%v Figure7 cell missing", layer)
 		}
+	}
+}
+
+// TestAgedRunsUnderFaults reruns the aged projection with a 1e-3 transient
+// fault schedule: every cell must complete (graceful degradation absorbs the
+// faults) and the retry counters must be live.
+func TestAgedRunsUnderFaults(t *testing.T) {
+	sc := QuickScale()
+	sc.Faults = &faultinject.Config{Seed: 13, ProgramFailRate: 1e-3, EraseFailRate: 1e-3}
+	aged, err := RunAged(sc, []int{0}, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layer := range []sim.LayerKind{sim.FTL, sim.NFTL} {
+		base := aged.Base[layer]
+		if base.Faults.ProgramFaults+base.Faults.EraseFaults == 0 {
+			t.Errorf("%v: fault schedule never fired: %+v", layer, base.Faults)
+		}
+		if base.ProgramRetries+base.EraseRetries == 0 {
+			t.Errorf("%v: faults fired but nothing retried", layer)
+		}
+	}
+}
+
+// TestFigure7AbsoluteFallback checks the zero-copy-baseline path: the series
+// must switch to absolute counts instead of reporting infinite ratios.
+func TestFigure7AbsoluteFallback(t *testing.T) {
+	aged := &AgedRuns{
+		Base: map[sim.LayerKind]*sim.Result{
+			sim.FTL: {LiveCopies: 0},
+		},
+		Cells: map[sim.LayerKind][]Cell{
+			sim.FTL: {{K: 0, T: 100, Run: &sim.Result{LiveCopies: 37}}},
+		},
+	}
+	s := aged.Figure7(sim.FTL)
+	if !s.Absolute {
+		t.Fatal("zero-copy baseline must switch Figure 7 to absolute mode")
+	}
+	if s.Baseline != 0 {
+		t.Errorf("absolute baseline = %g, want 0", s.Baseline)
+	}
+	c := s.CellAt(0, 100)
+	if c == nil || c.Value != 37 {
+		t.Fatalf("absolute cell = %+v, want the raw copy count 37", c)
+	}
+	if math.IsInf(c.Value, 0) {
+		t.Error("absolute mode must not emit infinities")
+	}
+
+	// A live baseline keeps the ratio projection.
+	aged.Base[sim.FTL] = &sim.Result{LiveCopies: 74}
+	s = aged.Figure7(sim.FTL)
+	if s.Absolute || s.CellAt(0, 100).Value != 50 {
+		t.Errorf("ratio mode broken: %+v", s.CellAt(0, 100))
 	}
 }
 

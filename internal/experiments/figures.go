@@ -63,6 +63,10 @@ type Series struct {
 	Baseline float64
 	BaseRun  *sim.Result
 	Cells    []Cell
+	// Absolute marks a series whose values are absolute counts rather than
+	// percentages of the baseline — Figure 7 falls back to this when the
+	// baseline made zero live-page copies, where a ratio is undefined.
+	Absolute bool
 }
 
 // CellAt returns the cell for (k, paperT), or nil.
@@ -251,11 +255,23 @@ func (a *AgedRuns) Figure6(layer sim.LayerKind) *Series {
 }
 
 // Figure7 projects the aged runs into the increased ratio of live-page
-// copyings (%) for one layer, baseline = 100.
+// copyings (%) for one layer, baseline = 100. A short or read-mostly aging
+// span can leave the baseline with zero copies, making every ratio +Inf; the
+// series then switches to absolute copy counts (Absolute=true, baseline 0)
+// so the figure still renders meaningful numbers.
 func (a *AgedRuns) Figure7(layer sim.LayerKind) *Series {
-	s := &Series{Layer: layer, Baseline: 100, BaseRun: a.Base[layer]}
+	base := a.Base[layer]
+	s := &Series{Layer: layer, Baseline: 100, BaseRun: base}
+	if base.LiveCopies == 0 {
+		s.Absolute = true
+		s.Baseline = 0
+		for _, c := range a.Cells[layer] {
+			s.Cells = append(s.Cells, Cell{K: c.K, T: c.T, Value: float64(c.Run.LiveCopies), Run: c.Run})
+		}
+		return s
+	}
 	for _, c := range a.Cells[layer] {
-		s.Cells = append(s.Cells, Cell{K: c.K, T: c.T, Value: c.Run.CopyRatio(a.Base[layer]), Run: c.Run})
+		s.Cells = append(s.Cells, Cell{K: c.K, T: c.T, Value: c.Run.CopyRatio(base), Run: c.Run})
 	}
 	return s
 }

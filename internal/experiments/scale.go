@@ -16,6 +16,7 @@ package experiments
 import (
 	"time"
 
+	"flashswl/internal/faultinject"
 	"flashswl/internal/nand"
 	"flashswl/internal/sim"
 	"flashswl/internal/trace"
@@ -50,6 +51,10 @@ type Scale struct {
 	// Seed fixes the trace resampling and leveler randomness. Every run
 	// in an experiment shares the same trace, as in the paper.
 	Seed int64
+	// Faults, when non-nil, injects the same deterministic fault schedule
+	// into every run of every experiment (each cell builds its own
+	// injector from this template, so parallel cells stay independent).
+	Faults *faultinject.Config
 }
 
 // DefaultScale is a laptop-friendly configuration: a 256-block device with
@@ -169,6 +174,7 @@ func (sc Scale) config(layer sim.LayerKind, swl bool, k int, paperT float64) sim
 		T:              sc.scaledT(paperT),
 		NoSpare:        true,
 		Seed:           sc.Seed,
+		Faults:         sc.Faults,
 		MaxEvents:      sc.MaxEvents,
 	}
 }

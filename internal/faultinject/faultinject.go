@@ -1,0 +1,213 @@
+// Package faultinject produces deterministic, seeded fault schedules for the
+// simulated NAND chip: transient program/erase failures at configurable
+// rates, grown-bad-block campaigns, stored-bit flips (exercising the ECC
+// paths), and a power cut that stops the stack after exactly N flash
+// operations. An Injector plugs into nand.Config.FaultHook; the same seed
+// always yields the same schedule, so every failure a simulation exposes is
+// reproducible.
+package faultinject
+
+import (
+	"fmt"
+
+	"flashswl/internal/nand"
+)
+
+// Config describes a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives the injector's private RNG. Zero means 1.
+	Seed int64
+	// ProgramFailRate is the probability that any single page program is
+	// rejected with a transient fault (the layer retries elsewhere).
+	ProgramFailRate float64
+	// EraseFailRate is the probability that any single block erase is
+	// rejected with a transient fault.
+	EraseFailRate float64
+	// GrownBadEvery, when positive, marks the target block of every Nth
+	// erase permanently bad: all later programs and erases of that block
+	// fail. This is the grown-bad-block campaign real chips suffer.
+	GrownBadEvery int64
+	// MaxGrownBad caps the campaign (0 = unlimited). Without a cap a long
+	// run would eventually retire every block.
+	MaxGrownBad int
+	// BitFlipEvery, when positive, flips one pseudo-random stored data bit
+	// in the page targeted by every Nth read, before the read proceeds —
+	// retention loss for the ECC machinery to correct. Requires a
+	// data-retaining chip bound with BindChip; flips on dataless pages are
+	// silently skipped.
+	BitFlipEvery int64
+	// PowerCutAfter, when positive, lets exactly that many flash operations
+	// (attempts, including faulted ones) complete and then panics with a
+	// PowerCut value on the next one. The simulation harness recovers the
+	// panic at its top level; chip operations are atomic, so the cut always
+	// lands on a clean operation boundary.
+	PowerCutAfter int64
+}
+
+// Stats counts what the injector has done.
+type Stats struct {
+	// Ops is the number of flash operations observed (attempts).
+	Ops int64
+	// ProgramFaults and EraseFaults count transient rejections.
+	ProgramFaults int64
+	EraseFaults   int64
+	// GrownBad is how many blocks the campaign has marked bad;
+	// GrownBadHits how many operations those blocks have rejected.
+	GrownBad     int64
+	GrownBadHits int64
+	// BitFlips counts stored bits actually flipped.
+	BitFlips int64
+	// PowerCut reports whether the power cut fired.
+	PowerCut bool
+}
+
+// Transient and permanent fault errors. All wrap nand.ErrInjected, so layers
+// key their retry/retire logic on errors.Is(err, nand.ErrInjected) without
+// importing this package.
+var (
+	// ErrProgramFault is a transient program failure.
+	ErrProgramFault = fmt.Errorf("faultinject: transient program failure: %w", nand.ErrInjected)
+	// ErrEraseFault is a transient erase failure.
+	ErrEraseFault = fmt.Errorf("faultinject: transient erase failure: %w", nand.ErrInjected)
+	// ErrGrownBad reports an operation on a block the campaign has marked
+	// permanently bad. Reads still succeed: a grown-bad block's existing
+	// data stays readable, only programs and erases fail.
+	ErrGrownBad = fmt.Errorf("faultinject: grown bad block: %w", nand.ErrInjected)
+)
+
+// PowerCut is the panic value (and error) of a fired power cut.
+type PowerCut struct {
+	// Ops is how many flash operations completed before the cut.
+	Ops int64
+}
+
+// Error implements error so a recovered cut can be recorded in a Result.
+func (p PowerCut) Error() string {
+	return fmt.Sprintf("faultinject: power cut after %d flash operations", p.Ops)
+}
+
+// AsPowerCut reports whether a recovered panic value is a power cut.
+func AsPowerCut(r any) (PowerCut, bool) {
+	p, ok := r.(PowerCut)
+	return p, ok
+}
+
+// Injector is one reproducible fault schedule bound to at most one chip.
+// Like the chip itself it is not safe for concurrent use; parallel runs each
+// build their own Injector from a shared Config.
+type Injector struct {
+	cfg      Config
+	rng      uint64
+	chip     *nand.Chip
+	bad      map[int]bool
+	erases   int64
+	reads    int64
+	armed    bool
+	disabled bool
+	stats    Stats
+}
+
+// New builds an injector from a schedule description.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		cfg:   cfg,
+		rng:   uint64(seed),
+		bad:   make(map[int]bool),
+		armed: cfg.PowerCutAfter > 0,
+	}
+}
+
+// BindChip attaches the chip whose stored data bit-flip faults mutate. The
+// chip must retain data (nand.Config.StoreData) for flips to land.
+func (i *Injector) BindChip(c *nand.Chip) { i.chip = c }
+
+// Stats returns a snapshot of the activity counters.
+func (i *Injector) Stats() Stats { return i.stats }
+
+// IsBad reports whether the campaign has marked the block grown-bad.
+func (i *Injector) IsBad(block int) bool { return i.bad[block] }
+
+// DisarmPowerCut prevents the power cut from firing (again); the remount
+// phase of a recovery harness runs with the cut disarmed.
+func (i *Injector) DisarmPowerCut() { i.armed = false }
+
+// Disarm switches every fault off while keeping the statistics; recovery
+// harnesses call it so the verification remount runs on quiet hardware.
+func (i *Injector) Disarm() {
+	i.armed = false
+	i.disabled = true
+}
+
+// next is a splitmix64 step.
+func (i *Injector) next() uint64 {
+	i.rng += 0x9E3779B97F4A7C15
+	z := i.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// chance samples a uniform [0,1) variate and compares it against rate.
+func (i *Injector) chance(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(i.next()>>11)/(1<<53) < rate
+}
+
+// Hook is the nand.Config.FaultHook. It observes every chip primitive before
+// it executes and may reject it with an error wrapping nand.ErrInjected; the
+// chip then abandons the operation with no state change. When the power cut
+// is due it panics with a PowerCut value instead of returning.
+func (i *Injector) Hook(op nand.Op, block, page int) error {
+	if i.disabled {
+		return nil
+	}
+	if i.armed && i.stats.Ops >= i.cfg.PowerCutAfter {
+		i.stats.PowerCut = true
+		i.armed = false
+		panic(PowerCut{Ops: i.stats.Ops})
+	}
+	i.stats.Ops++
+	switch op {
+	case nand.OpRead:
+		i.reads++
+		if i.cfg.BitFlipEvery > 0 && i.reads%i.cfg.BitFlipEvery == 0 && i.chip != nil {
+			bits := i.chip.Geometry().PageSize * 8
+			if err := i.chip.FlipBit(block, page, int(i.next()%uint64(bits))); err == nil {
+				i.stats.BitFlips++
+			}
+		}
+	case nand.OpProgram:
+		if i.bad[block] {
+			i.stats.GrownBadHits++
+			return ErrGrownBad
+		}
+		if i.chance(i.cfg.ProgramFailRate) {
+			i.stats.ProgramFaults++
+			return ErrProgramFault
+		}
+	case nand.OpErase:
+		if i.bad[block] {
+			i.stats.GrownBadHits++
+			return ErrGrownBad
+		}
+		i.erases++
+		if i.cfg.GrownBadEvery > 0 && i.erases%i.cfg.GrownBadEvery == 0 &&
+			(i.cfg.MaxGrownBad == 0 || len(i.bad) < i.cfg.MaxGrownBad) {
+			i.bad[block] = true
+			i.stats.GrownBad++
+			i.stats.GrownBadHits++
+			return ErrGrownBad
+		}
+		if i.chance(i.cfg.EraseFailRate) {
+			i.stats.EraseFaults++
+			return ErrEraseFault
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"flashswl/internal/nand"
+)
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	i := New(Config{})
+	for op := 0; op < 3000; op++ {
+		if err := i.Hook(nand.Op(op%3), op%16, op%8); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+	s := i.Stats()
+	if s.Ops != 3000 {
+		t.Errorf("Ops = %d, want 3000", s.Ops)
+	}
+	if s.ProgramFaults+s.EraseFaults+s.GrownBad+s.BitFlips != 0 || s.PowerCut {
+		t.Errorf("zero config produced faults: %+v", s)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, ProgramFailRate: 0.05, EraseFailRate: 0.05, GrownBadEvery: 37, MaxGrownBad: 3}
+	run := func() (Stats, []bool) {
+		i := New(cfg)
+		var faults []bool
+		for op := 0; op < 5000; op++ {
+			err := i.Hook(nand.Op(op%3), op%16, op%8)
+			faults = append(faults, err != nil)
+		}
+		return i.Stats(), faults
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", s1, s2)
+	}
+	for op := range f1 {
+		if f1[op] != f2[op] {
+			t.Fatalf("op %d faulted in one run only", op)
+		}
+	}
+	if s1.ProgramFaults == 0 || s1.EraseFaults == 0 {
+		t.Errorf("5%% rates over 5000 ops produced no faults: %+v", s1)
+	}
+	s3 := func() Stats {
+		i := New(Config{Seed: 43, ProgramFailRate: 0.05, EraseFailRate: 0.05, GrownBadEvery: 37, MaxGrownBad: 3})
+		for op := 0; op < 5000; op++ {
+			_ = i.Hook(nand.Op(op%3), op%16, op%8)
+		}
+		return i.Stats()
+	}()
+	if s3 == s1 {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestTransientFaultsWrapErrInjected(t *testing.T) {
+	i := New(Config{ProgramFailRate: 1, EraseFailRate: 1})
+	if err := i.Hook(nand.OpProgram, 0, 0); !errors.Is(err, nand.ErrInjected) || !errors.Is(err, ErrProgramFault) {
+		t.Errorf("program fault = %v", err)
+	}
+	if err := i.Hook(nand.OpErase, 0, -1); !errors.Is(err, nand.ErrInjected) || !errors.Is(err, ErrEraseFault) {
+		t.Errorf("erase fault = %v", err)
+	}
+	if err := i.Hook(nand.OpRead, 0, 0); err != nil {
+		t.Errorf("reads must never fault transiently, got %v", err)
+	}
+}
+
+func TestGrownBadCampaign(t *testing.T) {
+	i := New(Config{GrownBadEvery: 10, MaxGrownBad: 2})
+	bad := 0
+	for e := 0; e < 100; e++ {
+		block := e % 64
+		if err := i.Hook(nand.OpErase, block, -1); err != nil {
+			if !errors.Is(err, ErrGrownBad) {
+				t.Fatalf("erase %d: %v", e, err)
+			}
+			bad++
+		}
+	}
+	s := i.Stats()
+	if s.GrownBad != 2 {
+		t.Errorf("GrownBad = %d, want cap 2", s.GrownBad)
+	}
+	// Exactly erases 10 and 20 marked their targets (blocks 9 and 19).
+	for _, b := range []int{9, 19} {
+		if !i.IsBad(b) {
+			t.Errorf("block %d should be grown-bad", b)
+		}
+		if err := i.Hook(nand.OpProgram, b, 0); !errors.Is(err, ErrGrownBad) {
+			t.Errorf("program on bad block %d = %v", b, err)
+		}
+		if err := i.Hook(nand.OpRead, b, 0); err != nil {
+			t.Errorf("read on bad block %d = %v (data must stay readable)", b, err)
+		}
+	}
+	if i.IsBad(29) {
+		t.Error("campaign exceeded its cap")
+	}
+}
+
+func TestPowerCutExactOpCount(t *testing.T) {
+	const n = 123
+	i := New(Config{PowerCutAfter: n})
+	var cut PowerCut
+	fired := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				cut, fired = AsPowerCut(r)
+				if !fired {
+					panic(r)
+				}
+			}
+		}()
+		for op := 0; op < 10*n; op++ {
+			_ = i.Hook(nand.OpProgram, op%16, op%8)
+		}
+	}()
+	if !fired {
+		t.Fatal("power cut never fired")
+	}
+	if cut.Ops != n {
+		t.Errorf("cut after %d ops, want %d", cut.Ops, n)
+	}
+	if !i.Stats().PowerCut {
+		t.Error("stats must record the cut")
+	}
+	// Disarmed after firing: the harness can keep using the chip.
+	for op := 0; op < 50; op++ {
+		_ = i.Hook(nand.OpProgram, 0, 0)
+	}
+	if got := i.Stats().Ops; got != n+50 {
+		t.Errorf("post-cut ops = %d, want %d", got, n+50)
+	}
+	if cut.Error() == "" {
+		t.Error("PowerCut must describe itself as an error")
+	}
+}
+
+func TestDisarmSilencesEverything(t *testing.T) {
+	i := New(Config{ProgramFailRate: 1, EraseFailRate: 1, GrownBadEvery: 1, PowerCutAfter: 1})
+	_ = i.Hook(nand.OpErase, 3, -1)
+	before := i.Stats()
+	i.Disarm()
+	for op := 0; op < 100; op++ {
+		if err := i.Hook(nand.Op(op%3), op%8, 0); err != nil {
+			t.Fatalf("disarmed injector faulted: %v", err)
+		}
+	}
+	if i.Stats() != before {
+		t.Errorf("Disarm must freeze the stats: %+v vs %+v", i.Stats(), before)
+	}
+}
+
+func TestBitFlipsLandOnStoredData(t *testing.T) {
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 8, PagesPerBlock: 4, PageSize: 256, SpareSize: 8},
+		StoreData: true,
+	})
+	i := New(Config{BitFlipEvery: 2})
+	i.BindChip(chip)
+	data := make([]byte, 256)
+	if err := chip.ProgramPage(0, 0, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		_ = i.Hook(nand.OpRead, 0, 0)
+	}
+	if i.Stats().BitFlips == 0 {
+		t.Fatal("no bits flipped over 8 reads at BitFlipEvery=2")
+	}
+	buf := make([]byte, 256)
+	if _, err := chip.ReadPage(0, 0, buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for j := range buf {
+		if buf[j] != 0 {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("flips recorded but stored data unchanged")
+	}
+}

@@ -97,11 +97,8 @@ func (d *Driver) recycle(b int) error {
 		} else if _, err := d.dev.ReadPage(ppn, d.copyBuf, nil); err != nil {
 			return err
 		}
-		dst, err := d.allocPage(true)
+		dst, err := d.allocProgram(int(lpn), d.copyBuf, true)
 		if err != nil {
-			return err
-		}
-		if err := d.program(dst, int(lpn), d.copyBuf); err != nil {
 			return err
 		}
 		// Move the mapping: the source page is dying with its block.
@@ -118,13 +115,20 @@ func (d *Driver) recycle(b int) error {
 	return d.eraseToFree(b)
 }
 
-// eraseToFree erases a block and returns it to the free pool. A block whose
-// endurance is exhausted (on chips configured to fail) is retired instead of
-// freed — simple bad-block management.
+// eraseToFree erases a block and returns it to the free pool. An injected
+// erase fault gets one retry (distinguishing transient failures from grown
+// bad blocks); a block whose endurance is exhausted (on chips configured to
+// fail) or whose erase keeps failing is retired instead of freed — simple
+// bad-block management.
 func (d *Driver) eraseToFree(b int) error {
 	wasFree := d.state[b] == blockFree
-	if err := d.dev.EraseBlock(b); err != nil {
-		if errors.Is(err, nand.ErrWornOut) {
+	err := d.dev.EraseBlock(b)
+	if err != nil && errors.Is(err, nand.ErrInjected) {
+		d.counters.EraseRetries++
+		err = d.dev.EraseBlock(b)
+	}
+	if err != nil {
+		if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrInjected) {
 			d.state[b] = blockReserved
 			d.counters.RetiredBlocks++
 			if wasFree {

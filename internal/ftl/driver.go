@@ -108,10 +108,12 @@ type Counters struct {
 	ForcedSets    int64 // EraseBlockSet calls served
 	ForcedErases  int64 // erases during forced (static-wear-leveling) recycling
 	ForcedCopies  int64 // live copies during forced recycling
-	RetiredBlocks int64 // worn-out blocks taken out of service
-	ECCCorrected  int64 // single-bit errors repaired on reads
-	Refreshes     int64 // pages relocated by read refresh
-	Discards      int64 // logical pages dropped by TRIM
+	RetiredBlocks  int64 // worn-out or unerasable blocks taken out of service
+	ProgramRetries int64 // programs rerouted to a fresh page after an injected fault
+	EraseRetries   int64 // erases retried after an injected fault
+	ECCCorrected   int64 // single-bit errors repaired on reads
+	Refreshes      int64 // pages relocated by read refresh
+	Discards       int64 // logical pages dropped by TRIM
 }
 
 type blockState uint8
@@ -326,11 +328,8 @@ func (d *Driver) refresh(lpn int, data []byte) error {
 	if err := d.ensureHeadroom(); err != nil {
 		return err
 	}
-	ppn, err := d.allocPage(true)
+	ppn, err := d.allocProgram(lpn, data, true)
 	if err != nil {
-		return err
-	}
-	if err := d.program(ppn, lpn, data); err != nil {
 		return err
 	}
 	d.commitMapping(lpn, ppn)
@@ -379,16 +378,55 @@ func (d *Driver) WritePage(lpn int, data []byte) error {
 		d.cfg.HotData.RecordWrite(uint32(lpn))
 		cold = !d.cfg.HotData.IsHot(uint32(lpn))
 	}
-	ppn, err := d.allocPage(cold)
+	ppn, err := d.allocProgram(lpn, data, cold)
 	if err != nil {
-		return err
-	}
-	if err := d.program(ppn, lpn, data); err != nil {
 		return err
 	}
 	d.counters.HostWrites++
 	d.commitMapping(lpn, ppn)
 	return nil
+}
+
+// maxProgramRetries bounds how many fresh pages a single logical write may
+// burn before the failure is surfaced; each retry lands in a different
+// block, so the bound is only reached under pathological fault schedules.
+const maxProgramRetries = 8
+
+// allocProgram allocates a page on the requested frontier and programs it,
+// rerouting to a fresh page when the program is rejected with an injected
+// fault. The failed page stays allocated but dead — garbage collection
+// reclaims it with the rest of its block — and the frontier is closed over
+// the failed block first, so the retry lands in a different block (a
+// grown-bad active block cannot absorb every attempt).
+func (d *Driver) allocProgram(lpn int, data []byte, gc bool) (int, error) {
+	for attempt := 0; ; attempt++ {
+		ppn, err := d.allocPage(gc)
+		if err != nil {
+			return 0, err
+		}
+		err = d.program(ppn, lpn, data)
+		if err == nil {
+			return ppn, nil
+		}
+		if !errors.Is(err, nand.ErrInjected) || attempt >= maxProgramRetries {
+			return 0, err
+		}
+		d.counters.ProgramRetries++
+		d.closeFrontierOver(ppn / d.ppb)
+	}
+}
+
+// closeFrontierOver retires block b as a write frontier so the next
+// allocation opens a different block.
+func (d *Driver) closeFrontierOver(b int) {
+	if d.hostActive == b {
+		d.hostActive = -1
+		d.state[b] = blockInUse
+	}
+	if d.gcActive == b {
+		d.gcActive = -1
+		d.state[b] = blockInUse
+	}
 }
 
 // program writes data+spare to a physical page. With ECC enabled and a

@@ -41,6 +41,9 @@ func (d *Driver) validPages(vba int) (valid, written int) {
 		written += n
 		for i := 0; i < n; i++ {
 			off := int(d.offsets[base+i])
+			if off == deadOffset {
+				continue // burnt slot: written but holds nothing
+			}
 			w, m := off>>6, uint64(1)<<uint(off&63)
 			if d.offScratch[w]&m == 0 {
 				d.offScratch[w] |= m
@@ -119,34 +122,32 @@ func (d *Driver) merge(vba int) error {
 	if oldP == noBlock && oldR == noBlock {
 		return nil
 	}
-	np, err := d.takeFreeBlock()
-	if err != nil {
-		return err
-	}
 	d.counters.Merges++
 	if d.copyBuf == nil {
 		d.copyBuf = make([]byte, d.dev.Info().Geometry.PageSize)
 	}
-	for off := 0; off < d.ppb; off++ {
-		src := d.findLatest(vba, off)
-		if src < 0 {
-			continue
-		}
-		if d.cfg.ECC {
-			// Scrub while merging: rot on the source page is repaired
-			// before the data moves to the new primary.
-			if _, err := d.readCorrected(src, d.copyBuf); err != nil {
-				return err
-			}
-		} else if _, err := d.dev.ReadPage(src, d.copyBuf, nil); err != nil {
+	np := noBlock
+	for attempt := 0; ; attempt++ {
+		b, err := d.takeFreeBlock()
+		if err != nil {
 			return err
 		}
-		if err := d.program(np*d.ppb+off, vba*d.ppb+off, d.copyBuf); err != nil {
+		ok, err := d.copyInto(vba, b)
+		if err != nil {
 			return err
 		}
-		d.counters.LiveCopies++
-		if d.inForced {
-			d.counters.ForcedCopies++
+		if ok {
+			np = b
+			break
+		}
+		// The new primary rejected a program even after retries (a grown-bad
+		// block): erase or retire it and restart on a fresh block. The
+		// sources are untouched, so no data is at risk.
+		if err := d.release(b); err != nil {
+			return err
+		}
+		if attempt >= 3 {
+			return fmt.Errorf("nftl: merge of virtual block %d kept failing: %w", vba, nand.ErrInjected)
 		}
 	}
 	// Commit the new primary before erasing the sources.
@@ -166,12 +167,50 @@ func (d *Driver) merge(vba int) error {
 	return nil
 }
 
-// release erases a block and returns it to the free pool, retiring it
-// instead when its endurance is exhausted on fail-on-wear chips.
+// copyInto copies the newest copy of every offset of the VBA into block np
+// at matching offsets. It reports ok=false when a program into np failed
+// even after retries — the caller then restarts the merge on another block.
+func (d *Driver) copyInto(vba, np int) (bool, error) {
+	for off := 0; off < d.ppb; off++ {
+		src := d.findLatest(vba, off)
+		if src < 0 {
+			continue
+		}
+		if d.cfg.ECC {
+			// Scrub while merging: rot on the source page is repaired
+			// before the data moves to the new primary.
+			if _, err := d.readCorrected(src, d.copyBuf); err != nil {
+				return false, err
+			}
+		} else if _, err := d.dev.ReadPage(src, d.copyBuf, nil); err != nil {
+			return false, err
+		}
+		if err := d.programRetry(np*d.ppb+off, vba*d.ppb+off, d.copyBuf); err != nil {
+			if errors.Is(err, nand.ErrInjected) {
+				return false, nil
+			}
+			return false, err
+		}
+		d.counters.LiveCopies++
+		if d.inForced {
+			d.counters.ForcedCopies++
+		}
+	}
+	return true, nil
+}
+
+// release erases a block and returns it to the free pool, retrying once on
+// injected transient faults and retiring the block when its endurance is
+// exhausted (on fail-on-wear chips) or the erase keeps failing.
 func (d *Driver) release(b int) error {
 	wasFree := d.role[b] == roleFree
-	if err := d.dev.EraseBlock(b); err != nil {
-		if errors.Is(err, nand.ErrWornOut) {
+	err := d.dev.EraseBlock(b)
+	if err != nil && errors.Is(err, nand.ErrInjected) {
+		d.counters.EraseRetries++
+		err = d.dev.EraseBlock(b)
+	}
+	if err != nil {
+		if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrInjected) {
 			d.role[b] = roleReserved
 			d.owner[b] = noBlock
 			d.counters.RetiredBlocks++

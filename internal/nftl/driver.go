@@ -65,9 +65,11 @@ type Counters struct {
 	ForcedSets    int64
 	ForcedErases  int64
 	ForcedCopies  int64
-	RetiredBlocks int64
-	ECCCorrected  int64 // single-bit errors repaired on reads
-	Refreshes     int64 // merges triggered by read refresh
+	RetiredBlocks  int64
+	ProgramRetries int64 // page programs retried after an injected fault
+	EraseRetries   int64 // erases retried after an injected fault
+	ECCCorrected   int64 // single-bit errors repaired on reads
+	Refreshes      int64 // merges triggered by read refresh
 }
 
 type blockRole uint8
@@ -80,6 +82,12 @@ const (
 )
 
 const noBlock = -1
+
+// deadOffset marks a replacement-block slot whose program failed (or, after
+// a remount, a slot that was never programmed): the slot is burnt, holds no
+// data, and counts as invalid for garbage collection. Block offsets are
+// always < pagesPerBlock, so the sentinel can never collide with a real one.
+const deadOffset = 0xFFFF
 
 // Driver is the NFTL instance over one MTD device. Not safe for concurrent
 // use.
@@ -313,34 +321,74 @@ func (d *Driver) WritePage(lpn int, data []byte) error {
 	}
 	primPPN := int(pb)*d.ppb + off
 	if !d.dev.IsPageProgrammed(primPPN) {
-		if err := d.program(primPPN, lpn, data); err != nil {
+		err := d.programRetry(primPPN, lpn, data)
+		if err == nil {
+			d.counters.HostWrites++
+			return nil
+		}
+		if !errors.Is(err, nand.ErrInjected) {
 			return err
 		}
-		d.counters.HostWrites++
-		return nil
+		// The in-place page is unusable (grown-bad primary or a persistent
+		// fault): route the write through the replacement path instead.
 	}
-	rb := d.replacement[vba]
-	if rb == noBlock {
-		b, err := d.takeFreeBlock()
-		if err != nil {
+	// A grown-bad replacement block can reject every slot; bound how many
+	// replacement blocks one write may consume before giving up.
+	for blocksTried := 0; blocksTried < 4; blocksTried++ {
+		rb := d.replacement[vba]
+		if rb == noBlock {
+			b, err := d.takeFreeBlock()
+			if err != nil {
+				return err
+			}
+			d.adopt(b, roleReplacement, vba)
+			d.replacement[vba] = int32(b)
+			rb = int32(b)
+		}
+		for int(d.replWrites[rb]) < d.ppb {
+			ppn := int(rb)*d.ppb + int(d.replWrites[rb])
+			err := d.programRetry(ppn, lpn, data)
+			if err == nil {
+				d.counters.HostWrites++
+				d.offsets[ppn] = uint16(off)
+				d.replWrites[rb]++
+				if int(d.replWrites[rb]) == d.ppb {
+					return d.merge(vba)
+				}
+				return nil
+			}
+			if !errors.Is(err, nand.ErrInjected) {
+				return err
+			}
+			// Burn the failed slot and advance to the next one.
+			d.offsets[ppn] = deadOffset
+			d.replWrites[rb]++
+		}
+		// Every remaining slot failed: fold the pair (freeing or retiring
+		// the bad replacement block) and try again with a fresh one.
+		if err := d.merge(vba); err != nil {
 			return err
 		}
-		d.adopt(b, roleReplacement, vba)
-		d.replacement[vba] = int32(b)
-		rb = int32(b)
 	}
-	slot := int(d.replWrites[rb])
-	ppn := int(rb)*d.ppb + slot
-	if err := d.program(ppn, lpn, data); err != nil {
-		return err
+	return fmt.Errorf("nftl: write of page %d kept failing: %w", lpn, nand.ErrInjected)
+}
+
+// programRetry programs one fixed physical page, retrying a couple of times
+// on injected transient faults — a rejected program leaves the page erased,
+// so the same page can be retried. A persistent failure (a grown-bad block)
+// is returned for the caller to route around.
+func (d *Driver) programRetry(ppn, lpn int, data []byte) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		err = d.program(ppn, lpn, data)
+		if err == nil || !errors.Is(err, nand.ErrInjected) {
+			return err
+		}
+		if attempt < 2 {
+			d.counters.ProgramRetries++
+		}
 	}
-	d.counters.HostWrites++
-	d.offsets[ppn] = uint16(off)
-	d.replWrites[rb]++
-	if int(d.replWrites[rb]) == d.ppb {
-		return d.merge(vba)
-	}
-	return nil
+	return err
 }
 
 // adopt assigns a block a role and owner.

@@ -2,6 +2,7 @@ package nftl
 
 import (
 	"errors"
+	"sort"
 
 	"flashswl/internal/mtd"
 	"flashswl/internal/nand"
@@ -88,7 +89,10 @@ func Mount(dev *mtd.Driver, cfg Config) (*Driver, error) {
 				maxSeq = info.Seq
 			}
 			for len(s.offsets) < p {
-				s.offsets = append(s.offsets, 0) // gap in a sparse primary
+				// A gap is a sparse primary page or a burnt replacement
+				// slot; it must not masquerade as a real offset (0), else a
+				// remounted dead slot would shadow the true offset-0 copy.
+				s.offsets = append(s.offsets, deadOffset)
 			}
 			s.offsets = append(s.offsets, uint16(off))
 			if off != p {
@@ -109,11 +113,6 @@ func Mount(dev *mtd.Driver, cfg Config) (*Driver, error) {
 	d.freeQueue = d.freeQueue[:0]
 	for vba, blocksOf := range claim {
 		primary, replacement := pickPair(scans, blocksOf)
-		if primary >= 0 && !scans[primary].inOrder && replacement < 0 {
-			// A lone out-of-order block is a replacement whose primary was
-			// erased mid-merge; keep it readable as the replacement.
-			replacement, primary = primary, -1
-		}
 		if primary >= 0 {
 			d.adopt(primary, rolePrimary, vba)
 			d.primary[vba] = int32(primary)
@@ -130,12 +129,24 @@ func Mount(dev *mtd.Driver, cfg Config) (*Driver, error) {
 	}
 	// Everything unclaimed returns to the free pool; occupied-but-unknown
 	// blocks are erased first, as firmware does with unrecognizable data.
+	// A block that will not erase — worn out, grown bad, or persistently
+	// faulted — is retired rather than handed out still holding data.
 	for b := 0; b < d.nblocks; b++ {
 		if d.role[b] != roleFree {
 			continue
 		}
 		if scans[b].occupied {
-			if err := d.dev.EraseBlock(b); err != nil && !errors.Is(err, nand.ErrWornOut) {
+			err := d.dev.EraseBlock(b)
+			if err != nil && errors.Is(err, nand.ErrInjected) {
+				d.counters.EraseRetries++
+				err = d.dev.EraseBlock(b)
+			}
+			if err != nil {
+				if errors.Is(err, nand.ErrWornOut) || errors.Is(err, nand.ErrInjected) {
+					d.role[b] = roleReserved
+					d.counters.RetiredBlocks++
+					continue
+				}
 				return nil, err
 			}
 			d.counters.Erases++
@@ -155,28 +166,69 @@ func Mount(dev *mtd.Driver, cfg Config) (*Driver, error) {
 	return d, nil
 }
 
-// pickPair chooses (primary, replacement) among a VBA's claimant blocks:
-// the block with the oldest write is the primary; among the rest the newest
-// is the replacement (older extras are stale pre-merge leftovers that stay
-// unclaimed). It returns -1 slots when absent.
+// pickPair chooses (primary, replacement) among a VBA's claimant blocks,
+// returning -1 for an absent slot; claimants assigned to neither slot stay
+// unclaimed and are erased back into the free pool.
+//
+// A healthy driver keeps at most two blocks per VBA, so extra claimants can
+// only be crash debris. Merge erases its source blocks strictly after the
+// new primary is fully programmed, which gives the recovery rules:
+//
+//   - Three or more claimants: a merge was cut before either source was
+//     erased. The newest block is the merge target — possibly torn — while
+//     the sources still hold every live page, so the target is discarded
+//     and the merge redone from the surviving pair.
+//   - Two claimants with an in-order (primary-shaped) oldest: the normal
+//     primary + replacement pair.
+//   - Two claimants with an out-of-order oldest: the true primary was
+//     already erased by a fold that was then cut. The newer block is kept
+//     only if it is primary-shaped and covers every live offset of the
+//     source (the fold completed); a torn fold target is discarded so the
+//     surviving replacement stays readable.
 func pickPair(scans []mountScan, blocks []int) (primary, replacement int) {
 	if len(blocks) == 0 {
 		return -1, -1
 	}
-	primary = blocks[0]
-	for _, b := range blocks[1:] {
-		if scans[b].minSeq < scans[primary].minSeq {
-			primary = b
+	sorted := append([]int(nil), blocks...)
+	sort.Slice(sorted, func(a, b int) bool { return scans[sorted[a]].minSeq < scans[sorted[b]].minSeq })
+	if len(sorted) > 2 {
+		sorted = sorted[:2] // drop the cut merge's possibly-torn target
+	}
+	oldest := sorted[0]
+	if len(sorted) == 1 {
+		if scans[oldest].inOrder {
+			return oldest, -1
+		}
+		return -1, oldest // a replacement whose primary was erased mid-merge
+	}
+	newest := sorted[1]
+	if scans[oldest].inOrder {
+		return oldest, newest
+	}
+	if scans[newest].inOrder {
+		if covers(scans[newest], scans[oldest]) {
+			return newest, -1 // completed fold: the source is fully superseded
+		}
+		return -1, oldest // torn fold target: keep the source
+	}
+	// Two replacement-shaped blocks cannot come from this driver; keep the
+	// one with the newest data.
+	return -1, newest
+}
+
+// covers reports whether the candidate primary block holds a copy of every
+// live offset of the replacement-shaped source block.
+func covers(target, source mountScan) bool {
+	have := make(map[uint16]bool, len(target.offsets))
+	for _, off := range target.offsets {
+		if off != deadOffset {
+			have[off] = true
 		}
 	}
-	replacement = -1
-	for _, b := range blocks {
-		if b == primary {
-			continue
-		}
-		if replacement < 0 || scans[b].minSeq > scans[replacement].minSeq {
-			replacement = b
+	for _, off := range source.offsets {
+		if off != deadOffset && !have[off] {
+			return false
 		}
 	}
-	return primary, replacement
+	return true
 }

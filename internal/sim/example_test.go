@@ -23,7 +23,7 @@ func Example() {
 			K:               0,
 			T:               10,
 			NoSpare:         true,
-			Seed:            7,
+			Seed:            9,
 			StopOnFirstWear: true,
 		}, sim.NewWorstCaseSource(1, 50, 300, time.Millisecond))
 		if err != nil {

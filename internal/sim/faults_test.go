@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"flashswl/internal/faultinject"
+)
+
+// TestLayersSurviveTransientFaults runs every layer under a 1e-3 transient
+// program/erase fault rate: the run must complete without a layer error, and
+// the retry counters must show the faults were absorbed, not skipped.
+func TestLayersSurviveTransientFaults(t *testing.T) {
+	for _, layer := range []LayerKind{FTL, NFTL, DFTL} {
+		cfg := worstCfg(layer, true, 10)
+		cfg.Endurance = 0 // unbounded: faults, not wear, are under test
+		cfg.MaxEvents = 30_000
+		cfg.Faults = &faultinject.Config{
+			Seed:            11,
+			ProgramFailRate: 1e-3,
+			EraseFailRate:   1e-3,
+		}
+		res, err := Run(cfg, worstSource())
+		if err != nil {
+			t.Fatalf("%v: %v", layer, err)
+		}
+		if res.Err != nil {
+			t.Errorf("%v: run ended early: %v", layer, res.Err)
+		}
+		if res.Faults.ProgramFaults == 0 || res.Faults.EraseFaults == 0 {
+			t.Errorf("%v: injector idle: %+v", layer, res.Faults)
+		}
+		if res.ProgramRetries == 0 {
+			t.Errorf("%v: no program retries despite %d injected program faults",
+				layer, res.Faults.ProgramFaults)
+		}
+		if res.EraseRetries == 0 {
+			t.Errorf("%v: no erase retries despite %d injected erase faults",
+				layer, res.Faults.EraseFaults)
+		}
+	}
+}
+
+// TestLayersRetireGrownBadBlocks runs a grown-bad campaign: blocks that stop
+// erasing must be retired and the run must still complete.
+func TestLayersRetireGrownBadBlocks(t *testing.T) {
+	for _, layer := range []LayerKind{FTL, NFTL, DFTL} {
+		cfg := worstCfg(layer, true, 10)
+		cfg.Endurance = 0
+		cfg.MaxEvents = 30_000
+		cfg.Faults = &faultinject.Config{
+			Seed:          5,
+			GrownBadEvery: 400,
+			MaxGrownBad:   4,
+		}
+		res, err := Run(cfg, worstSource())
+		if err != nil {
+			t.Fatalf("%v: %v", layer, err)
+		}
+		if res.Err != nil {
+			t.Errorf("%v: run ended early: %v", layer, res.Err)
+		}
+		if res.Faults.GrownBad == 0 {
+			t.Fatalf("%v: campaign never marked a block bad: %+v", layer, res.Faults)
+		}
+		if res.RetiredBlocks == 0 {
+			t.Errorf("%v: %d grown-bad blocks but none retired", layer, res.Faults.GrownBad)
+		}
+	}
+}
+
+// TestFaultFreeRunsUnchanged pins that attaching a zero-fault injector does
+// not perturb the simulation: identical results with and without it.
+func TestFaultFreeRunsUnchanged(t *testing.T) {
+	plain := worstCfg(FTL, true, 10)
+	plain.MaxEvents = 5000
+	p, err := Run(plain, worstSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := worstCfg(FTL, true, 10)
+	faulted.MaxEvents = 5000
+	faulted.Faults = &faultinject.Config{Seed: 3}
+	f, err := Run(faulted, worstSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Erases != f.Erases || p.LiveCopies != f.LiveCopies || p.PageWrites != f.PageWrites {
+		t.Errorf("zero-fault injector changed the run: %+v vs %+v", p, f)
+	}
+	if f.Faults.Ops == 0 {
+		t.Error("injector saw no operations")
+	}
+}
+
+// TestPowerCutStopsRun checks the mid-run cut surfaces as Result.Err with
+// the partial counters intact.
+func TestPowerCutStopsRun(t *testing.T) {
+	cfg := worstCfg(FTL, true, 10)
+	cfg.StoreData = true
+	cfg.Faults = &faultinject.Config{PowerCutAfter: 500}
+	res, err := Run(cfg, worstSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, ok := res.Err.(faultinject.PowerCut)
+	if !ok {
+		t.Fatalf("Err = %v, want a PowerCut", res.Err)
+	}
+	if cut.Ops != 500 {
+		t.Errorf("cut at op %d, want 500", cut.Ops)
+	}
+	if !res.Faults.PowerCut {
+		t.Error("fault stats must record the cut")
+	}
+	if res.PageWrites == 0 {
+		t.Error("partial results must survive the cut")
+	}
+}

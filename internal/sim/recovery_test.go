@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"flashswl/internal/faultinject"
+	"flashswl/internal/nand"
+)
+
+func recoveryGeometry() nand.Geometry {
+	return nand.Geometry{Blocks: 64, PagesPerBlock: 16, PageSize: 1024, SpareSize: 32}
+}
+
+// TestPowerCutSweep is the acceptance check for the crash-recovery subsystem:
+// across both mountable layers and a spread of cut points — including cuts
+// aimed at garbage collection, merges, and snapshot saves — the remount must
+// always succeed, every acknowledged write must read back, and the leveler
+// must resume from the newest decodable snapshot.
+func TestPowerCutSweep(t *testing.T) {
+	for _, layer := range []LayerKind{FTL, NFTL} {
+		for _, cut := range []int64{1, 17, 100, 350, 900, 2000, 4200, 7777, 12000} {
+			res, err := RunPowerCut(RecoveryConfig{
+				Geometry:      recoveryGeometry(),
+				Endurance:     200,
+				Layer:         layer,
+				K:             0,
+				T:             4,
+				Seed:          31,
+				Writes:        4000,
+				CutAfterOps:   cut,
+				SnapshotEvery: 200,
+			})
+			if err != nil {
+				t.Fatalf("%v cut=%d: %v", layer, cut, err)
+			}
+			if !res.Cut {
+				t.Fatalf("%v cut=%d: power cut never fired", layer, cut)
+			}
+			if res.CutOps != cut {
+				t.Errorf("%v cut=%d: fired at op %d", layer, cut, res.CutOps)
+			}
+			if res.LostPages != 0 {
+				t.Errorf("%v cut=%d: lost %d acknowledged pages (%d verified)",
+					layer, cut, res.LostPages, res.VerifiedPages)
+			}
+			if res.VerifiedPages == 0 && res.AckedWrites > 0 {
+				t.Errorf("%v cut=%d: nothing verified from %d acked writes",
+					layer, cut, res.AckedWrites)
+			}
+			if res.LastSavedSeq > 0 {
+				if !res.LevelerRestored {
+					t.Errorf("%v cut=%d: snapshot seq %d saved but leveler not restored",
+						layer, cut, res.LastSavedSeq)
+				} else if res.RestoredSeq < res.LastSavedSeq {
+					t.Errorf("%v cut=%d: restored seq %d older than completed save %d",
+						layer, cut, res.RestoredSeq, res.LastSavedSeq)
+				}
+			}
+		}
+	}
+}
+
+// TestPowerCutWithTransientFaults layers a transient-fault schedule under
+// the cut: retries and retirements must not break recovery guarantees.
+func TestPowerCutWithTransientFaults(t *testing.T) {
+	for _, layer := range []LayerKind{FTL, NFTL} {
+		for _, seed := range []int64{2, 9, 40} {
+			res, err := RunPowerCut(RecoveryConfig{
+				Geometry:      recoveryGeometry(),
+				Endurance:     200,
+				Layer:         layer,
+				K:             0,
+				T:             4,
+				Seed:          seed,
+				Writes:        4000,
+				CutAfterOps:   3000,
+				SnapshotEvery: 250,
+				Faults: &faultinject.Config{
+					ProgramFailRate: 1e-3,
+					EraseFailRate:   1e-3,
+				},
+			})
+			if err != nil {
+				t.Fatalf("%v seed=%d: %v", layer, seed, err)
+			}
+			if res.LostPages != 0 {
+				t.Errorf("%v seed=%d: lost %d pages under faults", layer, seed, res.LostPages)
+			}
+			if res.Faults.ProgramFaults+res.Faults.EraseFaults == 0 {
+				t.Errorf("%v seed=%d: fault schedule never fired", layer, seed)
+			}
+		}
+	}
+}
+
+// TestRecoveryWithoutCut runs the same harness to completion (no cut): a
+// clean remount must verify everything and resume the newest snapshot.
+func TestRecoveryWithoutCut(t *testing.T) {
+	for _, layer := range []LayerKind{FTL, NFTL} {
+		res, err := RunPowerCut(RecoveryConfig{
+			Geometry:      recoveryGeometry(),
+			Endurance:     200,
+			Layer:         layer,
+			K:             0,
+			T:             4,
+			Seed:          8,
+			Writes:        2000,
+			SnapshotEvery: 100,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", layer, err)
+		}
+		if res.Cut {
+			t.Fatalf("%v: cut fired without a schedule", layer)
+		}
+		if res.AckedWrites != 2000 {
+			t.Errorf("%v: acked %d of 2000 writes on a fault-free run", layer, res.AckedWrites)
+		}
+		if res.LostPages != 0 {
+			t.Errorf("%v: clean shutdown lost %d pages", layer, res.LostPages)
+		}
+		if !res.LevelerRestored || res.RestoredSeq != res.LastSavedSeq {
+			t.Errorf("%v: leveler restored=%v seq=%d, want newest save %d",
+				layer, res.LevelerRestored, res.RestoredSeq, res.LastSavedSeq)
+		}
+	}
+}
+
+// TestRecoveryConfigValidation covers the harness's input checks.
+func TestRecoveryConfigValidation(t *testing.T) {
+	if _, err := RunPowerCut(RecoveryConfig{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := RunPowerCut(RecoveryConfig{
+		Geometry: recoveryGeometry(), Layer: DFTL, T: 4, Writes: 10,
+	}); err == nil {
+		t.Error("DFTL has no remount path and must be rejected")
+	}
+	if _, err := RunPowerCut(RecoveryConfig{
+		Geometry: recoveryGeometry(), Layer: FTL, T: 4,
+	}); err == nil {
+		t.Error("zero writes must fail")
+	}
+}

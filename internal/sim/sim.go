@@ -9,10 +9,13 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"time"
 
 	"flashswl/internal/core"
 	"flashswl/internal/dftl"
+	"flashswl/internal/faultinject"
 	"flashswl/internal/ftl"
 	"flashswl/internal/mtd"
 	"flashswl/internal/nand"
@@ -100,6 +103,11 @@ type Config struct {
 	// DFTLCache is the DFTL layer's translation-page cache budget (0 =
 	// package default).
 	DFTLCache int
+	// Faults, when non-nil, attaches a deterministic fault injector to the
+	// chip (transient program/erase failures, grown-bad blocks, bit flips,
+	// power cuts). The config is copied, so one template may parameterize
+	// many parallel runs.
+	Faults *faultinject.Config
 	// MaxEvents bounds the run by trace events (0 = unbounded).
 	MaxEvents int64
 	// MaxSimTime bounds the run by simulated time (0 = unbounded).
@@ -134,6 +142,14 @@ type Result struct {
 	EraseStats  stats.Running
 	// WornBlocks is how many blocks exceeded their endurance.
 	WornBlocks int
+	// ProgramRetries and EraseRetries count transient faults the layer
+	// recovered from; RetiredBlocks counts blocks it withdrew from service
+	// (worn out or unerasable).
+	ProgramRetries int64
+	EraseRetries   int64
+	RetiredBlocks  int64
+	// Faults reports the injector's activity when Config.Faults was set.
+	Faults faultinject.Stats
 	// Leveler carries the SW Leveler's own activity counters when enabled.
 	Leveler core.Stats
 	// Err records a layer failure (e.g. device full) that ended the run
@@ -160,13 +176,16 @@ func (r *Result) EraseRatio(baseline *Result) float64 {
 }
 
 // CopyRatio returns this run's live-page copyings relative to a baseline
-// run, as a percentage (Figure 7).
+// run, as a percentage (Figure 7). When the baseline made no copies at all
+// the ratio is undefined: any copying is infinitely worse than none, so the
+// method returns +Inf (or 100 when this run also made none). Callers that
+// hit the sentinel should report r.LiveCopies absolutely instead.
 func (r *Result) CopyRatio(baseline *Result) float64 {
 	if baseline.LiveCopies == 0 {
 		if r.LiveCopies == 0 {
 			return 100
 		}
-		return 100 + 100*float64(r.LiveCopies)
+		return math.Inf(1)
 	}
 	return 100 * float64(r.LiveCopies) / float64(baseline.LiveCopies)
 }
@@ -186,6 +205,7 @@ type Runner struct {
 	chip    *nand.Chip
 	layer   Layer
 	leveler Leveler
+	inj     *faultinject.Injector
 	spp     int // sectors per page
 
 	now       time.Duration
@@ -203,11 +223,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if r.spp < 1 {
 		r.spp = 1
 	}
+	var hook func(op nand.Op, block, page int) error
+	if cfg.Faults != nil {
+		r.inj = faultinject.New(*cfg.Faults)
+		hook = r.inj.Hook
+	}
 	r.chip = nand.New(nand.Config{
 		Geometry:  cfg.Geometry,
 		Cell:      cfg.Cell,
 		Endurance: cfg.Endurance,
 		StoreData: cfg.StoreData,
+		FaultHook: hook,
 		OnWear: func(block int) {
 			r.worn++
 			if r.firstWear < 0 {
@@ -215,6 +241,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 			}
 		},
 	})
+	if r.inj != nil {
+		r.inj.BindChip(r.chip)
+	}
 	dev := mtd.New(r.chip)
 	logicalPages := 0
 	if cfg.LogicalSectors > 0 {
@@ -265,7 +294,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			seed = 1
 		}
 		rng := newSplitMix(uint64(seed))
-		randFn := func(n int) int { return int(rng.next() % uint64(n)) }
+		randFn := rng.intn
 		var lv Leveler
 		var err error
 		if cfg.Periodic {
@@ -306,13 +335,63 @@ func (r *Runner) Chip() *nand.Chip { return r.chip }
 // Leveler returns the attached wear leveler, or nil.
 func (r *Runner) Leveler() Leveler { return r.leveler }
 
+// Injector returns the fault injector, or nil when Config.Faults was unset.
+func (r *Runner) Injector() *faultinject.Injector { return r.inj }
+
 // Run consumes the source until a stop condition and reports the results.
 // A layer error (such as running out of space on a worn-out device) stops
 // the run and is recorded in Result.Err rather than returned, since partial
 // endurance results are exactly what the experiments need.
 func (r *Runner) Run(src trace.Source) (*Result, error) {
 	res := &Result{FirstWear: -1}
-	var runErr error
+	runErr := r.drive(src, res)
+
+	res.SimTime = r.now
+	res.FirstWear = r.firstWear
+	res.WornBlocks = r.worn
+	res.EraseCounts = r.chip.EraseCounts(nil)
+	res.EraseStats = stats.Summarize(res.EraseCounts)
+	switch l := r.layer.(type) {
+	case *ftl.Driver:
+		c := l.Counters()
+		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies, c.GCRuns
+		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
+		res.ProgramRetries, res.EraseRetries, res.RetiredBlocks = c.ProgramRetries, c.EraseRetries, c.RetiredBlocks
+	case *nftl.Driver:
+		c := l.Counters()
+		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies, c.GCRuns
+		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
+		res.ProgramRetries, res.EraseRetries, res.RetiredBlocks = c.ProgramRetries, c.EraseRetries, c.RetiredBlocks
+	case *dftl.Driver:
+		c := l.Counters()
+		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies+c.TPageCopies, c.GCRuns
+		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
+		res.ProgramRetries, res.EraseRetries, res.RetiredBlocks = c.ProgramRetries, c.EraseRetries, c.RetiredBlocks
+	}
+	if r.leveler != nil {
+		res.Leveler = r.leveler.Stats()
+	}
+	if r.inj != nil {
+		res.Faults = r.inj.Stats()
+	}
+	res.Err = runErr
+	return res, nil
+}
+
+// drive consumes the source until a stop condition, recording trace-driven
+// work in res. An injected power cut panics out of whatever flash primitive
+// it lands on; drive converts that into an ordinary error so the caller can
+// inspect the chip exactly as a remount would find it.
+func (r *Runner) drive(src trace.Source, res *Result) (runErr error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			cut, ok := faultinject.AsPowerCut(rec)
+			if !ok {
+				panic(rec)
+			}
+			runErr = cut
+		}
+	}()
 
 loop:
 	for {
@@ -360,31 +439,7 @@ loop:
 			break
 		}
 	}
-
-	res.SimTime = r.now
-	res.FirstWear = r.firstWear
-	res.WornBlocks = r.worn
-	res.EraseCounts = r.chip.EraseCounts(nil)
-	res.EraseStats = stats.Summarize(res.EraseCounts)
-	switch l := r.layer.(type) {
-	case *ftl.Driver:
-		c := l.Counters()
-		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies, c.GCRuns
-		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
-	case *nftl.Driver:
-		c := l.Counters()
-		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies, c.GCRuns
-		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
-	case *dftl.Driver:
-		c := l.Counters()
-		res.Erases, res.LiveCopies, res.GCRuns = c.Erases, c.LiveCopies+c.TPageCopies, c.GCRuns
-		res.ForcedErases, res.ForcedCopies = c.ForcedErases, c.ForcedCopies
-	}
-	if r.leveler != nil {
-		res.Leveler = r.leveler.Stats()
-	}
-	res.Err = runErr
-	return res, nil
+	return runErr
 }
 
 // Run builds a runner for cfg and consumes src. See Runner.Run.
@@ -408,4 +463,23 @@ func (s *splitMix) next() uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n) using Lemire's multiply-shift
+// bounded sampling with rejection — a plain next()%n carries modulo bias
+// toward low values whenever n does not divide 2^64, which would skew the
+// leveler's random restart positions.
+func (s *splitMix) intn(n int) int {
+	if n <= 0 {
+		panic("sim: intn needs a positive bound")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.next(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.next(), un)
+		}
+	}
+	return int(hi)
 }
