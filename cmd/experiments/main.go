@@ -10,6 +10,8 @@
 //	experiments -only fig5       # one experiment: tab1..tab4, fig5..fig7
 //	experiments -quick           # miniature scale (seconds)
 //	experiments -full            # the paper's exact 1 GB configuration (very slow)
+//	experiments -series out/     # wear-trajectory CSVs, one per (layer, k, T) cell
+//	experiments -check           # run every cell with the invariant checker attached
 package main
 
 import (
@@ -31,6 +33,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit figures and Table 4 as CSV rows for plotting")
 	withDFTL := flag.Bool("dftl", false, "add the demand-paged DFTL layer to Figure 5 (beyond the paper)")
 	faults := flag.Bool("faults", false, "inject a 1e-3 transient program/erase fault rate into every run")
+	seriesDir := flag.String("series", "", "also run the wear-trajectory sweep, writing one CSV per cell into this directory")
+	seriesSamples := flag.Int("samples", 200, "target number of wear samples per trajectory (-series)")
+	check := flag.Bool("check", false, "attach the invariant checker to every run; any violation fails the experiment")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -50,6 +55,7 @@ func main() {
 			EraseFailRate:   1e-3,
 		}
 	}
+	sc.CheckInvariants = *check
 	fmt.Printf("scale: %s — %s, endurance %d, T scale ×%g\n\n", sc.Name, sc.Geometry, sc.Endurance, sc.TFactor)
 	if sc.Faults != nil {
 		fmt.Printf("fault injection: program %g, erase %g (transient, seed %d)\n\n",
@@ -144,6 +150,18 @@ func main() {
 				fmt.Println(experiments.FormatSeries(s, fmt.Sprintf("Figure 7(%s)", layer), unit, experiments.PaperKs, experiments.PaperTs))
 			}
 		}
+	}
+
+	if *seriesDir != "" {
+		layers := []sim.LayerKind{sim.FTL, sim.NFTL}
+		if *withDFTL {
+			layers = append(layers, sim.DFTL)
+		}
+		names, err := experiments.WriteWearSeries(*seriesDir, sc, layers, experiments.PaperKs, experiments.PaperTs, *seriesSamples, *check)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wear series: %d trajectory CSVs -> %s\n", len(names), *seriesDir)
 	}
 
 	fmt.Printf("total runtime: %v\n", time.Since(start).Round(time.Millisecond))

@@ -9,6 +9,8 @@
 //	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
 //	swlsim -layer ftl -swl -pfail 1e-3 -efail 1e-3   # transient fault injection
 //	swlsim -layer nftl -cutafter 5000 -T 4  # power-cut/remount recovery check
+//	swlsim -layer ftl -swl -metrics out.jsonl       # JSONL event/metric stream
+//	swlsim -layer ftl -swl -check -sample 5000      # invariant checking + wear series
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"flashswl/internal/faultinject"
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 	"flashswl/internal/sim"
 	"flashswl/internal/stats"
 	"flashswl/internal/trace"
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	layerName := flag.String("layer", "ftl", "translation layer: ftl or nftl")
+	layerName := flag.String("layer", "ftl", "translation layer: ftl, nftl, or dftl")
 	swl := flag.Bool("swl", false, "enable static wear leveling")
 	k := flag.Int("k", 0, "BET mapping mode")
 	threshold := flag.Float64("T", 100, "unevenness threshold")
@@ -46,6 +49,9 @@ func main() {
 	maxBad := flag.Int("maxbad", 0, "cap on grown-bad blocks (0 = unlimited)")
 	flipEvery := flag.Int64("flipevery", 0, "flip a stored bit on every Nth read (0 = off)")
 	cutAfter := flag.Int64("cutafter", 0, "power-cut/recovery mode: cut after N flash ops, then remount and verify")
+	metricsPath := flag.String("metrics", "", "write the observability stream (events, wear samples, final metrics) as JSONL to this file")
+	sampleEvery := flag.Int64("sample", 0, "take a wear time-series sample every N trace events (0 = off; -metrics defaults it to 10000)")
+	check := flag.Bool("check", false, "attach the invariant checker; exit nonzero on any violation")
 	flag.Parse()
 
 	var layer sim.LayerKind
@@ -54,6 +60,8 @@ func main() {
 		layer = sim.FTL
 	case "nftl":
 		layer = sim.NFTL
+	case "dftl":
+		layer = sim.DFTL
 	default:
 		fmt.Fprintf(os.Stderr, "swlsim: unknown layer %q\n", *layerName)
 		os.Exit(2)
@@ -134,11 +142,44 @@ func main() {
 	} else {
 		cfg.StopOnFirstWear = true
 	}
+	var jw *obs.JSONLWriter
+	var jf *os.File
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+			os.Exit(1)
+		}
+		jf = f
+		jw = obs.NewJSONLWriter(f)
+		cfg.Sink = jw
+		cfg.Metrics = true
+		if *sampleEvery == 0 {
+			*sampleEvery = 10_000
+		}
+	}
+	cfg.SampleEvery = *sampleEvery
+	cfg.CheckInvariants = *check
 
-	res, err := sim.Run(cfg, src)
+	runner, err := sim.NewRunner(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
 		os.Exit(1)
+	}
+	res, err := runner.Run(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+		os.Exit(1)
+	}
+	if jw != nil {
+		jw.Metrics(runner.Registry())
+		if err := jw.Flush(); err == nil {
+			err = jf.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: writing %s: %v\n", *metricsPath, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("configuration:   %s  SWL=%v k=%d T=%g  %s endurance=%d\n",
@@ -160,6 +201,25 @@ func main() {
 		fmt.Printf("faults injected: %+v\n", res.Faults)
 		fmt.Printf("fault recovery:  %d program retries, %d erase retries, %d blocks retired\n",
 			res.ProgramRetries, res.EraseRetries, res.RetiredBlocks)
+	}
+	if *sampleEvery > 0 && len(res.Series) > 0 {
+		last := res.Series[len(res.Series)-1]
+		fmt.Printf("wear series:     %d samples (every %d events); final mean %.1f stddev %.1f max %d\n",
+			len(res.Series), *sampleEvery, last.MeanErase, last.StdDevErase, last.MaxErase)
+	}
+	if jw != nil {
+		fmt.Printf("metrics:         %d events + %d samples + 1 snapshot -> %s\n",
+			jw.Events(), len(res.Series), *metricsPath)
+	}
+	if *check {
+		violations := runner.InvariantChecker().ViolationCount()
+		fmt.Printf("invariants:      %d checkpoints, %d violations\n", res.InvariantChecks, violations)
+		for _, v := range res.InvariantViolations {
+			fmt.Fprintf(os.Stderr, "swlsim: %s\n", v.String())
+		}
+		if violations > 0 {
+			os.Exit(1)
+		}
 	}
 	if res.Err != nil {
 		fmt.Printf("ended early:     %v\n", res.Err)

@@ -11,7 +11,10 @@
 // paper's goal of requiring no modification to existing translation layers.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // BET is the Block Erasing Table: a bit array with one flag per set of 2^k
 // contiguous blocks, recording which block sets have had at least one erase
@@ -87,6 +90,18 @@ func (t *BET) Set(findex int) bool {
 // SetBlock sets the flag covering the given block, reporting whether the
 // flag was newly set.
 func (t *BET) SetBlock(bindex int) bool { return t.Set(t.SetIndex(bindex)) }
+
+// Recount returns the number of set flags by popcounting the flag words —
+// an O(size/64) recomputation of what Fcnt tracks incrementally. The
+// invariant checker cross-checks the two; any divergence means a flag was
+// set or cleared outside Set/Reset.
+func (t *BET) Recount() int {
+	n := 0
+	for _, w := range t.flags {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Reset clears every flag, beginning a new resetting interval.
 func (t *BET) Reset() {

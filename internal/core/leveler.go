@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"flashswl/internal/obs"
 )
 
 // Cleaner is the view the SW Leveler has of the hosting Flash Translation
@@ -63,6 +65,12 @@ type Config struct {
 	// resetting interval, so the cyclic scan never waits on a flag that
 	// can never be set.
 	Exclude []int
+	// Observer, if non-nil, receives an EvLevelerTriggered event at every
+	// SWL-Procedure decision point (immediately before EraseBlockSet,
+	// carrying the selected flag index, the scan distance, and the
+	// ecnt/fcnt state it acted on) and an EvBETReset event when a
+	// resetting interval completes. Leave nil for zero overhead.
+	Observer obs.EventSink
 }
 
 // Stats counts leveler activity since construction.
@@ -224,6 +232,12 @@ func (l *Leveler) Level() error {
 			l.bet.Reset()                   // step 7
 			l.applyPresets()
 			l.stats.Resets++
+			if l.cfg.Observer != nil {
+				l.cfg.Observer.Observe(obs.Event{
+					Kind: obs.EvBETReset, Block: -1, Page: -1,
+					Findex: l.findex, Fcnt: l.bet.Fcnt(),
+				})
+			}
 			break // step 8: start the next resetting interval
 		}
 		start := l.findex
@@ -236,6 +250,16 @@ func (l *Leveler) Level() error {
 		}
 		l.findex = next
 		before := l.bet.Fcnt()
+		if l.cfg.Observer != nil {
+			scan := next - start
+			if scan < 0 {
+				scan += l.bet.Size()
+			}
+			l.cfg.Observer.Observe(obs.Event{
+				Kind: obs.EvLevelerTriggered, Block: -1, Page: -1,
+				Findex: next, Scan: scan, Ecnt: l.ecnt, Fcnt: before,
+			})
+		}
 		if err := l.cleaner.EraseBlockSet(l.findex, l.cfg.K); err != nil { // step 11
 			return fmt.Errorf("core: static wear leveling of block set %d: %w", l.findex, err)
 		}

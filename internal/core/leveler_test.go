@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"flashswl/internal/obs"
 )
 
 // fakeCleaner records EraseBlockSet requests and, unless silent, reports one
@@ -390,5 +392,123 @@ func TestSelectRandomPolicy(t *testing.T) {
 		if l.BET().Size() <= call[0] {
 			t.Fatalf("recycled set %d out of range", call[0])
 		}
+	}
+}
+
+func TestLevelEmitsObserverEvents(t *testing.T) {
+	var events []obs.Event
+	sink := obs.SinkFunc(func(e obs.Event) { events = append(events, e) })
+	c := &fakeCleaner{}
+	l, err := NewLeveler(Config{Blocks: 8, K: 0, Threshold: 10, Observer: sink, Rand: rand.New(rand.NewSource(1)).Intn}, c)
+	if err != nil {
+		t.Fatalf("NewLeveler: %v", err)
+	}
+	c.l = l
+	for i := 0; i < 40; i++ {
+		l.OnErase(0)
+	}
+	if err := l.Level(); err != nil {
+		t.Fatalf("Level: %v", err)
+	}
+	// Same workload as TestLevelRecyclesColdSetsUntilEven: 4 recycles.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+	for i, e := range events {
+		if e.Kind != obs.EvLevelerTriggered {
+			t.Fatalf("event %d kind = %v", i, e.Kind)
+		}
+		if e.Findex != i+1 {
+			t.Errorf("event %d findex = %d, want %d", i, e.Findex, i+1)
+		}
+		if e.Fcnt != i+1 { // flag 0 set, plus one per prior recycle
+			t.Errorf("event %d fcnt = %d, want %d", i, e.Fcnt, i+1)
+		}
+		if e.Ecnt != int64(40+i) {
+			t.Errorf("event %d ecnt = %d, want %d", i, e.Ecnt, 40+i)
+		}
+	}
+	// The first selection scans from findex 0 (set) to flag 1: distance 1.
+	if events[0].Scan != 1 {
+		t.Errorf("first scan length = %d, want 1", events[0].Scan)
+	}
+
+	// Drive the interval to a reset and expect exactly one EvBETReset
+	// carrying the post-reset fcnt (0 here: no presets).
+	events = nil
+	for i := 0; i < 2000 && l.Stats().Resets == 0; i++ {
+		l.OnErase(7)
+		if err := l.Level(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if l.Stats().Resets == 0 {
+		t.Fatal("never reset")
+	}
+	resets := 0
+	for _, e := range events {
+		if e.Kind == obs.EvBETReset {
+			resets++
+			if e.Fcnt != 0 {
+				t.Errorf("post-reset fcnt = %d, want 0", e.Fcnt)
+			}
+		}
+	}
+	if resets != int(l.Stats().Resets) {
+		t.Errorf("EvBETReset events = %d, Stats().Resets = %d", resets, l.Stats().Resets)
+	}
+}
+
+func TestBETRecountMatchesFcnt(t *testing.T) {
+	bet := NewBET(1000, 2)
+	if bet.Recount() != 0 {
+		t.Fatalf("fresh Recount = %d", bet.Recount())
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		bet.SetBlock(r.Intn(1000))
+		if bet.Recount() != bet.Fcnt() {
+			t.Fatalf("after %d sets: Recount %d != Fcnt %d", i+1, bet.Recount(), bet.Fcnt())
+		}
+	}
+	bet.Reset()
+	if bet.Recount() != 0 || bet.Fcnt() != 0 {
+		t.Fatalf("post-reset: Recount %d, Fcnt %d", bet.Recount(), bet.Fcnt())
+	}
+}
+
+// BenchmarkBETUpdate measures SWL-BETUpdate (Algorithm 2): one ecnt bump and
+// one bit set. This runs on every block erase in the system, so it must be a
+// handful of nanoseconds and allocation-free.
+func BenchmarkBETUpdate(b *testing.B) {
+	c := &fakeCleaner{}
+	l, err := NewLeveler(Config{Blocks: 4096, K: 2, Threshold: 1e18}, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.l = l
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.OnErase(i & 4095)
+	}
+}
+
+// BenchmarkLevelerTrigger measures a full SWL-Procedure pass under sustained
+// skew — the scan/select/recycle loop plus interval resets — with a cleaner
+// that reports erases but does no copying, isolating the leveler's own cost.
+func BenchmarkLevelerTrigger(b *testing.B) {
+	c := &fakeCleaner{}
+	l, err := NewLeveler(Config{Blocks: 4096, K: 2, Threshold: 4, Rand: rand.New(rand.NewSource(9)).Intn}, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.l = l
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.OnErase(0)
+		if err := l.Level(); err != nil {
+			b.Fatal(err)
+		}
+		c.calls = c.calls[:0] // don't let the recording grow unboundedly
 	}
 }

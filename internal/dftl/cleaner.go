@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 )
 
 // The Cleaner mirrors the ftl package's greedy cost-benefit discipline, with
@@ -69,6 +70,7 @@ func (d *Driver) recycle(b int) error {
 	if d.state[b] == blockActive || d.state[b] == blockReserved {
 		return fmt.Errorf("dftl: recycle of block %d in state %d", b, d.state[b])
 	}
+	copied := 0
 	for p := 0; p < int(d.written[b]); p++ {
 		ppn := b*d.ppb + p
 		owner := d.rmap[ppn]
@@ -91,6 +93,7 @@ func (d *Driver) recycle(b int) error {
 			d.rmap[ppn] = invalidPPN
 			d.valid[b]--
 			d.counters.TPageCopies++
+			copied++
 			if d.inForced {
 				d.counters.ForcedCopies++
 			}
@@ -114,9 +117,13 @@ func (d *Driver) recycle(b int) error {
 		d.rmap[ppn] = invalidPPN
 		d.valid[b]--
 		d.counters.LiveCopies++
+		copied++
 		if d.inForced {
 			d.counters.ForcedCopies++
 		}
+	}
+	if copied > 0 {
+		d.emit(obs.EvPagesCopied, b, copied)
 	}
 	return d.eraseToFree(b)
 }
@@ -137,6 +144,7 @@ func (d *Driver) eraseToFree(b int) error {
 			if wasFree {
 				d.freeCnt--
 			}
+			d.emit(obs.EvBlockRetired, b, 0)
 			return nil
 		}
 		return err
@@ -155,6 +163,7 @@ func (d *Driver) eraseToFree(b int) error {
 		d.freeCnt++
 		d.freeQ = append(d.freeQ, int32(b))
 	}
+	d.emit(obs.EvBlockErased, b, 0)
 	if d.onErase != nil {
 		d.onErase(b)
 	}

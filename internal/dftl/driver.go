@@ -20,6 +20,7 @@ import (
 
 	"flashswl/internal/mtd"
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 )
 
 // Sentinel errors.
@@ -58,15 +59,15 @@ type Config struct {
 // flash traffic the demand-paged mapping costs, and the cache fields its
 // effectiveness.
 type Counters struct {
-	HostReads     int64
-	HostWrites    int64
-	GCRuns        int64
-	Erases        int64
-	LiveCopies    int64 // data pages copied during recycling
-	TPageCopies   int64 // translation pages copied during recycling
-	ForcedSets    int64
-	ForcedErases  int64
-	ForcedCopies  int64
+	HostReads      int64
+	HostWrites     int64
+	GCRuns         int64
+	Erases         int64
+	LiveCopies     int64 // data pages copied during recycling
+	TPageCopies    int64 // translation pages copied during recycling
+	ForcedSets     int64
+	ForcedErases   int64
+	ForcedCopies   int64
 	TPageReads     int64 // cache-miss loads from flash
 	TPageWrites    int64 // dirty evictions and updates written to flash
 	CacheHits      int64
@@ -127,6 +128,7 @@ type Driver struct {
 	forcedDone         []bool
 
 	onErase  func(block int)
+	observer obs.EventSink
 	inForced bool
 	counters Counters
 	spareBuf [nand.SpareInfoSize]byte
@@ -233,6 +235,18 @@ func (d *Driver) MappingRAM() int {
 
 // SetOnErase registers the erase observer (the SW Leveler's OnErase).
 func (d *Driver) SetOnErase(fn func(block int)) { d.onErase = fn }
+
+// SetObserver registers an event sink for cleaner activity (block erases,
+// retirements, copy batches). Pass nil to remove it.
+func (d *Driver) SetObserver(s obs.EventSink) { d.observer = s }
+
+// emit reports a cleaner event; Forced tags SW Leveler-driven work.
+func (d *Driver) emit(kind obs.EventKind, block, pages int) {
+	if d.observer == nil {
+		return
+	}
+	d.observer.Observe(obs.Event{Kind: kind, Block: block, Page: -1, Pages: pages, Forced: d.inForced, Findex: -1})
+}
 
 // shadowOf returns (allocating lazily) the authoritative entry slice of a
 // translation page.

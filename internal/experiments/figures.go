@@ -87,8 +87,18 @@ func runToFailure(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64
 	if err != nil {
 		return nil, err
 	}
+	return checkRun(res)
+}
+
+// checkRun fails a completed cell on a run error or (when the scale attached
+// the invariant checker) on any recorded invariant violation.
+func checkRun(res *sim.Result) (*sim.Result, error) {
 	if res.Err != nil {
 		return nil, fmt.Errorf("experiments: run failed after %d events: %w", res.Events, res.Err)
+	}
+	if n := len(res.InvariantViolations); n > 0 {
+		return nil, fmt.Errorf("experiments: run violated invariants %d times, first: %s",
+			n, res.InvariantViolations[0].String())
 	}
 	return res, nil
 }
@@ -102,10 +112,7 @@ func runAged(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*s
 	if err != nil {
 		return nil, err
 	}
-	if res.Err != nil {
-		return nil, fmt.Errorf("experiments: run failed after %d events: %w", res.Events, res.Err)
-	}
-	return res, nil
+	return checkRun(res)
 }
 
 // Figure5 reproduces one sub-figure of Figure 5: the first failure time (in

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashswl/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// instead when the -update flag is set. The simulator is fully deterministic
+// (fixed seeds, its own splitmix RNG, no wall-clock input), so CSV output is
+// reproducible byte for byte across platforms.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiments -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file (re-run with -update if the change is intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// goldenGrid is a reduced sweep — the paper grid's corners — so the golden
+// runs stay fast while still covering baseline rows, both k extremes, and
+// both T extremes.
+var (
+	goldenKs = []int{0, 3}
+	goldenTs = []float64{100, 1000}
+)
+
+func TestFigure5CSVGolden(t *testing.T) {
+	sc := QuickScale()
+	s, err := Figure5(sc, sim.FTL, goldenKs, goldenTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5_ftl_quick.csv", SeriesCSV("fig5", s, goldenKs, goldenTs))
+}
+
+func TestTable4CSVGolden(t *testing.T) {
+	sc := QuickScale()
+	sc.CheckInvariants = true // the golden sweep doubles as an invariant run
+	aged, err := RunAged(sc, goldenKs, goldenTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4_quick.csv", Table4CSV(aged.Table4()))
+	checkGolden(t, "fig6_ftl_quick.csv", SeriesCSV("fig6", aged.Figure6(sim.FTL), goldenKs, goldenTs))
+}
+
+func TestWearSeriesCSVGolden(t *testing.T) {
+	sc := QuickScale()
+	res, err := WearTrajectory(sc, sim.FTL, true, 0, 100, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 2 {
+		t.Fatalf("trajectory produced %d samples, want several", len(res.Series))
+	}
+	checkGolden(t, "wear_ftl_quick.csv", WearSeriesCSV(res.Series))
+}

@@ -55,6 +55,9 @@ type Scale struct {
 	// into every run of every experiment (each cell builds its own
 	// injector from this template, so parallel cells stay independent).
 	Faults *faultinject.Config
+	// CheckInvariants attaches the observability invariant checker to
+	// every run; any violation fails the experiment.
+	CheckInvariants bool
 }
 
 // DefaultScale is a laptop-friendly configuration: a 256-block device with
@@ -164,18 +167,19 @@ func (sc Scale) aging() time.Duration {
 // config assembles a sim.Config for one cell.
 func (sc Scale) config(layer sim.LayerKind, swl bool, k int, paperT float64) sim.Config {
 	return sim.Config{
-		Geometry:       sc.Geometry,
-		Cell:           nand.MLC2,
-		Endurance:      sc.Endurance,
-		Layer:          layer,
-		LogicalSectors: sc.LogicalSectors,
-		SWL:            swl,
-		K:              k,
-		T:              sc.scaledT(paperT),
-		NoSpare:        true,
-		Seed:           sc.Seed,
-		Faults:         sc.Faults,
-		MaxEvents:      sc.MaxEvents,
+		Geometry:        sc.Geometry,
+		Cell:            nand.MLC2,
+		Endurance:       sc.Endurance,
+		Layer:           layer,
+		LogicalSectors:  sc.LogicalSectors,
+		SWL:             swl,
+		K:               k,
+		T:               sc.scaledT(paperT),
+		NoSpare:         true,
+		Seed:            sc.Seed,
+		Faults:          sc.Faults,
+		MaxEvents:       sc.MaxEvents,
+		CheckInvariants: sc.CheckInvariants,
 	}
 }
 

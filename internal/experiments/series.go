@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+)
+
+// Wear trajectories: the paper's evaluation reports end-of-run aggregates
+// (Table 4, Figures 5–7), but the mechanism it argues for — unevenness held
+// below T by periodic leveling — is a property of the path, not the
+// endpoint. These runs enable the harness's periodic wear sampler and dump
+// each configuration's erase-count distribution over simulated time as one
+// CSV per cell, ready for plotting.
+
+// WearTrajectory runs one fixed-aging-span configuration with the wear
+// sampler enabled, aiming for roughly `samples` points across the span, and
+// returns the run. With check set, the observability invariant checker rides
+// along and any violation fails the run.
+func WearTrajectory(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64, samples int, check bool) (*sim.Result, error) {
+	cfg := sc.config(layer, swl, k, paperT)
+	cfg.MaxSimTime = sc.aging()
+	cfg.SampleEvery = sc.sampleEvery(samples)
+	cfg.CheckInvariants = cfg.CheckInvariants || check
+	res, err := sim.Run(cfg, sc.source())
+	if err != nil {
+		return nil, err
+	}
+	return checkRun(res)
+}
+
+// sampleEvery estimates the event period giving `samples` wear samples over
+// the aging span, from the workload model's request rates.
+func (sc Scale) sampleEvery(samples int) int64 {
+	if samples < 1 {
+		samples = 1
+	}
+	rate := sc.Model.WriteRate + sc.Model.ReadRate
+	total := rate * sc.aging().Seconds()
+	every := int64(total) / int64(samples)
+	if every < 1 {
+		every = 1
+	}
+	return every
+}
+
+// WearSeriesCSV renders a run's wear trajectory as CSV rows with a header.
+func WearSeriesCSV(series []obs.WearSample) string {
+	var b strings.Builder
+	b.WriteString("events,sim_hours,mean_erase,stddev_erase,min_erase,max_erase,erases,worn_blocks,free_blocks,ecnt,fcnt,unevenness\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%.4f\n",
+			s.Events, s.SimTime.Hours(), s.MeanErase, s.StdDevErase, s.MinErase, s.MaxErase,
+			s.Erases, s.WornBlocks, s.FreeBlocks, s.Ecnt, s.Fcnt, s.Unevenness)
+	}
+	return b.String()
+}
+
+// WriteWearSeries runs the wear-trajectory sweep — per layer, a baseline
+// plus every (k, T) cell — and writes one CSV per run into dir, creating it
+// if needed. It returns the written file names (relative to dir) in a
+// deterministic order. The sweep parallelizes across cells like the figure
+// sweeps.
+func WriteWearSeries(dir string, sc Scale, layers []sim.LayerKind, ks []int, ts []float64, samples int, check bool) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		name  string
+		layer sim.LayerKind
+		swl   bool
+		k     int
+		t     float64
+	}
+	var cells []cell
+	for _, layer := range layers {
+		cells = append(cells, cell{fmt.Sprintf("wear_%s_base.csv", layer), layer, false, 0, 0})
+		for _, t := range ts {
+			for _, k := range ks {
+				cells = append(cells, cell{fmt.Sprintf("wear_%s_k%d_T%.0f.csv", layer, k, t), layer, true, k, t})
+			}
+		}
+	}
+	err := forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		res, err := WearTrajectory(sc, c.layer, c.swl, c.k, c.t, samples, check)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, c.name), []byte(WearSeriesCSV(res.Series)), 0o644)
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(cells))
+	for i, c := range cells {
+		names[i] = c.name
+	}
+	return names, nil
+}

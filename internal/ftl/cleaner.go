@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 )
 
 // The Cleaner: greedy garbage collection with a cyclic scan (paper §5.1).
@@ -82,6 +83,7 @@ func (d *Driver) recycle(b int) error {
 	if d.copyBuf == nil {
 		d.copyBuf = make([]byte, d.dev.Info().Geometry.PageSize)
 	}
+	copied := 0
 	for p := 0; p < int(d.written[b]); p++ {
 		ppn := b*d.ppb + p
 		lpn := d.rmap[ppn]
@@ -108,9 +110,13 @@ func (d *Driver) recycle(b int) error {
 		d.rmap[ppn] = invalidPPN
 		d.valid[b]--
 		d.counters.LiveCopies++
+		copied++
 		if d.inForced {
 			d.counters.ForcedCopies++
 		}
+	}
+	if copied > 0 {
+		d.emit(obs.EvPagesCopied, b, copied)
 	}
 	return d.eraseToFree(b)
 }
@@ -134,6 +140,7 @@ func (d *Driver) eraseToFree(b int) error {
 			if wasFree {
 				d.freeCount--
 			}
+			d.emit(obs.EvBlockRetired, b, 0)
 			return nil
 		}
 		return err
@@ -152,6 +159,7 @@ func (d *Driver) eraseToFree(b int) error {
 		d.freeCount++
 		d.freeQueue = append(d.freeQueue, int32(b))
 	}
+	d.emit(obs.EvBlockErased, b, 0)
 	if d.onErase != nil {
 		d.onErase(b)
 	}

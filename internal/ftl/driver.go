@@ -20,6 +20,7 @@ import (
 	"flashswl/internal/hotdata"
 	"flashswl/internal/mtd"
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 )
 
 // Sentinel errors.
@@ -100,14 +101,14 @@ func (c *Config) setDefaults(available, ppb int) {
 // on behalf of the SW Leveler's EraseBlockSet calls, which is exactly the
 // "extra overhead" the paper's Section 4 and Figures 6–7 quantify.
 type Counters struct {
-	HostReads     int64 // pages read for the host
-	HostWrites    int64 // pages written for the host
-	GCRuns        int64 // cleaner invocations from the free-space watermark
-	Erases        int64 // all block erases
-	LiveCopies    int64 // valid pages copied during any recycling
-	ForcedSets    int64 // EraseBlockSet calls served
-	ForcedErases  int64 // erases during forced (static-wear-leveling) recycling
-	ForcedCopies  int64 // live copies during forced recycling
+	HostReads      int64 // pages read for the host
+	HostWrites     int64 // pages written for the host
+	GCRuns         int64 // cleaner invocations from the free-space watermark
+	Erases         int64 // all block erases
+	LiveCopies     int64 // valid pages copied during any recycling
+	ForcedSets     int64 // EraseBlockSet calls served
+	ForcedErases   int64 // erases during forced (static-wear-leveling) recycling
+	ForcedCopies   int64 // live copies during forced recycling
 	RetiredBlocks  int64 // worn-out or unerasable blocks taken out of service
 	ProgramRetries int64 // programs rerouted to a fresh page after an injected fault
 	EraseRetries   int64 // erases retried after an injected fault
@@ -157,6 +158,7 @@ type Driver struct {
 
 	watermark int
 	onErase   func(block int)
+	observer  obs.EventSink
 	inForced  bool
 	counters  Counters
 
@@ -266,6 +268,20 @@ func (d *Driver) FreeBlocks() int { return d.freeCount }
 // SetOnErase registers the erase observer; the SW Leveler's OnErase goes
 // here. Pass nil to remove it.
 func (d *Driver) SetOnErase(fn func(block int)) { d.onErase = fn }
+
+// SetObserver registers an event sink for cleaner activity (block erases,
+// retirements, live-copy batches). Pass nil to remove it; a nil sink costs
+// one branch per event site.
+func (d *Driver) SetObserver(s obs.EventSink) { d.observer = s }
+
+// emit reports a cleaner event. Forced tags work done on behalf of the
+// SW Leveler's EraseBlockSet, matching the Forced* counters.
+func (d *Driver) emit(kind obs.EventKind, block, pages int) {
+	if d.observer == nil {
+		return
+	}
+	d.observer.Observe(obs.Event{Kind: kind, Block: block, Page: -1, Pages: pages, Forced: d.inForced, Findex: -1})
+}
 
 // IsMapped reports whether the logical page currently has valid data.
 func (d *Driver) IsMapped(lpn int) bool {

@@ -77,6 +77,12 @@ type Config struct {
 	// error to inject a fault. The operation is then abandoned with no
 	// state change (and no time accounted).
 	FaultHook func(op Op, block, page int) error
+	// ObserveHook, if non-nil, runs after every successful primitive, once
+	// its state change and statistics are committed — the chip-level tap
+	// of the observability layer. Faulted or rejected operations are not
+	// reported. The hook runs on the caller's goroutine and must not call
+	// back into the chip.
+	ObserveHook func(op Op, block, page int)
 	// ReadDisturbEvery, when positive on a data-retaining chip, flips one
 	// pseudo-random stored bit in a block after every N page reads of
 	// that block since its last erase — a simple read-disturb model.
@@ -116,7 +122,13 @@ type block struct {
 
 // Chip is a simulated NAND flash chip. It is not safe for concurrent use;
 // a Flash Translation Layer driver serializes access to its chip, as real
-// firmware does.
+// firmware does. The same single-goroutine contract covers the read-side
+// accessors (Stats, EraseCount, EraseCounts, WornBlocks): observers that
+// sample wear mid-run must do so from the simulation goroutine — between
+// chip operations every accessor then returns a consistent snapshot.
+// Sampling from another goroutine while the chip mutates would tear the
+// multi-word Stats struct and race on the per-block counters; run the test
+// suite with -race to enforce this (see TestChipSingleGoroutineContract).
 type Chip struct {
 	cfg    Config
 	timing Timing
@@ -215,6 +227,9 @@ func (c *Chip) ReadPage(b, p int, data, spare []byte) (int, error) {
 			spare[i] = 0xFF
 		}
 	}
+	if c.cfg.ObserveHook != nil {
+		c.cfg.ObserveHook(OpRead, b, p)
+	}
 	return n, nil
 }
 
@@ -265,6 +280,9 @@ func (c *Chip) ProgramPage(b, p int, data, spare []byte) error {
 	if spare != nil {
 		pg.spare = append(pg.spare[:0], spare...)
 	}
+	if c.cfg.ObserveHook != nil {
+		c.cfg.ObserveHook(OpProgram, b, p)
+	}
 	return nil
 }
 
@@ -305,6 +323,9 @@ func (c *Chip) EraseBlock(b int) error {
 		if c.cfg.OnWear != nil {
 			c.cfg.OnWear(b)
 		}
+	}
+	if c.cfg.ObserveHook != nil {
+		c.cfg.ObserveHook(OpErase, b, -1)
 	}
 	return nil
 }

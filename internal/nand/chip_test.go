@@ -3,6 +3,8 @@ package nand
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -400,4 +402,98 @@ func TestSequentialProgramConstraint(t *testing.T) {
 	if err := c.ProgramPage(0, 0, []byte{1}, nil); err != nil {
 		t.Fatalf("after erase: %v", err)
 	}
+}
+
+func TestObserveHookReportsSuccessfulOpsOnly(t *testing.T) {
+	var seen []string
+	faulty := false
+	c := New(Config{
+		Geometry: Geometry{Blocks: 2, PagesPerBlock: 4, PageSize: 8, SpareSize: 4},
+		FaultHook: func(op Op, block, page int) error {
+			if faulty {
+				return ErrInjected
+			}
+			return nil
+		},
+		ObserveHook: func(op Op, block, page int) {
+			seen = append(seen, fmt.Sprintf("%s:%d:%d", op, block, page))
+		},
+	})
+	if err := c.ProgramPage(0, 0, []byte{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadPage(0, 0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	faulty = true
+	if err := c.ProgramPage(0, 0, []byte{1}, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault not injected: %v", err)
+	}
+	if err := c.EraseBlock(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault not injected: %v", err)
+	}
+	want := []string{"program:0:0", "read:0:0", "erase:0:-1"}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observed %v, want %v", seen, want)
+		}
+	}
+	// Rejected ops must not be observed, and must not have counted.
+	if s := c.Stats(); s.Programs != 1 || s.Erases != 1 || s.Reads != 1 {
+		t.Fatalf("stats count faulted ops: %+v", s)
+	}
+}
+
+// TestChipSingleGoroutineContract pins down the concurrency contract the
+// chip documents: distinct chips share no hidden state, so independent
+// simulations (with observers sampling Stats and EraseCounts mid-run) may
+// run on parallel goroutines. Run with -race; any package-level mutable
+// state introduced later will trip it.
+func TestChipSingleGoroutineContract(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := 0
+			var c *Chip
+			c = New(Config{
+				Geometry:  Geometry{Blocks: 8, PagesPerBlock: 4, PageSize: 16, SpareSize: 4},
+				StoreData: true,
+				ObserveHook: func(op Op, block, page int) {
+					ops++
+					// An observer sampling mid-run, on the chip's goroutine:
+					// the snapshot must be internally consistent.
+					s := c.Stats()
+					if s.Reads+s.Programs+s.Erases != int64(ops) {
+						panic("torn stats snapshot")
+					}
+				},
+			})
+			buf := make([]byte, 4)
+			for round := 0; round < 50; round++ {
+				for b := 0; b < 8; b++ {
+					for p := 0; p < 4; p++ {
+						if err := c.ProgramPage(b, p, []byte{byte(round)}, nil); err != nil {
+							panic(err)
+						}
+						if _, err := c.ReadPage(b, p, buf, nil); err != nil {
+							panic(err)
+						}
+					}
+					if err := c.EraseBlock(b); err != nil {
+						panic(err)
+					}
+				}
+				c.EraseCounts(nil)
+			}
+		}()
+	}
+	wg.Wait()
 }

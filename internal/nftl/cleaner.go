@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 )
 
 // The NFTL Cleaner: garbage collection merges a virtual block's primary and
@@ -171,6 +172,7 @@ func (d *Driver) merge(vba int) error {
 // at matching offsets. It reports ok=false when a program into np failed
 // even after retries — the caller then restarts the merge on another block.
 func (d *Driver) copyInto(vba, np int) (bool, error) {
+	copied := 0
 	for off := 0; off < d.ppb; off++ {
 		src := d.findLatest(vba, off)
 		if src < 0 {
@@ -192,9 +194,13 @@ func (d *Driver) copyInto(vba, np int) (bool, error) {
 			return false, err
 		}
 		d.counters.LiveCopies++
+		copied++
 		if d.inForced {
 			d.counters.ForcedCopies++
 		}
+	}
+	if copied > 0 {
+		d.emit(obs.EvPagesCopied, np, copied)
 	}
 	return true, nil
 }
@@ -217,6 +223,7 @@ func (d *Driver) release(b int) error {
 			if wasFree {
 				d.freeCount--
 			}
+			d.emit(obs.EvBlockRetired, b, 0)
 			return nil
 		}
 		return err
@@ -235,6 +242,7 @@ func (d *Driver) release(b int) error {
 		d.freeCount++
 		d.freeQueue = append(d.freeQueue, int32(b))
 	}
+	d.emit(obs.EvBlockErased, b, 0)
 	if d.onErase != nil {
 		d.onErase(b)
 	}

@@ -18,6 +18,7 @@ import (
 	"flashswl/internal/ecc"
 	"flashswl/internal/mtd"
 	"flashswl/internal/nand"
+	"flashswl/internal/obs"
 )
 
 // Sentinel errors.
@@ -56,15 +57,15 @@ type Config struct {
 
 // Counters mirrors ftl.Counters for the NFTL driver.
 type Counters struct {
-	HostReads     int64
-	HostWrites    int64
-	GCRuns        int64 // merges forced by the free-space watermark
-	Merges        int64 // all primary/replacement merges and folds
-	Erases        int64
-	LiveCopies    int64
-	ForcedSets    int64
-	ForcedErases  int64
-	ForcedCopies  int64
+	HostReads      int64
+	HostWrites     int64
+	GCRuns         int64 // merges forced by the free-space watermark
+	Merges         int64 // all primary/replacement merges and folds
+	Erases         int64
+	LiveCopies     int64
+	ForcedSets     int64
+	ForcedErases   int64
+	ForcedCopies   int64
 	RetiredBlocks  int64
 	ProgramRetries int64 // page programs retried after an injected fault
 	EraseRetries   int64 // erases retried after an injected fault
@@ -115,6 +116,7 @@ type Driver struct {
 	forcedDone         []bool
 
 	onErase  func(block int)
+	observer obs.EventSink
 	inForced bool
 	counters Counters
 
@@ -222,6 +224,18 @@ func (d *Driver) FreeBlocks() int { return d.freeCount }
 
 // SetOnErase registers the erase observer (the SW Leveler's OnErase).
 func (d *Driver) SetOnErase(fn func(block int)) { d.onErase = fn }
+
+// SetObserver registers an event sink for cleaner activity (block erases,
+// retirements, merge copy batches). Pass nil to remove it.
+func (d *Driver) SetObserver(s obs.EventSink) { d.observer = s }
+
+// emit reports a cleaner event; Forced tags SW Leveler-driven work.
+func (d *Driver) emit(kind obs.EventKind, block, pages int) {
+	if d.observer == nil {
+		return
+	}
+	d.observer.Observe(obs.Event{Kind: kind, Block: block, Page: -1, Pages: pages, Forced: d.inForced, Findex: -1})
+}
 
 // split converts a logical page number into (vba, offset).
 func (d *Driver) split(lpn int) (int, int, error) {

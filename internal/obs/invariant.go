@@ -1,0 +1,89 @@
+package obs
+
+import "fmt"
+
+// A Check is one named invariant over live system state. The function runs
+// at every leveler decision point (and once at end of run); it returns nil
+// while the invariant holds and a descriptive error when it is violated.
+// Hosts wire concrete state — the chip, the translation layer, the BET —
+// into the closure, which keeps this package free of upward dependencies.
+type Check struct {
+	Name string
+	Fn   func() error
+}
+
+// Violation records one failed check.
+type Violation struct {
+	// Check is the violated check's name.
+	Check string
+	// At counts the checkpoints run when the violation fired (1-based), so
+	// a failure can be correlated with the event stream.
+	At int64
+	// Err describes the violation.
+	Err error
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at checkpoint %d: %v", v.Check, v.At, v.Err)
+}
+
+// maxStoredViolations caps the remembered violations; a broken invariant
+// fires at every subsequent checkpoint and would otherwise accumulate an
+// unbounded slice. The total count keeps counting past the cap.
+const maxStoredViolations = 32
+
+// InvariantChecker is an EventSink that cross-checks live state every time
+// the SW Leveler reaches a decision point (EvLevelerTriggered): the BET's
+// fcnt against a popcount of its flag words, the leveler's ecnt against the
+// chip's erases since the interval began, the translation layer's mapping
+// and free-block accounting against the chip. It never mutates the system
+// under test — checks are pure reads.
+type InvariantChecker struct {
+	checks      []Check
+	violations  []Violation
+	nviolations int64
+	checkpoints int64
+}
+
+// NewInvariantChecker returns an empty checker; add invariants with Add.
+func NewInvariantChecker() *InvariantChecker {
+	return &InvariantChecker{}
+}
+
+// Add registers an invariant.
+func (c *InvariantChecker) Add(name string, fn func() error) {
+	c.checks = append(c.checks, Check{Name: name, Fn: fn})
+}
+
+// Observe runs every check when the event is a leveler decision point.
+func (c *InvariantChecker) Observe(e Event) {
+	if e.Kind != EvLevelerTriggered {
+		return
+	}
+	c.RunChecks()
+}
+
+// RunChecks runs every check once, outside any event — hosts call it at end
+// of run so runs whose leveler never triggered are still validated.
+func (c *InvariantChecker) RunChecks() {
+	c.checkpoints++
+	for _, ch := range c.checks {
+		if err := ch.Fn(); err != nil {
+			c.nviolations++
+			if len(c.violations) < maxStoredViolations {
+				c.violations = append(c.violations, Violation{Check: ch.Name, At: c.checkpoints, Err: err})
+			}
+		}
+	}
+}
+
+// Checkpoints returns how many times the check set has run.
+func (c *InvariantChecker) Checkpoints() int64 { return c.checkpoints }
+
+// ViolationCount returns the total violations observed, including any past
+// the storage cap.
+func (c *InvariantChecker) ViolationCount() int64 { return c.nviolations }
+
+// Violations returns the stored violations (at most the first 32).
+func (c *InvariantChecker) Violations() []Violation { return c.violations }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONLWriter streams events, wear samples, and a final metrics snapshot as
+// JSON lines. Each line is one object distinguished by its "type" field:
+//
+//	{"type":"event","seq":7,"kind":"block_erased","block":12,...}
+//	{"type":"sample","events":10000,"sim_ns":..., "mean":...,...}
+//	{"type":"metrics","counters":{...},"gauges":{...},"histograms":{...}}
+//
+// Every event field is always present so consumers can decode into one flat
+// struct; fields that do not apply to a kind hold -1 (addresses) or zero.
+// Write errors are sticky: the first one is kept and later writes are
+// dropped, so a full disk cannot abort a simulation mid-run. Call Flush at
+// the end and check its error.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSON-lines encoder.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// EventRecord is the JSONL shape of one event line (exported so consumers
+// and tests can decode the stream).
+type EventRecord struct {
+	Type   string `json:"type"` // "event"
+	Seq    int64  `json:"seq"`
+	Kind   string `json:"kind"`
+	Block  int    `json:"block"`
+	Page   int    `json:"page"`
+	Pages  int    `json:"pages"`
+	Forced bool   `json:"forced"`
+	Findex int    `json:"findex"`
+	Scan   int    `json:"scan"`
+	Ecnt   int64  `json:"ecnt"`
+	Fcnt   int    `json:"fcnt"`
+	Op     string `json:"op,omitempty"`
+}
+
+// SampleRecord is the JSONL shape of one wear-sample line.
+type SampleRecord struct {
+	Type string `json:"type"` // "sample"
+	WearSample
+}
+
+// MetricsRecord is the JSONL shape of the final metrics line.
+type MetricsRecord struct {
+	Type string `json:"type"` // "metrics"
+	Snapshot
+}
+
+// Observe writes one event line. JSONLWriter implements EventSink.
+func (w *JSONLWriter) Observe(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.seq++
+	w.write(EventRecord{
+		Type: "event", Seq: w.seq, Kind: e.Kind.String(),
+		Block: e.Block, Page: e.Page, Pages: e.Pages, Forced: e.Forced,
+		Findex: e.Findex, Scan: e.Scan, Ecnt: e.Ecnt, Fcnt: e.Fcnt, Op: e.Op,
+	})
+}
+
+// Sample writes one wear-sample line.
+func (w *JSONLWriter) Sample(s WearSample) {
+	w.write(SampleRecord{Type: "sample", WearSample: s})
+}
+
+// Metrics writes the registry snapshot as one line.
+func (w *JSONLWriter) Metrics(r *Registry) {
+	w.write(MetricsRecord{Type: "metrics", Snapshot: r.Snapshot()})
+}
+
+func (w *JSONLWriter) write(v any) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(v)
+}
+
+// Events returns how many event lines were written.
+func (w *JSONLWriter) Events() int64 { return w.seq }
+
+// Flush drains the buffer and returns the first write error, if any.
+func (w *JSONLWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", 1, 2)
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must stay zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("erases")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("erases") != c {
+		t.Fatal("counter not interned by name")
+	}
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("free")
+	g.Set(9)
+	g.Set(4)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	h := r.Histogram("batch", 1, 4, 16)
+	for _, v := range []int64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	// Buckets: <=1, <=4, <=16, overflow.
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if h.Count() != 8 || h.Sum() != 1045 {
+		t.Fatalf("count=%d sum=%d, want 8/1045", h.Count(), h.Sum())
+	}
+}
+
+func TestCombineAndMultiSink(t *testing.T) {
+	if Combine(nil, nil) != nil {
+		t.Fatal("combining nils must yield nil")
+	}
+	var got []EventKind
+	one := SinkFunc(func(e Event) { got = append(got, e.Kind) })
+	if s := Combine(nil, one); s == nil {
+		t.Fatal("single sink lost")
+	} else {
+		s.Observe(Event{Kind: EvBETReset})
+	}
+	var n int
+	two := Combine(one, SinkFunc(func(Event) { n++ }))
+	two.Observe(Event{Kind: EvBlockErased})
+	if len(got) != 2 || got[0] != EvBETReset || got[1] != EvBlockErased || n != 1 {
+		t.Fatalf("fan-out wrong: kinds=%v n=%d", got, n)
+	}
+}
+
+func TestMetricsSink(t *testing.T) {
+	r := NewRegistry()
+	s := NewMetricsSink(r)
+	s.Observe(Event{Kind: EvBlockErased, Block: 1})
+	s.Observe(Event{Kind: EvBlockErased, Block: 2, Forced: true})
+	s.Observe(Event{Kind: EvPagesCopied, Block: 2, Pages: 7})
+	s.Observe(Event{Kind: EvLevelerTriggered, Findex: 3, Scan: 5})
+	s.Observe(Event{Kind: EvBETReset})
+	s.Observe(Event{Kind: EvBlockRetired, Block: 9})
+	s.Observe(Event{Kind: EvFaultInjected, Block: 4, Op: "program"})
+	snap := r.Snapshot()
+	wants := map[string]int64{
+		MetricErases:       2,
+		MetricForcedErases: 1,
+		MetricCopiedPages:  7,
+		MetricTriggers:     1,
+		MetricBETResets:    1,
+		MetricRetired:      1,
+		MetricFaults:       1,
+	}
+	for name, want := range wants {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Histograms[MetricCopyBatches].Count != 1 || snap.Histograms[MetricScanLengths].Count != 1 {
+		t.Fatal("histograms not fed")
+	}
+}
+
+func TestJSONLStreamDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Observe(Event{Kind: EvBlockErased, Block: 12, Page: -1, Findex: -1})
+	w.Observe(Event{Kind: EvFaultInjected, Block: 3, Page: 4, Findex: -1, Op: "erase"})
+	w.Sample(WearSample{Events: 100, SimTime: 2 * time.Second, MeanErase: 1.5, MaxErase: 3})
+	r := NewRegistry()
+	r.Counter(MetricErases).Add(12)
+	w.Metrics(r)
+	if w.Events() != 2 {
+		t.Fatalf("events written = %d, want 2", w.Events())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("undecodable line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, probe.Type)
+		switch probe.Type {
+		case "event":
+			var e EventRecord
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Seq == 0 || e.Kind == "" {
+				t.Fatalf("event line missing seq/kind: %+v", e)
+			}
+		case "sample":
+			var s SampleRecord
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				t.Fatal(err)
+			}
+			if s.Events != 100 || s.SimTime != 2*time.Second {
+				t.Fatalf("sample round-trip: %+v", s)
+			}
+		case "metrics":
+			var m MetricsRecord
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Counters[MetricErases] != 12 {
+				t.Fatalf("metrics round-trip: %+v", m)
+			}
+		}
+	}
+	if strings.Join(kinds, ",") != "event,event,sample,metrics" {
+		t.Fatalf("line order = %v", kinds)
+	}
+}
+
+func TestInvariantChecker(t *testing.T) {
+	c := NewInvariantChecker()
+	healthy := 0
+	c.Add("always-ok", func() error { healthy++; return nil })
+	broken := errors.New("fcnt drifted")
+	armed := false
+	c.Add("sometimes-bad", func() error {
+		if armed {
+			return broken
+		}
+		return nil
+	})
+
+	c.Observe(Event{Kind: EvBlockErased}) // not a checkpoint
+	c.Observe(Event{Kind: EvLevelerTriggered})
+	armed = true
+	c.Observe(Event{Kind: EvLevelerTriggered})
+	c.RunChecks() // end-of-run sweep
+
+	if c.Checkpoints() != 3 {
+		t.Fatalf("checkpoints = %d, want 3", c.Checkpoints())
+	}
+	if healthy != 3 {
+		t.Fatalf("healthy check ran %d times, want 3", healthy)
+	}
+	if c.ViolationCount() != 2 || len(c.Violations()) != 2 {
+		t.Fatalf("violations = %d stored %d, want 2/2", c.ViolationCount(), len(c.Violations()))
+	}
+	v := c.Violations()[0]
+	if v.Check != "sometimes-bad" || v.At != 2 || !errors.Is(v.Err, broken) {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "checkpoint 2") {
+		t.Fatalf("violation string = %q", v.String())
+	}
+}
+
+func TestInvariantCheckerCapsStoredViolations(t *testing.T) {
+	c := NewInvariantChecker()
+	c.Add("bad", func() error { return errors.New("no") })
+	for i := 0; i < 100; i++ {
+		c.Observe(Event{Kind: EvLevelerTriggered})
+	}
+	if c.ViolationCount() != 100 {
+		t.Fatalf("count = %d, want 100", c.ViolationCount())
+	}
+	if len(c.Violations()) != maxStoredViolations {
+		t.Fatalf("stored = %d, want %d", len(c.Violations()), maxStoredViolations)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvBlockErased, EvPagesCopied, EvLevelerTriggered, EvBETReset, EvBlockRetired, EvFaultInjected}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d: bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "event_kind_99" {
+		t.Fatalf("unknown kind name = %q", EventKind(99).String())
+	}
+}
+
+// BenchmarkDisabledEmission measures the disabled path a driver hot loop
+// pays: one nil check. It must not allocate.
+func BenchmarkDisabledEmission(b *testing.B) {
+	var sink EventSink
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sink != nil {
+			sink.Observe(Event{Kind: EvBlockErased, Block: i})
+		}
+	}
+}
+
+// BenchmarkMetricsSinkEmission measures the enabled path into the registry.
+func BenchmarkMetricsSinkEmission(b *testing.B) {
+	r := NewRegistry()
+	sink := NewMetricsSink(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Observe(Event{Kind: EvBlockErased, Block: i & 255, Forced: i&7 == 0})
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "time"
+
+// WearSample is one point of a wear trajectory: the erase-count
+// distribution summary plus the leveler's unevenness state, taken every N
+// trace events by the simulation harness. A run's samples form the
+// time-series behind the paper's Figures 3–6 — trajectories, not endpoints.
+type WearSample struct {
+	// Events is the trace events consumed when the sample was taken.
+	Events int64 `json:"events"`
+	// SimTime is the simulated time covered.
+	SimTime time.Duration `json:"sim_ns"`
+	// MeanErase, StdDevErase, MinErase, and MaxErase summarize the
+	// per-block erase-count distribution.
+	MeanErase   float64 `json:"mean"`
+	StdDevErase float64 `json:"stddev"`
+	MinErase    int     `json:"min"`
+	MaxErase    int     `json:"max"`
+	// Erases is the chip's total successful erases so far.
+	Erases int64 `json:"erases"`
+	// WornBlocks counts blocks past their endurance; FreeBlocks is the
+	// translation layer's free pool.
+	WornBlocks int `json:"worn"`
+	FreeBlocks int `json:"free"`
+	// Ecnt, Fcnt, and Unevenness snapshot the SW Leveler (zero without
+	// one): erases this resetting interval, flags set, and ecnt/fcnt.
+	Ecnt       int64   `json:"ecnt"`
+	Fcnt       int     `json:"fcnt"`
+	Unevenness float64 `json:"unevenness"`
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"flashswl/internal/faultinject"
+	"flashswl/internal/nand"
+	"flashswl/internal/obs"
+	"flashswl/internal/workload"
+)
+
+// obsGeometry is the 64-block × 16-page × 1 KB device the observability
+// tests run on — big enough for dozens of leveling intervals, small enough
+// that a sweep of seeded runs stays fast.
+func obsGeometry() nand.Geometry {
+	return nand.Geometry{Blocks: 64, PagesPerBlock: 16, PageSize: 1024, SpareSize: 32}
+}
+
+// TestInvariantsHoldAcrossRandomRuns is the property test behind the
+// invariant checker: for every translation layer, twenty differently seeded
+// random workloads (every fifth with transient program/erase faults) run
+// with the checker attached, and no checkpoint — at any leveler trigger or
+// at the end of the run — may record a violation. The sweep also proves the
+// checker actually exercises trigger checkpoints, not just the final sweep.
+func TestInvariantsHoldAcrossRandomRuns(t *testing.T) {
+	geo := obsGeometry()
+	sectors := geo.Capacity() / 512 * 85 / 100
+	for _, layer := range []LayerKind{FTL, NFTL, DFTL} {
+		layer := layer
+		t.Run(layer.String(), func(t *testing.T) {
+			var checks, triggers int64
+			for seed := int64(1); seed <= 20; seed++ {
+				cfg := Config{
+					Geometry:        geo,
+					Endurance:       80,
+					Layer:           layer,
+					LogicalSectors:  sectors,
+					SWL:             true,
+					K:               int(seed % 4),
+					T:               2 + float64(seed%3),
+					NoSpare:         true,
+					Seed:            seed,
+					MaxEvents:       4000,
+					CheckInvariants: true,
+				}
+				if seed%5 == 0 {
+					cfg.Faults = &faultinject.Config{
+						Seed:            seed,
+						ProgramFailRate: 1e-3,
+						EraseFailRate:   1e-3,
+					}
+				}
+				m := workload.PaperScaled(sectors)
+				m.FillSegments = 6
+				m.Seed = seed
+				res, err := Run(cfg, m.Infinite(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range res.InvariantViolations {
+					t.Errorf("seed %d: %s", seed, v.String())
+				}
+				checks += res.InvariantChecks
+				triggers += res.Leveler.Triggered
+			}
+			if triggers == 0 {
+				t.Fatalf("no run triggered the leveler; the property test never hit a trigger checkpoint")
+			}
+			if checks <= 20 {
+				t.Fatalf("only %d checkpoints over 20 runs; trigger checkpoints did not run", checks)
+			}
+		})
+	}
+}
+
+// TestFTLAndNFTLReadBackIdentically is the differential test: the same
+// random write/read sequence driven through the page-mapping FTL and the
+// block-mapping NFTL (both with the SW Leveler recycling underneath) must
+// read back byte-identical data for every logical page, matching the
+// versioned model of what was last written.
+func TestFTLAndNFTLReadBackIdentically(t *testing.T) {
+	geo := obsGeometry()
+	logical := 40 * geo.PagesPerBlock // whole virtual blocks, so both layers export it
+	sectors := int64(logical) * int64(geo.PageSize/512)
+	newRunner := func(layer LayerKind) *Runner {
+		r, err := NewRunner(Config{
+			Geometry:        geo,
+			Endurance:       1 << 20, // no wear-outs: retirement paths diverge by design
+			Layer:           layer,
+			LogicalSectors:  sectors,
+			SWL:             true,
+			K:               0,
+			T:               3,
+			NoSpare:         true,
+			StoreData:       true,
+			Seed:            7,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatalf("%v runner: %v", layer, err)
+		}
+		return r
+	}
+	a, b := newRunner(FTL), newRunner(NFTL)
+	if a.Layer().LogicalPages() != logical || b.Layer().LogicalPages() != logical {
+		t.Fatalf("exported pages diverge: ftl %d, nftl %d, want %d",
+			a.Layer().LogicalPages(), b.Layer().LogicalPages(), logical)
+	}
+
+	level := func(r *Runner) {
+		if r.Leveler().NeedsLeveling() {
+			if err := r.Leveler().Level(); err != nil {
+				t.Fatalf("level: %v", err)
+			}
+		}
+	}
+	model := make(map[int]uint64) // lpn → newest written version
+	rng := newSplitMix(42)
+	buf := make([]byte, geo.PageSize)
+	bufA := make([]byte, geo.PageSize)
+	bufB := make([]byte, geo.PageSize)
+	compare := func(lpn int, op string) {
+		okA, errA := a.Layer().ReadPage(lpn, bufA)
+		okB, errB := b.Layer().ReadPage(lpn, bufB)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s lpn %d: read errors ftl=%v nftl=%v", op, lpn, errA, errB)
+		}
+		ver, written := model[lpn]
+		if okA != written || okB != written {
+			t.Fatalf("%s lpn %d: presence ftl=%v nftl=%v, model says %v", op, lpn, okA, okB, written)
+		}
+		if !written {
+			return
+		}
+		fillPage(buf, lpn, ver)
+		if !bytes.Equal(bufA, buf) {
+			t.Fatalf("%s lpn %d: ftl data diverged from model version %d", op, lpn, ver)
+		}
+		if !bytes.Equal(bufB, buf) {
+			t.Fatalf("%s lpn %d: nftl data diverged from model version %d", op, lpn, ver)
+		}
+	}
+
+	for i := 0; i < 4000; i++ {
+		lpn := rng.intn(logical)
+		if rng.intn(4) == 0 {
+			compare(lpn, "read")
+		} else {
+			ver := uint64(i + 1)
+			fillPage(buf, lpn, ver)
+			if err := a.Layer().WritePage(lpn, buf); err != nil {
+				t.Fatalf("ftl write lpn %d: %v", lpn, err)
+			}
+			if err := b.Layer().WritePage(lpn, buf); err != nil {
+				t.Fatalf("nftl write lpn %d: %v", lpn, err)
+			}
+			model[lpn] = ver
+		}
+		level(a)
+		level(b)
+	}
+	for lpn := 0; lpn < logical; lpn++ {
+		compare(lpn, "final")
+	}
+	for _, r := range []*Runner{a, b} {
+		r.InvariantChecker().RunChecks()
+		for _, v := range r.InvariantChecker().Violations() {
+			t.Errorf("invariant: %s", v.String())
+		}
+	}
+}
+
+// benchRunner drives a fixed 20k-event workload through the full FTL+SWL
+// stack. The bare/observed pair quantifies the cost of attaching the
+// observability layer — metrics registry, chip operation hook, and an event
+// sink — against the nil-sink fast path every emission site keeps.
+func benchRunner(b *testing.B, observed bool) {
+	geo := obsGeometry()
+	sectors := geo.Capacity() / 512 * 85 / 100
+	m := workload.PaperScaled(sectors)
+	m.FillSegments = 6
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			Geometry:       geo,
+			Endurance:      1 << 20,
+			Layer:          FTL,
+			LogicalSectors: sectors,
+			SWL:            true,
+			K:              0,
+			T:              3,
+			NoSpare:        true,
+			Seed:           1,
+			MaxEvents:      20_000,
+		}
+		if observed {
+			cfg.Metrics = true
+			cfg.Sink = obs.SinkFunc(func(obs.Event) {})
+		}
+		res, err := Run(cfg, m.Infinite(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func BenchmarkRunnerBare(b *testing.B)     { benchRunner(b, false) }
+func BenchmarkRunnerObserved(b *testing.B) { benchRunner(b, true) }

@@ -20,6 +20,7 @@ import (
 	"flashswl/internal/mtd"
 	"flashswl/internal/nand"
 	"flashswl/internal/nftl"
+	"flashswl/internal/obs"
 	"flashswl/internal/stats"
 	"flashswl/internal/trace"
 )
@@ -115,6 +116,27 @@ type Config struct {
 	// StopOnFirstWear ends the run when any block exhausts its endurance
 	// (the paper's first-failure-time experiments).
 	StopOnFirstWear bool
+
+	// Sink, when non-nil, receives every observability event the stack
+	// emits (cleaner erases and copy batches, leveler triggers and BET
+	// resets, retirements, injected faults). See internal/obs.
+	Sink obs.EventSink
+	// SampleEvery takes a wear time-series sample every N trace events
+	// (plus one final sample when the run ends); 0 disables sampling.
+	// Samples land in Result.Series.
+	SampleEvery int64
+	// OnSample, when non-nil, receives each wear sample as it is taken.
+	OnSample func(obs.WearSample)
+	// Metrics attaches a metrics registry fed by the event stream and the
+	// chip's operation counters; the final snapshot lands in
+	// Result.Metrics.
+	Metrics bool
+	// CheckInvariants attaches an obs.InvariantChecker that cross-checks
+	// leveler, translation-layer, and chip state at every leveler trigger
+	// and once at the end of the run (skipped after a power cut, where RAM
+	// state is legitimately torn). Results land in Result.InvariantChecks
+	// and Result.InvariantViolations.
+	CheckInvariants bool
 }
 
 // Result reports a finished run.
@@ -152,6 +174,16 @@ type Result struct {
 	Faults faultinject.Stats
 	// Leveler carries the SW Leveler's own activity counters when enabled.
 	Leveler core.Stats
+	// Series is the wear trajectory sampled every Config.SampleEvery
+	// events; empty when sampling was off.
+	Series []obs.WearSample
+	// Metrics is the final metrics snapshot when Config.Metrics was set.
+	Metrics *obs.Snapshot
+	// InvariantChecks counts the checkpoints the invariant checker ran and
+	// InvariantViolations the failures it recorded (capped; see
+	// obs.InvariantChecker) when Config.CheckInvariants was set.
+	InvariantChecks     int64
+	InvariantViolations []obs.Violation
 	// Err records a layer failure (e.g. device full) that ended the run
 	// early; the partial results are still valid.
 	Err error
@@ -208,6 +240,12 @@ type Runner struct {
 	inj     *faultinject.Injector
 	spp     int // sectors per page
 
+	sink          obs.EventSink
+	reg           *obs.Registry
+	checker       *obs.InvariantChecker
+	erasesAtReset int64 // chip erase total at the last BET reset
+	ecBuf         []int // reused erase-count buffer for sampling
+
 	now       time.Duration
 	firstWear time.Duration
 	worn      int
@@ -223,17 +261,32 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if r.spp < 1 {
 		r.spp = 1
 	}
+	r.buildSinks()
 	var hook func(op nand.Op, block, page int) error
 	if cfg.Faults != nil {
 		r.inj = faultinject.New(*cfg.Faults)
 		hook = r.inj.Hook
+		if r.sink != nil {
+			// Report rejected primitives into the event stream. A power cut
+			// panics out of the injector, so it is not reported here — the
+			// run's abrupt end is its record.
+			inner := r.inj.Hook
+			hook = func(op nand.Op, block, page int) error {
+				err := inner(op, block, page)
+				if err != nil {
+					r.sink.Observe(obs.Event{Kind: obs.EvFaultInjected, Block: block, Page: page, Findex: -1, Op: op.String()})
+				}
+				return err
+			}
+		}
 	}
 	r.chip = nand.New(nand.Config{
-		Geometry:  cfg.Geometry,
-		Cell:      cfg.Cell,
-		Endurance: cfg.Endurance,
-		StoreData: cfg.StoreData,
-		FaultHook: hook,
+		Geometry:    cfg.Geometry,
+		Cell:        cfg.Cell,
+		Endurance:   cfg.Endurance,
+		StoreData:   cfg.StoreData,
+		FaultHook:   hook,
+		ObserveHook: r.chipObserveHook(),
 		OnWear: func(block int) {
 			r.worn++
 			if r.firstWear < 0 {
@@ -288,6 +341,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	default:
 		return nil, fmt.Errorf("sim: unknown layer kind %d", cfg.Layer)
 	}
+	if r.sink != nil {
+		if so, ok := r.layer.(observerSetter); ok {
+			so.SetObserver(r.sink)
+		}
+	}
 	if cfg.SWL {
 		seed := cfg.Seed
 		if seed == 0 {
@@ -315,6 +373,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 				Threshold: cfg.T,
 				Rand:      randFn,
 				Select:    policy,
+				Observer:  r.sink,
 			}, r.layer)
 		}
 		if err != nil {
@@ -323,8 +382,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.leveler = lv
 		r.layer.SetOnErase(lv.OnErase)
 	}
+	r.registerChecks()
 	return r, nil
 }
+
+// Registry returns the metrics registry, or nil when Config.Metrics is off.
+func (r *Runner) Registry() *obs.Registry { return r.reg }
+
+// InvariantChecker returns the attached checker, or nil.
+func (r *Runner) InvariantChecker() *obs.InvariantChecker { return r.checker }
 
 // Layer exposes the translation layer (for white-box tests and examples).
 func (r *Runner) Layer() Layer { return r.layer }
@@ -373,6 +439,26 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 	}
 	if r.inj != nil {
 		res.Faults = r.inj.Stats()
+	}
+	if r.cfg.SampleEvery > 0 {
+		// Close the trajectory with the end-of-run state unless the last
+		// periodic sample already landed exactly here.
+		if n := len(res.Series); n == 0 || res.Series[n-1].Events != res.Events {
+			r.sample(res)
+		}
+	}
+	if r.checker != nil {
+		if _, cut := runErr.(faultinject.PowerCut); !cut {
+			// Final sweep — skipped after a power cut, which legitimately
+			// tears the RAM state mid-operation (recovery is Mount's job).
+			r.checker.RunChecks()
+		}
+		res.InvariantChecks = r.checker.Checkpoints()
+		res.InvariantViolations = r.checker.Violations()
+	}
+	if r.reg != nil {
+		snap := r.reg.Snapshot()
+		res.Metrics = &snap
 	}
 	res.Err = runErr
 	return res, nil
@@ -434,6 +520,9 @@ loop:
 				runErr = err
 				break
 			}
+		}
+		if r.cfg.SampleEvery > 0 && res.Events%r.cfg.SampleEvery == 0 {
+			r.sample(res)
 		}
 		if r.cfg.StopOnFirstWear && r.worn > 0 {
 			break
