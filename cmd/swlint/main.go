@@ -1,0 +1,131 @@
+// Command swlint runs the repository's contract analyzers (internal/lint)
+// over package patterns and reports findings with file:line positions,
+// exiting nonzero when any violation survives suppression.
+//
+// Usage:
+//
+//	go run ./cmd/swlint ./...
+//	go run ./cmd/swlint -rules determinism,errdiscard ./internal/core
+//	go run ./cmd/swlint -json ./... > findings.json
+//
+// Rules (suppress with //lint:ignore swlint/<rule> reason):
+//
+//	determinism  no global math/rand or time.Now in simulation code
+//	chipconfine  no goroutine shares a *nand.Chip / *mtd.Device / driver
+//	obspair      erase and page-copy sites must emit obs events
+//	errdiscard   media-operation errors must be handled
+//	printban     no fmt.Print*/os.Stdout in internal packages
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flashswl/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json output shape, one object per finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// run executes the driver; it is separated from main so the integration
+// test can invoke the whole pipeline in-process. Exit codes: 0 clean,
+// 1 findings, 2 usage or load error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	verbose := fs.Bool("v", false, "also report packages analyzed and type-check degradation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "swlint: %v\n", err)
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "swlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "swlint: %v\n", err)
+		return 2
+	}
+	dirs, err := lint.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "swlint: %v\n", err)
+		return 2
+	}
+
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		pass, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "swlint: %s: %v\n", dir, err)
+			return 2
+		}
+		if pass == nil {
+			continue
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "swlint: analyzing %s (%d type-check notes)\n", pass.PkgPath, len(pass.TypeErrors))
+		}
+		var raw []lint.Finding
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pass.PkgPath) {
+				continue
+			}
+			raw = append(raw, a.Run(pass)...)
+		}
+		findings = append(findings, lint.Suppress(pass, raw)...)
+	}
+	lint.SortFindings(findings)
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Rule: f.Rule, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "swlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "swlint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirModuleRoot moves the working directory to the module root (two
+// levels above this package) for the duration of the test; run() resolves
+// patterns against the working directory exactly as the CLI does.
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTreeIsLintClean runs the full driver over ./... and requires zero
+// findings: the repository stays lint-clean by construction. If this fails,
+// either fix the violation or add a //lint:ignore with a reason.
+func TestTreeIsLintClean(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("swlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output on clean tree:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the -json mode emits a well-formed (empty) array on
+// the clean tree.
+func TestJSONOutput(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/core"}, &out, &errb); code != 0 {
+		t.Fatalf("swlint -json exited %d: %s", code, errb.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("want empty findings array, got %v", findings)
+	}
+}
+
+// TestRulesFilter checks rule selection and rejection of unknown names.
+func TestRulesFilter(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "printban,errdiscard", "./internal/obs"}, &out, &errb); code != 0 {
+		t.Fatalf("filtered run exited %d: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "nosuchrule", "./internal/obs"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Fatalf("stderr missing diagnosis: %s", errb.String())
+	}
+}
+
+// TestFindingsAreReported runs the driver over a deliberately dirty file in
+// a temporary corner of the module and checks text output, position format,
+// and the nonzero exit.
+func TestFindingsAreReported(t *testing.T) {
+	chdirModuleRoot(t)
+	dir, err := os.MkdirTemp("internal/lint", "dirty-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	src := `package dirty
+
+import "fmt"
+
+func leak() {
+	fmt.Println("oops")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "dirty.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	rel := filepath.ToSlash(dir)
+	if code := run([]string{rel}, &out, &errb); code != 1 {
+		t.Fatalf("dirty run exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "dirty.go:6:2: printban: fmt.Println") {
+		t.Fatalf("finding missing position or rule:\n%s", got)
+	}
+}

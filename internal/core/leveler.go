@@ -51,9 +51,10 @@ type Config struct {
 	// T ∈ {100, 400, 700, 1000}.
 	Threshold float64
 	// Rand, if non-nil, supplies the random flag index used when the BET
-	// resets (Algorithm 1, step 6) and by SelectRandom. Defaults to
-	// math/rand.Intn. Supply a seeded function for reproducible
-	// simulations.
+	// resets (Algorithm 1, step 6) and by SelectRandom. When nil the
+	// leveler uses a private fixed-seed generator, so unseeded
+	// construction is still reproducible run-to-run; supply your own
+	// seeded function to decorrelate instances.
 	Rand func(n int) int
 	// Select chooses the block-set selection policy. The zero value is
 	// the paper's cyclic scan.
@@ -71,6 +72,18 @@ type Config struct {
 	// ecnt/fcnt state it acted on) and an EvBETReset event when a
 	// resetting interval completes. Leave nil for zero overhead.
 	Observer obs.EventSink
+}
+
+// defaultRandSeed seeds the private generator a leveler falls back to when
+// Config.Rand is nil. The seed is fixed on purpose: the simulation stack
+// promises bit-identical reruns (golden CSVs, figure reproductions), so the
+// default must never touch the process-global math/rand source, which has
+// been randomly seeded since Go 1.20.
+const defaultRandSeed = 0x535754C // "SWL"-flavored, arbitrary but frozen
+
+// defaultRand returns a fresh fixed-seed per-instance Intn.
+func defaultRand() func(n int) int {
+	return rand.New(rand.NewSource(defaultRandSeed)).Intn
 }
 
 // Stats counts leveler activity since construction.
@@ -127,7 +140,7 @@ func NewLeveler(cfg Config, cleaner Cleaner) (*Leveler, error) {
 	}
 	r := cfg.Rand
 	if r == nil {
-		r = rand.Intn
+		r = defaultRand()
 	}
 	l := &Leveler{cfg: cfg, bet: NewBET(cfg.Blocks, cfg.K), cleaner: cleaner, rand: r}
 	if len(cfg.Exclude) > 0 {

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 )
 
 // PeriodicLeveler is a comparison baseline modeled on the static wear
@@ -34,7 +33,9 @@ type PeriodicConfig struct {
 	K int
 	// Period is the number of erases between forced recycles.
 	Period int64
-	// Rand supplies randomness; defaults to math/rand.Intn.
+	// Rand supplies randomness. When nil a private fixed-seed generator
+	// is used, keeping unseeded construction reproducible (see
+	// Config.Rand on the SW Leveler).
 	Rand func(n int) int
 }
 
@@ -54,7 +55,7 @@ func NewPeriodicLeveler(cfg PeriodicConfig, cleaner Cleaner) (*PeriodicLeveler, 
 	}
 	r := cfg.Rand
 	if r == nil {
-		r = rand.Intn
+		r = defaultRand()
 	}
 	nsets := (cfg.Blocks + (1 << uint(cfg.K)) - 1) >> uint(cfg.K)
 	return &PeriodicLeveler{blocks: cfg.Blocks, k: cfg.K, period: cfg.Period, cleaner: cleaner, rand: r, sets: nsets}, nil

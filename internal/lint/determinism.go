@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions backed by the process-global source. rand.New, rand.NewSource
+// and methods on a *rand.Rand are the sanctioned path and are not listed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// Determinism enforces seed-reproducibility of simulation code: every rerun
+// of a seeded simulation must be bit-identical (the paper's figure
+// reproductions and the experiments golden CSVs depend on it), so the
+// process-global math/rand source and wall-clock reads are banned in the
+// simulation packages. Inject a seeded *rand.Rand (or a func field) and
+// simulated time instead.
+var Determinism = &Analyzer{
+	Name: ruleDeterminism,
+	Doc:  "no global math/rand or time.Now in simulation code (seeded sources only)",
+	Applies: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"flashswl/internal/core",
+			"flashswl/internal/sim",
+			"flashswl/internal/experiments",
+			"flashswl/internal/workload",
+			"flashswl/internal/trace",
+		)
+	},
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Any reference counts, not only calls: assigning rand.Intn to a
+			// func field (the old core default) smuggles the global source in
+			// just as surely as calling it.
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case globalRandFuncs[sel.Sel.Name] &&
+				(p.isPkgIdent(f, ident, "math/rand") || p.isPkgIdent(f, ident, "math/rand/v2")):
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(sel.Pos()),
+					Rule: ruleDeterminism,
+					Message: fmt.Sprintf("global-source rand.%s breaks seed determinism; use a seeded *rand.Rand or an injected Rand func",
+						sel.Sel.Name),
+				})
+			case sel.Sel.Name == "Now" && p.isPkgIdent(f, ident, "time"):
+				out = append(out, Finding{
+					Pos:     p.Fset.Position(sel.Pos()),
+					Rule:    ruleDeterminism,
+					Message: "time.Now reads the wall clock; simulation code must use simulated/device time",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package lint is a stdlib-only static-analysis library enforcing the
+// repository's load-bearing contracts — the rules that until now existed
+// only as comments. Five repo-specific analyzers check determinism
+// (no global randomness or wall-clock reads in simulation code), chip
+// confinement (no goroutine shares a *nand.Chip or a driver), observability
+// pairing (every erase/copy site reports to the obs layer), error handling
+// on media operations, and the ban on direct stdout output from internal
+// packages.
+//
+// The package deliberately depends only on go/ast, go/parser, go/token,
+// go/types and go/importer: the module must stay free of external
+// dependencies, so golang.org/x/tools/go/analysis is reimplemented here in
+// miniature. cmd/swlint is the driver.
+//
+// Any finding can be suppressed by the comment
+//
+//	//lint:ignore swlint/<rule> reason
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory; a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule names, shared by the analyzer declarations and their Run functions
+// (plain constants so the two can reference them without an initialization
+// cycle through the Analyzer variables).
+const (
+	ruleDeterminism = "determinism"
+	ruleChipConfine = "chipconfine"
+	ruleObsPair     = "obspair"
+	ruleErrDiscard  = "errdiscard"
+	rulePrintBan    = "printban"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Pass is everything an analyzer sees for one package: the parsed files and
+// (when loading succeeded) the type information. Analyzers must tolerate
+// Info being partially filled — type checking is best-effort, and every
+// analyzer degrades to a purely syntactic check when types are missing.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Dir     string
+	PkgPath string
+	Pkg     *types.Package
+	Info    *types.Info
+	// TypeErrors collects type-checker complaints; they do not stop
+	// analysis but are available to the driver's verbose mode.
+	TypeErrors []error
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule name as used in -rules filters and
+	// //lint:ignore swlint/<name> suppressions.
+	Name string
+	// Doc is a one-line description of the contract the rule encodes.
+	Doc string
+	// Applies reports whether the rule covers the given import path. The
+	// driver consults it; tests invoke Run directly on fixture passes.
+	Applies func(pkgPath string) bool
+	// Run analyzes one package and returns raw findings (suppression is
+	// applied by the driver via Suppress).
+	Run func(p *Pass) []Finding
+}
+
+// All returns every analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		ChipConfine,
+		ObsPair,
+		ErrDiscard,
+		PrintBan,
+	}
+}
+
+// ByName resolves a comma-separated -rules filter against All, preserving
+// the canonical order. Unknown names are reported as an error.
+func ByName(filter string) ([]*Analyzer, error) {
+	if filter == "" {
+		return All(), nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown rule(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// SortFindings orders findings by file, line, column, then rule, so output
+// is deterministic across runs.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// pathIn reports whether pkgPath is one of the listed packages or inside
+// one of them.
+func pathIn(pkgPath string, roots ...string) bool {
+	for _, r := range roots {
+		if pkgPath == r || strings.HasPrefix(pkgPath, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the local name under which the file imports path, or
+// "" if the file does not import it. Dot imports return ".".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// isPkgIdent reports whether ident names the package imported under path in
+// file f. When type information is available it is authoritative (so a local
+// variable shadowing the package name is not mistaken for it); otherwise the
+// import table decides.
+func (p *Pass) isPkgIdent(f *ast.File, ident *ast.Ident, path string) bool {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[ident]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == path
+		}
+	}
+	name := importName(f, path)
+	return name != "" && name != "." && ident.Name == name
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wantSpec is one expected finding: a substring that must occur in the
+// message of some finding on that line.
+type wantSpec struct {
+	file string
+	line int
+	want string
+}
+
+// collectWants scans a fixture file for `// want "substring"` annotations.
+func collectWants(t *testing.T, path string) []wantSpec {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []wantSpec
+	for i, line := range strings.Split(string(data), "\n") {
+		_, rest, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, `"`) && strings.HasSuffix(rest, `"`) && len(rest) >= 2 {
+			rest = rest[1 : len(rest)-1]
+		}
+		rest = strings.ReplaceAll(rest, `\"`, `"`)
+		specs = append(specs, wantSpec{file: path, line: i + 1, want: rest})
+	}
+	return specs
+}
+
+// TestAnalyzerFixtures runs every analyzer over its fixture package and
+// checks the findings against the `// want` annotations: each annotated
+// line must produce a matching finding, each unannotated line must produce
+// none, and every suppression in the fixture must hold (suppressed lines
+// carry no annotation).
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{Determinism, "determinism"},
+		{ChipConfine, "chipconfine"},
+		{ObsPair, "obspair"},
+		{ErrDiscard, "errdiscard"},
+		{PrintBan, "printban"},
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pass, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pass == nil {
+				t.Fatalf("no fixture files in %s", dir)
+			}
+			findings := Suppress(pass, tc.analyzer.Run(pass))
+			SortFindings(findings)
+
+			var wants []wantSpec
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".go") {
+					wants = append(wants, collectWants(t, filepath.Join(dir, e.Name()))...)
+				}
+			}
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want annotations", dir)
+			}
+
+			wantLines := map[string]bool{} // "file:line" with an annotation
+			for _, w := range wants {
+				wantLines[keyOf(w.file, w.line)] = true
+			}
+			for _, w := range wants {
+				matched := false
+				for _, f := range findings {
+					if f.Pos.Filename == w.file && f.Pos.Line == w.line &&
+						f.Rule == tc.analyzer.Name && strings.Contains(f.Message, w.want) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: no %s finding containing %q\nfindings: %v",
+						w.file, w.line, tc.analyzer.Name, w.want, findings)
+				}
+			}
+			for _, f := range findings {
+				if !wantLines[keyOf(f.Pos.Filename, f.Pos.Line)] {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+func keyOf(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// TestByName checks the -rules filter resolution.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	some, err := ByName("printban, determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "determinism" || some[1].Name != "printban" {
+		t.Fatalf("ByName kept %v; want canonical order [determinism printban]", some)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+// TestExpandPatternsSkipsTestdata ensures the driver never lints fixtures.
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	dirs, err := ExpandPatterns(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Fatalf("pattern expansion descended into %s", d)
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no directories found")
+	}
+}
+
+// TestMalformedSuppression checks that a reason-less ignore is itself
+// reported rather than silently honored.
+func TestMalformedSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import "fmt"
+
+func f() {
+	//lint:ignore swlint/printban
+	fmt.Println("still flagged")
+}
+`
+	path := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, err := loader.LoadFiles("fixture/malformed", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Suppress(pass, PrintBan.Run(pass))
+	var gotIgnore, gotPrint bool
+	for _, f := range findings {
+		switch f.Rule {
+		case "ignore":
+			gotIgnore = true
+		case "printban":
+			gotPrint = true
+		}
+	}
+	if !gotIgnore || !gotPrint {
+		t.Fatalf("want malformed-ignore and printban findings, got %v", findings)
+	}
+}

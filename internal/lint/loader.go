@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages without golang.org/x/tools.
+// Imports inside this module are resolved from source by path translation
+// (flashswl/internal/foo -> <root>/internal/foo) and type-checked
+// recursively; everything else (the standard library) is delegated to the
+// go/importer source importer. Type checking is best-effort: a package that
+// fails to check still yields a Pass with whatever information was
+// recovered, because most analyzers are syntactic.
+type Loader struct {
+	Fset   *token.FileSet
+	root   string // module root directory (holds go.mod)
+	module string // module path from go.mod
+
+	std      types.Importer
+	pkgs     map[string]*types.Package // memoized module packages, by import path
+	checking map[string]bool           // cycle guard
+}
+
+// NewLoader locates the enclosing module from dir (walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, module, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		root:     root,
+		module:   module,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*types.Package{},
+		checking: map[string]bool{},
+	}, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module path.
+func (l *Loader) Module() string { return l.module }
+
+// findModule walks up from dir looking for go.mod and returns the module
+// root and path.
+func findModule(dir string) (root, module string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// PkgPath translates a directory inside the module to its import path, or
+// "" if the directory is outside the module.
+func (l *Loader) PkgPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	if rel == "." {
+		return l.module
+	}
+	return l.module + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer over module-internal paths, delegating
+// everything else to the standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		if pkg, ok := l.pkgs[path]; ok {
+			return pkg, nil
+		}
+		if l.checking[path] {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module)))
+		pass, err := l.load(path, dir, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pass.Pkg
+		return pass.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory and
+// returns a Pass for analysis, or nil if the directory holds no non-test Go
+// files. Type errors are collected into the Pass, not returned: analyzers
+// run on whatever was recovered.
+func (l *Loader) LoadDir(dir string) (*Pass, error) {
+	pkgPath := l.PkgPath(dir)
+	if pkgPath == "" {
+		pkgPath = filepath.ToSlash(dir) // fixture outside the module: any stable name
+	}
+	return l.load(pkgPath, dir, nil)
+}
+
+// LoadFiles is LoadDir restricted to an explicit file list (used by tests
+// to assemble fixture packages).
+func (l *Loader) LoadFiles(pkgPath string, files ...string) (*Pass, error) {
+	if len(files) == 0 {
+		return nil, errors.New("lint: no files")
+	}
+	return l.load(pkgPath, filepath.Dir(files[0]), files)
+}
+
+// load does the real work: parse the files (all non-test .go files of dir
+// when names is nil), then type-check with best-effort error tolerance.
+func (l *Loader) load(pkgPath, dir string, names []string) (*Pass, error) {
+	if names == nil {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			names = append(names, filepath.Join(dir, name))
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pass := &Pass{Fset: l.Fset, Files: files, Dir: dir, PkgPath: pkgPath}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error:            func(err error) { pass.TypeErrors = append(pass.TypeErrors, err) },
+	}
+	l.checking[pkgPath] = true
+	pkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	delete(l.checking, pkgPath)
+	if err != nil && pkg == nil {
+		// Catastrophic failure: analyzers still get the syntax.
+		pass.TypeErrors = append(pass.TypeErrors, err)
+		return pass, nil
+	}
+	pass.Pkg = pkg
+	pass.Info = info
+	return pass, nil
+}
+
+// ExpandPatterns resolves go-style package patterns ("./...", "dir",
+// "dir/...") into the list of directories containing non-test Go files.
+// testdata, vendor, hidden and underscore-prefixed directories are skipped,
+// exactly as the go tool does.
+func ExpandPatterns(base string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[abs] && hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			start := filepath.Join(base, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return add(path)
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(filepath.Join(base, filepath.FromSlash(pat))); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

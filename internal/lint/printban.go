@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PrintBan bans direct terminal output from internal packages: results flow
+// through obs sinks, CSV writers, and returned values; only the cmd/ and
+// examples/ entry points own stdout. A stray fmt.Println in a cleaner or
+// simulator corrupts the CSV streams cmd/experiments writes and hides
+// information from the obs layer.
+var PrintBan = &Analyzer{
+	Name: rulePrintBan,
+	Doc:  "no fmt.Print*/println or os.Stdout writes in internal packages (use sinks and writers)",
+	Applies: func(pkgPath string) bool {
+		return pathIn(pkgPath, "flashswl/internal")
+	},
+	Run: runPrintBan,
+}
+
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// isBuiltinUse reports whether ident resolves to a predeclared (universe
+// scope) object — or cannot be resolved at all, in which case the builtin
+// is the only plausible referent.
+func isBuiltinUse(p *Pass, id *ast.Ident) bool {
+	if p.Info == nil {
+		return true
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func runPrintBan(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+					// Only flag the predeclared builtins, not a local
+					// function that happens to share the name.
+					if isBuiltinUse(p, id) {
+						out = append(out, Finding{
+							Pos:     p.Fset.Position(n.Pos()),
+							Rule:    rulePrintBan,
+							Message: fmt.Sprintf("builtin %s writes to stderr; internal packages must stay silent", id.Name),
+						})
+					}
+				}
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && printFuncs[sel.Sel.Name] {
+					if id, ok := sel.X.(*ast.Ident); ok && p.isPkgIdent(f, id, "fmt") {
+						out = append(out, Finding{
+							Pos:     p.Fset.Position(n.Pos()),
+							Rule:    rulePrintBan,
+							Message: fmt.Sprintf("fmt.%s writes to stdout; internal packages emit through sinks and CSV writers", sel.Sel.Name),
+						})
+					}
+				}
+			case *ast.SelectorExpr:
+				if sel := n; sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					if id, ok := sel.X.(*ast.Ident); ok && p.isPkgIdent(f, id, "os") {
+						out = append(out, Finding{
+							Pos:     p.Fset.Position(n.Pos()),
+							Rule:    rulePrintBan,
+							Message: fmt.Sprintf("os.%s referenced; internal packages take an io.Writer instead", sel.Sel.Name),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

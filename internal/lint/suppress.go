@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. The full form is
+//
+//	//lint:ignore swlint/<rule> reason
+//
+// and it silences findings of <rule> on the comment's own line and on the
+// line immediately below it (the usual placement: a full-line comment above
+// the offending statement, or a trailing comment on the statement itself).
+const ignorePrefix = "//lint:ignore swlint/"
+
+// ignoreSet records, per file, which lines have which rules suppressed.
+type ignoreSet struct {
+	// lines maps line number -> set of rule names suppressed there.
+	lines map[int]map[string]bool
+}
+
+// collectIgnores scans a file's comments for suppression directives. A
+// directive with no reason is returned as a finding itself — silent
+// suppressions are how contracts rot.
+func collectIgnores(p *Pass, f *ast.File) (ignoreSet, []Finding) {
+	set := ignoreSet{lines: map[int]map[string]bool{}}
+	var bad []Finding
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			rule := rest
+			reason := ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				rule, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+			}
+			pos := p.Fset.Position(c.Pos())
+			if rule == "" || reason == "" {
+				bad = append(bad, Finding{
+					Pos:     pos,
+					Rule:    "ignore",
+					Message: "malformed suppression: want //lint:ignore swlint/<rule> reason",
+				})
+				continue
+			}
+			for _, ln := range []int{pos.Line, pos.Line + 1} {
+				m := set.lines[ln]
+				if m == nil {
+					m = map[string]bool{}
+					set.lines[ln] = m
+				}
+				m[rule] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// Suppress drops findings covered by //lint:ignore directives in the pass's
+// files and appends findings for malformed directives. It is applied by the
+// driver after every analyzer has run.
+func Suppress(p *Pass, findings []Finding) []Finding {
+	byFile := map[string]ignoreSet{}
+	var out []Finding
+	for _, f := range p.Files {
+		pos := p.Fset.Position(f.Pos())
+		set, bad := collectIgnores(p, f)
+		byFile[pos.Filename] = set
+		out = append(out, bad...)
+	}
+	for _, fd := range findings {
+		if set, ok := byFile[fd.Pos.Filename]; ok {
+			if rules, ok := set.lines[fd.Pos.Line]; ok && rules[fd.Rule] {
+				continue
+			}
+		}
+		out = append(out, fd)
+	}
+	return out
+}

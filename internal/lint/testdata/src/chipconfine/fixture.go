@@ -1,0 +1,55 @@
+// Fixture for the chipconfine analyzer: goroutines must not capture or
+// receive a chip, device, or driver owned by another goroutine. Goroutines
+// may build and use their own.
+package fixture
+
+import "flashswl/internal/nand"
+
+type runner struct {
+	chip *nand.Chip
+	n    int
+}
+
+func shareByCapture(c *nand.Chip) {
+	go func() {
+		_ = c.EraseBlock(0) // want "goroutine shares \"c\""
+	}()
+}
+
+func shareByArg(c *nand.Chip, work func(*nand.Chip)) {
+	go work(c) // want "goroutine shares \"c\""
+}
+
+func shareThroughStruct(r *runner) {
+	go func() {
+		_ = r.chip.EraseBlock(0) // want "goroutine shares \"chip\""
+	}()
+}
+
+func ownChipIsFine(geo nand.Geometry) {
+	go func() {
+		c := nand.New(nand.Config{Geometry: geo})
+		_ = c.EraseBlock(0)
+	}()
+}
+
+func ownStructIsFine(geo nand.Geometry) {
+	go func() {
+		r := runner{chip: nand.New(nand.Config{Geometry: geo})}
+		_ = r.chip.EraseBlock(0)
+	}()
+}
+
+func plainCapturesAreFine(r *runner) {
+	n := r.n
+	go func() {
+		_ = n + 1
+	}()
+}
+
+func suppressed(c *nand.Chip) {
+	go func() {
+		//lint:ignore swlint/chipconfine fixture demonstrates suppression
+		_ = c.EraseBlock(0)
+	}()
+}

@@ -1,0 +1,37 @@
+// Fixture for the determinism analyzer: global-source math/rand references
+// and wall-clock reads are flagged; seeded generators and suppressed sites
+// are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int {
+	x := rand.Intn(10) // want "global-source rand.Intn"
+	x += rand.Int()    // want "global-source rand.Int"
+	_ = time.Now()     // want "time.Now reads the wall clock"
+	return x
+}
+
+func badValueRef() func(int) int {
+	// The old core default: smuggling the global source in as a value.
+	return rand.Intn // want "global-source rand.Intn"
+}
+
+func good(n int) int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(n)
+}
+
+func goodShadow() int {
+	// A local shadowing the package name is not the package.
+	rand := struct{ Intn func(int) int }{Intn: func(int) int { return 4 }}
+	return rand.Intn(9)
+}
+
+func suppressed() int {
+	//lint:ignore swlint/determinism fixture demonstrates suppression
+	return rand.Intn(3)
+}

@@ -1,0 +1,44 @@
+// Fixture for the obspair analyzer: erase calls and page-copy accounting
+// must pair with an obs emission in the same function.
+package fixture
+
+type counters struct {
+	LiveCopies int64
+}
+
+type device struct{}
+
+func (device) EraseBlock(b int) error { return nil }
+
+type driver struct {
+	dev      device
+	counters counters
+	sink     interface{ Observe(v int) }
+}
+
+func (d *driver) emit(kind, block, pages int) {}
+
+func (d *driver) eraseDark(b int) error {
+	return d.dev.EraseBlock(b) // want "EraseBlock call in eraseDark has no obs emission"
+}
+
+func (d *driver) copyDark(n int) {
+	d.counters.LiveCopies += int64(n) // want "page-copy accounting (LiveCopies) in copyDark"
+	d.counters.LiveCopies++           // want "page-copy accounting (LiveCopies) in copyDark"
+}
+
+func (d *driver) eraseBright(b int) error {
+	err := d.dev.EraseBlock(b)
+	d.emit(0, b, 0)
+	return err
+}
+
+func (d *driver) copyBright(n int) {
+	d.counters.LiveCopies += int64(n)
+	d.sink.Observe(n)
+}
+
+func (d *driver) suppressedErase(b int) error {
+	//lint:ignore swlint/obspair fixture demonstrates suppression
+	return d.dev.EraseBlock(b)
+}

@@ -1,0 +1,27 @@
+// Fixture for the printban analyzer: internal packages emit through sinks
+// and writers, never straight to the terminal.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func bad() {
+	fmt.Println("hi")       // want "fmt.Println writes to stdout"
+	fmt.Printf("x %d\n", 1) // want "fmt.Printf writes to stdout"
+	w := os.Stdout          // want "os.Stdout referenced"
+	println("boom")         // want "builtin println writes to stderr"
+	_ = w
+}
+
+func good(w io.Writer) {
+	fmt.Fprintln(w, "hi")
+	_ = fmt.Sprintf("x %d", 1)
+}
+
+func suppressed() {
+	//lint:ignore swlint/printban fixture demonstrates suppression
+	fmt.Println("sanctioned")
+}
