@@ -12,6 +12,11 @@
 //	experiments -full            # the paper's exact 1 GB configuration (very slow)
 //	experiments -series out/     # wear-trajectory CSVs, one per (layer, k, T) cell
 //	experiments -check           # run every cell with the invariant checker attached
+//	experiments -serve :8080     # live sweep progress over HTTP while the suite runs
+//
+// Every invocation that runs simulation cells also writes a machine-readable
+// BENCH_summary.json artifact (one record per cell) for cmd/swlstat to diff
+// against an earlier run; -summary moves or disables it.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	seriesDir := flag.String("series", "", "also run the wear-trajectory sweep, writing one CSV per cell into this directory")
 	seriesSamples := flag.Int("samples", 200, "target number of wear samples per trajectory (-series)")
 	check := flag.Bool("check", false, "attach the invariant checker to every run; any violation fails the experiment")
+	summaryPath := flag.String("summary", "BENCH_summary.json", "write the per-cell BENCH summary artifact here (empty = skip)")
+	serveAddr := flag.String("serve", "", "serve live sweep progress (Prometheus /metrics, /heatmap, /progress, pprof) on this address")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -56,6 +63,41 @@ func main() {
 		}
 	}
 	sc.CheckInvariants = *check
+
+	collector := experiments.NewSummaryCollector(sc.Name)
+	hooks := []func(string, sim.Config, *sim.Result){collector.CellDone}
+	if *serveAddr != "" {
+		mon := newSweepMonitor(sc.Geometry.Blocks, sc.Endurance)
+		bound, err := mon.start(*serveAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("monitoring: http://%s/ (metrics, heatmap, progress, pprof)\n", bound)
+		defer mon.close()
+		hooks = append(hooks, mon.cellDone)
+	}
+	sc.OnCellDone = func(label string, cfg sim.Config, res *sim.Result) {
+		for _, h := range hooks {
+			h(label, cfg, res)
+		}
+	}
+	defer func() {
+		if *summaryPath == "" || collector.Len() == 0 {
+			return
+		}
+		f, err := os.Create(*summaryPath)
+		if err == nil {
+			err = collector.Summary().Encode(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("bench summary: %d runs -> %s\n", collector.Len(), *summaryPath)
+	}()
+
 	fmt.Printf("scale: %s — %s, endurance %d, T scale ×%g\n\n", sc.Name, sc.Geometry, sc.Endurance, sc.TFactor)
 	if sc.Faults != nil {
 		fmt.Printf("fault injection: program %g, erase %g (transient, seed %d)\n\n",

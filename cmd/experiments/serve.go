@@ -1,0 +1,83 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"flashswl/internal/monitor"
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+)
+
+// sweepMonitor aggregates completed cells into live monitor snapshots. The
+// experiment sweeps complete cells on worker-pool goroutines, so cellDone
+// serializes under a mutex; every publication is a freshly built immutable
+// snapshot per the monitor package's contract.
+type sweepMonitor struct {
+	srv       *monitor.Server
+	blocks    int
+	endurance int
+	wallStart time.Time
+
+	mu        sync.Mutex
+	cellsDone int64
+	events    int64
+	erases    int64
+	copies    int64
+	simHours  float64
+	worn      int
+}
+
+func newSweepMonitor(blocks, endurance int) *sweepMonitor {
+	return &sweepMonitor{srv: monitor.NewServer(), blocks: blocks, endurance: endurance, wallStart: time.Now()}
+}
+
+func (m *sweepMonitor) start(addr string) (string, error) { return m.srv.Start(addr) }
+
+func (m *sweepMonitor) close() { _ = m.srv.Close() }
+
+// cellDone folds one finished run into the aggregate and publishes. The
+// heatmap shows the most recently completed cell's wear distribution —
+// res.EraseCounts is owned by the finished run's result, so handing it to
+// the snapshot aliases nothing live.
+func (m *sweepMonitor) cellDone(label string, cfg sim.Config, res *sim.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cellsDone++
+	m.events += res.Events
+	m.erases += res.Erases
+	m.copies += res.LiveCopies
+	m.simHours += res.SimTime.Hours()
+	m.worn += res.WornBlocks
+
+	snap := &monitor.Snapshot{
+		Labels: []monitor.Label{{Name: "cmd", Value: "experiments"}, {Name: "cell", Value: label}},
+		Metrics: &obs.Snapshot{
+			Counters: map[string]int64{
+				"sweep_cells_done":        m.cellsDone,
+				"sweep_events_total":      m.events,
+				"sweep_erases_total":      m.erases,
+				"sweep_live_copies_total": m.copies,
+			},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]obs.HistogramSnapshot{},
+		},
+		Heatmap: monitor.Heatmap{
+			Blocks:      m.blocks,
+			EraseCounts: res.EraseCounts,
+			Endurance:   m.endurance,
+		},
+		Progress: monitor.Progress{
+			Events:      m.events,
+			SimHours:    m.simHours,
+			WallSeconds: time.Since(m.wallStart).Seconds(),
+			ETASeconds:  -1, // sweep size is not known here
+			MeanErase:   res.EraseStats.Mean(),
+			MaxErase:    int(res.EraseStats.Max()),
+			Endurance:   m.endurance,
+			WornBlocks:  m.worn,
+			Episodes:    res.LevelerEpisodes,
+		},
+	}
+	m.srv.Publish(snap)
+}

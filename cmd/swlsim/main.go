@@ -11,6 +11,8 @@
 //	swlsim -layer nftl -cutafter 5000 -T 4  # power-cut/remount recovery check
 //	swlsim -layer ftl -swl -metrics out.jsonl       # JSONL event/metric stream
 //	swlsim -layer ftl -swl -check -sample 5000      # invariant checking + wear series
+//	swlsim -full -swl -serve :8080                  # paper-scale run with live monitoring
+//	swlsim -layer ftl -swl -summary BENCH_summary.json   # machine-readable artifact for swlstat
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"flashswl/internal/faultinject"
+	"flashswl/internal/monitor"
 	"flashswl/internal/nand"
 	"flashswl/internal/obs"
 	"flashswl/internal/sim"
@@ -50,9 +53,31 @@ func main() {
 	flipEvery := flag.Int64("flipevery", 0, "flip a stored bit on every Nth read (0 = off)")
 	cutAfter := flag.Int64("cutafter", 0, "power-cut/recovery mode: cut after N flash ops, then remount and verify")
 	metricsPath := flag.String("metrics", "", "write the observability stream (events, wear samples, final metrics) as JSONL to this file")
-	sampleEvery := flag.Int64("sample", 0, "take a wear time-series sample every N trace events (0 = off; -metrics defaults it to 10000)")
+	sampleEvery := flag.Int64("sample", 0, "take a wear time-series sample every N trace events (0 = off; -metrics and -serve default it)")
 	check := flag.Bool("check", false, "attach the invariant checker; exit nonzero on any violation")
+	full := flag.Bool("full", false, "paper-scale preset: 4096 blocks x 128 pages x 2KB, endurance 10000 (explicit geometry flags still win)")
+	serveAddr := flag.String("serve", "", "serve live monitoring (Prometheus /metrics, /heatmap, /progress, pprof) on this address during the run")
+	summaryPath := flag.String("summary", "", "write a BENCH summary artifact (for cmd/swlstat) to this file")
 	flag.Parse()
+
+	if *full {
+		// The preset fills in the paper's experimental platform (§4.1) for
+		// every geometry flag the command line left at its default.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["blocks"] {
+			*blocks = 4096
+		}
+		if !set["ppb"] {
+			*ppb = 128
+		}
+		if !set["pagesize"] {
+			*pageSize = 2048
+		}
+		if !set["endurance"] {
+			*endurance = 10_000
+		}
+	}
 
 	var layer sim.LayerKind
 	switch *layerName {
@@ -155,7 +180,26 @@ func main() {
 		cfg.Sink = jw
 		cfg.Metrics = true
 		if *sampleEvery == 0 {
-			*sampleEvery = 10_000
+			*sampleEvery = obs.DefaultSampleInterval
+		}
+	}
+	var pub *monitor.SimPublisher
+	var mon *monitor.Server
+	if *serveAddr != "" {
+		cfg.Metrics = true
+		if *sampleEvery == 0 {
+			*sampleEvery = obs.DefaultSampleInterval
+		}
+		// The publisher needs the runner, which needs the config: bridge the
+		// cycle with a late-bound hook (it runs on the sim goroutine).
+		prev := cfg.OnSample
+		cfg.OnSample = func(s obs.WearSample) {
+			if prev != nil {
+				prev(s)
+			}
+			if pub != nil {
+				pub.OnSample(s)
+			}
 		}
 	}
 	cfg.SampleEvery = *sampleEvery
@@ -166,10 +210,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
 		os.Exit(1)
 	}
+	if *serveAddr != "" {
+		mon = monitor.NewServer()
+		bound, err := mon.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("monitoring:      http://%s/ (metrics, heatmap, progress, pprof)\n", bound)
+		pub = monitor.NewSimPublisher(mon, runner, cfg,
+			monitor.Label{Name: "layer", Value: layer.String()},
+			monitor.Label{Name: "cmd", Value: "swlsim"})
+	}
+	wallStart := time.Now()
 	res, err := runner.Run(src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
 		os.Exit(1)
+	}
+	wall := time.Since(wallStart)
+	if pub != nil {
+		pub.Finish(res)
+		defer mon.Close()
 	}
 	if jw != nil {
 		jw.Metrics(runner.Registry())
@@ -220,6 +282,28 @@ func main() {
 		if violations > 0 {
 			os.Exit(1)
 		}
+	}
+	if *summaryPath != "" {
+		name := fmt.Sprintf("swlsim/%s/base", layer)
+		if *swl {
+			name = fmt.Sprintf("swlsim/%s/k%d_T%g", layer, *k, *threshold)
+		}
+		run := sim.Summarize(name, cfg, res)
+		run.WallSeconds = wall.Seconds()
+		b := obs.NewBenchSummary("swlsim")
+		b.Add(run)
+		f, err := os.Create(*summaryPath)
+		if err == nil {
+			err = b.Encode(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: writing %s: %v\n", *summaryPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary:         %s -> %s\n", name, *summaryPath)
 	}
 	if res.Err != nil {
 		fmt.Printf("ended early:     %v\n", res.Err)

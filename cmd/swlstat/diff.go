@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"flashswl/internal/obs"
+)
+
+// Thresholds bound how much each endurance metric may move before the diff
+// counts as a regression. Each is a fraction of the old value: 0.10 allows
+// a 10% change. Checks against an old value of 0 (or a missing first
+// failure) are skipped — there is no base to take a fraction of.
+type Thresholds struct {
+	// MaxFirstFailDrop flags a drop in first-failure time (endurance lost).
+	MaxFirstFailDrop float64
+	// MaxDevRise flags a rise in the erase-count standard deviation (wear
+	// got less even).
+	MaxDevRise float64
+	// MaxEraseRise flags a rise in total erases (extra-erase overhead).
+	MaxEraseRise float64
+	// MaxCopyRise flags a rise in live-page copies (live-copy overhead).
+	MaxCopyRise float64
+}
+
+// Delta is one compared metric of one run.
+type Delta struct {
+	Run        string
+	Metric     string
+	Old, New   float64
+	Change     float64 // (new-old)/old; 0 when old == 0
+	Regression bool
+}
+
+// diffSummaries compares every run present in both artifacts, returning the
+// per-metric deltas and whether any crossed its threshold. Runs present on
+// only one side are reported in missing (old-only names first).
+func diffSummaries(oldB, newB *obs.BenchSummary, th Thresholds) (deltas []Delta, missing []string, regressed bool) {
+	for _, oldRun := range oldB.Runs {
+		newRun := newB.Run(oldRun.Name)
+		if newRun == nil {
+			missing = append(missing, oldRun.Name+" (old only)")
+			continue
+		}
+		checks := []struct {
+			metric    string
+			old, new  float64
+			threshold float64
+			drop      bool // regression is a drop, not a rise
+		}{
+			{"first_wear_hours", oldRun.FirstWearHours, newRun.FirstWearHours, th.MaxFirstFailDrop, true},
+			{"stddev_erase", oldRun.StdDevErase, newRun.StdDevErase, th.MaxDevRise, false},
+			{"erases", float64(oldRun.Erases), float64(newRun.Erases), th.MaxEraseRise, false},
+			{"live_copies", float64(oldRun.LiveCopies), float64(newRun.LiveCopies), th.MaxCopyRise, false},
+		}
+		for _, c := range checks {
+			d := Delta{Run: oldRun.Name, Metric: c.metric, Old: c.old, New: c.new}
+			if c.old > 0 {
+				d.Change = (c.new - c.old) / c.old
+				if c.drop {
+					d.Regression = d.Change < -c.threshold
+				} else {
+					d.Regression = d.Change > c.threshold
+				}
+			}
+			if c.metric == "first_wear_hours" && c.old > 0 && c.new < 0 {
+				// The old run saw a failure, the new one never did: strictly
+				// better endurance, never a regression.
+				d.Regression = false
+			}
+			regressed = regressed || d.Regression
+			deltas = append(deltas, d)
+		}
+	}
+	for _, newRun := range newB.Runs {
+		if oldB.Run(newRun.Name) == nil {
+			missing = append(missing, newRun.Name+" (new only)")
+		}
+	}
+	return deltas, missing, regressed
+}
+
+// writeReport renders the diff as a fixed-width table plus a verdict line.
+func writeReport(w io.Writer, deltas []Delta, missing []string, regressed bool) {
+	run := ""
+	for _, d := range deltas {
+		if d.Run != run {
+			run = d.Run
+			fmt.Fprintf(w, "%s\n", run)
+		}
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "  %s %-18s %14.4g -> %-14.4g (%+.1f%%)\n", mark, d.Metric, d.Old, d.New, 100*d.Change)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "unmatched run: %s\n", name)
+	}
+	if regressed {
+		fmt.Fprintln(w, "REGRESSION: at least one metric crossed its threshold")
+	} else {
+		fmt.Fprintln(w, "OK: all metrics within thresholds")
+	}
+}

@@ -1,0 +1,86 @@
+// Command swlstat diffs two run artifacts and fails on endurance
+// regressions. It accepts BENCH_summary.json artifacts (written by
+// cmd/swlsim -summary and cmd/experiments) and raw JSONL observability
+// streams (swlsim -metrics output); runs are matched by name, and four
+// metrics are compared against configurable thresholds: first-failure time,
+// erase-count deviation, total erases, and live-page copies.
+//
+// Usage:
+//
+//	swlstat [flags] old.json new.json
+//
+// Exit status: 0 when every metric is within thresholds, 1 on a
+// regression, 2 on a usage or decode error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flashswl/internal/obs"
+)
+
+func main() {
+	var th Thresholds
+	flag.Float64Var(&th.MaxFirstFailDrop, "maxffdrop", 0.10, "max fractional drop in first-failure time")
+	flag.Float64Var(&th.MaxDevRise, "maxdevrise", 0.25, "max fractional rise in erase-count stddev")
+	flag.Float64Var(&th.MaxEraseRise, "maxeraserise", 0.25, "max fractional rise in total erases")
+	flag.Float64Var(&th.MaxCopyRise, "maxcopyrise", 0.50, "max fractional rise in live-page copies")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swlstat [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldB, err := loadArtifact(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swlstat:", err)
+		os.Exit(2)
+	}
+	newB, err := loadArtifact(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swlstat:", err)
+		os.Exit(2)
+	}
+	if len(oldB.Runs) == 1 && len(newB.Runs) == 1 && oldB.Runs[0].Name != newB.Runs[0].Name {
+		// Single-run artifacts (typically JSONL streams named after their
+		// files) describe the same run by construction; match them anyway.
+		newB.Runs[0].Name = oldB.Runs[0].Name
+	}
+	deltas, missing, regressed := diffSummaries(oldB, newB, th)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "swlstat: no run names in common")
+		os.Exit(2)
+	}
+	writeReport(os.Stdout, deltas, missing, regressed)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// loadArtifact reads a BENCH summary or, failing that, reconstructs one
+// from a JSONL observability stream. JSONL-derived runs are named after the
+// file (base name without extension) so two streams of the same run diff
+// against each other.
+func loadArtifact(path string) (*obs.BenchSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if b, err := obs.DecodeBenchSummary(bytes.NewReader(data)); err == nil {
+		return b, nil
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	b, err := obs.SummaryFromJSONL(bytes.NewReader(data), name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: neither a bench summary nor a JSONL stream: %w", path, err)
+	}
+	return b, nil
+}

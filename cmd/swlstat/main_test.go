@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashswl/internal/obs"
+)
+
+func summaries() (*obs.BenchSummary, *obs.BenchSummary) {
+	oldB := obs.NewBenchSummary("test")
+	oldB.Add(obs.RunSummary{
+		Name: "fig5/FTL/k0_T100", FirstWearHours: 1000,
+		StdDevErase: 10, Erases: 100_000, LiveCopies: 50_000,
+	})
+	newB := obs.NewBenchSummary("test")
+	newB.Add(oldB.Runs[0])
+	return oldB, newB
+}
+
+var loose = Thresholds{MaxFirstFailDrop: 0.10, MaxDevRise: 0.25, MaxEraseRise: 0.25, MaxCopyRise: 0.50}
+
+func TestDiffIdenticalRunsPass(t *testing.T) {
+	oldB, newB := summaries()
+	deltas, missing, regressed := diffSummaries(oldB, newB, loose)
+	if regressed {
+		t.Errorf("identical runs regressed: %+v", deltas)
+	}
+	if len(missing) != 0 {
+		t.Errorf("missing = %v", missing)
+	}
+	if len(deltas) != 4 {
+		t.Errorf("got %d deltas, want 4", len(deltas))
+	}
+}
+
+func TestDiffFlagsFirstFailureDrop(t *testing.T) {
+	oldB, newB := summaries()
+	newB.Runs[0].FirstWearHours = 800 // -20% < -10% allowed
+	_, _, regressed := diffSummaries(oldB, newB, loose)
+	if !regressed {
+		t.Error("20% first-failure drop not flagged")
+	}
+	newB.Runs[0].FirstWearHours = 950 // -5% within threshold
+	_, _, regressed = diffSummaries(oldB, newB, loose)
+	if regressed {
+		t.Error("5% first-failure drop flagged")
+	}
+	newB.Runs[0].FirstWearHours = 1500 // improvement, never a regression
+	_, _, regressed = diffSummaries(oldB, newB, loose)
+	if regressed {
+		t.Error("first-failure improvement flagged")
+	}
+}
+
+func TestDiffFlagsOverheadRises(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*obs.RunSummary)
+	}{
+		{"stddev", func(r *obs.RunSummary) { r.StdDevErase = 20 }},
+		{"erases", func(r *obs.RunSummary) { r.Erases = 200_000 }},
+		{"copies", func(r *obs.RunSummary) { r.LiveCopies = 100_000 }},
+	} {
+		oldB, newB := summaries()
+		tc.mut(&newB.Runs[0])
+		if _, _, regressed := diffSummaries(oldB, newB, loose); !regressed {
+			t.Errorf("%s: doubled overhead not flagged", tc.name)
+		}
+	}
+}
+
+func TestDiffSkipsZeroAndMissingBaselines(t *testing.T) {
+	oldB, newB := summaries()
+	oldB.Runs[0].FirstWearHours = -1 // old run never wore out
+	oldB.Runs[0].LiveCopies = 0
+	newB.Runs[0].FirstWearHours = 5
+	newB.Runs[0].LiveCopies = 1_000_000
+	if _, _, regressed := diffSummaries(oldB, newB, loose); regressed {
+		t.Error("checks against zero/absent baselines must be skipped")
+	}
+}
+
+func TestDiffNewRunNeverWearsOut(t *testing.T) {
+	oldB, newB := summaries()
+	newB.Runs[0].FirstWearHours = -1 // new run outlived the whole trace
+	if _, _, regressed := diffSummaries(oldB, newB, loose); regressed {
+		t.Error("no-failure new run flagged as first-failure regression")
+	}
+}
+
+func TestDiffReportsUnmatchedRuns(t *testing.T) {
+	oldB, newB := summaries()
+	newB.Runs[0].Name = "renamed"
+	deltas, missing, _ := diffSummaries(oldB, newB, loose)
+	if len(deltas) != 0 {
+		t.Errorf("deltas for unmatched runs: %+v", deltas)
+	}
+	if len(missing) != 2 {
+		t.Errorf("missing = %v, want both sides reported", missing)
+	}
+}
+
+func TestLoadArtifactBothFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	sumPath := filepath.Join(dir, "summary.json")
+	oldB, _ := summaries()
+	f, err := os.Create(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oldB.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadArtifact(sumPath)
+	if err != nil {
+		t.Fatalf("loadArtifact(summary): %v", err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Name != "fig5/FTL/k0_T100" {
+		t.Errorf("summary artifact runs = %+v", got.Runs)
+	}
+
+	jsonlPath := filepath.Join(dir, "run.jsonl")
+	jsonl := strings.Join([]string{
+		`{"type":"sample","events":1000,"sim_ns":3600000000000,"mean":2,"stddev":1,"min":0,"max":4,"erases":128,"worn":0,"free":3}`,
+		`{"type":"metrics","counters":{"erases_total":128}}`,
+	}, "\n") + "\n"
+	if err := os.WriteFile(jsonlPath, []byte(jsonl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadArtifact(jsonlPath)
+	if err != nil {
+		t.Fatalf("loadArtifact(jsonl): %v", err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Name != "run" {
+		t.Errorf("jsonl artifact runs = %+v", got.Runs)
+	}
+	if got.Runs[0].Events != 1000 {
+		t.Errorf("jsonl run events = %d, want 1000", got.Runs[0].Events)
+	}
+
+	if _, err := loadArtifact(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

@@ -69,8 +69,12 @@ type Config struct {
 	// Observer, if non-nil, receives an EvLevelerTriggered event at every
 	// SWL-Procedure decision point (immediately before EraseBlockSet,
 	// carrying the selected flag index, the scan distance, and the
-	// ecnt/fcnt state it acted on) and an EvBETReset event when a
-	// resetting interval completes. Leave nil for zero overhead.
+	// ecnt/fcnt state it acted on), an EvBETReset event when a resetting
+	// interval completes, and an EvEpisodeBegin/EvEpisodeEnd pair spanning
+	// each invocation of SWL-Procedure that did any work — recycled block
+	// sets, skipped unerasable ones, or completed a resetting interval
+	// (obs.EpisodeBuilder assembles the pair plus the events between them
+	// into one episode record). Leave nil for zero overhead.
 	Observer obs.EventSink
 }
 
@@ -238,7 +242,14 @@ func (l *Leveler) Level() error {
 		return nil
 	}
 	acted := false
+	inEpisode := false
+	var sets0, skips0 int64                 // stats baselines for the episode-end deltas
 	for l.Unevenness() >= l.cfg.Threshold { // step 2
+		if !inEpisode {
+			inEpisode = true
+			sets0, skips0 = l.stats.SetsRecycled, l.stats.SetsSkipped
+			obs.BeginEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt())
+		}
 		if l.bet.Full() { // step 3
 			l.ecnt = 0                      // step 4 (fcnt reset with the BET, step 5)
 			l.findex = l.rand(l.bet.Size()) // step 6
@@ -274,6 +285,8 @@ func (l *Leveler) Level() error {
 			})
 		}
 		if err := l.cleaner.EraseBlockSet(l.findex, l.cfg.K); err != nil { // step 11
+			obs.EndEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt(),
+				int(l.stats.SetsRecycled-sets0), int(l.stats.SetsSkipped-skips0))
 			return fmt.Errorf("core: static wear leveling of block set %d: %w", l.findex, err)
 		}
 		acted = true
@@ -288,6 +301,10 @@ func (l *Leveler) Level() error {
 			l.stats.SetsSkipped++
 		}
 		l.findex = (l.findex + 1) % l.bet.Size() // step 12
+	}
+	if inEpisode {
+		obs.EndEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt(),
+			int(l.stats.SetsRecycled-sets0), int(l.stats.SetsSkipped-skips0))
 	}
 	if acted {
 		l.stats.Triggered++

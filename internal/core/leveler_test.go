@@ -410,11 +410,26 @@ func TestLevelEmitsObserverEvents(t *testing.T) {
 	if err := l.Level(); err != nil {
 		t.Fatalf("Level: %v", err)
 	}
-	// Same workload as TestLevelRecyclesColdSetsUntilEven: 4 recycles.
-	if len(events) != 4 {
-		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	// Same workload as TestLevelRecyclesColdSetsUntilEven: 4 recycles,
+	// bracketed by one episode_begin/episode_end pair.
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6: %+v", len(events), events)
 	}
-	for i, e := range events {
+	if events[0].Kind != obs.EvEpisodeBegin {
+		t.Fatalf("first event kind = %v, want episode_begin", events[0].Kind)
+	}
+	if events[0].Ecnt != 40 || events[0].Fcnt != 1 {
+		t.Errorf("episode_begin ecnt/fcnt = %d/%d, want 40/1", events[0].Ecnt, events[0].Fcnt)
+	}
+	last := events[len(events)-1]
+	if last.Kind != obs.EvEpisodeEnd {
+		t.Fatalf("last event kind = %v, want episode_end", last.Kind)
+	}
+	if last.Sets != 4 || last.Skipped != 0 {
+		t.Errorf("episode_end sets/skipped = %d/%d, want 4/0", last.Sets, last.Skipped)
+	}
+	triggered := events[1 : len(events)-1]
+	for i, e := range triggered {
 		if e.Kind != obs.EvLevelerTriggered {
 			t.Fatalf("event %d kind = %v", i, e.Kind)
 		}
@@ -429,8 +444,8 @@ func TestLevelEmitsObserverEvents(t *testing.T) {
 		}
 	}
 	// The first selection scans from findex 0 (set) to flag 1: distance 1.
-	if events[0].Scan != 1 {
-		t.Errorf("first scan length = %d, want 1", events[0].Scan)
+	if triggered[0].Scan != 1 {
+		t.Errorf("first scan length = %d, want 1", triggered[0].Scan)
 	}
 
 	// Drive the interval to a reset and expect exactly one EvBETReset

@@ -79,6 +79,25 @@ func (s *Series) CellAt(k int, paperT float64) *Cell {
 	return nil
 }
 
+// cellLabel names one experiment cell for summaries and hooks: the run kind
+// ("fail" for run-to-failure, "aged" for fixed-span, "series" for wear
+// trajectories), the layer, and the sweep point.
+func cellLabel(kind string, layer sim.LayerKind, swl bool, k int, paperT float64) string {
+	if !swl {
+		return fmt.Sprintf("%s/%s/base", kind, layer)
+	}
+	return fmt.Sprintf("%s/%s/k%d_T%g", kind, layer, k, paperT)
+}
+
+// cellDone reports a completed cell to the scale's hook, if any. Labels use
+// the paper-scale threshold, not the scaled one, so the same cell keeps its
+// name across scales.
+func (sc Scale) cellDone(kind string, paperT float64, cfg sim.Config, res *sim.Result) {
+	if sc.OnCellDone != nil {
+		sc.OnCellDone(cellLabel(kind, cfg.Layer, cfg.SWL, cfg.K, paperT), cfg, res)
+	}
+}
+
 // runToFailure runs one configuration until the first block wears out.
 func runToFailure(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
 	cfg := sc.config(layer, swl, k, paperT)
@@ -87,7 +106,11 @@ func runToFailure(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64
 	if err != nil {
 		return nil, err
 	}
-	return checkRun(res)
+	res, err = checkRun(res)
+	if err == nil {
+		sc.cellDone("fail", paperT, cfg, res)
+	}
+	return res, err
 }
 
 // checkRun fails a completed cell on a run error or (when the scale attached
@@ -112,7 +135,11 @@ func runAged(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*s
 	if err != nil {
 		return nil, err
 	}
-	return checkRun(res)
+	res, err = checkRun(res)
+	if err == nil {
+		sc.cellDone("aged", paperT, cfg, res)
+	}
+	return res, err
 }
 
 // Figure5 reproduces one sub-figure of Figure 5: the first failure time (in

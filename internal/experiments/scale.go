@@ -58,6 +58,11 @@ type Scale struct {
 	// CheckInvariants attaches the observability invariant checker to
 	// every run; any violation fails the experiment.
 	CheckInvariants bool
+	// OnCellDone, when non-nil, receives every completed experiment cell:
+	// a stable label ("fail/FTL/k0_T100", "aged/NFTL/base", ...), the
+	// cell's configuration, and its result. Sweeps run cells on a worker
+	// pool, so the hook must be safe for concurrent calls.
+	OnCellDone func(label string, cfg sim.Config, res *sim.Result)
 }
 
 // DefaultScale is a laptop-friendly configuration: a 256-block device with

@@ -30,7 +30,11 @@ func WearTrajectory(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float
 	if err != nil {
 		return nil, err
 	}
-	return checkRun(res)
+	res, err = checkRun(res)
+	if err == nil {
+		sc.cellDone("series", paperT, cfg, res)
+	}
+	return res, err
 }
 
 // sampleEvery estimates the event period giving `samples` wear samples over

@@ -63,11 +63,15 @@ func checkObsPair(p *Pass, fn *ast.FuncDecl) []Finding {
 				switch callee.Sel.Name {
 				case "EraseBlock":
 					sites = append(sites, site{n.Pos(), "EraseBlock call"})
-				case "emit", "Observe":
+				case "emit", "Observe", "BeginEpisode", "EndEpisode":
+					// The episode-span API (obs.BeginEpisode/EndEpisode)
+					// counts as an emission: the builder turns the pair plus
+					// the events between them into one episode record.
 					emits = true
 				}
 			case *ast.Ident:
-				if callee.Name == "emit" {
+				switch callee.Name {
+				case "emit", "BeginEpisode", "EndEpisode":
 					emits = true
 				}
 			}

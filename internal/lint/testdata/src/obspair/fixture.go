@@ -42,3 +42,28 @@ func (d *driver) suppressedErase(b int) error {
 	//lint:ignore swlint/obspair fixture demonstrates suppression
 	return d.dev.EraseBlock(b)
 }
+
+type sink struct{}
+
+func BeginEpisode(s sink, ecnt int64, fcnt int) {}
+func EndEpisode(s sink, ecnt int64, fcnt int)   {}
+
+// The episode-span API counts as an emission: a begin/end pair reports the
+// whole SWL-Procedure invocation, including its erases.
+func (d *driver) eraseInEpisode(b int, s sink) error {
+	BeginEpisode(s, 0, 0)
+	err := d.dev.EraseBlock(b)
+	EndEpisode(s, 0, 0)
+	return err
+}
+
+type obsPkg struct{}
+
+func (obsPkg) EndEpisode(s sink, ecnt int64, fcnt int) {}
+
+// Selector form (obs.EndEpisode) counts too.
+func (d *driver) eraseEndsEpisode(b int, o obsPkg, s sink) error {
+	err := d.dev.EraseBlock(b)
+	o.EndEpisode(s, 0, 0)
+	return err
+}

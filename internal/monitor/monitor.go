@@ -1,0 +1,233 @@
+// Package monitor serves live introspection of a running simulation over
+// HTTP: Prometheus metrics (/metrics), the per-block erase-count heatmap
+// (/heatmap), run progress with an ETA (/progress), and the standard pprof
+// profiles (/debug/pprof/).
+//
+// The package preserves the repo's single-goroutine chip contract (see
+// swlint/chipconfine) with a snapshot-publication pattern: the simulation
+// goroutine builds immutable Snapshot values — fresh slices and maps, never
+// aliasing live simulation state — and publishes them through an
+// atomic.Pointer. HTTP handler goroutines only ever load and read published
+// snapshots; they never touch the chip, the translation layer, or the
+// leveler. See DESIGN.md ("Snapshot publication").
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"flashswl/internal/obs"
+	"flashswl/internal/obs/promtext"
+)
+
+// Label aliases promtext.Label so hosts can attach exposition labels
+// without importing the encoder.
+type Label = promtext.Label
+
+// Progress describes how far a run has come and how it is trending. All
+// fields are plain values; a published Progress is never mutated.
+type Progress struct {
+	// Events and SimHours are the trace events consumed and the simulated
+	// time covered so far.
+	Events   int64   `json:"events"`
+	SimHours float64 `json:"sim_hours"`
+	// WallSeconds is the host wall-clock time elapsed since the run began.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Fraction estimates run completion in [0,1]: events/MaxEvents or
+	// simtime/MaxSimTime for bounded runs, max-erase/endurance for
+	// run-to-first-wear experiments; 0 when no bound applies.
+	Fraction float64 `json:"fraction"`
+	// ETASeconds extrapolates the remaining wall time from Fraction and
+	// WallSeconds; -1 when Fraction is 0 (unknown).
+	ETASeconds float64 `json:"eta_seconds"`
+	// Ecnt, Fcnt, and Unevenness mirror the SW Leveler's state (zero when
+	// no leveler is attached). Unevenness is the paper's ecnt/fcnt.
+	Ecnt       int64   `json:"ecnt"`
+	Fcnt       int     `json:"fcnt"`
+	Unevenness float64 `json:"unevenness"`
+	// MeanErase/MaxErase summarize the wear distribution; Endurance is the
+	// per-block limit the run counts against (0 = unlimited).
+	MeanErase float64 `json:"mean_erase"`
+	MaxErase  int     `json:"max_erase"`
+	Endurance int     `json:"endurance"`
+	// WornBlocks counts blocks past their endurance; Episodes counts
+	// completed leveler episode spans.
+	WornBlocks int   `json:"worn_blocks"`
+	Episodes   int64 `json:"episodes"`
+	// Done marks the final snapshot of a finished run.
+	Done bool `json:"done"`
+}
+
+// Heatmap is the per-block erase-count distribution at one moment.
+type Heatmap struct {
+	Blocks int `json:"blocks"`
+	// EraseCounts[i] is block i's lifetime erase count. The slice is owned
+	// by the snapshot: publishers must hand over a fresh copy.
+	EraseCounts []int `json:"erase_counts"`
+	Endurance   int   `json:"endurance"`
+}
+
+// Snapshot is one immutable published state. Publishers build a new value
+// per publication and must not retain or mutate it afterwards.
+type Snapshot struct {
+	// Metrics is a point-in-time registry snapshot, or nil when the run has
+	// no metrics registry (then /metrics serves only the progress samples).
+	Metrics *obs.Snapshot
+	// Labels are attached to every exposition sample (e.g. layer, scale).
+	Labels   []promtext.Label
+	Heatmap  Heatmap
+	Progress Progress
+}
+
+// Server publishes snapshots to HTTP readers. The zero value is not usable;
+// call NewServer.
+type Server struct {
+	snap atomic.Pointer[Snapshot]
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewServer returns a server with no snapshot yet; endpoints answer 503
+// until the first Publish.
+func NewServer() *Server { return &Server{} }
+
+// Publish makes snap the state every subsequent request observes. The
+// caller transfers ownership: snap and everything it references must not be
+// mutated after the call.
+func (s *Server) Publish(snap *Snapshot) { s.snap.Store(snap) }
+
+// Snapshot returns the last published snapshot, or nil.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Handler returns the monitoring mux: /metrics, /heatmap, /progress,
+// /debug/pprof/, and an index at /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/heatmap", s.handleHeatmap)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the
+// monitoring endpoints in a background goroutine. It returns the bound
+// address, useful when addr requested an ephemeral port.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any other
+		// serve error just ends the monitoring side-channel, never the run.
+		_ = s.srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. In-flight requests are abandoned; monitoring is
+// a side-channel with no state worth draining.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "flashswl run monitor")
+	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+	fmt.Fprintln(w, "  /heatmap       per-block erase counts (JSON)")
+	fmt.Fprintln(w, "  /progress      sim vs wall time, ETA, unevenness (JSON)")
+	fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
+}
+
+// load returns the current snapshot or answers 503 and returns nil.
+func (s *Server) load(w http.ResponseWriter) *Snapshot {
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.load(w)
+	if snap == nil {
+		return
+	}
+	w.Header().Set("Content-Type", promtext.ContentType)
+	if snap.Metrics != nil {
+		if err := promtext.Write(w, *snap.Metrics, snap.Labels...); err != nil {
+			return
+		}
+	}
+	// Progress rides along as free-standing gauges so a scrape needs only
+	// one endpoint.
+	p := snap.Progress
+	for _, g := range []struct {
+		name  string
+		value float64
+	}{
+		{"run_events", float64(p.Events)},
+		{"run_sim_hours", p.SimHours},
+		{"run_wall_seconds", p.WallSeconds},
+		{"run_fraction", p.Fraction},
+		{"run_unevenness", p.Unevenness},
+		{"run_mean_erase", p.MeanErase},
+		{"run_max_erase", float64(p.MaxErase)},
+		{"run_worn_blocks", float64(p.WornBlocks)},
+	} {
+		if err := promtext.WriteSample(w, g.name, "gauge", g.value, snap.Labels...); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	snap := s.load(w)
+	if snap == nil {
+		return
+	}
+	writeJSON(w, snap.Heatmap)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	snap := s.load(w)
+	if snap == nil {
+		return
+	}
+	writeJSON(w, snap.Progress)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,233 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashswl/internal/nand"
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+	"flashswl/internal/workload"
+)
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerBeforeFirstPublish(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/heatmap", "/progress"} {
+		if code, _ := get(t, ts, path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s before publish: status %d, want 503", path, code)
+		}
+	}
+	if code, body := get(t, ts, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+	if code, _ := get(t, ts, "/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+func TestServerServesPublishedSnapshot(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	reg.Counter("erases_total").Add(77)
+	m := reg.Snapshot()
+	srv.Publish(&Snapshot{
+		Metrics: &m,
+		Labels:  []Label{{Name: "layer", Value: "FTL"}},
+		Heatmap: Heatmap{Blocks: 4, EraseCounts: []int{1, 2, 3, 4}, Endurance: 100},
+		Progress: Progress{
+			Events: 5000, SimHours: 1.5, Fraction: 0.5, ETASeconds: 9,
+			Unevenness: 42, Endurance: 100,
+		},
+	})
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`erases_total{layer="FTL"} 77`,
+		"# TYPE run_fraction gauge",
+		`run_fraction{layer="FTL"} 0.5`,
+		`run_unevenness{layer="FTL"} 42`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, ts, "/heatmap")
+	if code != http.StatusOK {
+		t.Fatalf("/heatmap status %d", code)
+	}
+	var hm Heatmap
+	if err := json.Unmarshal([]byte(body), &hm); err != nil {
+		t.Fatalf("/heatmap is not JSON: %v\n%s", err, body)
+	}
+	if hm.Blocks != 4 || len(hm.EraseCounts) != 4 || hm.EraseCounts[2] != 3 {
+		t.Errorf("/heatmap = %+v", hm)
+	}
+
+	code, body = get(t, ts, "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress is not JSON: %v\n%s", err, body)
+	}
+	if p.Events != 5000 || p.Fraction != 0.5 || p.Unevenness != 42 {
+		t.Errorf("/progress = %+v", p)
+	}
+}
+
+func TestStartServesAndCloses(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if srv.Addr() != addr {
+		t.Errorf("Addr() = %q, bound %q", srv.Addr(), addr)
+	}
+	srv.Publish(&Snapshot{Progress: Progress{Events: 1}})
+	resp, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestLiveRunEndToEnd drives a real (small) simulation on one goroutine
+// while HTTP readers scrape mid-run from others — the race detector build
+// validates the snapshot-publication pattern end to end.
+func TestLiveRunEndToEnd(t *testing.T) {
+	geo := nand.Geometry{Blocks: 64, PagesPerBlock: 16, PageSize: 1024, SpareSize: 32}
+	sectors := geo.Capacity() / 512 * 85 / 100
+	cfg := sim.Config{
+		Geometry:        geo,
+		Cell:            nand.MLC2,
+		Endurance:       150,
+		Layer:           sim.FTL,
+		LogicalSectors:  sectors,
+		SWL:             true,
+		K:               0,
+		T:               5,
+		NoSpare:         true,
+		Seed:            1,
+		Metrics:         true,
+		SampleEvery:     500,
+		StopOnFirstWear: true,
+		MaxEvents:       2_000_000,
+	}
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var pub *SimPublisher
+	cfg.OnSample = func(s obs.WearSample) { pub.OnSample(s) }
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	pub = NewSimPublisher(srv, runner, cfg, Label{Name: "layer", Value: "FTL"})
+
+	done := make(chan *sim.Result, 1)
+	go func() {
+		m := workload.PaperScaled(sectors)
+		m.Seed = 1
+		res, err := runner.Run(m.Infinite(1))
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		done <- res
+	}()
+
+	// Wait for the first published snapshot, then scrape all endpoints
+	// mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Snapshot() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no snapshot published within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sawMidRun := false
+	for i := 0; i < 50; i++ {
+		code, body := get(t, ts, "/metrics")
+		if code != http.StatusOK || !strings.Contains(body, "erases_total") {
+			t.Fatalf("/metrics mid-run: status %d\n%s", code, body)
+		}
+		code, body = get(t, ts, "/heatmap")
+		if code != http.StatusOK {
+			t.Fatalf("/heatmap mid-run: status %d", code)
+		}
+		var hm Heatmap
+		if err := json.Unmarshal([]byte(body), &hm); err != nil {
+			t.Fatalf("/heatmap mid-run: %v", err)
+		}
+		if hm.Blocks != geo.Blocks || len(hm.EraseCounts) != geo.Blocks {
+			t.Fatalf("/heatmap mid-run = %d blocks, %d counts", hm.Blocks, len(hm.EraseCounts))
+		}
+		code, body = get(t, ts, "/progress")
+		if code != http.StatusOK {
+			t.Fatalf("/progress mid-run: status %d", code)
+		}
+		var p Progress
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("/progress mid-run: %v", err)
+		}
+		if !p.Done {
+			sawMidRun = true
+		}
+		if p.Endurance != cfg.Endurance {
+			t.Fatalf("/progress endurance = %d, want %d", p.Endurance, cfg.Endurance)
+		}
+	}
+	if !sawMidRun {
+		t.Log("every scrape saw the final snapshot (run finished very fast); coverage is weaker but valid")
+	}
+
+	res := <-done
+	pub.Finish(res)
+	_, body := get(t, ts, "/progress")
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done || p.Fraction != 1 {
+		t.Errorf("final progress = %+v, want done with fraction 1", p)
+	}
+	if p.Events != res.Events {
+		t.Errorf("final events = %d, result %d", p.Events, res.Events)
+	}
+}

@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"time"
+
+	"flashswl/internal/obs"
+	"flashswl/internal/obs/promtext"
+	"flashswl/internal/sim"
+)
+
+// SimPublisher adapts one sim.Runner to a Server: hook OnSample into
+// sim.Config.OnSample and every wear sample becomes a published Snapshot.
+//
+// All methods run on the simulation goroutine (OnSample is invoked by the
+// runner itself), so reading the chip and registry here is within the
+// single-goroutine chip contract; only the immutable snapshots cross into
+// the HTTP goroutines. Wall-clock reads live here — and not in internal/sim
+// — because the simulator proper is deterministic by construction (enforced
+// by swlint/determinism); the monitor is host-side tooling and may consult
+// real time.
+type SimPublisher struct {
+	srv    *Server
+	runner *sim.Runner
+	cfg    sim.Config
+	labels []promtext.Label
+	start  time.Time
+}
+
+// NewSimPublisher binds runner (configured by cfg) to srv. The labels are
+// attached to every exposition sample. The wall clock starts now.
+func NewSimPublisher(srv *Server, runner *sim.Runner, cfg sim.Config, labels ...promtext.Label) *SimPublisher {
+	return &SimPublisher{srv: srv, runner: runner, cfg: cfg, labels: labels, start: time.Now()}
+}
+
+// OnSample publishes the run state at one wear sample. Wire it into
+// sim.Config.OnSample.
+func (p *SimPublisher) OnSample(s obs.WearSample) { p.publish(s, false) }
+
+// Finish publishes the terminal snapshot of a completed run.
+func (p *SimPublisher) Finish(res *sim.Result) {
+	s := obs.WearSample{
+		Events:     res.Events,
+		SimTime:    res.SimTime,
+		MeanErase:  res.EraseStats.Mean(),
+		MaxErase:   int(res.EraseStats.Max()),
+		WornBlocks: res.WornBlocks,
+	}
+	p.publish(s, true)
+}
+
+func (p *SimPublisher) publish(s obs.WearSample, done bool) {
+	endurance := p.runner.Chip().Endurance()
+	wall := time.Since(p.start).Seconds()
+	frac := p.fraction(s, endurance)
+	if done {
+		frac = 1
+	}
+	eta := -1.0
+	if frac > 0 && frac < 1 {
+		eta = wall * (1 - frac) / frac
+	} else if done || frac >= 1 {
+		eta = 0
+	}
+	snap := &Snapshot{
+		Labels: p.labels,
+		Heatmap: Heatmap{
+			Blocks:      p.cfg.Geometry.Blocks,
+			EraseCounts: p.runner.Chip().EraseCounts(nil), // fresh slice, snapshot-owned
+			Endurance:   endurance,
+		},
+		Progress: Progress{
+			Events:      s.Events,
+			SimHours:    s.SimTime.Hours(),
+			WallSeconds: wall,
+			Fraction:    frac,
+			ETASeconds:  eta,
+			Ecnt:        s.Ecnt,
+			Fcnt:        s.Fcnt,
+			Unevenness:  s.Unevenness,
+			MeanErase:   s.MeanErase,
+			MaxErase:    s.MaxErase,
+			Endurance:   endurance,
+			WornBlocks:  s.WornBlocks,
+			Episodes:    p.runner.EpisodeCount(),
+			Done:        done,
+		},
+	}
+	if reg := p.runner.Registry(); reg != nil {
+		m := reg.Snapshot()
+		snap.Metrics = &m
+	}
+	p.srv.Publish(snap)
+}
+
+// fraction estimates completion from whichever bound the run has: trace
+// events, simulated time, or — for run-to-first-wear experiments — the
+// most-worn block's approach to its endurance limit.
+func (p *SimPublisher) fraction(s obs.WearSample, endurance int) float64 {
+	f := 0.0
+	if p.cfg.MaxEvents > 0 {
+		f = max(f, float64(s.Events)/float64(p.cfg.MaxEvents))
+	}
+	if p.cfg.MaxSimTime > 0 {
+		f = max(f, float64(s.SimTime)/float64(p.cfg.MaxSimTime))
+	}
+	if p.cfg.StopOnFirstWear && endurance > 0 {
+		f = max(f, float64(s.MaxErase)/float64(endurance))
+	}
+	return min(f, 1)
+}

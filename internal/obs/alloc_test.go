@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+// Zero-overhead guards: the obs layer promises that disabled observability
+// costs one branch per emission site, never an allocation. These tests turn
+// that promise into a regression check — testing.AllocsPerRun fails loudly
+// the moment an Event composite or an episode helper starts escaping.
+
+func TestDisabledEmissionAllocsNothing(t *testing.T) {
+	var sink EventSink // nil: observability off
+	allocs := testing.AllocsPerRun(1000, func() {
+		if sink != nil {
+			sink.Observe(Event{Kind: EvBlockErased, Block: 12, Page: -1, Findex: -1})
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled emission allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestNilSinkEpisodeHelpersAllocNothing(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		BeginEpisode(nil, 100, 4)
+		EndEpisode(nil, 104, 8, 4, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-sink episode helpers allocate %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestMetricsSinkEmissionAllocsNothing(t *testing.T) {
+	r := NewRegistry()
+	sink := NewMetricsSink(r)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		sink.Observe(Event{Kind: EvBlockErased, Block: i & 255, Page: -1, Findex: -1, Forced: i&7 == 0})
+		BeginEpisode(sink, int64(i), 4)
+		EndEpisode(sink, int64(i)+2, 6, 2, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("metrics-sink emission allocates %.1f times per op, want 0", allocs)
+	}
+}

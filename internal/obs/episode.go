@@ -1,0 +1,146 @@
+package obs
+
+import "time"
+
+// Leveler episode spans. The paper's overhead claims (Tables 5–8, Figures
+// 6–7) are end-of-run aggregates; an episode span turns them into
+// per-invocation traces: one record per SWL-Procedure invocation that acted,
+// bracketing everything the stack emitted on its behalf — block-set
+// selections, forced erases, live-page copies, BET resets — with the
+// simulated time it covered.
+//
+// The emitting side is two nil-safe helpers (BeginEpisode, EndEpisode) the
+// leveler calls around its working loop; the assembling side is an
+// EpisodeBuilder, an EventSink that folds the event stream between the two
+// markers into an Episode value. Splitting the two keeps the leveler free of
+// cost attribution it cannot see: live-page copies are reported by the
+// translation layer's cleaner, not by the leveler, and only the stream view
+// can pin them to the episode.
+
+// BeginEpisode emits an EvEpisodeBegin event carrying the leveler's
+// unevenness state at entry. It is a no-op on a nil sink, so disabled
+// observability costs one branch.
+func BeginEpisode(sink EventSink, ecnt int64, fcnt int) {
+	if sink == nil {
+		return
+	}
+	sink.Observe(Event{Kind: EvEpisodeBegin, Block: -1, Page: -1, Findex: -1, Ecnt: ecnt, Fcnt: fcnt})
+}
+
+// EndEpisode emits an EvEpisodeEnd event carrying the unevenness state at
+// exit and the invocation's block-set counts. It is a no-op on a nil sink.
+func EndEpisode(sink EventSink, ecnt int64, fcnt int, sets, skipped int) {
+	if sink == nil {
+		return
+	}
+	sink.Observe(Event{Kind: EvEpisodeEnd, Block: -1, Page: -1, Findex: -1, Ecnt: ecnt, Fcnt: fcnt, Sets: sets, Skipped: skipped})
+}
+
+// Episode is one assembled SWL-Procedure invocation span: the unevenness
+// state it entered and left with, the simulated time it covered, and the
+// cost attributed to it from the event stream while the span was open.
+type Episode struct {
+	// Seq numbers episodes from 1 in stream order.
+	Seq int64 `json:"seq"`
+	// SimStart and SimEnd bracket the span in simulated time (equal when
+	// the host provided no clock or the span completed within one event).
+	SimStart time.Duration `json:"sim_start_ns"`
+	SimEnd   time.Duration `json:"sim_end_ns"`
+	// EcntBefore/FcntBefore and EcntAfter/FcntAfter are the leveler's
+	// unevenness state at the span's boundaries.
+	EcntBefore int64 `json:"ecnt_before"`
+	FcntBefore int   `json:"fcnt_before"`
+	EcntAfter  int64 `json:"ecnt_after"`
+	FcntAfter  int   `json:"fcnt_after"`
+	// Sets and Skipped count block sets recycled and skipped; Resets counts
+	// BET resetting intervals completed inside the span.
+	Sets    int `json:"sets"`
+	Skipped int `json:"skipped"`
+	Resets  int `json:"resets"`
+	// Scan sums the cyclic-scan distances of every selection in the span.
+	Scan int `json:"scan"`
+	// Erases and CopiedPages are the attributed cost: every block erase and
+	// live-page copy the stack reported while the span was open. The Forced
+	// variants count the share explicitly marked as done on the leveler's
+	// behalf (watermark GC triggered mid-span accounts for the difference).
+	Erases            int64 `json:"erases"`
+	ForcedErases      int64 `json:"forced_erases"`
+	CopiedPages       int64 `json:"copied_pages"`
+	ForcedCopiedPages int64 `json:"forced_copied_pages"`
+	// Retired counts blocks withdrawn from service during the span.
+	Retired int `json:"retired"`
+}
+
+// SimDuration returns the simulated time the span covered.
+func (ep Episode) SimDuration() time.Duration { return ep.SimEnd - ep.SimStart }
+
+// EpisodeBuilder assembles Episode records from the event stream: it opens a
+// span on EvEpisodeBegin, attributes every erase/copy/reset/retirement event
+// to the open span, and delivers the completed Episode on EvEpisodeEnd.
+// Like every obs value it is confined to the emitting goroutine.
+type EpisodeBuilder struct {
+	now       func() time.Duration
+	onEpisode func(Episode)
+	cur       Episode
+	open      bool
+	seq       int64
+}
+
+// NewEpisodeBuilder returns a builder delivering completed episodes to
+// onEpisode. now supplies the simulated clock for the span boundaries and
+// may be nil (spans then carry zero durations).
+func NewEpisodeBuilder(now func() time.Duration, onEpisode func(Episode)) *EpisodeBuilder {
+	return &EpisodeBuilder{now: now, onEpisode: onEpisode}
+}
+
+// Episodes returns how many spans have completed.
+func (b *EpisodeBuilder) Episodes() int64 { return b.seq }
+
+// Observe implements EventSink.
+func (b *EpisodeBuilder) Observe(e Event) {
+	switch e.Kind {
+	case EvEpisodeBegin:
+		b.seq++
+		b.cur = Episode{Seq: b.seq, EcntBefore: e.Ecnt, FcntBefore: e.Fcnt}
+		if b.now != nil {
+			b.cur.SimStart = b.now()
+			b.cur.SimEnd = b.cur.SimStart
+		}
+		b.open = true
+	case EvEpisodeEnd:
+		if !b.open {
+			return // unmatched end: drop rather than fabricate a span
+		}
+		b.cur.EcntAfter, b.cur.FcntAfter = e.Ecnt, e.Fcnt
+		b.cur.Sets, b.cur.Skipped = e.Sets, e.Skipped
+		if b.now != nil {
+			b.cur.SimEnd = b.now()
+		}
+		b.open = false
+		if b.onEpisode != nil {
+			b.onEpisode(b.cur)
+		}
+	default:
+		if !b.open {
+			return
+		}
+		switch e.Kind {
+		case EvBlockErased:
+			b.cur.Erases++
+			if e.Forced {
+				b.cur.ForcedErases++
+			}
+		case EvPagesCopied:
+			b.cur.CopiedPages += int64(e.Pages)
+			if e.Forced {
+				b.cur.ForcedCopiedPages += int64(e.Pages)
+			}
+		case EvLevelerTriggered:
+			b.cur.Scan += e.Scan
+		case EvBETReset:
+			b.cur.Resets++
+		case EvBlockRetired:
+			b.cur.Retired++
+		}
+	}
+}

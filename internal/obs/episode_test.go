@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEpisodeHelpersNilSafe(t *testing.T) {
+	// Must not panic.
+	BeginEpisode(nil, 10, 2)
+	EndEpisode(nil, 12, 4, 2, 0)
+}
+
+func TestEpisodeHelpersEmitMarkers(t *testing.T) {
+	var got []Event
+	sink := SinkFunc(func(e Event) { got = append(got, e) })
+	BeginEpisode(sink, 100, 5)
+	EndEpisode(sink, 104, 9, 4, 1)
+	if len(got) != 2 {
+		t.Fatalf("got %d events, want 2", len(got))
+	}
+	if got[0].Kind != EvEpisodeBegin || got[0].Ecnt != 100 || got[0].Fcnt != 5 {
+		t.Errorf("begin event = %+v", got[0])
+	}
+	if got[1].Kind != EvEpisodeEnd || got[1].Ecnt != 104 || got[1].Fcnt != 9 ||
+		got[1].Sets != 4 || got[1].Skipped != 1 {
+		t.Errorf("end event = %+v", got[1])
+	}
+}
+
+func TestEpisodeBuilderAssemblesSpan(t *testing.T) {
+	clock := time.Duration(0)
+	var done []Episode
+	b := NewEpisodeBuilder(func() time.Duration { return clock }, func(ep Episode) { done = append(done, ep) })
+
+	clock = 10 * time.Second
+	b.Observe(Event{Kind: EvEpisodeBegin, Ecnt: 400, Fcnt: 4})
+	b.Observe(Event{Kind: EvLevelerTriggered, Findex: 7, Scan: 3, Ecnt: 400, Fcnt: 4})
+	b.Observe(Event{Kind: EvBlockErased, Block: 7, Forced: true})
+	b.Observe(Event{Kind: EvBlockErased, Block: 9})
+	b.Observe(Event{Kind: EvPagesCopied, Block: 7, Pages: 12, Forced: true})
+	b.Observe(Event{Kind: EvPagesCopied, Block: 9, Pages: 5})
+	b.Observe(Event{Kind: EvBETReset, Findex: 2})
+	b.Observe(Event{Kind: EvBlockRetired, Block: 9})
+	clock = 25 * time.Second
+	b.Observe(Event{Kind: EvEpisodeEnd, Ecnt: 402, Fcnt: 6, Sets: 1, Skipped: 0})
+
+	if len(done) != 1 {
+		t.Fatalf("got %d episodes, want 1", len(done))
+	}
+	ep := done[0]
+	if ep.Seq != 1 {
+		t.Errorf("seq = %d", ep.Seq)
+	}
+	if ep.SimStart != 10*time.Second || ep.SimEnd != 25*time.Second || ep.SimDuration() != 15*time.Second {
+		t.Errorf("span times = %v..%v", ep.SimStart, ep.SimEnd)
+	}
+	if ep.EcntBefore != 400 || ep.FcntBefore != 4 || ep.EcntAfter != 402 || ep.FcntAfter != 6 {
+		t.Errorf("unevenness state = %+v", ep)
+	}
+	if ep.Erases != 2 || ep.ForcedErases != 1 {
+		t.Errorf("erases = %d forced %d, want 2/1", ep.Erases, ep.ForcedErases)
+	}
+	if ep.CopiedPages != 17 || ep.ForcedCopiedPages != 12 {
+		t.Errorf("copies = %d forced %d, want 17/12", ep.CopiedPages, ep.ForcedCopiedPages)
+	}
+	if ep.Scan != 3 || ep.Resets != 1 || ep.Retired != 1 || ep.Sets != 1 {
+		t.Errorf("attribution = %+v", ep)
+	}
+	if b.Episodes() != 1 {
+		t.Errorf("Episodes() = %d", b.Episodes())
+	}
+}
+
+func TestEpisodeBuilderIgnoresEventsOutsideSpans(t *testing.T) {
+	var done []Episode
+	b := NewEpisodeBuilder(nil, func(ep Episode) { done = append(done, ep) })
+
+	// Cost outside any span is not attributed; an unmatched end is dropped.
+	b.Observe(Event{Kind: EvBlockErased, Block: 1})
+	b.Observe(Event{Kind: EvEpisodeEnd, Ecnt: 10, Fcnt: 1})
+	if len(done) != 0 {
+		t.Fatalf("fabricated %d episodes from an unmatched end", len(done))
+	}
+
+	b.Observe(Event{Kind: EvEpisodeBegin, Ecnt: 20, Fcnt: 2})
+	b.Observe(Event{Kind: EvBlockErased, Block: 2})
+	b.Observe(Event{Kind: EvEpisodeEnd, Ecnt: 21, Fcnt: 3, Sets: 1})
+	if len(done) != 1 {
+		t.Fatalf("got %d episodes, want 1", len(done))
+	}
+	if done[0].Erases != 1 {
+		t.Errorf("pre-span erase leaked into the episode: %+v", done[0])
+	}
+	if done[0].SimStart != 0 || done[0].SimEnd != 0 {
+		t.Errorf("nil clock must yield zero span times, got %v..%v", done[0].SimStart, done[0].SimEnd)
+	}
+}
+
+func TestEpisodeBuilderNumbersConsecutiveSpans(t *testing.T) {
+	var seqs []int64
+	b := NewEpisodeBuilder(nil, func(ep Episode) { seqs = append(seqs, ep.Seq) })
+	for i := 0; i < 3; i++ {
+		b.Observe(Event{Kind: EvEpisodeBegin})
+		b.Observe(Event{Kind: EvEpisodeEnd})
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Errorf("seqs = %v", seqs)
+	}
+}
+
+func TestMetricsSinkCountsEpisodes(t *testing.T) {
+	r := NewRegistry()
+	sink := NewMetricsSink(r)
+	BeginEpisode(sink, 10, 1)
+	EndEpisode(sink, 12, 3, 2, 0)
+	BeginEpisode(sink, 30, 1)
+	EndEpisode(sink, 45, 9, 8, 1)
+	snap := r.Snapshot()
+	if got := snap.Counters[MetricEpisodes]; got != 2 {
+		t.Errorf("%s = %d, want 2", MetricEpisodes, got)
+	}
+	h := snap.Histograms[MetricEpisodeSets]
+	if h.Count != 2 || h.Sum != 10 {
+		t.Errorf("%s count=%d sum=%d, want 2/10", MetricEpisodeSets, h.Count, h.Sum)
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"io"
 )
 
-// JSONLWriter streams events, wear samples, and a final metrics snapshot as
-// JSON lines. Each line is one object distinguished by its "type" field:
+// JSONLWriter streams events, wear samples, leveler episode spans, and a
+// final metrics snapshot as JSON lines. Each line is one object
+// distinguished by its "type" field:
 //
 //	{"type":"event","seq":7,"kind":"block_erased","block":12,...}
 //	{"type":"sample","events":10000,"sim_ns":..., "mean":...,...}
+//	{"type":"episode","seq":3,"sets":2,"erases":4,...}
 //	{"type":"metrics","counters":{...},"gauges":{...},"histograms":{...}}
 //
 // Every event field is always present so consumers can decode into one flat
@@ -34,24 +36,32 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 // EventRecord is the JSONL shape of one event line (exported so consumers
 // and tests can decode the stream).
 type EventRecord struct {
-	Type   string `json:"type"` // "event"
-	Seq    int64  `json:"seq"`
-	Kind   string `json:"kind"`
-	Block  int    `json:"block"`
-	Page   int    `json:"page"`
-	Pages  int    `json:"pages"`
-	Forced bool   `json:"forced"`
-	Findex int    `json:"findex"`
-	Scan   int    `json:"scan"`
-	Ecnt   int64  `json:"ecnt"`
-	Fcnt   int    `json:"fcnt"`
-	Op     string `json:"op,omitempty"`
+	Type    string `json:"type"` // "event"
+	Seq     int64  `json:"seq"`
+	Kind    string `json:"kind"`
+	Block   int    `json:"block"`
+	Page    int    `json:"page"`
+	Pages   int    `json:"pages"`
+	Forced  bool   `json:"forced"`
+	Findex  int    `json:"findex"`
+	Scan    int    `json:"scan"`
+	Ecnt    int64  `json:"ecnt"`
+	Fcnt    int    `json:"fcnt"`
+	Sets    int    `json:"sets"`
+	Skipped int    `json:"skipped"`
+	Op      string `json:"op,omitempty"`
 }
 
 // SampleRecord is the JSONL shape of one wear-sample line.
 type SampleRecord struct {
 	Type string `json:"type"` // "sample"
 	WearSample
+}
+
+// EpisodeRecord is the JSONL shape of one leveler episode span line.
+type EpisodeRecord struct {
+	Type string `json:"type"` // "episode"
+	Episode
 }
 
 // MetricsRecord is the JSONL shape of the final metrics line.
@@ -69,13 +79,19 @@ func (w *JSONLWriter) Observe(e Event) {
 	w.write(EventRecord{
 		Type: "event", Seq: w.seq, Kind: e.Kind.String(),
 		Block: e.Block, Page: e.Page, Pages: e.Pages, Forced: e.Forced,
-		Findex: e.Findex, Scan: e.Scan, Ecnt: e.Ecnt, Fcnt: e.Fcnt, Op: e.Op,
+		Findex: e.Findex, Scan: e.Scan, Ecnt: e.Ecnt, Fcnt: e.Fcnt,
+		Sets: e.Sets, Skipped: e.Skipped, Op: e.Op,
 	})
 }
 
 // Sample writes one wear-sample line.
 func (w *JSONLWriter) Sample(s WearSample) {
 	w.write(SampleRecord{Type: "sample", WearSample: s})
+}
+
+// Episode writes one leveler episode span line.
+func (w *JSONLWriter) Episode(ep Episode) {
+	w.write(EpisodeRecord{Type: "episode", Episode: ep})
 }
 
 // Metrics writes the registry snapshot as one line.

@@ -49,6 +49,14 @@ const (
 	// EvFaultInjected reports an injected fault rejecting a chip primitive
 	// (Block, Page, Op).
 	EvFaultInjected
+	// EvEpisodeBegin opens a leveler episode span: one SWL-Procedure
+	// invocation that is about to act (Ecnt, Fcnt at entry). Everything the
+	// stack emits until the matching EvEpisodeEnd is attributable leveling
+	// cost; see EpisodeBuilder.
+	EvEpisodeBegin
+	// EvEpisodeEnd closes a leveler episode span (Ecnt, Fcnt at exit, plus
+	// Sets/Skipped block-set counts for the invocation).
+	EvEpisodeEnd
 )
 
 // String names the kind in snake_case, the form the JSONL schema uses.
@@ -66,6 +74,10 @@ func (k EventKind) String() string {
 		return "block_retired"
 	case EvFaultInjected:
 		return "fault_injected"
+	case EvEpisodeBegin:
+		return "episode_begin"
+	case EvEpisodeEnd:
+		return "episode_end"
 	default:
 		return fmt.Sprintf("event_kind_%d", uint8(k))
 	}
@@ -93,9 +105,14 @@ type Event struct {
 	// Findex (LevelerTriggered).
 	Scan int
 	// Ecnt and Fcnt snapshot the leveler's unevenness state at the
-	// decision point (LevelerTriggered; Fcnt also on BETReset).
+	// decision point (LevelerTriggered, EpisodeBegin, EpisodeEnd; Fcnt also
+	// on BETReset).
 	Ecnt int64
 	Fcnt int
+	// Sets and Skipped count the block sets recycled and skipped by one
+	// SWL-Procedure invocation (EpisodeEnd).
+	Sets    int
+	Skipped int
 	// Op names the chip primitive a fault rejected (FaultInjected).
 	Op string
 }
@@ -352,6 +369,8 @@ const (
 	MetricBETResets    = "bet_resets_total"
 	MetricCopyBatches  = "gc_copy_batch_pages"
 	MetricScanLengths  = "leveler_scan_length"
+	MetricEpisodes     = "leveler_episodes_total"
+	MetricEpisodeSets  = "leveler_episode_sets"
 )
 
 // Chip-level operation totals, fed by hosts from nand.Config.ObserveHook
@@ -376,8 +395,10 @@ func NewMetricsSink(r *Registry) EventSink {
 	faults := r.Counter(MetricFaults)
 	triggers := r.Counter(MetricTriggers)
 	resets := r.Counter(MetricBETResets)
+	episodes := r.Counter(MetricEpisodes)
 	batches := r.Histogram(MetricCopyBatches, 1, 2, 4, 8, 16, 32, 64, 128)
 	scans := r.Histogram(MetricScanLengths, 0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+	sets := r.Histogram(MetricEpisodeSets, 1, 2, 4, 8, 16, 32, 64)
 	return SinkFunc(func(e Event) {
 		switch e.Kind {
 		case EvBlockErased:
@@ -397,6 +418,9 @@ func NewMetricsSink(r *Registry) EventSink {
 			retired.Inc()
 		case EvFaultInjected:
 			faults.Inc()
+		case EvEpisodeEnd:
+			episodes.Inc()
+			sets.Observe(int64(e.Sets))
 		}
 	})
 }

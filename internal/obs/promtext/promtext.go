@@ -1,0 +1,179 @@
+// Package promtext renders an obs metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` header per metric, one
+// sample line per value, histograms expanded into cumulative `_bucket`
+// series with the mandatory `+Inf` bucket plus `_sum` and `_count`. Output
+// is deterministic — metrics sorted by name, labels by label name — so
+// scrapes and golden tests see byte-identical encodings of equal snapshots.
+//
+// The package is an encoder only: it renders any obs.Snapshot to any
+// io.Writer and knows nothing about HTTP. internal/monitor serves it.
+package promtext
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flashswl/internal/obs"
+)
+
+// ContentType is the exposition format's HTTP content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one constant label applied to every rendered sample.
+type Label struct {
+	Name, Value string
+}
+
+// Write renders the snapshot. The given labels are attached to every sample
+// (histogram buckets additionally carry `le`). It returns the first write
+// error.
+func Write(w io.Writer, snap obs.Snapshot, labels ...Label) error {
+	bw := bufio.NewWriter(w)
+	labels = sortedLabels(labels)
+
+	for _, name := range sortedKeys(snap.Counters) {
+		writeType(bw, SanitizeName(name), "counter")
+		writeSample(bw, SanitizeName(name), labels, "", float64(snap.Counters[name]))
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		writeType(bw, SanitizeName(name), "gauge")
+		writeSample(bw, SanitizeName(name), labels, "", float64(snap.Gauges[name]))
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := snap.Histograms[name]
+		sane := SanitizeName(name)
+		writeType(bw, sane, "histogram")
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			writeSample(bw, sane+"_bucket", labels, formatLe(bound), float64(cum))
+		}
+		writeSample(bw, sane+"_bucket", labels, "+Inf", float64(h.Count))
+		writeSample(bw, sane+"_sum", labels, "", float64(h.Sum))
+		writeSample(bw, sane+"_count", labels, "", float64(h.Count))
+	}
+	return bw.Flush()
+}
+
+// WriteSample renders one free-standing sample line with the given type
+// header ("gauge", "counter", or "" for none) — the hook hosts use to expose
+// values that live outside an obs.Registry, such as run progress.
+func WriteSample(w io.Writer, name, typ string, value float64, labels ...Label) error {
+	bw := bufio.NewWriter(w)
+	sane := SanitizeName(name)
+	if typ != "" {
+		writeType(bw, sane, typ)
+	}
+	writeSample(bw, sane, sortedLabels(labels), "", value)
+	return bw.Flush()
+}
+
+func writeType(w *bufio.Writer, name, typ string) {
+	w.WriteString("# TYPE ")
+	w.WriteString(name)
+	w.WriteByte(' ')
+	w.WriteString(typ)
+	w.WriteByte('\n')
+}
+
+// writeSample renders `name{labels,le="..."} value`. le == "" omits the le
+// label.
+func writeSample(w *bufio.Writer, name string, labels []Label, le string, value float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(SanitizeName(l.Name))
+			w.WriteString(`="`)
+			w.WriteString(EscapeLabel(l.Value))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	w.WriteByte('\n')
+}
+
+func formatLe(bound int64) string { return strconv.FormatInt(bound, 10) }
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SanitizeName maps an arbitrary metric or label name into the exposition
+// format's identifier alphabet [a-zA-Z0-9_:], replacing every other rune
+// with '_' and prefixing a leading digit.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// EscapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func EscapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package promtext
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashswl/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// snapshotFixture exercises the format's corner cases: unsorted insertion
+// order, a name needing sanitization, a histogram with its +Inf bucket, and
+// label values needing escaping.
+func snapshotFixture() obs.Snapshot {
+	r := obs.NewRegistry()
+	r.Counter("erases_total").Add(1234)
+	r.Counter("copied_pages_total").Add(567)
+	r.Counter("9leading.digit-total").Inc()
+	r.Gauge("free_blocks").Set(42)
+	h := r.Histogram("scan_distance", 1, 2, 4, 8)
+	for _, v := range []int64{0, 1, 1, 3, 5, 100} {
+		h.Observe(v)
+	}
+	return r.Snapshot()
+}
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestWriteGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, snapshotFixture(),
+		Label{Name: "layer", Value: "FTL"},
+		Label{Name: "cmd", Value: `quo"te\slash` + "\nnewline"},
+	)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	golden(t, "exposition.golden", buf.Bytes())
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	snap := snapshotFixture()
+	if err := Write(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of one snapshot differ")
+	}
+}
+
+func TestWriteHistogramShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, snapshotFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative buckets: le=1 counts {0,1,1}, le=2 adds nothing, le=4
+	// adds {3}, le=8 adds {5}, +Inf adds {100}.
+	for _, want := range []string{
+		`scan_distance_bucket{le="1"} 3`,
+		`scan_distance_bucket{le="2"} 3`,
+		`scan_distance_bucket{le="4"} 4`,
+		`scan_distance_bucket{le="8"} 5`,
+		`scan_distance_bucket{le="+Inf"} 6`,
+		`scan_distance_sum 110`,
+		`scan_distance_count 6`,
+		"# TYPE scan_distance histogram",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSample(&buf, "run_fraction", "gauge", 0.25, Label{Name: "cmd", Value: "swlsim"}); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE run_fraction gauge\nrun_fraction{cmd=\"swlsim\"} 0.25\n"
+	if buf.String() != want {
+		t.Errorf("WriteSample = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"erases_total", "erases_total"},
+		{"9lives", "_9lives"},
+		{"a.b-c d", "a_b_c_d"},
+		{"", "_"},
+		{"ok:colon", "ok:colon"},
+	} {
+		if got := SanitizeName(tc.in); got != tc.want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := EscapeLabel("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("EscapeLabel = %q", got)
+	}
+}

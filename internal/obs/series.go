@@ -29,3 +29,49 @@ type WearSample struct {
 	Fcnt       int     `json:"fcnt"`
 	Unevenness float64 `json:"unevenness"`
 }
+
+// DefaultSampleInterval is the wear-sampling cadence (in trace events) hosts
+// fall back to when sampling is requested without an explicit interval.
+const DefaultSampleInterval = 10_000
+
+// SeriesRecorder accumulates a wear trajectory at a configurable cadence.
+// The recorder owns the interval — hosts ask Due at each trace event and
+// Add the sample they build — so every front end (swlsim -sample,
+// experiments -samples) plumbs its flag into one place instead of hardcoding
+// a cadence. Like every obs value it is confined to one goroutine.
+type SeriesRecorder struct {
+	interval int64
+	samples  []WearSample
+}
+
+// NewSeriesRecorder returns a recorder sampling every interval trace events;
+// an interval < 1 falls back to DefaultSampleInterval.
+func NewSeriesRecorder(interval int64) *SeriesRecorder {
+	if interval < 1 {
+		interval = DefaultSampleInterval
+	}
+	return &SeriesRecorder{interval: interval}
+}
+
+// Interval returns the sampling cadence in trace events.
+func (r *SeriesRecorder) Interval() int64 { return r.interval }
+
+// Due reports whether a sample should be taken after consuming the given
+// total of trace events.
+func (r *SeriesRecorder) Due(events int64) bool {
+	return events > 0 && events%r.interval == 0
+}
+
+// Add appends one sample to the trajectory.
+func (r *SeriesRecorder) Add(s WearSample) { r.samples = append(r.samples, s) }
+
+// Samples returns the trajectory recorded so far.
+func (r *SeriesRecorder) Samples() []WearSample { return r.samples }
+
+// Last returns the most recent sample, if any.
+func (r *SeriesRecorder) Last() (WearSample, bool) {
+	if len(r.samples) == 0 {
+		return WearSample{}, false
+	}
+	return r.samples[len(r.samples)-1], true
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+func TestSeriesRecorderInterval(t *testing.T) {
+	r := NewSeriesRecorder(5000)
+	if r.Interval() != 5000 {
+		t.Errorf("interval = %d", r.Interval())
+	}
+	for _, tc := range []struct {
+		events int64
+		due    bool
+	}{{0, false}, {1, false}, {4999, false}, {5000, true}, {5001, false}, {10_000, true}} {
+		if got := r.Due(tc.events); got != tc.due {
+			t.Errorf("Due(%d) = %v, want %v", tc.events, got, tc.due)
+		}
+	}
+}
+
+func TestSeriesRecorderDefaultsInterval(t *testing.T) {
+	for _, interval := range []int64{0, -1, -5000} {
+		r := NewSeriesRecorder(interval)
+		if r.Interval() != DefaultSampleInterval {
+			t.Errorf("NewSeriesRecorder(%d).Interval() = %d, want %d", interval, r.Interval(), DefaultSampleInterval)
+		}
+	}
+}
+
+func TestSeriesRecorderCollects(t *testing.T) {
+	r := NewSeriesRecorder(10)
+	if _, ok := r.Last(); ok {
+		t.Error("Last() on empty recorder reported a sample")
+	}
+	r.Add(WearSample{Events: 10, MeanErase: 1})
+	r.Add(WearSample{Events: 20, MeanErase: 2})
+	last, ok := r.Last()
+	if !ok || last.Events != 20 {
+		t.Errorf("Last() = %+v, %v", last, ok)
+	}
+	s := r.Samples()
+	if len(s) != 2 || s[0].Events != 10 || s[1].Events != 20 {
+		t.Errorf("Samples() = %+v", s)
+	}
+}

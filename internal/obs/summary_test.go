@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBenchSummaryRoundtrip(t *testing.T) {
+	b := NewBenchSummary("default")
+	b.Add(
+		RunSummary{Name: "aged/NFTL/k3_T1000", Layer: "NFTL", SWL: true, K: 3, T: 1000, FirstWearHours: -1},
+		RunSummary{Name: "aged/FTL/base", Layer: "FTL", FirstWearHours: 12.5, Erases: 999},
+	)
+	b.Sort()
+	if b.Runs[0].Name != "aged/FTL/base" {
+		t.Errorf("sort order: %q first", b.Runs[0].Name)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeBenchSummary(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Schema != BenchSummarySchema || got.Scale != "default" || len(got.Runs) != 2 {
+		t.Errorf("decoded = %+v", got)
+	}
+	r := got.Run("aged/FTL/base")
+	if r == nil || r.Erases != 999 || r.FirstWearHours != 12.5 {
+		t.Errorf("Run lookup = %+v", r)
+	}
+	if got.Run("absent") != nil {
+		t.Error("Run on unknown name must return nil")
+	}
+}
+
+func TestDecodeBenchSummaryRejectsForeignSchema(t *testing.T) {
+	in := `{"schema":"something/else/v9","runs":[]}`
+	if _, err := DecodeBenchSummary(strings.NewReader(in)); err == nil {
+		t.Error("foreign schema decoded without error")
+	}
+	if _, err := DecodeBenchSummary(strings.NewReader("not json")); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}
+
+func TestSummaryFromJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Observe(Event{Kind: EvBlockErased, Block: 3, Page: -1, Findex: -1})
+	w.Sample(WearSample{Events: 500, SimTime: time.Hour, MeanErase: 1, Erases: 10})
+	w.Sample(WearSample{Events: 1000, SimTime: 2 * time.Hour, MeanErase: 2, StdDevErase: 0.5,
+		MinErase: 1, MaxErase: 4, Erases: 64, WornBlocks: 1})
+	r := NewRegistry()
+	r.Counter(MetricErases).Add(64)
+	r.Counter(MetricCopiedPages).Add(300)
+	w.Metrics(r)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	b, err := SummaryFromJSONL(bytes.NewReader(buf.Bytes()), "myrun")
+	if err != nil {
+		t.Fatalf("SummaryFromJSONL: %v", err)
+	}
+	if len(b.Runs) != 1 {
+		t.Fatalf("runs = %d", len(b.Runs))
+	}
+	run := b.Runs[0]
+	if run.Name != "myrun" || run.Events != 1000 || run.SimHours != 2 {
+		t.Errorf("run = %+v", run)
+	}
+	// First failure approximated by the earliest sample with a worn block.
+	if run.FirstWearHours != 2 {
+		t.Errorf("first wear hours = %g, want 2", run.FirstWearHours)
+	}
+	if run.LiveCopies != 300 || run.Erases != 64 {
+		t.Errorf("counters: copies %d erases %d", run.LiveCopies, run.Erases)
+	}
+
+	// No worn block anywhere: first failure stays at the -1 sentinel.
+	var buf2 bytes.Buffer
+	w2 := NewJSONLWriter(&buf2)
+	w2.Sample(WearSample{Events: 100, SimTime: time.Hour})
+	if err := w2.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	b2, err := SummaryFromJSONL(bytes.NewReader(buf2.Bytes()), "short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Runs[0].FirstWearHours != -1 {
+		t.Errorf("first wear hours = %g, want -1", b2.Runs[0].FirstWearHours)
+	}
+
+	if _, err := SummaryFromJSONL(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty stream summarized without error")
+	}
+	if _, err := SummaryFromJSONL(strings.NewReader("{broken\n"), "x"); err == nil {
+		t.Error("malformed line summarized without error")
+	}
+}

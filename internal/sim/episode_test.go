@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flashswl/internal/nand"
+	"flashswl/internal/obs"
+	"flashswl/internal/workload"
+)
+
+func episodeConfig() Config {
+	geo := obsGeometry()
+	return Config{
+		Geometry:       geo,
+		Cell:           nand.MLC2,
+		Endurance:      120,
+		Layer:          FTL,
+		LogicalSectors: geo.Capacity() / 512 * 85 / 100,
+		SWL:            true,
+		K:              0,
+		T:              4,
+		NoSpare:        true,
+		Seed:           1,
+		MaxEvents:      40_000,
+	}
+}
+
+// TestRunRecordsEpisodes checks the harness wiring of the episode builder:
+// every SWL-Procedure invocation that acts becomes one recorded span whose
+// attributed cost is plausible against the run totals.
+func TestRunRecordsEpisodes(t *testing.T) {
+	cfg := episodeConfig()
+	cfg.RecordEpisodes = true
+	var hooked int
+	cfg.OnEpisode = func(ep obs.Episode) { hooked++ }
+
+	m := workload.PaperScaled(cfg.LogicalSectors)
+	m.Seed = cfg.Seed
+	res, err := Run(cfg, m.Infinite(cfg.Seed))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if res.LevelerEpisodes == 0 {
+		t.Fatal("no episodes recorded; the leveler never acted at T=4")
+	}
+	if int64(len(res.Episodes)) != res.LevelerEpisodes {
+		t.Errorf("recorded %d episodes, counter says %d", len(res.Episodes), res.LevelerEpisodes)
+	}
+	if hooked != len(res.Episodes) {
+		t.Errorf("OnEpisode fired %d times for %d episodes", hooked, len(res.Episodes))
+	}
+	var seq int64
+	var forcedErases, sets, acting int64
+	for _, ep := range res.Episodes {
+		seq++
+		if ep.Seq != seq {
+			t.Fatalf("episode seq %d out of order (want %d)", ep.Seq, seq)
+		}
+		if ep.SimEnd < ep.SimStart {
+			t.Errorf("episode %d ends before it starts: %v..%v", ep.Seq, ep.SimStart, ep.SimEnd)
+		}
+		if ep.Sets == 0 && ep.Skipped == 0 && ep.Resets == 0 {
+			t.Errorf("episode %d did nothing yet completed: %+v", ep.Seq, ep)
+		}
+		if ep.Sets > 0 {
+			acting++
+		}
+		forcedErases += ep.ForcedErases
+		sets += int64(ep.Sets)
+	}
+	// Spans that recycled at least one set correspond 1:1 to Stats.Triggered;
+	// the remainder are reset-only invocations (BET found full, interval
+	// restarted), which open a span but do not count as triggered.
+	if acting != res.Leveler.Triggered {
+		t.Errorf("%d set-recycling episodes, leveler Triggered %d", acting, res.Leveler.Triggered)
+	}
+	// Every forced erase happens inside some episode (only SWL forces work),
+	// and every recycled set belongs to exactly one.
+	if forcedErases != res.ForcedErases {
+		t.Errorf("episodes attribute %d forced erases, run counted %d", forcedErases, res.ForcedErases)
+	}
+	if sets != res.Leveler.SetsRecycled {
+		t.Errorf("episodes cover %d sets, leveler recycled %d", sets, res.Leveler.SetsRecycled)
+	}
+}
+
+// TestEpisodesStreamToJSONL checks the sink forwarding: a JSONL sink
+// receives one "episode" line per completed span, interleaved with events.
+func TestEpisodesStreamToJSONL(t *testing.T) {
+	cfg := episodeConfig()
+	var buf bytes.Buffer
+	cfg.Sink = obs.NewJSONLWriter(&buf)
+
+	m := workload.PaperScaled(cfg.LogicalSectors)
+	m.Seed = cfg.Seed
+	res, err := Run(cfg, m.Infinite(cfg.Seed))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := cfg.Sink.(*obs.JSONLWriter).Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	episodes := 0
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad JSONL line: %v: %s", err, line)
+		}
+		if probe.Type != "episode" {
+			continue
+		}
+		var rec obs.EpisodeRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad episode line: %v: %s", err, line)
+		}
+		episodes++
+		if rec.Seq != int64(episodes) {
+			t.Fatalf("episode line seq %d, want %d", rec.Seq, episodes)
+		}
+	}
+	if int64(episodes) != res.LevelerEpisodes {
+		t.Errorf("stream carries %d episode lines, run completed %d", episodes, res.LevelerEpisodes)
+	}
+}
+
+// TestEpisodeTrackingOffByDefault guards the zero-overhead path: with no
+// observability consumer the runner attaches no episode builder at all.
+func TestEpisodeTrackingOffByDefault(t *testing.T) {
+	cfg := episodeConfig()
+	m := workload.PaperScaled(cfg.LogicalSectors)
+	m.Seed = cfg.Seed
+	res, err := Run(cfg, m.Infinite(cfg.Seed))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.LevelerEpisodes != 0 || len(res.Episodes) != 0 {
+		t.Errorf("episodes tracked without any consumer: %d recorded, counter %d",
+			len(res.Episodes), res.LevelerEpisodes)
+	}
+}

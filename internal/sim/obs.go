@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"flashswl/internal/core"
 	"flashswl/internal/nand"
@@ -25,10 +26,11 @@ type observerSetter interface {
 }
 
 // buildSinks assembles the runner's event fan-out from the config: the
-// metrics sink (when Config.Metrics), the invariant checker with its
-// erase-baseline tracker (when Config.CheckInvariants), and the caller's
-// sink last. It leaves r.sink nil when observability is fully disabled, so
-// every emission site downstream stays a single nil check.
+// episode builder first (so spans see every event of the same fan-out),
+// then the metrics sink (when Config.Metrics), the invariant checker with
+// its erase-baseline tracker (when Config.CheckInvariants), and the
+// caller's sink last. It leaves r.sink nil when observability is fully
+// disabled, so every emission site downstream stays a single nil check.
 func (r *Runner) buildSinks() {
 	var sinks []obs.EventSink
 	if r.cfg.Metrics {
@@ -50,8 +52,33 @@ func (r *Runner) buildSinks() {
 	if r.cfg.Sink != nil {
 		sinks = append(sinks, r.cfg.Sink)
 	}
+	if len(sinks) > 0 || r.cfg.OnEpisode != nil || r.cfg.RecordEpisodes {
+		r.episodes = obs.NewEpisodeBuilder(func() time.Duration { return r.now }, r.onEpisode)
+		sinks = append([]obs.EventSink{r.episodes}, sinks...)
+	}
 	r.sink = obs.Combine(sinks...)
 }
+
+// onEpisode fans one completed leveler episode span out to every consumer:
+// the run counters, the recorded slice (Config.RecordEpisodes), the
+// caller's hook, and a streaming sink that understands episodes (the JSONL
+// writer).
+func (r *Runner) onEpisode(ep obs.Episode) {
+	r.nepisodes++
+	if r.cfg.RecordEpisodes {
+		r.recorded = append(r.recorded, ep)
+	}
+	if r.cfg.OnEpisode != nil {
+		r.cfg.OnEpisode(ep)
+	}
+	if w, ok := r.cfg.Sink.(interface{ Episode(obs.Episode) }); ok {
+		w.Episode(ep)
+	}
+}
+
+// EpisodeCount returns how many leveler episode spans have completed so far
+// (0 when episode tracking is off).
+func (r *Runner) EpisodeCount() int64 { return r.nepisodes }
 
 // chipObserveHook returns the nand.Config.ObserveHook feeding the chip-level
 // operation counters, or nil when metrics are off.
@@ -132,7 +159,7 @@ func (r *Runner) sample(res *Result) {
 		s.Fcnt = lv.BET().Fcnt()
 		s.Unevenness = lv.Unevenness()
 	}
-	res.Series = append(res.Series, s)
+	r.series.Add(s)
 	if r.cfg.OnSample != nil {
 		r.cfg.OnSample(s)
 	}

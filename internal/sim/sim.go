@@ -122,11 +122,19 @@ type Config struct {
 	// resets, retirements, injected faults). See internal/obs.
 	Sink obs.EventSink
 	// SampleEvery takes a wear time-series sample every N trace events
-	// (plus one final sample when the run ends); 0 disables sampling.
-	// Samples land in Result.Series.
+	// (plus one final sample when the run ends) through an
+	// obs.SeriesRecorder; 0 disables sampling, negative values fall back to
+	// obs.DefaultSampleInterval. Samples land in Result.Series.
 	SampleEvery int64
 	// OnSample, when non-nil, receives each wear sample as it is taken.
 	OnSample func(obs.WearSample)
+	// OnEpisode, when non-nil, receives each completed leveler episode span
+	// (one per SWL-Procedure invocation that acted; see obs.Episode).
+	OnEpisode func(obs.Episode)
+	// RecordEpisodes collects every episode span into Result.Episodes.
+	// Result.LevelerEpisodes counts them regardless whenever any
+	// observability consumer is attached.
+	RecordEpisodes bool
 	// Metrics attaches a metrics registry fed by the event stream and the
 	// chip's operation counters; the final snapshot lands in
 	// Result.Metrics.
@@ -177,6 +185,11 @@ type Result struct {
 	// Series is the wear trajectory sampled every Config.SampleEvery
 	// events; empty when sampling was off.
 	Series []obs.WearSample
+	// Episodes holds every leveler episode span when
+	// Config.RecordEpisodes was set; LevelerEpisodes counts completed
+	// spans whenever episode tracking was active at all.
+	Episodes        []obs.Episode
+	LevelerEpisodes int64
 	// Metrics is the final metrics snapshot when Config.Metrics was set.
 	Metrics *obs.Snapshot
 	// InvariantChecks counts the checkpoints the invariant checker ran and
@@ -243,6 +256,10 @@ type Runner struct {
 	sink          obs.EventSink
 	reg           *obs.Registry
 	checker       *obs.InvariantChecker
+	episodes      *obs.EpisodeBuilder
+	recorded      []obs.Episode
+	nepisodes     int64
+	series        *obs.SeriesRecorder
 	erasesAtReset int64 // chip erase total at the last BET reset
 	ecBuf         []int // reused erase-count buffer for sampling
 
@@ -260,6 +277,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.spp = cfg.Geometry.PageSize / 512
 	if r.spp < 1 {
 		r.spp = 1
+	}
+	if cfg.SampleEvery != 0 {
+		r.series = obs.NewSeriesRecorder(cfg.SampleEvery)
 	}
 	r.buildSinks()
 	var hook func(op nand.Op, block, page int) error
@@ -440,13 +460,16 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 	if r.inj != nil {
 		res.Faults = r.inj.Stats()
 	}
-	if r.cfg.SampleEvery > 0 {
+	if r.series != nil {
 		// Close the trajectory with the end-of-run state unless the last
 		// periodic sample already landed exactly here.
-		if n := len(res.Series); n == 0 || res.Series[n-1].Events != res.Events {
+		if last, ok := r.series.Last(); !ok || last.Events != res.Events {
 			r.sample(res)
 		}
+		res.Series = r.series.Samples()
 	}
+	res.Episodes = r.recorded
+	res.LevelerEpisodes = r.nepisodes
 	if r.checker != nil {
 		if _, cut := runErr.(faultinject.PowerCut); !cut {
 			// Final sweep — skipped after a power cut, which legitimately
@@ -521,7 +544,7 @@ loop:
 				break
 			}
 		}
-		if r.cfg.SampleEvery > 0 && res.Events%r.cfg.SampleEvery == 0 {
+		if r.series != nil && r.series.Due(res.Events) {
 			r.sample(res)
 		}
 		if r.cfg.StopOnFirstWear && r.worn > 0 {

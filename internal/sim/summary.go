@@ -1,0 +1,47 @@
+package sim
+
+// Summarize condenses a finished run into the BENCH summary record that
+// front ends write into BENCH_summary.json and cmd/swlstat diffs across
+// runs. FirstWearHours is -1 when no block wore out, matching the artifact
+// convention.
+
+import "flashswl/internal/obs"
+
+// Summarize builds a RunSummary named name from the config and result of
+// one run.
+func Summarize(name string, cfg Config, res *Result) obs.RunSummary {
+	s := obs.RunSummary{
+		Name:  name,
+		Layer: cfg.Layer.String(),
+		SWL:   cfg.SWL,
+		K:     cfg.K,
+		T:     cfg.T,
+		Seed:  cfg.Seed,
+
+		Events:     res.Events,
+		PageWrites: res.PageWrites,
+		PageReads:  res.PageReads,
+		SimHours:   res.SimTime.Hours(),
+
+		FirstWearHours: -1,
+		WornBlocks:     res.WornBlocks,
+
+		Erases:       res.Erases,
+		ForcedErases: res.ForcedErases,
+		LiveCopies:   res.LiveCopies,
+		ForcedCopies: res.ForcedCopies,
+		GCRuns:       res.GCRuns,
+
+		MeanErase:   res.EraseStats.Mean(),
+		StdDevErase: res.EraseStats.StdDev(),
+		MinErase:    int(res.EraseStats.Min()),
+		MaxErase:    int(res.EraseStats.Max()),
+
+		RetiredBlocks: res.RetiredBlocks,
+		Episodes:      res.LevelerEpisodes,
+	}
+	if res.FirstWear >= 0 {
+		s.FirstWearHours = res.FirstWear.Hours()
+	}
+	return s
+}
