@@ -41,6 +41,7 @@ func main() {
 	seriesDir := flag.String("series", "", "also run the wear-trajectory sweep, writing one CSV per cell into this directory")
 	seriesSamples := flag.Int("samples", 200, "target number of wear samples per trajectory (-series)")
 	check := flag.Bool("check", false, "attach the invariant checker to every run; any violation fails the experiment")
+	branch := flag.Int64("branch", 0, "branch-from-checkpoint: warm each layer up for N events once and fork the sweep cells from the checkpoint (0 = off; results are identical either way)")
 	summaryPath := flag.String("summary", "BENCH_summary.json", "write the per-cell BENCH summary artifact here (empty = skip)")
 	serveAddr := flag.String("serve", "", "serve live sweep progress (Prometheus /metrics, /heatmap, /progress, pprof) on this address")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		}
 	}
 	sc.CheckInvariants = *check
+	sc.BranchWarmupEvents = *branch
 
 	collector := experiments.NewSummaryCollector(sc.Name)
 	hooks := []func(string, sim.Config, *sim.Result){collector.CellDone}

@@ -13,6 +13,8 @@
 //	swlsim -layer ftl -swl -check -sample 5000      # invariant checking + wear series
 //	swlsim -full -swl -serve :8080                  # paper-scale run with live monitoring
 //	swlsim -layer ftl -swl -summary BENCH_summary.json   # machine-readable artifact for swlstat
+//	swlsim -swl -checkpoint run.ckpt -checkpointevery 100000  # periodic resumable checkpoints
+//	swlsim -swl -resume run.ckpt -years 2           # continue a checkpointed run
 package main
 
 import (
@@ -56,8 +58,11 @@ func main() {
 	sampleEvery := flag.Int64("sample", 0, "take a wear time-series sample every N trace events (0 = off; -metrics and -serve default it)")
 	check := flag.Bool("check", false, "attach the invariant checker; exit nonzero on any violation")
 	full := flag.Bool("full", false, "paper-scale preset: 4096 blocks x 128 pages x 2KB, endurance 10000 (explicit geometry flags still win)")
-	serveAddr := flag.String("serve", "", "serve live monitoring (Prometheus /metrics, /heatmap, /progress, pprof) on this address during the run")
+	serveAddr := flag.String("serve", "", "serve live monitoring (Prometheus /metrics, /heatmap, /progress, pprof, POST /checkpoint) on this address during the run")
 	summaryPath := flag.String("summary", "", "write a BENCH summary artifact (for cmd/swlstat) to this file")
+	checkpointPath := flag.String("checkpoint", "", "write resumable checkpoints to this file (atomic replace; also written once at a clean end)")
+	checkpointEvery := flag.Int64("checkpointevery", 0, "write a checkpoint every N trace events (needs -checkpoint)")
+	resumePath := flag.String("resume", "", "resume from this checkpoint file; the other flags must rebuild the original configuration")
 	flag.Parse()
 
 	if *full {
@@ -183,9 +188,17 @@ func main() {
 			*sampleEvery = obs.DefaultSampleInterval
 		}
 	}
+	cfg.CheckpointPath = *checkpointPath
+	cfg.CheckpointEvery = *checkpointEvery
 	var pub *monitor.SimPublisher
 	var mon *monitor.Server
 	if *serveAddr != "" {
+		mon = monitor.NewServer()
+		if *checkpointPath != "" {
+			// POST /checkpoint raises a flag the run polls between events.
+			mon.EnableCheckpointTrigger()
+			cfg.CheckpointRequested = mon.CheckpointRequested
+		}
 		cfg.Metrics = true
 		if *sampleEvery == 0 {
 			*sampleEvery = obs.DefaultSampleInterval
@@ -205,13 +218,21 @@ func main() {
 	cfg.SampleEvery = *sampleEvery
 	cfg.CheckInvariants = *check
 
-	runner, err := sim.NewRunner(cfg)
+	var runner *sim.Runner
+	var err error
+	if *resumePath != "" {
+		runner, err = sim.Resume(*resumePath, cfg, src)
+		if err == nil {
+			fmt.Printf("resumed:         %s at event %d\n", *resumePath, runner.Events())
+		}
+	} else {
+		runner, err = sim.NewRunner(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
 		os.Exit(1)
 	}
 	if *serveAddr != "" {
-		mon = monitor.NewServer()
 		bound, err := mon.Start(*serveAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)

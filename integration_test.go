@@ -36,7 +36,7 @@ func TestFullStackPowerCycle(t *testing.T) {
 	buildLeveler := func(drv *ftl.Driver) *core.Leveler {
 		lv, err := core.NewLeveler(core.Config{
 			Blocks: 96, K: 0, Threshold: 4, Exclude: reserved,
-			Rand: rand.New(rand.NewSource(5)).Intn,
+			Rand: core.NewSplitMix64(5),
 		}, drv)
 		if err != nil {
 			t.Fatal(err)

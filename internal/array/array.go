@@ -4,7 +4,8 @@
 // at. Blocks concatenate: global block b lives on chip b/perChip at local
 // index b%perChip, so a Flash Translation Layer driver (and the SW Leveler
 // above it) manages the whole array as one block address space and wear
-// levels across chips automatically.
+// levels across chips automatically. An array and its member chips are
+// owned by one goroutine, like a single chip.
 package array
 
 import (

@@ -2,7 +2,8 @@
 // (ftl or nftl) into the 512-byte-sector block device that file systems
 // expect — the block-device emulation role the paper's Figure 1 assigns to
 // the Flash Translation Layer. Sub-page writes are handled with
-// read-modify-write of the containing page.
+// read-modify-write of the containing page. A Device wraps a driver and
+// inherits its single-goroutine confinement and determinism.
 package blockdev
 
 import (

@@ -1,0 +1,192 @@
+// Package checkpoint defines the on-disk container for a simulation
+// checkpoint: a single versioned, CRC-guarded file holding the sections a
+// resumed run needs to continue bit-for-bit — the chip image, the
+// translation layer's state, the leveler's state, the fault injector's
+// remaining schedule, the trace position, and the harness counters. The
+// package is deliberately byte-level: every section is an opaque blob
+// produced and consumed by the component that owns it (nand.Chip.WriteImage,
+// the drivers' SaveState, core.Leveler.ExportState, trace.Seekable, …);
+// internal/sim assembles and dismantles the whole. See docs/checkpoint.md
+// for the field-by-field format specification.
+//
+// Decoding is defensive: a truncated, bit-flipped, or otherwise corrupt file
+// yields an error wrapping ErrBadCheckpoint, never a panic, and length
+// prefixes are bounded by the bytes actually present so corrupt input cannot
+// drive large allocations. Unknown section kinds are skipped, so older
+// readers tolerate files from newer writers that only add sections.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"flashswl/internal/wire"
+)
+
+// Magic identifies a checkpoint file: the bytes "FSWLCKP1" read as a
+// little-endian uint64.
+const Magic = 0x31504B434C575346
+
+// Version is the container format version this package writes.
+const Version = 1
+
+// Section kinds. New kinds may be appended; readers skip kinds they do not
+// know.
+const (
+	secDigest   = 1 // configuration digest (sim-owned encoding)
+	secChip     = 2 // nand image (nand.Chip.WriteImage bytes)
+	secLayer    = 3 // translation-layer SaveState record
+	secLeveler  = 4 // leveler ExportState record (absent when SWL was off)
+	secInjector = 5 // fault-injector SaveState record (absent without faults)
+	secTrace    = 6 // trace.Seekable SaveState record
+	secCounters = 7 // harness counters (sim-owned encoding)
+)
+
+// ErrBadCheckpoint reports an undecodable or corrupt checkpoint file.
+var ErrBadCheckpoint = errors.New("checkpoint: bad checkpoint file")
+
+// State is a decoded checkpoint: one blob per section. Leveler and Injector
+// are nil when their section is absent (a run without the SW Leveler or
+// without a fault schedule); the other sections are always present.
+type State struct {
+	Digest   []byte
+	Chip     []byte
+	Layer    []byte
+	Leveler  []byte
+	Injector []byte
+	Trace    []byte
+	Counters []byte
+}
+
+// Encode serializes the state into the container format: magic, version, a
+// section table, and a trailing CRC32 (IEEE) covering everything before it.
+func Encode(st *State) []byte {
+	w := wire.NewWriter()
+	w.U64(Magic)
+	w.U32(Version)
+	type sec struct {
+		kind uint32
+		data []byte
+	}
+	secs := []sec{
+		{secDigest, st.Digest},
+		{secChip, st.Chip},
+		{secLayer, st.Layer},
+		{secTrace, st.Trace},
+		{secCounters, st.Counters},
+	}
+	if st.Leveler != nil {
+		secs = append(secs, sec{secLeveler, st.Leveler})
+	}
+	if st.Injector != nil {
+		secs = append(secs, sec{secInjector, st.Injector})
+	}
+	w.U32(uint32(len(secs)))
+	for _, s := range secs {
+		w.U32(s.kind)
+		w.Blob(s.data)
+	}
+	body := w.Bytes()
+	crc := crc32.ChecksumIEEE(body)
+	w.U32(crc)
+	return w.Bytes()
+}
+
+// Write encodes the state and writes it to w.
+func Write(w io.Writer, st *State) error {
+	_, err := w.Write(Encode(st))
+	return err
+}
+
+// Decode parses a checkpoint file image. Every failure — truncation, a bad
+// magic or version, a checksum mismatch, duplicate or missing sections —
+// returns an error wrapping ErrBadCheckpoint.
+func Decode(data []byte) (*State, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+	}
+	r := wire.NewReader(body)
+	if m := r.U64(); m != Magic && r.Err() == nil {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if v := r.U32(); v != Version && r.Err() == nil {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+	nsec := int(r.U32())
+	// Bound the count by the bytes present (a section is at least a kind and
+	// a blob length, 8 bytes) before it sizes the map below — a corrupt count
+	// must not drive a huge allocation.
+	if nsec > r.Remaining()/8 && r.Err() == nil {
+		return nil, fmt.Errorf("%w: section count %d exceeds file size", ErrBadCheckpoint, nsec)
+	}
+	st := &State{}
+	seen := make(map[uint32]bool, nsec)
+	for i := 0; i < nsec && r.Err() == nil; i++ {
+		kind := r.U32()
+		blob := r.Blob()
+		if r.Err() != nil {
+			break
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrBadCheckpoint, kind)
+		}
+		seen[kind] = true
+		// Copy out of the input buffer so the state does not pin (or get
+		// clobbered through) the caller's slice; make keeps even an empty
+		// section non-nil, preserving present-vs-absent.
+		b := make([]byte, len(blob))
+		copy(b, blob)
+		switch kind {
+		case secDigest:
+			st.Digest = b
+		case secChip:
+			st.Chip = b
+		case secLayer:
+			st.Layer = b
+		case secLeveler:
+			st.Leveler = b
+		case secInjector:
+			st.Injector = b
+		case secTrace:
+			st.Trace = b
+		case secCounters:
+			st.Counters = b
+		default:
+			// Unknown kind from a newer writer: skip.
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	for _, req := range []struct {
+		kind uint32
+		name string
+	}{
+		{secDigest, "digest"},
+		{secChip, "chip image"},
+		{secLayer, "layer state"},
+		{secTrace, "trace position"},
+		{secCounters, "counters"},
+	} {
+		if !seen[req.kind] {
+			return nil, fmt.Errorf("%w: missing %s section", ErrBadCheckpoint, req.name)
+		}
+	}
+	return st, nil
+}
+
+// Read decodes a checkpoint from a reader (see Decode).
+func Read(r io.Reader) (*State, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return Decode(data)
+}

@@ -1,0 +1,228 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"flashswl/internal/wire"
+)
+
+func sampleState() *State {
+	return &State{
+		Digest:   []byte{1, 2, 3},
+		Chip:     bytes.Repeat([]byte{0xAB}, 64),
+		Layer:    []byte{4, 5, 6, 7},
+		Leveler:  []byte{8},
+		Injector: []byte{},
+		Trace:    []byte{9, 10},
+		Counters: []byte{11, 12, 13},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	st := sampleState()
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip changed state:\nwant %+v\ngot  %+v", st, got)
+	}
+}
+
+func TestRoundTripOptionalSectionsAbsent(t *testing.T) {
+	st := sampleState()
+	st.Leveler = nil
+	st.Injector = nil
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Leveler != nil || got.Injector != nil {
+		t.Fatalf("absent sections decoded as present: %+v", got)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("round trip changed state:\nwant %+v\ngot  %+v", st, got)
+	}
+}
+
+func TestEmptyPresentSectionStaysPresent(t *testing.T) {
+	st := sampleState() // Injector is a present-but-empty section
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Injector == nil {
+		t.Fatal("empty present section decoded as absent")
+	}
+	if len(got.Injector) != 0 {
+		t.Fatalf("empty section grew bytes: %v", got.Injector)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	st := sampleState()
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("Write/Read round trip changed state")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := Encode(sampleState())
+	cases := map[string][]byte{
+		"empty":      {},
+		"tiny":       {1, 2, 3},
+		"truncated":  good[:len(good)/2],
+		"flipped":    flipBit(good, 40),
+		"no-crc":     good[:len(good)-4],
+		"crc-flip":   flipBit(good, len(good)*8-1),
+		"zeroed":     make([]byte, len(good)),
+		"doubled":    append(append([]byte{}, good...), good...),
+		"bad-magic":  withBadMagic(good),
+		"bad-ver":    withBadVersion(good),
+		"dup-sec":    withDuplicateSection(),
+		"missing":    withMissingSection(),
+		"trailing":   withTrailingGarbage(),
+		"huge-count": withHugeSectionCount(),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: want ErrBadCheckpoint, got %v", name, err)
+		}
+	}
+}
+
+func flipBit(data []byte, bit int) []byte {
+	out := append([]byte{}, data...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// seal appends the CRC a real writer would, so only the deliberately broken
+// field trips the decoder.
+func seal(body []byte) []byte {
+	out := append([]byte{}, body...)
+	crc := crc32.ChecksumIEEE(body)
+	return append(out, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}
+
+func withBadMagic(good []byte) []byte {
+	body := append([]byte{}, good[:len(good)-4]...)
+	body[0] ^= 0xFF
+	return seal(body)
+}
+
+func withBadVersion(good []byte) []byte {
+	body := append([]byte{}, good[:len(good)-4]...)
+	body[8] = 99
+	return seal(body)
+}
+
+func withDuplicateSection() []byte {
+	w := wire.NewWriter()
+	w.U64(Magic)
+	w.U32(Version)
+	w.U32(2)
+	w.U32(secDigest)
+	w.Blob([]byte{1})
+	w.U32(secDigest)
+	w.Blob([]byte{2})
+	return seal(w.Bytes())
+}
+
+func withMissingSection() []byte {
+	w := wire.NewWriter()
+	w.U64(Magic)
+	w.U32(Version)
+	w.U32(1)
+	w.U32(secDigest)
+	w.Blob([]byte{1})
+	return seal(w.Bytes())
+}
+
+func withTrailingGarbage() []byte {
+	body := Encode(sampleState())
+	body = body[:len(body)-4]
+	body = append(body, 0xDE, 0xAD)
+	return seal(body)
+}
+
+func withHugeSectionCount() []byte {
+	w := wire.NewWriter()
+	w.U64(Magic)
+	w.U32(Version)
+	w.U32(0xFFFFFFFF)
+	return seal(w.Bytes())
+}
+
+func TestDecodeSkipsUnknownSections(t *testing.T) {
+	st := sampleState()
+	st.Leveler, st.Injector = nil, nil
+	w := wire.NewWriter()
+	w.U64(Magic)
+	w.U32(Version)
+	w.U32(6)
+	for _, s := range []struct {
+		kind uint32
+		data []byte
+	}{
+		{secDigest, st.Digest},
+		{secChip, st.Chip},
+		{secLayer, st.Layer},
+		{secTrace, st.Trace},
+		{secCounters, st.Counters},
+		{999, []byte{0xCA, 0xFE}}, // future section kind
+	} {
+		w.U32(s.kind)
+		w.Blob(s.data)
+	}
+	got, err := Decode(seal(w.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode with unknown section: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("unknown section leaked into state")
+	}
+}
+
+// FuzzDecode hardens the container parser: arbitrary bytes must either fail
+// with ErrBadCheckpoint or decode into a state that re-encodes and decodes
+// stably. It must never panic and never allocate beyond the input's size.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(sampleState()))
+	small := sampleState()
+	small.Leveler, small.Injector = nil, nil
+	f.Add(Encode(small))
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x53, 0x57, 0x4C, 0x43, 0x4B, 0x50, 0x31})
+	f.Add(withHugeSectionCount())
+	f.Add(withDuplicateSection())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("non-checkpoint error: %v", err)
+			}
+			return
+		}
+		// Whatever decodes must survive a re-encode/re-decode unchanged.
+		again, err := Decode(Encode(st))
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(st, again) {
+			t.Fatal("re-encode round trip changed state")
+		}
+	})
+}

@@ -9,6 +9,13 @@
 // The package is deliberately self-contained: it knows nothing about FTL or
 // NFTL and drives them only through the Cleaner interface, matching the
 // paper's goal of requiring no modification to existing translation layers.
+//
+// Levelers are confined to the single simulation goroutine that owns the
+// chip and driver; none of the types here are safe for concurrent use.
+// All randomness flows through a seeded, serializable SplitMix64
+// (Config.Rand), so seeded runs are bit-reproducible and a leveler's full
+// dynamic state — BET bits, counters, scan position, RNG position — exports
+// and imports for checkpoint/resume (see state.go).
 package core
 
 import (

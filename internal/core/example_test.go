@@ -2,7 +2,6 @@ package core_test
 
 import (
 	"fmt"
-	"math/rand"
 
 	"flashswl/internal/core"
 	"flashswl/internal/ftl"
@@ -23,7 +22,7 @@ func Example() {
 		Blocks:    32,
 		K:         0,
 		Threshold: 4,
-		Rand:      rand.New(rand.NewSource(1)).Intn,
+		Rand:      core.NewSplitMix64(1),
 	}, drv)
 	drv.SetOnErase(leveler.OnErase) // Algorithm 2 on every erase
 

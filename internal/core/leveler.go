@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"flashswl/internal/obs"
 )
@@ -52,10 +51,12 @@ type Config struct {
 	Threshold float64
 	// Rand, if non-nil, supplies the random flag index used when the BET
 	// resets (Algorithm 1, step 6) and by SelectRandom. When nil the
-	// leveler uses a private fixed-seed generator, so unseeded
-	// construction is still reproducible run-to-run; supply your own
-	// seeded function to decorrelate instances.
-	Rand func(n int) int
+	// leveler creates a private generator with a fixed seed, so unseeded
+	// construction is still reproducible run-to-run; seed your own to
+	// decorrelate instances. The generator's single-word state travels
+	// with ExportState/ImportState, which is why this is a concrete
+	// serializable type rather than an opaque closure.
+	Rand *SplitMix64
 	// Select chooses the block-set selection policy. The zero value is
 	// the paper's cyclic scan.
 	Select SelectPolicy
@@ -84,11 +85,6 @@ type Config struct {
 // default must never touch the process-global math/rand source, which has
 // been randomly seeded since Go 1.20.
 const defaultRandSeed = 0x535754C // "SWL"-flavored, arbitrary but frozen
-
-// defaultRand returns a fresh fixed-seed per-instance Intn.
-func defaultRand() func(n int) int {
-	return rand.New(rand.NewSource(defaultRandSeed)).Intn
-}
 
 // Stats counts leveler activity since construction.
 type Stats struct {
@@ -122,7 +118,7 @@ type Leveler struct {
 	ecnt     int64
 	findex   int
 	leveling bool
-	rand     func(n int) int
+	rand     *SplitMix64
 	stats    Stats
 }
 
@@ -144,7 +140,7 @@ func NewLeveler(cfg Config, cleaner Cleaner) (*Leveler, error) {
 	}
 	r := cfg.Rand
 	if r == nil {
-		r = defaultRand()
+		r = NewSplitMix64(defaultRandSeed)
 	}
 	l := &Leveler{cfg: cfg, bet: NewBET(cfg.Blocks, cfg.K), cleaner: cleaner, rand: r}
 	if len(cfg.Exclude) > 0 {
@@ -251,9 +247,9 @@ func (l *Leveler) Level() error {
 			obs.BeginEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt())
 		}
 		if l.bet.Full() { // step 3
-			l.ecnt = 0                      // step 4 (fcnt reset with the BET, step 5)
-			l.findex = l.rand(l.bet.Size()) // step 6
-			l.bet.Reset()                   // step 7
+			l.ecnt = 0                           // step 4 (fcnt reset with the BET, step 5)
+			l.findex = l.rand.Intn(l.bet.Size()) // step 6
+			l.bet.Reset()                        // step 7
 			l.applyPresets()
 			l.stats.Resets++
 			if l.cfg.Observer != nil {
@@ -266,7 +262,7 @@ func (l *Leveler) Level() error {
 		}
 		start := l.findex
 		if l.cfg.Select == SelectRandom {
-			start = l.rand(l.bet.Size())
+			start = l.rand.Intn(l.bet.Size())
 		}
 		next, ok := l.bet.NextClear(start) // steps 9–10
 		if !ok {

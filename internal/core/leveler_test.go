@@ -42,7 +42,7 @@ func (c *fakeCleaner) EraseBlockSet(findex, k int) error {
 func newTestLeveler(t *testing.T, blocks, k int, threshold float64) (*Leveler, *fakeCleaner) {
 	t.Helper()
 	c := &fakeCleaner{}
-	l, err := NewLeveler(Config{Blocks: blocks, K: k, Threshold: threshold, Rand: rand.New(rand.NewSource(1)).Intn}, c)
+	l, err := NewLeveler(Config{Blocks: blocks, K: k, Threshold: threshold, Rand: NewSplitMix64(1)}, c)
 	if err != nil {
 		t.Fatalf("NewLeveler: %v", err)
 	}
@@ -284,7 +284,7 @@ func TestLevelInvariantProperty(t *testing.T) {
 		kk := int(k % 3)
 		T := float64(tRaw%20) + 1
 		c := &fakeCleaner{}
-		l, err := NewLeveler(Config{Blocks: nb, K: kk, Threshold: T, Rand: rand.New(rand.NewSource(7)).Intn}, c)
+		l, err := NewLeveler(Config{Blocks: nb, K: kk, Threshold: T, Rand: NewSplitMix64(7)}, c)
 		if err != nil {
 			return false
 		}
@@ -313,7 +313,7 @@ func TestExcludedSetsArePreset(t *testing.T) {
 	// fully excluded and must be pre-flagged, so the leveler never waits
 	// on flags the Cleaner cannot set.
 	c := &fakeCleaner{}
-	l, err := NewLeveler(Config{Blocks: 16, K: 1, Threshold: 3, Exclude: []int{0, 1, 2, 3}, Rand: rand.New(rand.NewSource(2)).Intn}, c)
+	l, err := NewLeveler(Config{Blocks: 16, K: 1, Threshold: 3, Exclude: []int{0, 1, 2, 3}, Rand: NewSplitMix64(2)}, c)
 	if err != nil {
 		t.Fatalf("NewLeveler: %v", err)
 	}
@@ -363,7 +363,7 @@ func TestExcludeValidation(t *testing.T) {
 
 func TestSelectRandomPolicy(t *testing.T) {
 	c := &fakeCleaner{}
-	l, err := NewLeveler(Config{Blocks: 32, K: 0, Threshold: 4, Select: SelectRandom, Rand: rand.New(rand.NewSource(5)).Intn}, c)
+	l, err := NewLeveler(Config{Blocks: 32, K: 0, Threshold: 4, Select: SelectRandom, Rand: NewSplitMix64(5)}, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestLevelEmitsObserverEvents(t *testing.T) {
 	var events []obs.Event
 	sink := obs.SinkFunc(func(e obs.Event) { events = append(events, e) })
 	c := &fakeCleaner{}
-	l, err := NewLeveler(Config{Blocks: 8, K: 0, Threshold: 10, Observer: sink, Rand: rand.New(rand.NewSource(1)).Intn}, c)
+	l, err := NewLeveler(Config{Blocks: 8, K: 0, Threshold: 10, Observer: sink, Rand: NewSplitMix64(1)}, c)
 	if err != nil {
 		t.Fatalf("NewLeveler: %v", err)
 	}
@@ -513,7 +513,7 @@ func BenchmarkBETUpdate(b *testing.B) {
 // that reports erases but does no copying, isolating the leveler's own cost.
 func BenchmarkLevelerTrigger(b *testing.B) {
 	c := &fakeCleaner{}
-	l, err := NewLeveler(Config{Blocks: 4096, K: 2, Threshold: 4, Rand: rand.New(rand.NewSource(9)).Intn}, c)
+	l, err := NewLeveler(Config{Blocks: 4096, K: 2, Threshold: 4, Rand: NewSplitMix64(9)}, c)
 	if err != nil {
 		b.Fatal(err)
 	}

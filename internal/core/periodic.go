@@ -18,7 +18,7 @@ type PeriodicLeveler struct {
 	k       int
 	period  int64
 	cleaner Cleaner
-	rand    func(n int) int
+	rand    *SplitMix64
 	pending int64 // erases since the last forced recycle
 	sets    int
 	stats   Stats
@@ -35,8 +35,9 @@ type PeriodicConfig struct {
 	Period int64
 	// Rand supplies randomness. When nil a private fixed-seed generator
 	// is used, keeping unseeded construction reproducible (see
-	// Config.Rand on the SW Leveler).
-	Rand func(n int) int
+	// Config.Rand on the SW Leveler). The serializable type lets
+	// checkpoint/resume capture the generator position.
+	Rand *SplitMix64
 }
 
 // NewPeriodicLeveler constructs the baseline leveler.
@@ -55,7 +56,7 @@ func NewPeriodicLeveler(cfg PeriodicConfig, cleaner Cleaner) (*PeriodicLeveler, 
 	}
 	r := cfg.Rand
 	if r == nil {
-		r = defaultRand()
+		r = NewSplitMix64(defaultRandSeed)
 	}
 	nsets := (cfg.Blocks + (1 << uint(cfg.K)) - 1) >> uint(cfg.K)
 	return &PeriodicLeveler{blocks: cfg.Blocks, k: cfg.K, period: cfg.Period, cleaner: cleaner, rand: r, sets: nsets}, nil
@@ -86,7 +87,7 @@ func (p *PeriodicLeveler) Level() error {
 	}
 	p.pending -= rounds * p.period
 	for i := int64(0); i < rounds; i++ {
-		if err := p.cleaner.EraseBlockSet(p.rand(p.sets), p.k); err != nil {
+		if err := p.cleaner.EraseBlockSet(p.rand.Intn(p.sets), p.k); err != nil {
 			return fmt.Errorf("core: periodic wear leveling: %w", err)
 		}
 		p.stats.SetsRecycled++

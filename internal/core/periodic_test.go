@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 )
 
@@ -25,7 +24,7 @@ func TestPeriodicValidation(t *testing.T) {
 
 func TestPeriodicForcesEveryPeriod(t *testing.T) {
 	c := &fakeCleaner{}
-	p, err := NewPeriodicLeveler(PeriodicConfig{Blocks: 16, K: 0, Period: 10, Rand: rand.New(rand.NewSource(1)).Intn}, c)
+	p, err := NewPeriodicLeveler(PeriodicConfig{Blocks: 16, K: 0, Period: 10, Rand: NewSplitMix64(1)}, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +54,7 @@ func TestPeriodicForcesEveryPeriod(t *testing.T) {
 
 func TestPeriodicReentrancyGuard(t *testing.T) {
 	c := &fakeCleaner{}
-	p, _ := NewPeriodicLeveler(PeriodicConfig{Blocks: 8, K: 0, Period: 1, Rand: rand.New(rand.NewSource(2)).Intn}, c)
+	p, _ := NewPeriodicLeveler(PeriodicConfig{Blocks: 8, K: 0, Period: 1, Rand: NewSplitMix64(2)}, c)
 	c.onErase = p.OnErase
 	// Period 1 with erase feedback would recurse without the guard; the
 	// loop must still terminate because pending is consumed up front.

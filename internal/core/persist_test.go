@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"math/rand"
 	"testing"
 )
 
@@ -34,7 +33,7 @@ func (s *memStore) ReadSnapshot(slot int) ([]byte, error) {
 func levelerForPersist(t *testing.T) *Leveler {
 	t.Helper()
 	c := &fakeCleaner{}
-	l, err := NewLeveler(Config{Blocks: 100, K: 1, Threshold: 50, Rand: rand.New(rand.NewSource(3)).Intn}, c)
+	l, err := NewLeveler(Config{Blocks: 100, K: 1, Threshold: 50, Rand: NewSplitMix64(3)}, c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package core
+
+import "math/bits"
+
+// SplitMix64 is a tiny deterministic random generator (Steele, Lea, Flood:
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014) whose whole
+// state is one uint64 — which makes it trivially serializable, the property
+// checkpoint/resume needs: a resumed run must continue the exact random
+// sequence the interrupted run would have produced. It replaces the opaque
+// `func(n int) int` closures the levelers used to take, whose position could
+// not be captured.
+//
+// SplitMix64 is not safe for concurrent use; like the chip and the levelers
+// it lives on the single simulation goroutine.
+type SplitMix64 struct{ s uint64 }
+
+// NewSplitMix64 returns a generator seeded with seed. Equal seeds yield
+// equal sequences.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{s: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *SplitMix64) Uint64() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n) using Lemire's multiply-shift
+// bounded sampling with rejection — a plain Uint64()%n carries modulo bias
+// toward low values whenever n does not divide 2^64, which would skew the
+// leveler's random restart positions.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("core: Intn needs a positive bound")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// State returns the generator's full internal state.
+func (r *SplitMix64) State() uint64 { return r.s }
+
+// SetState overwrites the internal state, positioning the generator exactly
+// where another instance (with the same algorithm) left off.
+func (r *SplitMix64) SetState(s uint64) { r.s = s }

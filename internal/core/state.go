@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"flashswl/internal/wire"
+)
+
+// Leveler state export/import: the complete dynamic state of a leveler —
+// BET bits, erase counters, scan position, activity stats, and the random
+// generator position — as one self-describing little-endian record, so
+// checkpoint/resume can continue a run bit-for-bit. The record carries its
+// own version, leveler kind, and shape (blocks, k); Import validates all of
+// them against the receiving instance, which must have been constructed with
+// the same Config. Static configuration (threshold, policy, exclusions) is
+// deliberately not serialized: it belongs to the Config, and presets are
+// re-derived from it.
+
+const (
+	levelerStateVersion = 1
+	levelerKindSW       = 0
+	levelerKindPeriodic = 1
+)
+
+// ExportState serializes the leveler's full dynamic state.
+func (l *Leveler) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U8(levelerStateVersion)
+	w.U8(levelerKindSW)
+	w.U32(uint32(l.cfg.Blocks))
+	w.U8(uint8(l.cfg.K))
+	w.I64(l.ecnt)
+	w.U32(uint32(l.findex))
+	w.U64(l.rand.State())
+	exportStats(w, l.stats)
+	w.U32(uint32(l.bet.Fcnt()))
+	w.U64s(l.bet.flags)
+	return w.Bytes()
+}
+
+// ImportState restores state exported from an identically configured
+// leveler. On any mismatch or corruption the leveler is left unchanged.
+func (l *Leveler) ImportState(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U8(); v != levelerStateVersion && r.Err() == nil {
+		return fmt.Errorf("core: leveler state version %d unsupported", v)
+	}
+	if k := r.U8(); k != levelerKindSW && r.Err() == nil {
+		return fmt.Errorf("core: state is not an SW Leveler record (kind %d)", k)
+	}
+	blocks, k := int(r.U32()), int(r.U8())
+	ecnt := r.I64()
+	findex := int(r.U32())
+	randState := r.U64()
+	stats := importStats(r)
+	fcnt := int(r.U32())
+	flags := r.U64s()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("core: leveler state: %w", err)
+	}
+	if blocks != l.cfg.Blocks || k != l.cfg.K {
+		return fmt.Errorf("core: leveler state shape %d blocks/k=%d, have %d/k=%d",
+			blocks, k, l.cfg.Blocks, l.cfg.K)
+	}
+	if len(flags) != len(l.bet.flags) {
+		return fmt.Errorf("core: leveler state has %d BET words, want %d", len(flags), len(l.bet.flags))
+	}
+	if findex < 0 || findex >= l.bet.Size() {
+		return fmt.Errorf("core: leveler state findex %d out of range", findex)
+	}
+	copy(l.bet.flags, flags)
+	l.bet.fcnt = l.bet.Recount()
+	if l.bet.fcnt != fcnt {
+		return fmt.Errorf("core: leveler state fcnt %d, popcount says %d", fcnt, l.bet.fcnt)
+	}
+	l.ecnt = ecnt
+	l.findex = findex
+	l.rand.SetState(randState)
+	l.stats = stats
+	l.leveling = false
+	return nil
+}
+
+// ExportState serializes the periodic baseline's full dynamic state.
+func (p *PeriodicLeveler) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U8(levelerStateVersion)
+	w.U8(levelerKindPeriodic)
+	w.U32(uint32(p.blocks))
+	w.U8(uint8(p.k))
+	w.I64(p.pending)
+	w.U64(p.rand.State())
+	exportStats(w, p.stats)
+	return w.Bytes()
+}
+
+// ImportState restores state exported from an identically configured
+// periodic leveler.
+func (p *PeriodicLeveler) ImportState(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U8(); v != levelerStateVersion && r.Err() == nil {
+		return fmt.Errorf("core: leveler state version %d unsupported", v)
+	}
+	if k := r.U8(); k != levelerKindPeriodic && r.Err() == nil {
+		return fmt.Errorf("core: state is not a periodic leveler record (kind %d)", k)
+	}
+	blocks, k := int(r.U32()), int(r.U8())
+	pending := r.I64()
+	randState := r.U64()
+	stats := importStats(r)
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("core: periodic leveler state: %w", err)
+	}
+	if blocks != p.blocks || k != p.k {
+		return fmt.Errorf("core: periodic state shape %d blocks/k=%d, have %d/k=%d",
+			blocks, k, p.blocks, p.k)
+	}
+	p.pending = pending
+	p.rand.SetState(randState)
+	p.stats = stats
+	p.running = false
+	return nil
+}
+
+func exportStats(w *wire.Writer, s Stats) {
+	w.I64(s.Erases)
+	w.I64(s.Triggered)
+	w.I64(s.SetsRecycled)
+	w.I64(s.SetsSkipped)
+	w.I64(s.Resets)
+}
+
+func importStats(r *wire.Reader) Stats {
+	return Stats{
+		Erases:       r.I64(),
+		Triggered:    r.I64(),
+		SetsRecycled: r.I64(),
+		SetsSkipped:  r.I64(),
+		Resets:       r.I64(),
+	}
+}

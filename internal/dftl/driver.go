@@ -12,6 +12,11 @@
 // Mapping updates dirty a cached translation page; evictions write it back
 // to flash through the same out-of-place allocation stream as data, so
 // translation traffic wears blocks (and is wear-leveled) exactly like data.
+//
+// A Driver shares its chip's single-goroutine confinement and is
+// deterministic given its operation sequence; its mapping state — the LRU
+// cache order included — round-trips through SaveState/RestoreState for
+// checkpoint/resume.
 package dftl
 
 import (

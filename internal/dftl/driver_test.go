@@ -149,7 +149,7 @@ func TestSteadyStateGCWithTranslationPages(t *testing.T) {
 func TestEraseBlockSetWithSWLeveler(t *testing.T) {
 	d, dev := newTestDFTL(t, Config{})
 	lv, err := core.NewLeveler(core.Config{Blocks: 32, K: 0, Threshold: 4,
-		Rand: rand.New(rand.NewSource(2)).Intn}, d)
+		Rand: core.NewSplitMix64(2)}, d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,8 @@
 // The layout follows the de-facto standard (as in Linux's software Hamming
 // implementation): 16 line-parity bits over the byte addresses and 6
 // column-parity bits over the bit positions, packed into 3 bytes with the
-// two unused bits set to 1.
+// two unused bits set to 1. The package is pure functions over byte
+// slices: stateless, deterministic, and safe for concurrent use.
 package ecc
 
 import (

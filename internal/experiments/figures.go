@@ -98,11 +98,12 @@ func (sc Scale) cellDone(kind string, paperT float64, cfg sim.Config, res *sim.R
 	}
 }
 
-// runToFailure runs one configuration until the first block wears out.
-func runToFailure(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
+// runToFailure runs one configuration until the first block wears out,
+// branching from the layer's warm-up when one is available.
+func runToFailure(sc Scale, w *warmup, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
 	cfg := sc.config(layer, swl, k, paperT)
 	cfg.StopOnFirstWear = true
-	res, err := sim.Run(cfg, sc.source())
+	res, err := sc.cellRun(w, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -127,11 +128,12 @@ func checkRun(res *sim.Result) (*sim.Result, error) {
 }
 
 // runAged runs one configuration for the scale's fixed aging span,
-// continuing past block wear-outs as the paper does for Table 4.
-func runAged(sc Scale, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
+// continuing past block wear-outs as the paper does for Table 4, branching
+// from the layer's warm-up when one is available.
+func runAged(sc Scale, w *warmup, layer sim.LayerKind, swl bool, k int, paperT float64) (*sim.Result, error) {
 	cfg := sc.config(layer, swl, k, paperT)
 	cfg.MaxSimTime = sc.aging()
-	res, err := sim.Run(cfg, sc.source())
+	res, err := sc.cellRun(w, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +154,13 @@ func Figure5(sc Scale, layer sim.LayerKind, ks []int, ts []float64) (*Series, er
 			s.Cells = append(s.Cells, Cell{K: k, T: t})
 		}
 	}
-	// Cell 0 is the baseline; the sweep runs in parallel (each cell is an
+	// The warm-up (when configured) runs the shared prefix once, up front;
+	// cell 0 is the baseline; the sweep runs in parallel (each cell is an
 	// independent simulation over its own replay of the shared trace).
+	w := sc.runWarmup(layer)
 	err := forEachCell(len(s.Cells)+1, func(i int) error {
 		if i == 0 {
-			base, err := runToFailure(sc, layer, false, 0, 0)
+			base, err := runToFailure(sc, w, layer, false, 0, 0)
 			if err != nil {
 				return err
 			}
@@ -165,7 +169,7 @@ func Figure5(sc Scale, layer sim.LayerKind, ks []int, ts []float64) (*Series, er
 			return nil
 		}
 		c := &s.Cells[i-1]
-		res, err := runToFailure(sc, layer, true, c.K, c.T)
+		res, err := runToFailure(sc, w, layer, true, c.K, c.T)
 		if err != nil {
 			return err
 		}
@@ -204,12 +208,16 @@ func RunAged(sc Scale, ks []int, ts []float64) (*AgedRuns, error) {
 	}
 	perLayer := len(ks) * len(ts)
 	total := len(layers) * (perLayer + 1) // +1 baseline each
+	warmups := map[sim.LayerKind]*warmup{}
+	for _, layer := range layers {
+		warmups[layer] = sc.runWarmup(layer) // nil unless BranchWarmupEvents is set
+	}
 	var mu sync.Mutex
 	err := forEachCell(total, func(i int) error {
 		layer := layers[i/(perLayer+1)]
 		j := i % (perLayer + 1)
 		if j == 0 {
-			base, err := runAged(sc, layer, false, 0, 0)
+			base, err := runAged(sc, warmups[layer], layer, false, 0, 0)
 			if err != nil {
 				return err
 			}
@@ -219,7 +227,7 @@ func RunAged(sc Scale, ks []int, ts []float64) (*AgedRuns, error) {
 			return nil
 		}
 		c := &out.Cells[layer][j-1]
-		res, err := runAged(sc, layer, true, c.K, c.T)
+		res, err := runAged(sc, warmups[layer], layer, true, c.K, c.T)
 		if err != nil {
 			return err
 		}

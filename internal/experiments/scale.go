@@ -11,6 +11,13 @@
 // results keep the paper's labels (T=100 etc.) with the scaling documented
 // in EXPERIMENTS.md. FullScale reproduces the paper's exact configuration
 // for long offline runs.
+//
+// Sweeps run cells in parallel, but each worker goroutine builds its own
+// full stack (chip, driver, leveler) — nothing simulation-owned crosses a
+// goroutine; the one read-only exception, the shared branch-mode warm-up
+// checkpoint, is copied element-wise on restore (see branch.go). For a
+// fixed Scale and seed every figure and CSV is byte-deterministic, which
+// the golden-file tests pin.
 package experiments
 
 import (
@@ -58,6 +65,14 @@ type Scale struct {
 	// CheckInvariants attaches the observability invariant checker to
 	// every run; any violation fails the experiment.
 	CheckInvariants bool
+	// BranchWarmupEvents, when positive, makes the figure sweeps run each
+	// layer's first BranchWarmupEvents trace events once — with no leveler —
+	// checkpoint the stack in memory, and fork every (k, T) cell from that
+	// checkpoint instead of replaying the shared prefix per cell. Results
+	// are bit-identical to the unbranched sweep (cells whose leveler would
+	// have acted inside the warm-up fall back to from-scratch runs); see
+	// internal/experiments/branch.go and EXPERIMENTS.md.
+	BranchWarmupEvents int64
 	// OnCellDone, when non-nil, receives every completed experiment cell:
 	// a stable label ("fail/FTL/k0_T100", "aged/NFTL/base", ...), the
 	// cell's configuration, and its result. Sweeps run cells on a worker

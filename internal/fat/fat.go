@@ -7,7 +7,9 @@
 //
 // The FAT is cached in memory and written back on Sync (files sync on
 // Close), keeping flash write amplification low; both FAT copies are kept
-// identical as real implementations do.
+// identical as real implementations do. A mounted file system is confined
+// to its device's goroutine and is deterministic given its operation
+// sequence.
 package fat
 
 import (

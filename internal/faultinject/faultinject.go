@@ -4,13 +4,18 @@
 // paths), and a power cut that stops the stack after exactly N flash
 // operations. An Injector plugs into nand.Config.FaultHook; the same seed
 // always yields the same schedule, so every failure a simulation exposes is
-// reproducible.
+// reproducible. An Injector lives on its chip's goroutine, and its dynamic
+// state (RNG position, grown-bad list, schedule counters) round-trips
+// through SaveState/RestoreState, so a resumed run replays exactly the
+// faults the interrupted run still had ahead of it.
 package faultinject
 
 import (
 	"fmt"
+	"sort"
 
 	"flashswl/internal/nand"
+	"flashswl/internal/wire"
 )
 
 // Config describes a fault schedule. The zero value injects nothing.
@@ -157,6 +162,63 @@ func (i *Injector) chance(rate float64) bool {
 		return false
 	}
 	return float64(i.next()>>11)/(1<<53) < rate
+}
+
+// injectorStateVersion versions the SaveState record.
+const injectorStateVersion = 1
+
+// SaveState serializes the injector's full dynamic state — RNG position,
+// grown-bad set, schedule counters, arming, and statistics — so a
+// checkpointed run resumes with the remaining fault schedule intact.
+func (i *Injector) SaveState() []byte {
+	w := wire.NewWriter()
+	w.U8(injectorStateVersion)
+	w.U64(i.rng)
+	bad := make([]int32, 0, len(i.bad))
+	for b := range i.bad {
+		bad = append(bad, int32(b))
+	}
+	sort.Slice(bad, func(a, b int) bool { return bad[a] < bad[b] })
+	w.I32s(bad)
+	w.I64(i.erases)
+	w.I64(i.reads)
+	w.Bool(i.armed)
+	w.Bool(i.disabled)
+	w.I64(i.stats.Ops)
+	w.I64(i.stats.ProgramFaults)
+	w.I64(i.stats.EraseFaults)
+	w.I64(i.stats.GrownBad)
+	w.I64(i.stats.GrownBadHits)
+	w.I64(i.stats.BitFlips)
+	w.Bool(i.stats.PowerCut)
+	return w.Bytes()
+}
+
+// RestoreState restores state saved from an injector built with the same
+// Config. On error the injector is left unchanged.
+func (i *Injector) RestoreState(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U8(); v != injectorStateVersion && r.Err() == nil {
+		return fmt.Errorf("faultinject: state version %d unsupported", v)
+	}
+	rng := r.U64()
+	badList := r.I32s()
+	erases, reads := r.I64(), r.I64()
+	armed, disabled := r.Bool(), r.Bool()
+	var st Stats
+	st.Ops, st.ProgramFaults, st.EraseFaults = r.I64(), r.I64(), r.I64()
+	st.GrownBad, st.GrownBadHits, st.BitFlips = r.I64(), r.I64(), r.I64()
+	st.PowerCut = r.Bool()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("faultinject: state: %w", err)
+	}
+	bad := make(map[int]bool, len(badList))
+	for _, b := range badList {
+		bad[int(b)] = true
+	}
+	i.rng, i.bad, i.erases, i.reads, i.armed, i.disabled, i.stats =
+		rng, bad, erases, reads, armed, disabled, st
+	return nil
 }
 
 // Hook is the nand.Config.FaultHook. It observes every chip primitive before

@@ -10,6 +10,10 @@
 // The driver exposes the two integration points the SW Leveler needs and
 // nothing else: an erase-notification hook and EraseBlockSet, which forces
 // garbage collection over a chosen block set.
+//
+// A Driver shares its chip's single-goroutine confinement and is
+// deterministic given its operation sequence; its complete mapping state
+// round-trips through SaveState/RestoreState for checkpoint/resume.
 package ftl
 
 import (

@@ -9,7 +9,9 @@
 //
 // The filter needs K×D counter bits of RAM regardless of the address-space
 // size and answers queries in O(K) — the properties that made it practical
-// inside flash controllers.
+// inside flash controllers. A filter is single-goroutine like the driver
+// that feeds it, and its hash functions are seeded constants, so equal
+// write sequences classify identically.
 package hotdata
 
 import "fmt"

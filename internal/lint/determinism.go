@@ -22,8 +22,8 @@ var globalRandFuncs = map[string]bool{
 // of a seeded simulation must be bit-identical (the paper's figure
 // reproductions and the experiments golden CSVs depend on it), so the
 // process-global math/rand source and wall-clock reads are banned in the
-// simulation packages. Inject a seeded *rand.Rand (or a func field) and
-// simulated time instead.
+// simulation packages. Inject a seeded *rand.Rand (or, where the state must
+// be checkpointable, a *core.SplitMix64) and simulated time instead.
 var Determinism = &Analyzer{
 	Name: ruleDeterminism,
 	Doc:  "no global math/rand or time.Now in simulation code (seeded sources only)",
@@ -60,7 +60,7 @@ func runDeterminism(p *Pass) []Finding {
 				out = append(out, Finding{
 					Pos:  p.Fset.Position(sel.Pos()),
 					Rule: ruleDeterminism,
-					Message: fmt.Sprintf("global-source rand.%s breaks seed determinism; use a seeded *rand.Rand or an injected Rand func",
+					Message: fmt.Sprintf("global-source rand.%s breaks seed determinism; use a seeded *rand.Rand or a serializable *core.SplitMix64",
 						sel.Sel.Name),
 				})
 			case sel.Sel.Name == "Now" && p.isPkgIdent(f, ident, "time"):

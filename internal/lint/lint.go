@@ -18,6 +18,10 @@
 //
 // placed on the offending line or on the line directly above it. The reason
 // is mandatory; a bare ignore is itself reported.
+//
+// Analyses are pure functions of the parsed source: single-goroutine,
+// deterministic, and ordered (findings sort by position), so swlint output
+// is stable across runs.
 package lint
 
 import (

@@ -89,6 +89,13 @@ type Server struct {
 	snap atomic.Pointer[Snapshot]
 	srv  *http.Server
 	ln   net.Listener
+
+	// Checkpoint trigger: /checkpoint raises ckptReq, the simulation
+	// goroutine test-and-clears it through CheckpointRequested. Disabled
+	// (409) until EnableCheckpointTrigger, since a flag nobody polls would
+	// accept requests that can never be honored.
+	ckptEnabled atomic.Bool
+	ckptReq     atomic.Bool
 }
 
 // NewServer returns a server with no snapshot yet; endpoints answer 503
@@ -103,6 +110,15 @@ func (s *Server) Publish(snap *Snapshot) { s.snap.Store(snap) }
 // Snapshot returns the last published snapshot, or nil.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
+// EnableCheckpointTrigger announces that the hosted run polls
+// CheckpointRequested; until called, /checkpoint answers 409.
+func (s *Server) EnableCheckpointTrigger() { s.ckptEnabled.Store(true) }
+
+// CheckpointRequested test-and-clears the /checkpoint trigger. Wire it into
+// sim.Config.CheckpointRequested; it is safe to call from the simulation
+// goroutine while HTTP handlers raise the flag.
+func (s *Server) CheckpointRequested() bool { return s.ckptReq.CompareAndSwap(true, false) }
+
 // Handler returns the monitoring mux: /metrics, /heatmap, /progress,
 // /debug/pprof/, and an index at /.
 func (s *Server) Handler() http.Handler {
@@ -111,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/heatmap", s.handleHeatmap)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -164,6 +181,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
 	fmt.Fprintln(w, "  /heatmap       per-block erase counts (JSON)")
 	fmt.Fprintln(w, "  /progress      sim vs wall time, ETA, unevenness (JSON)")
+	fmt.Fprintln(w, "  /checkpoint    POST: write a resumable checkpoint after the current event")
 	fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
 }
 
@@ -223,6 +241,24 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, snap.Progress)
+}
+
+// handleCheckpoint raises the checkpoint trigger. The write happens on the
+// simulation goroutine after the current trace event, hence 202 rather than
+// 200: accepted, not yet done.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "use POST to request a checkpoint", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.ckptEnabled.Load() {
+		http.Error(w, "the run has no checkpoint path configured (-checkpoint)", http.StatusConflict)
+		return
+	}
+	s.ckptReq.Store(true)
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "checkpoint requested; it will be written after the current trace event")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -104,6 +104,61 @@ func TestServerServesPublishedSnapshot(t *testing.T) {
 	}
 }
 
+// TestCheckpointTrigger covers the /checkpoint endpoint's full protocol:
+// method check, disabled-until-enabled, and the raise/test-and-clear
+// handshake with the simulation goroutine.
+func TestCheckpointTrigger(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func() (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/checkpoint", "", nil)
+		if err != nil {
+			t.Fatalf("POST /checkpoint: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("POST /checkpoint: reading body: %v", err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get(t, ts, "/checkpoint"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /checkpoint: status %d, want 405", code)
+	}
+	if code, body := post(); code != http.StatusConflict {
+		t.Errorf("POST before enable: status %d body %q, want 409", code, body)
+	}
+	if srv.CheckpointRequested() {
+		t.Error("CheckpointRequested true although the 409'd POST must not raise the flag")
+	}
+
+	srv.EnableCheckpointTrigger()
+	if code, _ := post(); code != http.StatusAccepted {
+		t.Errorf("POST after enable: status %d, want 202", code)
+	}
+	if !srv.CheckpointRequested() {
+		t.Error("CheckpointRequested false after an accepted POST")
+	}
+	if srv.CheckpointRequested() {
+		t.Error("CheckpointRequested did not clear the flag on read")
+	}
+
+	// Two raises before one poll collapse into a single request — the flag
+	// is a level, not a queue.
+	post()
+	post()
+	if !srv.CheckpointRequested() {
+		t.Error("flag lost after double raise")
+	}
+	if srv.CheckpointRequested() {
+		t.Error("double raise queued two requests; the flag must be a level")
+	}
+}
+
 func TestStartServesAndCloses(t *testing.T) {
 	srv := NewServer()
 	addr, err := srv.Start("127.0.0.1:0")

@@ -5,7 +5,9 @@
 //
 // Pages are addressed linearly across the chip: page index
 // block*PagesPerBlock+offset. The driver adds no translation or policy; it
-// only validates addresses and exposes convenient primitives.
+// only validates addresses and exposes convenient primitives. It holds no
+// state of its own and inherits the chip's single-goroutine confinement
+// and determinism.
 package mtd
 
 import (

@@ -6,6 +6,11 @@
 // page must be erased before it can be programmed again (write-once pages).
 // Every block has a bounded erase endurance; exceeding it wears the block
 // out, which is the failure event that wear leveling postpones.
+//
+// A Chip is owned by exactly one goroutine (enforced repo-wide by
+// swlint/chipconfine) and is fully deterministic: identical operation
+// sequences yield identical state, which the flash-image codec (image.go)
+// and the checkpoint subsystem rely on.
 package nand
 
 import "fmt"

@@ -142,11 +142,22 @@ func ReadImage(r io.Reader, hooks Config) (*Chip, error) {
 		return nil, fmt.Errorf("%w: implausible geometry", ErrBadImage)
 	}
 	c := New(cfg)
+	if err := readImageBody(cr, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// readImageBody decodes the per-block records and trailing CRC into a chip
+// whose geometry matches the already-parsed header. The chip must be in the
+// pristine just-constructed state.
+func readImageBody(cr *crcReader, c *Chip) error {
+	geo := c.cfg.Geometry
 	var rec [8]byte
 	var ph [6]byte
-	for b := 0; b < cfg.Geometry.Blocks; b++ {
+	for b := 0; b < geo.Blocks; b++ {
 		if err := cr.read(rec[:]); err != nil {
-			return nil, err
+			return err
 		}
 		blk := &c.blocks[b]
 		blk.eraseCount = int(binary.LittleEndian.Uint32(rec[0:]))
@@ -159,29 +170,29 @@ func ReadImage(r io.Reader, hooks Config) (*Chip, error) {
 		}
 		for {
 			if err := cr.read(ph[:]); err != nil {
-				return nil, err
+				return err
 			}
 			idx := binary.LittleEndian.Uint16(ph[0:])
 			if idx == pageEndMark {
 				break
 			}
-			if int(idx) >= cfg.Geometry.PagesPerBlock {
-				return nil, fmt.Errorf("%w: page index %d", ErrBadImage, idx)
+			if int(idx) >= geo.PagesPerBlock {
+				return fmt.Errorf("%w: page index %d", ErrBadImage, idx)
 			}
 			dlen := int(binary.LittleEndian.Uint16(ph[2:]))
 			slen := int(binary.LittleEndian.Uint16(ph[4:]))
-			if dlen > cfg.Geometry.PageSize || slen > cfg.Geometry.SpareSize {
-				return nil, fmt.Errorf("%w: record sizes %d/%d", ErrBadImage, dlen, slen)
+			if dlen > geo.PageSize || slen > geo.SpareSize {
+				return fmt.Errorf("%w: record sizes %d/%d", ErrBadImage, dlen, slen)
 			}
 			pg := &blk.pages[idx]
 			pg.programmed = true
 			pg.data = make([]byte, dlen)
 			pg.spare = make([]byte, slen)
 			if err := cr.read(pg.data); err != nil {
-				return nil, err
+				return err
 			}
 			if err := cr.read(pg.spare); err != nil {
-				return nil, err
+				return err
 			}
 			if int(idx) > blk.lastProg {
 				blk.lastProg = int(idx)
@@ -191,10 +202,56 @@ func ReadImage(r io.Reader, hooks Config) (*Chip, error) {
 	want := cr.crc
 	var tail [4]byte
 	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing checksum", ErrBadImage)
+		return fmt.Errorf("%w: missing checksum", ErrBadImage)
 	}
 	if binary.LittleEndian.Uint32(tail[:]) != want {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+		return fmt.Errorf("%w: checksum mismatch", ErrBadImage)
 	}
-	return c, nil
+	return nil
 }
+
+// RestoreImage loads a serialized image into this chip, replacing its block
+// and page state in place. Unlike ReadImage it keeps the chip's own
+// configuration — hooks, StoreData, timing — so a runner built the normal
+// way can be repositioned onto checkpointed media; the image's geometry,
+// cell kind, and endurance must match the chip's. Activity statistics are
+// not part of an image and are left untouched (see RestoreStats). On error
+// the chip state is undefined; callers abandon it.
+func (c *Chip) RestoreImage(r io.Reader) error {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	hdr := make([]byte, 32)
+	if err := cr.read(hdr); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(hdr) != imageMagic || hdr[4] != imageVersion {
+		return fmt.Errorf("%w: bad header", ErrBadImage)
+	}
+	geo := Geometry{
+		Blocks:        int(binary.LittleEndian.Uint32(hdr[8:])),
+		PagesPerBlock: int(binary.LittleEndian.Uint32(hdr[12:])),
+		PageSize:      int(binary.LittleEndian.Uint32(hdr[16:])),
+		SpareSize:     int(binary.LittleEndian.Uint32(hdr[20:])),
+	}
+	end := int(binary.LittleEndian.Uint32(hdr[24:]))
+	if geo != c.cfg.Geometry || CellKind(hdr[5]) != c.cfg.Cell || end != c.end {
+		return fmt.Errorf("%w: image shape %+v/cell %d/endurance %d does not match chip",
+			ErrBadImage, geo, hdr[5], end)
+	}
+	c.worn, c.first = 0, -1
+	for i := range c.blocks {
+		blk := &c.blocks[i]
+		blk.eraseCount, blk.worn, blk.reads, blk.lastProg = 0, false, 0, -1
+		for p := range blk.pages {
+			pg := &blk.pages[p]
+			pg.programmed = false
+			pg.data = nil
+			pg.spare = nil
+		}
+	}
+	return readImageBody(cr, c)
+}
+
+// RestoreStats overwrites the chip's activity counters. Statistics are not
+// part of an image (they belong to a run, not to the media), so
+// checkpoint/resume carries them separately and reinstates them here.
+func (c *Chip) RestoreStats(s Stats) { c.stats = s }

@@ -8,7 +8,10 @@
 // block and both old blocks are erased.
 //
 // Like the FTL driver, the package exposes an erase-notification hook and
-// EraseBlockSet for the SW Leveler, and nothing else.
+// EraseBlockSet for the SW Leveler, and nothing else. A Driver shares its
+// chip's single-goroutine confinement, is deterministic given its operation
+// sequence, and round-trips its mapping state through
+// SaveState/RestoreState for checkpoint/resume.
 package nftl
 
 import (

@@ -139,12 +139,12 @@ func (r *Runner) registerChecks() {
 // sample appends one wear-trajectory point to the series: the erase-count
 // distribution's summary statistics plus pool and leveler state at this
 // moment of the run.
-func (r *Runner) sample(res *Result) {
+func (r *Runner) sample() {
 	r.ecBuf = r.chip.EraseCounts(r.ecBuf[:0])
 	st := stats.Summarize(r.ecBuf)
 	cs := r.chip.Stats()
 	s := obs.WearSample{
-		Events:      res.Events,
+		Events:      r.events,
 		SimTime:     r.now,
 		MeanErase:   st.Mean(),
 		StdDevErase: st.StdDev(),

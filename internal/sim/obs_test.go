@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"flashswl/internal/core"
 	"flashswl/internal/faultinject"
 	"flashswl/internal/nand"
 	"flashswl/internal/obs"
@@ -116,7 +117,7 @@ func TestFTLAndNFTLReadBackIdentically(t *testing.T) {
 		}
 	}
 	model := make(map[int]uint64) // lpn → newest written version
-	rng := newSplitMix(42)
+	rng := core.NewSplitMix64(42)
 	buf := make([]byte, geo.PageSize)
 	bufA := make([]byte, geo.PageSize)
 	bufB := make([]byte, geo.PageSize)
@@ -143,8 +144,8 @@ func TestFTLAndNFTLReadBackIdentically(t *testing.T) {
 	}
 
 	for i := 0; i < 4000; i++ {
-		lpn := rng.intn(logical)
-		if rng.intn(4) == 0 {
+		lpn := rng.Intn(logical)
+		if rng.Intn(4) == 0 {
 			compare(lpn, "read")
 		} else {
 			ver := uint64(i + 1)

@@ -143,7 +143,7 @@ func RunPowerCut(cfg RecoveryConfig) (*RecoveryResult, error) {
 	attempt := make(map[int]uint64) // lpn → newest attempted version
 	pageSize := cfg.Geometry.PageSize
 	buf := make([]byte, pageSize)
-	rng := newSplitMix(uint64(seed) * 0x9E3779B97F4A7C15)
+	rng := core.NewSplitMix64(uint64(seed) * 0x9E3779B97F4A7C15)
 	logical := layer.LogicalPages()
 
 	runErr := func() (err error) {
@@ -157,7 +157,7 @@ func RunPowerCut(cfg RecoveryConfig) (*RecoveryResult, error) {
 			}
 		}()
 		for w := 0; w < cfg.Writes; w++ {
-			lpn := rng.intn(logical)
+			lpn := rng.Intn(logical)
 			ver := uint64(w + 1)
 			fillPage(buf, lpn, ver)
 			attempt[lpn] = ver
@@ -264,12 +264,11 @@ func RunPowerCut(cfg RecoveryConfig) (*RecoveryResult, error) {
 // recoveryLeveler builds the SW Leveler + persister pair for one boot of the
 // recovery stack.
 func recoveryLeveler(layer Layer, store *mtd.BlockStore, cfg RecoveryConfig, seed int64) (*core.Leveler, *core.Persister, error) {
-	rng := newSplitMix(uint64(seed))
 	lv, err := core.NewLeveler(core.Config{
 		Blocks:    cfg.Geometry.Blocks,
 		K:         cfg.K,
 		Threshold: cfg.T,
-		Rand:      rng.intn,
+		Rand:      core.NewSplitMix64(uint64(seed)),
 		Exclude:   snapshotBlocks,
 	}, layer)
 	if err != nil {
@@ -287,9 +286,9 @@ func recoveryLeveler(layer Layer, store *mtd.BlockStore, cfg RecoveryConfig, see
 // lpn: a splitmix64 stream keyed by both, so any torn or misdirected page is
 // detected by a byte compare.
 func fillPage(buf []byte, lpn int, ver uint64) {
-	s := splitMix{s: uint64(lpn)*0x9E3779B97F4A7C15 + ver}
+	s := core.NewSplitMix64(uint64(lpn)*0x9E3779B97F4A7C15 + ver)
 	for i := 0; i+8 <= len(buf); i += 8 {
-		v := s.next()
+		v := s.Uint64()
 		buf[i] = byte(v)
 		buf[i+1] = byte(v >> 8)
 		buf[i+2] = byte(v >> 16)
@@ -300,7 +299,7 @@ func fillPage(buf []byte, lpn int, ver uint64) {
 		buf[i+7] = byte(v >> 56)
 	}
 	for i := len(buf) &^ 7; i < len(buf); i++ {
-		buf[i] = byte(s.next())
+		buf[i] = byte(s.Uint64())
 	}
 }
 

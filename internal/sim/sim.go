@@ -5,12 +5,18 @@
 // failure time (first block to exhaust its endurance, in simulated years)
 // and the erase-count distribution — together with the overhead counters
 // used for Figures 6 and 7.
+//
+// A Runner and everything it owns (chip, driver, leveler, injector) live on
+// one goroutine; parallel experiments build one Runner per cell. Runs are
+// deterministic: a Config plus an identically built trace source fully
+// determine the Result, seeded reruns are bit-identical, and a run
+// interrupted at a checkpoint and resumed (checkpoint.go) produces the
+// same Result as an uninterrupted one.
 package sim
 
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"time"
 
 	"flashswl/internal/core"
@@ -109,6 +115,22 @@ type Config struct {
 	// power cuts). The config is copied, so one template may parameterize
 	// many parallel runs.
 	Faults *faultinject.Config
+	// CheckpointPath, when set, is where checkpoints are written: a
+	// resumable snapshot of the full stack (chip image, layer, leveler,
+	// injector, trace position, counters) lands there atomically every
+	// CheckpointEvery events, whenever CheckpointRequested fires, and once
+	// more when the run ends cleanly. The source must implement
+	// trace.Seekable. See internal/checkpoint and sim.Resume.
+	CheckpointPath string
+	// CheckpointEvery writes a checkpoint every N trace events (0 = only
+	// on request and at the end of the run).
+	CheckpointEvery int64
+	// CheckpointRequested, when non-nil, is polled after every trace event;
+	// returning true triggers an immediate checkpoint to CheckpointPath.
+	// The monitor server's /checkpoint endpoint plugs in here. The function
+	// is called from the simulation goroutine; implementations typically
+	// test-and-clear an atomic flag.
+	CheckpointRequested func() bool
 	// MaxEvents bounds the run by trace events (0 = unbounded).
 	MaxEvents int64
 	// MaxSimTime bounds the run by simulated time (0 = unbounded).
@@ -266,6 +288,14 @@ type Runner struct {
 	now       time.Duration
 	firstWear time.Duration
 	worn      int
+
+	// Trace-driven work counters. These live on the Runner (not the Result)
+	// so a resumed run continues them exactly where the checkpoint left off;
+	// Run copies them into the Result at the end.
+	events     int64
+	pageWrites int64
+	pageReads  int64
+	src        trace.Source // the source being driven, for checkpointing
 }
 
 // NewRunner builds the full stack for a run.
@@ -371,8 +401,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if seed == 0 {
 			seed = 1
 		}
-		rng := newSplitMix(uint64(seed))
-		randFn := rng.intn
+		rng := core.NewSplitMix64(uint64(seed))
 		var lv Leveler
 		var err error
 		if cfg.Periodic {
@@ -380,7 +409,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 				Blocks: cfg.Geometry.Blocks,
 				K:      cfg.K,
 				Period: cfg.Period,
-				Rand:   randFn,
+				Rand:   rng,
 			}, r.layer)
 		} else {
 			policy := core.SelectCyclic
@@ -391,7 +420,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 				Blocks:    cfg.Geometry.Blocks,
 				K:         cfg.K,
 				Threshold: cfg.T,
-				Rand:      randFn,
+				Rand:      rng,
 				Select:    policy,
 				Observer:  r.sink,
 			}, r.layer)
@@ -429,9 +458,24 @@ func (r *Runner) Injector() *faultinject.Injector { return r.inj }
 // the run and is recorded in Result.Err rather than returned, since partial
 // endurance results are exactly what the experiments need.
 func (r *Runner) Run(src trace.Source) (*Result, error) {
+	if err := r.checkCheckpointConfig(src); err != nil {
+		return nil, err
+	}
+	r.src = src
 	res := &Result{FirstWear: -1}
-	runErr := r.drive(src, res)
+	runErr := r.drive(src)
+	if runErr == nil && r.cfg.CheckpointPath != "" {
+		// Final checkpoint at a clean end, so an interrupted-and-resumed
+		// pipeline always has the finished state on disk. Skipped after an
+		// error (a power cut legitimately tears the RAM state).
+		if err := r.writeCheckpointFile(r.cfg.CheckpointPath); err != nil {
+			return nil, err
+		}
+	}
 
+	res.Events = r.events
+	res.PageWrites = r.pageWrites
+	res.PageReads = r.pageReads
 	res.SimTime = r.now
 	res.FirstWear = r.firstWear
 	res.WornBlocks = r.worn
@@ -464,7 +508,7 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 		// Close the trajectory with the end-of-run state unless the last
 		// periodic sample already landed exactly here.
 		if last, ok := r.series.Last(); !ok || last.Events != res.Events {
-			r.sample(res)
+			r.sample()
 		}
 		res.Series = r.series.Samples()
 	}
@@ -487,11 +531,12 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 	return res, nil
 }
 
-// drive consumes the source until a stop condition, recording trace-driven
-// work in res. An injected power cut panics out of whatever flash primitive
-// it lands on; drive converts that into an ordinary error so the caller can
+// drive consumes the source until a stop condition, accumulating the
+// trace-driven work in the runner's counters (which survive checkpoint and
+// resume). An injected power cut panics out of whatever flash primitive it
+// lands on; drive converts that into an ordinary error so the caller can
 // inspect the chip exactly as a remount would find it.
-func (r *Runner) drive(src trace.Source, res *Result) (runErr error) {
+func (r *Runner) drive(src trace.Source) (runErr error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			cut, ok := faultinject.AsPowerCut(rec)
@@ -504,7 +549,14 @@ func (r *Runner) drive(src trace.Source, res *Result) (runErr error) {
 
 loop:
 	for {
-		if r.cfg.MaxEvents > 0 && res.Events >= r.cfg.MaxEvents {
+		// Checked at the top of the loop (not after the event that caused
+		// the wear) so that resuming a checkpoint of an already-finished run
+		// is a no-op; within one run the event counts are unchanged, since
+		// the check still fires before the next event is consumed.
+		if r.cfg.StopOnFirstWear && r.worn > 0 {
+			break
+		}
+		if r.cfg.MaxEvents > 0 && r.events >= r.cfg.MaxEvents {
 			break
 		}
 		e, ok := src.Next()
@@ -515,7 +567,7 @@ loop:
 			break
 		}
 		r.now = e.Time
-		res.Events++
+		r.events++
 
 		first := int(e.LBA) / r.spp
 		last := int(e.LBA+int64(e.Count)-1) / r.spp
@@ -529,13 +581,13 @@ loop:
 					runErr = err
 					break loop
 				}
-				res.PageWrites++
+				r.pageWrites++
 			case trace.Read:
 				if _, err := r.layer.ReadPage(lpn, nil); err != nil {
 					runErr = err
 					break loop
 				}
-				res.PageReads++
+				r.pageReads++
 			}
 		}
 		if r.leveler != nil && r.leveler.NeedsLeveling() {
@@ -544,10 +596,11 @@ loop:
 				break
 			}
 		}
-		if r.series != nil && r.series.Due(res.Events) {
-			r.sample(res)
+		if r.series != nil && r.series.Due(r.events) {
+			r.sample()
 		}
-		if r.cfg.StopOnFirstWear && r.worn > 0 {
+		if err := r.maybeCheckpoint(); err != nil {
+			runErr = err
 			break
 		}
 	}
@@ -561,37 +614,4 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 		return nil, err
 	}
 	return r.Run(src)
-}
-
-// splitMix is a tiny deterministic RNG so runs are reproducible without
-// sharing math/rand state with the workload generators.
-type splitMix struct{ s uint64 }
-
-func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
-
-func (s *splitMix) next() uint64 {
-	s.s += 0x9E3779B97F4A7C15
-	z := s.s
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-// intn returns a uniform integer in [0, n) using Lemire's multiply-shift
-// bounded sampling with rejection — a plain next()%n carries modulo bias
-// toward low values whenever n does not divide 2^64, which would skew the
-// leveler's random restart positions.
-func (s *splitMix) intn(n int) int {
-	if n <= 0 {
-		panic("sim: intn needs a positive bound")
-	}
-	un := uint64(n)
-	hi, lo := bits.Mul64(s.next(), un)
-	if lo < un {
-		thresh := -un % un
-		for lo < thresh {
-			hi, lo = bits.Mul64(s.next(), un)
-		}
-	}
-	return int(hi)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"flashswl/internal/core"
 	"flashswl/internal/nand"
 	"flashswl/internal/trace"
 	"flashswl/internal/workload"
@@ -243,10 +244,10 @@ func TestRatiosAgainstBaseline(t *testing.T) {
 // construction would hit the lower half of the range nearly twice as often;
 // Lemire rejection keeps a two-bucket split statistically flat.
 func TestSplitMixIntnUnbiased(t *testing.T) {
-	rng := newSplitMix(99)
+	rng := core.NewSplitMix64(99)
 	seen := make([]int, 5)
 	for i := 0; i < 10_000; i++ {
-		v := rng.intn(5)
+		v := rng.Intn(5)
 		if v < 0 || v >= 5 {
 			t.Fatalf("intn(5) = %d out of range", v)
 		}
@@ -265,10 +266,10 @@ func TestSplitMixIntnUnbiased(t *testing.T) {
 	}
 	const n = 3 << 61
 	lo := 0
-	rng2 := newSplitMix(7)
+	rng2 := core.NewSplitMix64(7)
 	const draws = 40_000
 	for i := 0; i < draws; i++ {
-		if rng2.intn(n) < n/2 {
+		if rng2.Intn(n) < n/2 {
 			lo++
 		}
 	}

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
 	"flashswl/internal/trace"
+	"flashswl/internal/wire"
 )
 
 // WorstCaseSource produces the adversarial workload of the paper's Section 4
@@ -56,4 +58,31 @@ func (s *WorstCaseSource) Next() (trace.Event, bool) {
 	}
 	s.now += s.interval
 	return e, true
+}
+
+// SaveState implements trace.Seekable: the stream position is fully
+// described by the cold fill cursor, the hot rotation cursor, and the clock.
+func (s *WorstCaseSource) SaveState() ([]byte, error) {
+	w := wire.NewWriter()
+	w.I64(int64(s.coldPage))
+	w.I64(int64(s.hotNext))
+	w.I64(int64(s.now))
+	return w.Bytes(), nil
+}
+
+// RestoreState implements trace.Seekable. The receiver must have been built
+// with the same shape as the saved source.
+func (s *WorstCaseSource) RestoreState(data []byte) error {
+	r := wire.NewReader(data)
+	coldPage := int(r.I64())
+	hotNext := int(r.I64())
+	now := time.Duration(r.I64())
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("sim: worst-case source state: %w", err)
+	}
+	if coldPage < s.hotPages || coldPage > s.coldEnd || hotNext < 0 || hotNext >= s.hotPages || now < 0 {
+		return fmt.Errorf("sim: corrupt worst-case source state")
+	}
+	s.coldPage, s.hotNext, s.now = coldPage, hotNext, now
+	return nil
 }

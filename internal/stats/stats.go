@@ -1,6 +1,8 @@
 // Package stats provides the streaming statistics used to report erase-count
 // distributions (Table 4 of the paper): average, standard deviation, and
-// maximum, plus simple histograms.
+// maximum, plus simple histograms. Everything is plain single-goroutine
+// value arithmetic — no randomness, no clocks — so equal inputs always
+// summarize identically.
 package stats
 
 import (

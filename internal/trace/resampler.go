@@ -1,9 +1,12 @@
 package trace
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
+
+	"flashswl/internal/wire"
 )
 
 // SegmentFunc returns the events of segment i of a base trace, with times
@@ -16,13 +19,16 @@ type SegmentFunc func(i int) []Event
 // random fixed-length segment (the paper uses 10 minutes) and splicing it
 // onto the timeline.
 type Resampler struct {
-	segf   SegmentFunc
-	nseg   int
-	segLen time.Duration
-	rng    *rand.Rand
-	cur    []Event
-	pos    int
-	base   time.Duration
+	segf    SegmentFunc
+	nseg    int
+	segLen  time.Duration
+	seed    int64
+	rng     *rand.Rand
+	draws   int64 // Intn calls made, for replay-based state restore
+	lastSeg int   // segment index behind cur (meaningful while cur != nil)
+	cur     []Event
+	pos     int
+	base    time.Duration
 }
 
 // NewResampler builds an infinite source over nseg segments of length
@@ -31,13 +37,15 @@ func NewResampler(segf SegmentFunc, nseg int, segLen time.Duration, seed int64) 
 	if nseg <= 0 || segLen <= 0 {
 		panic("trace: resampler needs segments")
 	}
-	return &Resampler{segf: segf, nseg: nseg, segLen: segLen, rng: rand.New(rand.NewSource(seed))}
+	return &Resampler{segf: segf, nseg: nseg, segLen: segLen, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Next implements Source; it never reports false.
 func (r *Resampler) Next() (Event, bool) {
 	for r.pos >= len(r.cur) {
-		r.cur = r.segf(r.rng.Intn(r.nseg))
+		r.lastSeg = r.rng.Intn(r.nseg)
+		r.draws++
+		r.cur = r.segf(r.lastSeg)
 		r.pos = 0
 		if len(r.cur) == 0 {
 			// Empty segment: the timeline still advances.
@@ -52,6 +60,61 @@ func (r *Resampler) Next() (Event, bool) {
 		r.cur = nil
 	}
 	return e, true
+}
+
+// SaveState implements Seekable. The math/rand generator offers no direct
+// state export, so the record stores the number of Intn draws made; restore
+// replays them against a fresh generator with the same seed — every draw
+// uses the constant bound nseg, so the replayed sequence is identical.
+// Keeping math/rand (rather than switching to an exportable generator)
+// preserves the byte-identical golden traces of earlier releases.
+func (r *Resampler) SaveState() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U32(uint32(r.nseg))
+	w.I64(int64(r.segLen))
+	w.I64(r.draws)
+	w.U32(uint32(r.lastSeg))
+	w.Bool(r.cur != nil)
+	w.U64(uint64(r.pos))
+	w.I64(int64(r.base))
+	return w.Bytes(), nil
+}
+
+// RestoreState implements Seekable. The receiver must have been built with
+// the same segment set, segment length, and seed as the saved source.
+func (r *Resampler) RestoreState(data []byte) error {
+	rd := wire.NewReader(data)
+	nseg := int(rd.U32())
+	segLen := time.Duration(rd.I64())
+	draws := rd.I64()
+	lastSeg := int(rd.U32())
+	curLive := rd.Bool()
+	pos := int(rd.U64())
+	base := time.Duration(rd.I64())
+	if err := rd.Close(); err != nil {
+		return fmt.Errorf("trace: resampler state: %w", err)
+	}
+	if nseg != r.nseg || segLen != r.segLen {
+		return fmt.Errorf("trace: resampler state for %d segments of %v, have %d of %v",
+			nseg, segLen, r.nseg, r.segLen)
+	}
+	if draws < 0 || lastSeg < 0 || lastSeg >= nseg || pos < 0 {
+		return fmt.Errorf("trace: corrupt resampler state")
+	}
+	rng := rand.New(rand.NewSource(r.seed))
+	for i := int64(0); i < draws; i++ {
+		rng.Intn(r.nseg)
+	}
+	var cur []Event
+	if curLive {
+		cur = r.segf(lastSeg)
+		if pos >= len(cur) {
+			return fmt.Errorf("trace: resampler position %d beyond segment %d (%d events)",
+				pos, lastSeg, len(cur))
+		}
+	}
+	r.rng, r.draws, r.lastSeg, r.cur, r.pos, r.base = rng, draws, lastSeg, cur, pos, base
+	return nil
 }
 
 // SliceSegments splits an in-memory trace into fixed-length segments and

@@ -3,11 +3,18 @@
 // month of mobile-PC use. It provides the event model, a text codec, and a
 // resampler that derives the paper's "virtually unlimited trace" by
 // replaying randomly chosen 10-minute segments.
+//
+// Sources are single-goroutine and seeded-deterministic: equal seeds yield
+// equal event streams. Sources that additionally implement Seekable can
+// save and restore their position, which is what lets a checkpointed run
+// resume mid-trace.
 package trace
 
 import (
 	"fmt"
 	"time"
+
+	"flashswl/internal/wire"
 )
 
 // Op is a request direction.
@@ -48,6 +55,19 @@ type Source interface {
 	Next() (Event, bool)
 }
 
+// Seekable is a Source whose position can be captured and restored, the
+// capability checkpoint/resume needs: SaveState returns an opaque record of
+// where the stream stands, and RestoreState repositions a freshly
+// constructed, identically configured source so that its future events are
+// exactly those the saved source would have produced. Deterministic
+// generators serialize their PRNG position (or enough to replay it);
+// file-backed sources serialize a record offset.
+type Seekable interface {
+	Source
+	SaveState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
 // SliceSource adapts an in-memory event slice to a Source.
 type SliceSource struct {
 	events []Event
@@ -69,6 +89,28 @@ func (s *SliceSource) Next() (Event, bool) {
 
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
+
+// SaveState implements Seekable: the position is simply the record offset.
+func (s *SliceSource) SaveState() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U64(uint64(s.pos))
+	return w.Bytes(), nil
+}
+
+// RestoreState implements Seekable. The receiver must wrap a slice at least
+// as long as the saved position.
+func (s *SliceSource) RestoreState(data []byte) error {
+	r := wire.NewReader(data)
+	pos := int(r.U64())
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("trace: slice source state: %w", err)
+	}
+	if pos < 0 || pos > len(s.events) {
+		return fmt.Errorf("trace: saved position %d beyond %d events", pos, len(s.events))
+	}
+	s.pos = pos
+	return nil
+}
 
 // Stats summarizes a trace the way the paper characterizes its workload.
 type Stats struct {

@@ -1,0 +1,254 @@
+// Package wire provides little-endian, fixed-width binary encoding helpers
+// for the in-repo state codecs (driver snapshots, leveler exports, trace
+// positions, checkpoint sections). A Writer appends values to a growing
+// buffer; a Reader consumes them with a sticky error, so codecs can decode a
+// whole record and check failure once at the end. Everything is plain bytes:
+// no reflection, no varints, no framing — framing and integrity (CRCs,
+// magic numbers) belong to the formats built on top.
+//
+// The package has no concurrency concerns (a Writer or Reader is used by one
+// goroutine) and is fully deterministic: equal values encode to equal bytes.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShort reports a Reader that ran out of bytes mid-value.
+var ErrShort = errors.New("wire: short buffer")
+
+// ErrTrailing reports leftover bytes after a codec consumed a full record.
+var ErrTrailing = errors.New("wire: trailing bytes")
+
+// Writer accumulates little-endian values.
+type Writer struct{ b []byte }
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.b }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.b = append(w.b, v) }
+
+// Bool appends a bool as one byte (1/0).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 appends a uint16.
+func (w *Writer) U16(v uint16) { w.b = append(w.b, byte(v), byte(v>>8)) }
+
+// U32 appends a uint32.
+func (w *Writer) U32(v uint32) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 appends a uint64.
+func (w *Writer) U64(v uint64) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// I32 appends an int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 appends an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE 754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// I32s appends a u32 length prefix followed by the values.
+func (w *Writer) I32s(v []int32) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.I32(x)
+	}
+}
+
+// U16s appends a u32 length prefix followed by the values.
+func (w *Writer) U16s(v []uint16) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.U16(x)
+	}
+}
+
+// U64s appends a u32 length prefix followed by the values.
+func (w *Writer) U64s(v []uint64) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.U64(x)
+	}
+}
+
+// Blob appends a u32 length prefix followed by the raw bytes.
+func (w *Writer) Blob(p []byte) {
+	w.U32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Reader consumes little-endian values from a byte slice. The first
+// out-of-bounds access sets a sticky error; every later call returns zero
+// values, so codecs check Err once after decoding a full record.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps data (not copied) in a Reader.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the sticky error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Close returns the sticky error, or ErrTrailing if any bytes are unread:
+// a full record must account for every byte, or the codec is misreading it.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// take reserves n bytes, or sets the sticky error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.err = ErrShort
+		return nil
+	}
+	p := r.data[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// Bool reads one byte as a bool (nonzero = true).
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a uint16.
+func (r *Reader) U16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return uint16(p[0]) | uint16(p[1])<<8
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64 from its IEEE 754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// length reads a u32 length prefix, bounding it by the bytes actually left
+// (each element needs at least elemSize bytes), so a corrupt prefix cannot
+// drive a huge allocation.
+func (r *Reader) length(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > r.Remaining() {
+		r.err = ErrShort
+		return 0
+	}
+	return n
+}
+
+// I32s reads a length-prefixed []int32.
+func (r *Reader) I32s() []int32 {
+	n := r.length(4)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = r.I32()
+	}
+	return v
+}
+
+// U16s reads a length-prefixed []uint16.
+func (r *Reader) U16s() []uint16 {
+	n := r.length(2)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]uint16, n)
+	for i := range v {
+		v[i] = r.U16()
+	}
+	return v
+}
+
+// U64s reads a length-prefixed []uint64.
+func (r *Reader) U64s() []uint64 {
+	n := r.length(8)
+	if r.err != nil {
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = r.U64()
+	}
+	return v
+}
+
+// Blob reads a length-prefixed byte slice (a sub-slice of the input, not a
+// copy).
+func (r *Reader) Blob() []byte {
+	n := r.length(1)
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestRoundTrip writes one of every value type and reads it back.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0123456789ABCDEF)
+	w.I32(-42)
+	w.I64(math.MinInt64)
+	w.F64(-0.5)
+	w.I32s([]int32{-1, 0, 1})
+	w.U16s([]uint16{7})
+	w.U64s(nil)
+	w.Blob([]byte("blob"))
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool roundtrip failed")
+	}
+	if got := r.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I32(); got != -42 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := r.I64(); got != math.MinInt64 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != -0.5 {
+		t.Errorf("F64 = %g", got)
+	}
+	if got := r.I32s(); !reflect.DeepEqual(got, []int32{-1, 0, 1}) {
+		t.Errorf("I32s = %v", got)
+	}
+	if got := r.U16s(); !reflect.DeepEqual(got, []uint16{7}) {
+		t.Errorf("U16s = %v", got)
+	}
+	if got := r.U64s(); len(got) != 0 {
+		t.Errorf("U64s = %v, want empty", got)
+	}
+	if got := r.Blob(); string(got) != "blob" {
+		t.Errorf("Blob = %q", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestDeterministicEncoding: equal values encode to equal bytes — the
+// property the package doc promises and the checkpoint digests rely on.
+func TestDeterministicEncoding(t *testing.T) {
+	enc := func() []byte {
+		w := NewWriter()
+		w.U64(12345)
+		w.Blob([]byte{1, 2, 3})
+		w.F64(math.Pi)
+		return w.Bytes()
+	}
+	if !reflect.DeepEqual(enc(), enc()) {
+		t.Fatal("equal values encoded differently")
+	}
+}
+
+// TestShortBufferSticks: the first out-of-bounds read sets a sticky error
+// and every later read returns zero values.
+func TestShortBufferSticks(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U32(); got != 0 {
+		t.Errorf("short U32 = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("Err = %v, want ErrShort", r.Err())
+	}
+	if got := r.U64(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+	if !errors.Is(r.Close(), ErrShort) {
+		t.Errorf("Close = %v, want ErrShort", r.Close())
+	}
+}
+
+// TestTrailingBytes: a codec must account for every byte of a record.
+func TestTrailingBytes(t *testing.T) {
+	w := NewWriter()
+	w.U32(9)
+	w.U8(1)
+	r := NewReader(w.Bytes())
+	_ = r.U32()
+	if !errors.Is(r.Close(), ErrTrailing) {
+		t.Errorf("Close = %v, want ErrTrailing", r.Close())
+	}
+}
+
+// TestBoundedLengthPrefix: a corrupt length prefix larger than the bytes
+// present errors instead of sizing an allocation from attacker input.
+func TestBoundedLengthPrefix(t *testing.T) {
+	w := NewWriter()
+	w.U32(0xFFFFFFFF) // claims ~4G elements, none present
+	for _, read := range []func(*Reader){
+		func(r *Reader) { r.U64s() },
+		func(r *Reader) { r.I32s() },
+		func(r *Reader) { r.U16s() },
+		func(r *Reader) { r.Blob() },
+	} {
+		r := NewReader(w.Bytes())
+		read(r)
+		if !errors.Is(r.Err(), ErrShort) {
+			t.Errorf("oversized prefix: Err = %v, want ErrShort", r.Err())
+		}
+	}
+}

@@ -17,7 +17,9 @@
 // Every segment of the trace is generated deterministically from the model
 // seed and the segment index, so the month-long base trace never has to be
 // materialized: the paper's "virtually unlimited" derived trace re-samples
-// 10-minute segments on demand.
+// 10-minute segments on demand. The sources this package builds are
+// single-goroutine, seeded-deterministic, and seekable (trace.Seekable),
+// so checkpointed runs resume mid-stream.
 package workload
 
 import (
@@ -368,7 +370,7 @@ func (m Model) Infinite(seed int64) trace.Source {
 
 // infiniteSource chains the fill phase with the segment resampler.
 type infiniteSource struct {
-	fill      trace.Source
+	fill      *seqSource
 	fillDone  bool
 	offset    time.Duration
 	resampler *trace.Resampler
@@ -397,7 +399,9 @@ type UniformSource struct {
 	meanReq  int
 	interval time.Duration
 	writeP   float64
+	seed     int64
 	rng      *rand.Rand
+	events   int64 // emitted so far, for replay-based state restore
 	now      time.Duration
 }
 
@@ -413,6 +417,7 @@ func NewUniform(sectors int64, writeRate, readRate float64, meanReq int, seed in
 		meanReq:  meanReq,
 		interval: time.Duration(float64(time.Second) / total),
 		writeP:   writeRate / total,
+		seed:     seed,
 		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
@@ -430,5 +435,6 @@ func (u *UniformSource) Next() (trace.Event, bool) {
 	}
 	e := trace.Event{Time: u.now, Op: op, LBA: lba, Count: n}
 	u.now += u.interval
+	u.events++
 	return e, true
 }
