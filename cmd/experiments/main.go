@@ -13,6 +13,8 @@
 //	experiments -series out/     # wear-trajectory CSVs, one per (layer, k, T) cell
 //	experiments -check           # run every cell with the invariant checker attached
 //	experiments -serve :8080     # live sweep progress over HTTP while the suite runs
+//	experiments -arena           # leveler tournament: every registered strategy on one trace
+//	experiments -arena -arenadir out/   # also write leaderboard.csv + per-strategy BENCH files
 //
 // Every invocation that runs simulation cells also writes a machine-readable
 // BENCH_summary.json artifact (one record per cell) for cmd/swlstat to diff
@@ -43,6 +45,8 @@ func main() {
 	check := flag.Bool("check", false, "attach the invariant checker to every run; any violation fails the experiment")
 	branch := flag.Int64("branch", 0, "branch-from-checkpoint: warm each layer up for N events once and fork the sweep cells from the checkpoint (0 = off; results are identical either way)")
 	summaryPath := flag.String("summary", "BENCH_summary.json", "write the per-cell BENCH summary artifact here (empty = skip)")
+	arena := flag.Bool("arena", false, "run the leveler arena: every registered strategy plus a no-leveling baseline, run to failure on the same trace")
+	arenaDir := flag.String("arenadir", "", "write arena artifacts (leaderboard.csv, BENCH_arena_<strategy>.json) into this directory (needs -arena)")
 	serveAddr := flag.String("serve", "", "serve live sweep progress (Prometheus /metrics, /heatmap, /progress, pprof) on this address")
 	flag.Parse()
 
@@ -193,6 +197,26 @@ func main() {
 				fmt.Println("== Figure 7: increased ratio of live-page copyings —", layer, "==")
 				fmt.Println(experiments.FormatSeries(s, fmt.Sprintf("Figure 7(%s)", layer), unit, experiments.PaperKs, experiments.PaperTs))
 			}
+		}
+	}
+
+	if *arena {
+		res, err := experiments.RunArena(sc, sim.FTL, 0, 100)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(experiments.ArenaCSV(res))
+		} else {
+			fmt.Println("== Arena: leveler tournament, run to first failure on the shared trace ==")
+			fmt.Println(experiments.FormatArena(res))
+		}
+		if *arenaDir != "" {
+			names, err := experiments.WriteArenaArtifacts(*arenaDir, res)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("arena artifacts: %d files -> %s\n", len(names), *arenaDir)
 		}
 	}
 

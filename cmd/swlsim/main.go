@@ -7,6 +7,7 @@
 //	swlsim -layer ftl -swl -k 0 -T 100 -blocks 128 -endurance 300
 //	swlsim -layer nftl -trace day.trace     # replay a recorded trace
 //	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
+//	swlsim -layer ftl -leveler gap -T 40    # a rival strategy from the leveler registry
 //	swlsim -layer ftl -swl -pfail 1e-3 -efail 1e-3   # transient fault injection
 //	swlsim -layer nftl -cutafter 5000 -T 4  # power-cut/remount recovery check
 //	swlsim -layer ftl -swl -metrics out.jsonl       # JSONL event/metric stream
@@ -22,8 +23,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"flashswl/internal/core"
 	"flashswl/internal/faultinject"
 	"flashswl/internal/monitor"
 	"flashswl/internal/nand"
@@ -37,8 +40,10 @@ import (
 func main() {
 	layerName := flag.String("layer", "ftl", "translation layer: ftl, nftl, or dftl")
 	swl := flag.Bool("swl", false, "enable static wear leveling")
+	leveler := flag.String("leveler", "", "wear-leveling strategy from the registry ("+strings.Join(core.LevelerNames(), ", ")+"); implies -swl")
+	period := flag.Int64("period", 0, "erase count between forced recycles (the periodic strategy requires it)")
 	k := flag.Int("k", 0, "BET mapping mode")
-	threshold := flag.Float64("T", 100, "unevenness threshold")
+	threshold := flag.Float64("T", 100, "unevenness threshold (the erase-count gap for dualpool/gap)")
 	blocks := flag.Int("blocks", 128, "device blocks")
 	ppb := flag.Int("ppb", 32, "pages per block")
 	pageSize := flag.Int("pagesize", 2048, "page size in bytes")
@@ -65,6 +70,9 @@ func main() {
 	resumePath := flag.String("resume", "", "resume from this checkpoint file; the other flags must rebuild the original configuration")
 	flag.Parse()
 
+	if *leveler != "" {
+		*swl = true
+	}
 	if *full {
 		// The preset fills in the paper's experimental platform (§4.1) for
 		// every geometry flag the command line left at its default.
@@ -159,6 +167,8 @@ func main() {
 		Layer:          layer,
 		LogicalSectors: sectors,
 		SWL:            *swl,
+		Leveler:        *leveler,
+		Period:         *period,
 		K:              *k,
 		T:              *threshold,
 		NoSpare:        true,
@@ -265,8 +275,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("configuration:   %s  SWL=%v k=%d T=%g  %s endurance=%d\n",
-		layer, *swl, *k, *threshold, geo, *endurance)
+	strategy := cfg.LevelerName()
+	if strategy == "" {
+		strategy = "off"
+	}
+	fmt.Printf("configuration:   %s  leveler=%s k=%d T=%g  %s endurance=%d\n",
+		layer, strategy, *k, *threshold, geo, *endurance)
 	fmt.Printf("events:          %d (%d page writes, %d page reads)\n", res.Events, res.PageWrites, res.PageReads)
 	fmt.Printf("simulated time:  %v (%.3f years)\n", res.SimTime, res.SimTime.Hours()/(24*365))
 	if res.FirstWear >= 0 {
@@ -306,7 +320,9 @@ func main() {
 	}
 	if *summaryPath != "" {
 		name := fmt.Sprintf("swlsim/%s/base", layer)
-		if *swl {
+		if *leveler != "" {
+			name = fmt.Sprintf("swlsim/%s/%s_k%d_T%g", layer, *leveler, *k, *threshold)
+		} else if *swl {
 			name = fmt.Sprintf("swlsim/%s/k%d_T%g", layer, *k, *threshold)
 		}
 		run := sim.Summarize(name, cfg, res)

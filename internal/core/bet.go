@@ -151,6 +151,34 @@ func (t *BET) NextClear(from int) (int, bool) {
 	return 0, false
 }
 
+// NthClear returns the index of the (n+1)-th clear flag in table order
+// (n = 0 selects the lowest-indexed clear flag). It reports false when fewer
+// than n+1 flags are clear. Combined with a uniform draw over
+// [0, Size()-Fcnt()), this is the rank-select primitive behind the
+// SelectRandom policy: every clear flag is equally likely, independent of how
+// the set flags cluster around it.
+func (t *BET) NthClear(n int) (int, bool) {
+	if n < 0 || n >= t.nsets-t.fcnt {
+		return 0, false
+	}
+	for w := 0; w*64 < t.nsets; w++ {
+		word := ^t.flags[w] // ones mark clear flags
+		if tail := t.nsets - w*64; tail < 64 {
+			word &= 1<<uint(tail) - 1 // bits past the last flag are not flags
+		}
+		c := bits.OnesCount64(word)
+		if n >= c {
+			n -= c
+			continue
+		}
+		for i := 0; i < n; i++ { // drop the n lowest clear flags of this word
+			word &= word - 1
+		}
+		return w*64 + bits.TrailingZeros64(word), true
+	}
+	return 0, false
+}
+
 // BETSizeBytes returns the RAM footprint of a BET in bytes for a device
 // with the given number of blocks and mapping mode k (Table 1 of the paper:
 // one bit per block set, rounded up to whole bytes).

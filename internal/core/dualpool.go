@@ -1,0 +1,301 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flashswl/internal/obs"
+)
+
+// DualPoolLeveler implements a dual-pool hot/cold-swap static wear leveler
+// (after Chang's dual-pool algorithm, the dynamic/static strategy split of
+// the related firmware levelers): blocks live in either a hot pool
+// (circulating — they absorb writes) or a cold pool (resting — they hold
+// cold data). When the hottest block's erase count exceeds the cold pool's
+// minimum by more than Threshold, the coldest cold block's set is recycled —
+// moving its cold data onto circulating blocks — and the two swap roles:
+// the cold block joins the hot pool and the hottest block retires to the
+// cold pool to rest.
+//
+// All blocks start in the cold pool; the first trigger promotes the hottest
+// into circulation, so pool membership is discovered from the workload
+// rather than guessed up front. The leveler keeps a full per-block erase
+// counter array and uses no randomness, so it is deterministic by
+// construction.
+type DualPoolLeveler struct {
+	blocks    int
+	k         int
+	nsets     int
+	threshold float64
+	cleaner   Cleaner
+	observer  obs.EventSink
+
+	erases []int32  // per-block erase counts
+	hot    []uint64 // hot-pool membership; clear = cold pool
+	barred []uint64 // excluded blocks, in neither pool
+
+	eligible     int   // number of non-excluded blocks
+	hotCount     int   // eligible blocks in the hot pool
+	coldCount    int   // eligible blocks in the cold pool
+	maxEC        int32 // max erase count over eligible blocks
+	coldMin      int32 // min erase count over the cold pool
+	coldMinCount int   // cold blocks sitting at coldMin
+
+	stats    Stats
+	leveling bool
+}
+
+// DualPoolConfig parameterizes a DualPoolLeveler.
+type DualPoolConfig struct {
+	// Blocks is the number of physical blocks; K the block-set granularity.
+	Blocks int
+	K      int
+	// Threshold is the erase-count gap between the hottest block and the
+	// cold pool's minimum above which a swap triggers.
+	Threshold float64
+	// Exclude lists blocks outside wear leveling's reach; they belong to
+	// neither pool.
+	Exclude []int
+	// Observer receives EvLevelerTriggered events and episode spans; Ecnt
+	// carries the erase-count gap and Fcnt the hot-pool population. Nil for
+	// zero overhead.
+	Observer obs.EventSink
+}
+
+// NewDualPoolLeveler constructs the dual-pool leveler.
+func NewDualPoolLeveler(cfg DualPoolConfig, cleaner Cleaner) (*DualPoolLeveler, error) {
+	if cleaner == nil {
+		return nil, errors.New("core: dual-pool leveler needs a cleaner")
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("core: dual-pool leveler needs a positive block count, got %d", cfg.Blocks)
+	}
+	if cfg.K < 0 || cfg.K > 30 {
+		return nil, fmt.Errorf("core: mapping mode k=%d out of range", cfg.K)
+	}
+	if cfg.Threshold < 1 {
+		return nil, fmt.Errorf("core: dual-pool threshold T=%g must be >= 1", cfg.Threshold)
+	}
+	nsets := (cfg.Blocks + (1 << uint(cfg.K)) - 1) >> uint(cfg.K)
+	d := &DualPoolLeveler{
+		blocks: cfg.Blocks, k: cfg.K, nsets: nsets,
+		threshold: cfg.Threshold, cleaner: cleaner, observer: cfg.Observer,
+		erases: make([]int32, cfg.Blocks),
+		hot:    make([]uint64, (cfg.Blocks+63)/64),
+		barred: make([]uint64, (cfg.Blocks+63)/64),
+	}
+	for _, b := range cfg.Exclude {
+		if b < 0 || b >= cfg.Blocks {
+			return nil, fmt.Errorf("core: excluded block %d out of range", b)
+		}
+		d.barred[b>>6] |= 1 << uint(b&63)
+	}
+	for b := 0; b < d.blocks; b++ {
+		if !d.isBarred(b) {
+			d.eligible++
+		}
+	}
+	if d.eligible == 0 {
+		return nil, errors.New("core: every block is excluded")
+	}
+	d.coldCount = d.eligible
+	d.coldMin, d.coldMinCount = 0, d.eligible
+	return d, nil
+}
+
+func (d *DualPoolLeveler) isBarred(b int) bool { return d.barred[b>>6]&(1<<uint(b&63)) != 0 }
+func (d *DualPoolLeveler) isHot(b int) bool    { return d.hot[b>>6]&(1<<uint(b&63)) != 0 }
+
+// recomputeColdMin rescans the cold pool for its minimum erase count and
+// multiplicity; with an empty cold pool both reset to zero.
+func (d *DualPoolLeveler) recomputeColdMin() {
+	d.coldMin, d.coldMinCount = 0, 0
+	first := true
+	for b := 0; b < d.blocks; b++ {
+		if d.isBarred(b) || d.isHot(b) {
+			continue
+		}
+		switch v := d.erases[b]; {
+		case first || v < d.coldMin:
+			d.coldMin, d.coldMinCount = v, 1
+			first = false
+		case v == d.coldMin:
+			d.coldMinCount++
+		}
+	}
+}
+
+// promote moves a cold block into the hot pool.
+func (d *DualPoolLeveler) promote(b int) {
+	if d.isHot(b) || d.isBarred(b) {
+		return
+	}
+	d.hot[b>>6] |= 1 << uint(b&63)
+	d.hotCount++
+	d.coldCount--
+	if d.erases[b] == d.coldMin {
+		d.coldMinCount--
+		if d.coldMinCount == 0 {
+			d.recomputeColdMin()
+		}
+	}
+}
+
+// demote parks a hot block in the cold pool.
+func (d *DualPoolLeveler) demote(b int) {
+	if !d.isHot(b) {
+		return
+	}
+	d.hot[b>>6] &^= 1 << uint(b&63)
+	d.hotCount--
+	d.coldCount++
+	switch v := d.erases[b]; {
+	case d.coldMinCount == 0 || v < d.coldMin:
+		d.coldMin, d.coldMinCount = v, 1
+	case v == d.coldMin:
+		d.coldMinCount++
+	}
+}
+
+// hottest returns the most-erased eligible block (lowest index on ties).
+func (d *DualPoolLeveler) hottest() int {
+	best := -1
+	for b := 0; b < d.blocks; b++ {
+		if d.isBarred(b) {
+			continue
+		}
+		if best < 0 || d.erases[b] > d.erases[best] {
+			best = b
+		}
+	}
+	return best
+}
+
+// coldestCold returns the least-erased cold-pool block (lowest index on
+// ties), or false with an empty cold pool.
+func (d *DualPoolLeveler) coldestCold() (int, bool) {
+	best, found := 0, false
+	for b := 0; b < d.blocks; b++ {
+		if d.isBarred(b) || d.isHot(b) {
+			continue
+		}
+		if !found || d.erases[b] < d.erases[best] {
+			best, found = b, true
+		}
+	}
+	return best, found
+}
+
+// setErases sums the erase counts over one block set.
+func (d *DualPoolLeveler) setErases(f int) int64 {
+	lo := f << uint(d.k)
+	hi := lo + 1<<uint(d.k)
+	if hi > d.blocks {
+		hi = d.blocks
+	}
+	var sum int64
+	for b := lo; b < hi; b++ {
+		sum += int64(d.erases[b])
+	}
+	return sum
+}
+
+// Gap returns the hottest-block versus cold-pool-minimum erase-count spread.
+func (d *DualPoolLeveler) Gap() int64 { return int64(d.maxEC - d.coldMin) }
+
+// HotBlocks returns the hot-pool population.
+func (d *DualPoolLeveler) HotBlocks() int { return d.hotCount }
+
+// Stats returns a snapshot of the activity counters.
+func (d *DualPoolLeveler) Stats() Stats { return d.stats }
+
+// Kind identifies the dual-pool leveler's state records.
+func (d *DualPoolLeveler) Kind() LevelerKind { return KindDualPool }
+
+// OnErase records a block erase into the per-block counters.
+func (d *DualPoolLeveler) OnErase(bindex int) {
+	d.stats.Erases++
+	if bindex < 0 || bindex >= d.blocks || d.isBarred(bindex) {
+		return
+	}
+	old := d.erases[bindex]
+	d.erases[bindex] = old + 1
+	if old+1 > d.maxEC {
+		d.maxEC = old + 1
+	}
+	if !d.isHot(bindex) && old == d.coldMin {
+		d.coldMinCount--
+		if d.coldMinCount == 0 {
+			d.recomputeColdMin()
+		}
+	}
+}
+
+// NeedsLeveling reports whether the hottest block has outworn the cold
+// pool's minimum by more than the threshold.
+func (d *DualPoolLeveler) NeedsLeveling() bool {
+	return d.coldCount > 0 && float64(d.maxEC-d.coldMin) > d.threshold
+}
+
+// Level swaps pool roles until the gap closes: recycle the coldest cold
+// block's set (its cold data moves onto circulating blocks), promote that
+// block into the hot pool, and retire the hottest block to the cold pool. A
+// set whose recycling produces no accountable erase is counted in
+// Stats.SetsSkipped; its block is promoted anyway so the cold pool is never
+// wedged on unerasable blocks. Level is idempotent under reentrancy.
+func (d *DualPoolLeveler) Level() error {
+	if d.leveling {
+		return nil
+	}
+	d.leveling = true
+	defer func() { d.leveling = false }()
+
+	inEpisode := false
+	var sets0, skips0 int64
+	for guard := 0; guard < 2*d.nsets && d.NeedsLeveling(); guard++ {
+		c, ok := d.coldestCold()
+		if !ok {
+			break
+		}
+		h := d.hottest()
+		f := c >> uint(d.k)
+		if !inEpisode {
+			inEpisode = true
+			sets0, skips0 = d.stats.SetsRecycled, d.stats.SetsSkipped
+			obs.BeginEpisode(d.observer, d.Gap(), d.hotCount)
+		}
+		if d.observer != nil {
+			d.observer.Observe(obs.Event{
+				Kind: obs.EvLevelerTriggered, Block: -1, Page: -1,
+				Findex: f, Ecnt: d.Gap(), Fcnt: d.hotCount,
+			})
+		}
+		before := d.setErases(f)
+		if err := d.cleaner.EraseBlockSet(f, d.k); err != nil {
+			obs.EndEpisode(d.observer, d.Gap(), d.hotCount,
+				int(d.stats.SetsRecycled-sets0), int(d.stats.SetsSkipped-skips0))
+			if d.stats.SetsRecycled > sets0 {
+				d.stats.Triggered++
+			}
+			return fmt.Errorf("core: dual-pool wear leveling of block set %d: %w", f, err)
+		}
+		if d.setErases(f) == before {
+			d.promote(c) // unerasable: out of cold candidacy, but no swap
+			d.stats.SetsSkipped++
+			continue
+		}
+		d.stats.SetsRecycled++
+		d.promote(c)
+		if h >= 0 && h != c && d.hotCount > 1 {
+			d.demote(h) // the hottest block rests
+		}
+	}
+	if inEpisode {
+		obs.EndEpisode(d.observer, d.Gap(), d.hotCount,
+			int(d.stats.SetsRecycled-sets0), int(d.stats.SetsSkipped-skips0))
+		if d.stats.SetsRecycled > sets0 {
+			d.stats.Triggered++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flashswl/internal/obs"
+)
+
+// GapLeveler triggers static wear leveling on the max-min erase-count gap:
+// when the most-erased block has endured more than Threshold erases beyond
+// the least-erased one, the block set containing the coldest block is
+// recycled so its (presumably cold) data moves and the block rejoins
+// circulation. This is the classic `should_level` trigger of firmware-style
+// static wear levelers; unlike the paper's BET it keeps a full per-block
+// erase counter array, trading RAM (Table 1's motivation) for an exact view
+// of the wear spread.
+//
+// Like every LevelerModule it is single-goroutine, deterministic (it uses no
+// randomness at all), and allocation-free on the hot path.
+type GapLeveler struct {
+	blocks    int
+	k         int
+	nsets     int
+	threshold float64
+	cleaner   Cleaner
+	observer  obs.EventSink
+
+	erases []int32  // per-block erase counts
+	barred []uint64 // excluded blocks, never candidates and never counted
+	skip   []uint64 // per-set marks for sets whose recycling produced no erase
+
+	eligible int   // number of non-excluded blocks
+	maxEC    int32 // max erase count over eligible blocks
+	minEC    int32 // min erase count over eligible blocks
+	minCount int   // eligible blocks sitting at minEC
+
+	stats    Stats
+	leveling bool
+}
+
+// GapConfig parameterizes a GapLeveler.
+type GapConfig struct {
+	// Blocks is the number of physical blocks; K the block-set granularity,
+	// as for the SW Leveler.
+	Blocks int
+	K      int
+	// Threshold is the max-min erase-count gap above which leveling runs.
+	Threshold float64
+	// Exclude lists blocks outside wear leveling's reach; they are never
+	// selected and their erases (if any) are not counted into the gap.
+	Exclude []int
+	// Observer receives EvLevelerTriggered events and episode spans; the
+	// Ecnt field of both carries the erase-count gap (there is no BET, so
+	// no fcnt; the field is 0). Nil for zero overhead.
+	Observer obs.EventSink
+}
+
+// NewGapLeveler constructs the max-min gap leveler.
+func NewGapLeveler(cfg GapConfig, cleaner Cleaner) (*GapLeveler, error) {
+	if cleaner == nil {
+		return nil, errors.New("core: gap leveler needs a cleaner")
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("core: gap leveler needs a positive block count, got %d", cfg.Blocks)
+	}
+	if cfg.K < 0 || cfg.K > 30 {
+		return nil, fmt.Errorf("core: mapping mode k=%d out of range", cfg.K)
+	}
+	if cfg.Threshold < 1 {
+		return nil, fmt.Errorf("core: gap threshold T=%g must be >= 1", cfg.Threshold)
+	}
+	nsets := (cfg.Blocks + (1 << uint(cfg.K)) - 1) >> uint(cfg.K)
+	g := &GapLeveler{
+		blocks: cfg.Blocks, k: cfg.K, nsets: nsets,
+		threshold: cfg.Threshold, cleaner: cleaner, observer: cfg.Observer,
+		erases: make([]int32, cfg.Blocks),
+		barred: make([]uint64, (cfg.Blocks+63)/64),
+		skip:   make([]uint64, (nsets+63)/64),
+	}
+	for _, b := range cfg.Exclude {
+		if b < 0 || b >= cfg.Blocks {
+			return nil, fmt.Errorf("core: excluded block %d out of range", b)
+		}
+		g.barred[b>>6] |= 1 << uint(b&63)
+	}
+	g.eligible = 0
+	for b := 0; b < g.blocks; b++ {
+		if !g.isBarred(b) {
+			g.eligible++
+		}
+	}
+	if g.eligible == 0 {
+		return nil, errors.New("core: every block is excluded")
+	}
+	g.minEC, g.minCount = 0, g.eligible
+	return g, nil
+}
+
+func (g *GapLeveler) isBarred(b int) bool { return g.barred[b>>6]&(1<<uint(b&63)) != 0 }
+func (g *GapLeveler) isSkipped(f int) bool {
+	return g.skip[f>>6]&(1<<uint(f&63)) != 0
+}
+
+// recomputeMin rescans the eligible blocks for the minimum erase count and
+// its multiplicity. It runs only when the last block at the old minimum
+// moved up, so the total rescan work is bounded by the highest erase count.
+func (g *GapLeveler) recomputeMin() {
+	first := true
+	for b := 0; b < g.blocks; b++ {
+		if g.isBarred(b) {
+			continue
+		}
+		switch v := g.erases[b]; {
+		case first || v < g.minEC:
+			g.minEC, g.minCount = v, 1
+			first = false
+		case v == g.minEC:
+			g.minCount++
+		}
+	}
+}
+
+// Gap returns the current max-min erase-count spread over eligible blocks.
+func (g *GapLeveler) Gap() int64 { return int64(g.maxEC - g.minEC) }
+
+// Stats returns a snapshot of the activity counters.
+func (g *GapLeveler) Stats() Stats { return g.stats }
+
+// Kind identifies the gap leveler's state records.
+func (g *GapLeveler) Kind() LevelerKind { return KindGap }
+
+// OnErase records a block erase into the per-block counters.
+func (g *GapLeveler) OnErase(bindex int) {
+	g.stats.Erases++
+	if bindex < 0 || bindex >= g.blocks || g.isBarred(bindex) {
+		return
+	}
+	old := g.erases[bindex]
+	g.erases[bindex] = old + 1
+	if old+1 > g.maxEC {
+		g.maxEC = old + 1
+	}
+	if old == g.minEC {
+		g.minCount--
+		if g.minCount == 0 {
+			g.recomputeMin()
+		}
+	}
+	// The erase proves the set erasable again: clear any skip mark so it
+	// returns to candidacy.
+	f := bindex >> uint(g.k)
+	g.skip[f>>6] &^= 1 << uint(f&63)
+}
+
+// NeedsLeveling reports whether the erase-count gap exceeds the threshold.
+func (g *GapLeveler) NeedsLeveling() bool {
+	return float64(g.maxEC-g.minEC) > g.threshold
+}
+
+// coldestEligible returns the least-erased block whose set is not
+// skip-marked (lowest block index on ties), or false when every set is
+// skip-marked.
+func (g *GapLeveler) coldestEligible() (int, bool) {
+	best, found := 0, false
+	for b := 0; b < g.blocks; b++ {
+		if g.isBarred(b) || g.isSkipped(b>>uint(g.k)) {
+			continue
+		}
+		if !found || g.erases[b] < g.erases[best] {
+			best, found = b, true
+		}
+	}
+	return best, found
+}
+
+// setErases sums the erase counts over one block set, to detect whether a
+// recycle produced any accountable erase.
+func (g *GapLeveler) setErases(f int) int64 {
+	lo := f << uint(g.k)
+	hi := lo + 1<<uint(g.k)
+	if hi > g.blocks {
+		hi = g.blocks
+	}
+	var sum int64
+	for b := lo; b < hi; b++ {
+		sum += int64(g.erases[b])
+	}
+	return sum
+}
+
+// Level recycles coldest block sets until the gap closes to the threshold.
+// Sets whose recycling produces no accountable erase are skip-marked and
+// counted in Stats.SetsSkipped, exactly like the SW Leveler's unerasable
+// sets; a skip mark clears as soon as any block of the set is erased again.
+// Level is idempotent under reentrancy.
+func (g *GapLeveler) Level() error {
+	if g.leveling {
+		return nil
+	}
+	g.leveling = true
+	defer func() { g.leveling = false }()
+
+	inEpisode := false
+	var sets0, skips0 int64
+	for guard := 0; guard < 2*g.nsets && g.NeedsLeveling(); guard++ {
+		c, ok := g.coldestEligible()
+		if !ok {
+			break // every set skip-marked; nothing erasable to move
+		}
+		if float64(g.maxEC-g.erases[c]) <= g.threshold {
+			break // the coldest candidate is not cold enough to matter
+		}
+		f := c >> uint(g.k)
+		if !inEpisode {
+			inEpisode = true
+			sets0, skips0 = g.stats.SetsRecycled, g.stats.SetsSkipped
+			obs.BeginEpisode(g.observer, g.Gap(), 0)
+		}
+		if g.observer != nil {
+			g.observer.Observe(obs.Event{
+				Kind: obs.EvLevelerTriggered, Block: -1, Page: -1,
+				Findex: f, Ecnt: g.Gap(), Fcnt: 0,
+			})
+		}
+		before := g.setErases(f)
+		if err := g.cleaner.EraseBlockSet(f, g.k); err != nil {
+			obs.EndEpisode(g.observer, g.Gap(), 0,
+				int(g.stats.SetsRecycled-sets0), int(g.stats.SetsSkipped-skips0))
+			if g.stats.SetsRecycled > sets0 {
+				g.stats.Triggered++
+			}
+			return fmt.Errorf("core: gap wear leveling of block set %d: %w", f, err)
+		}
+		if g.setErases(f) == before {
+			g.skip[f>>6] |= 1 << uint(f&63)
+			g.stats.SetsSkipped++
+		} else {
+			g.stats.SetsRecycled++
+		}
+	}
+	if inEpisode {
+		obs.EndEpisode(g.observer, g.Gap(), 0,
+			int(g.stats.SetsRecycled-sets0), int(g.stats.SetsSkipped-skips0))
+		if g.stats.SetsRecycled > sets0 {
+			g.stats.Triggered++
+		}
+	}
+	return nil
+}

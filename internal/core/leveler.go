@@ -191,14 +191,39 @@ func (l *Leveler) Ecnt() int64 { return l.ecnt }
 // Findex returns the current cyclic scan position.
 func (l *Leveler) Findex() int { return l.findex }
 
-// Unevenness returns ecnt/fcnt, the paper's unevenness level. A high value
-// means many erases concentrated on few block sets. It is 0 while no flag
-// is set.
+// organicFcnt returns the number of flags set by actual erase activity (or
+// skip-marking) this resetting interval, excluding the preset flags of
+// all-excluded block sets. Presets are set unconditionally at the start of
+// every interval, carry no wear information, and — counted into the
+// unevenness denominator — would permanently deflate the ratio on devices
+// with reserved blocks, delaying triggering.
+func (l *Leveler) organicFcnt() int {
+	return l.bet.Fcnt() - len(l.preset)
+}
+
+// Unevenness returns ecnt/fcnt, the paper's unevenness level, with fcnt
+// counting only organically set flags (preset all-excluded sets are not wear
+// evidence; see organicFcnt). A high value means many erases concentrated on
+// few block sets. It is 0 while no organic flag is set.
 func (l *Leveler) Unevenness() float64 {
-	if l.bet.Fcnt() == 0 {
+	of := l.organicFcnt()
+	if of <= 0 {
 		return 0
 	}
-	return float64(l.ecnt) / float64(l.bet.Fcnt())
+	return float64(l.ecnt) / float64(of)
+}
+
+// Threshold returns the current unevenness threshold T.
+func (l *Leveler) Threshold() float64 { return l.cfg.Threshold }
+
+// SetThreshold replaces the unevenness threshold T at run time; adaptive
+// wrappers (SAWLLeveler) retune it as the observed wear gap evolves. Values
+// below the construction-time floor of 1 are clamped to 1.
+func (l *Leveler) SetThreshold(t float64) {
+	if t < 1 {
+		t = 1
+	}
+	l.cfg.Threshold = t
 }
 
 // OnErase implements SWL-BETUpdate (Algorithm 2): it must be invoked by the
@@ -214,7 +239,7 @@ func (l *Leveler) OnErase(bindex int) {
 // threshold, i.e. whether Level would act. Hosts can use it as a cheap
 // trigger test.
 func (l *Leveler) NeedsLeveling() bool {
-	return l.bet.Fcnt() > 0 && l.Unevenness() >= l.cfg.Threshold
+	return l.organicFcnt() > 0 && l.Unevenness() >= l.cfg.Threshold
 }
 
 // Level implements SWL-Procedure (Algorithm 1). While the unevenness level
@@ -234,7 +259,7 @@ func (l *Leveler) Level() error {
 	l.leveling = true
 	defer func() { l.leveling = false }()
 
-	if l.bet.Fcnt() == 0 { // step 1: just reset, nothing to compare against
+	if l.organicFcnt() <= 0 { // step 1: just reset, nothing to compare against
 		return nil
 	}
 	acted := false
@@ -261,19 +286,29 @@ func (l *Leveler) Level() error {
 			break // step 8: start the next resetting interval
 		}
 		start := l.findex
+		var next int
+		var ok bool
 		if l.cfg.Select == SelectRandom {
-			start = l.rand.Intn(l.bet.Size())
+			// Uniform over the clear flags: draw a rank, not a start
+			// position. (Picking a random start and scanning to the next
+			// clear flag would weight each clear flag by the run of set
+			// flags preceding it.)
+			next, ok = l.bet.NthClear(l.rand.Intn(l.bet.Size() - l.bet.Fcnt()))
+		} else {
+			next, ok = l.bet.NextClear(start) // steps 9–10
 		}
-		next, ok := l.bet.NextClear(start) // steps 9–10
 		if !ok {
 			break // raced to full; handled at the top of the next iteration
 		}
 		l.findex = next
 		before := l.bet.Fcnt()
 		if l.cfg.Observer != nil {
-			scan := next - start
-			if scan < 0 {
-				scan += l.bet.Size()
+			scan := 0 // random selection performs no scan
+			if l.cfg.Select == SelectCyclic {
+				scan = next - start
+				if scan < 0 {
+					scan += l.bet.Size()
+				}
 			}
 			l.cfg.Observer.Observe(obs.Event{
 				Kind: obs.EvLevelerTriggered, Block: -1, Page: -1,
@@ -281,8 +316,14 @@ func (l *Leveler) Level() error {
 			})
 		}
 		if err := l.cleaner.EraseBlockSet(l.findex, l.cfg.K); err != nil { // step 11
+			// Account the partial episode consistently: sets recycled before
+			// the failure still count as a triggered invocation, keeping the
+			// acting-episodes == Triggered invariant under fault injection.
 			obs.EndEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt(),
 				int(l.stats.SetsRecycled-sets0), int(l.stats.SetsSkipped-skips0))
+			if l.stats.SetsRecycled > sets0 {
+				l.stats.Triggered++
+			}
 			return fmt.Errorf("core: static wear leveling of block set %d: %w", l.findex, err)
 		}
 		acted = true

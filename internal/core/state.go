@@ -16,17 +16,28 @@ import (
 // deliberately not serialized: it belongs to the Config, and presets are
 // re-derived from it.
 
-const (
-	levelerStateVersion = 1
-	levelerKindSW       = 0
-	levelerKindPeriodic = 1
-)
+// levelerStateVersion versions every leveler state record; the byte after
+// it is the implementation's LevelerKind (see module.go), which ImportState
+// validates against the receiving instance.
+const levelerStateVersion = 1
+
+// checkHeader consumes and validates the version and kind bytes shared by
+// every leveler state record.
+func checkHeader(r *wire.Reader, want LevelerKind) error {
+	if v := r.U8(); v != levelerStateVersion && r.Err() == nil {
+		return fmt.Errorf("core: leveler state version %d unsupported", v)
+	}
+	if k := r.U8(); LevelerKind(k) != want && r.Err() == nil {
+		return fmt.Errorf("core: state is not a %s leveler record (kind %d)", want, k)
+	}
+	return nil
+}
 
 // ExportState serializes the leveler's full dynamic state.
 func (l *Leveler) ExportState() []byte {
 	w := wire.NewWriter()
 	w.U8(levelerStateVersion)
-	w.U8(levelerKindSW)
+	w.U8(uint8(KindSW))
 	w.U32(uint32(l.cfg.Blocks))
 	w.U8(uint8(l.cfg.K))
 	w.I64(l.ecnt)
@@ -42,11 +53,8 @@ func (l *Leveler) ExportState() []byte {
 // leveler. On any mismatch or corruption the leveler is left unchanged.
 func (l *Leveler) ImportState(data []byte) error {
 	r := wire.NewReader(data)
-	if v := r.U8(); v != levelerStateVersion && r.Err() == nil {
-		return fmt.Errorf("core: leveler state version %d unsupported", v)
-	}
-	if k := r.U8(); k != levelerKindSW && r.Err() == nil {
-		return fmt.Errorf("core: state is not an SW Leveler record (kind %d)", k)
+	if err := checkHeader(r, KindSW); err != nil {
+		return err
 	}
 	blocks, k := int(r.U32()), int(r.U8())
 	ecnt := r.I64()
@@ -85,7 +93,7 @@ func (l *Leveler) ImportState(data []byte) error {
 func (p *PeriodicLeveler) ExportState() []byte {
 	w := wire.NewWriter()
 	w.U8(levelerStateVersion)
-	w.U8(levelerKindPeriodic)
+	w.U8(uint8(KindPeriodic))
 	w.U32(uint32(p.blocks))
 	w.U8(uint8(p.k))
 	w.I64(p.pending)
@@ -98,11 +106,8 @@ func (p *PeriodicLeveler) ExportState() []byte {
 // periodic leveler.
 func (p *PeriodicLeveler) ImportState(data []byte) error {
 	r := wire.NewReader(data)
-	if v := r.U8(); v != levelerStateVersion && r.Err() == nil {
-		return fmt.Errorf("core: leveler state version %d unsupported", v)
-	}
-	if k := r.U8(); k != levelerKindPeriodic && r.Err() == nil {
-		return fmt.Errorf("core: state is not a periodic leveler record (kind %d)", k)
+	if err := checkHeader(r, KindPeriodic); err != nil {
+		return err
 	}
 	blocks, k := int(r.U32()), int(r.U8())
 	pending := r.I64()
@@ -119,6 +124,197 @@ func (p *PeriodicLeveler) ImportState(data []byte) error {
 	p.rand.SetState(randState)
 	p.stats = stats
 	p.running = false
+	return nil
+}
+
+// ExportState serializes the gap leveler's full dynamic state.
+func (g *GapLeveler) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U8(levelerStateVersion)
+	w.U8(uint8(KindGap))
+	w.U32(uint32(g.blocks))
+	w.U8(uint8(g.k))
+	exportStats(w, g.stats)
+	w.I32s(g.erases)
+	w.U64s(g.skip)
+	return w.Bytes()
+}
+
+// ImportState restores state exported from an identically configured gap
+// leveler; the min/max trackers are recomputed rather than carried. On any
+// mismatch or corruption the leveler is left unchanged.
+func (g *GapLeveler) ImportState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := checkHeader(r, KindGap); err != nil {
+		return err
+	}
+	blocks, k := int(r.U32()), int(r.U8())
+	stats := importStats(r)
+	erases := r.I32s()
+	skip := r.U64s()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("core: gap leveler state: %w", err)
+	}
+	if blocks != g.blocks || k != g.k {
+		return fmt.Errorf("core: gap leveler state shape %d blocks/k=%d, have %d/k=%d",
+			blocks, k, g.blocks, g.k)
+	}
+	if len(erases) != len(g.erases) || len(skip) != len(g.skip) {
+		return fmt.Errorf("core: gap leveler state arrays %d/%d, want %d/%d",
+			len(erases), len(skip), len(g.erases), len(g.skip))
+	}
+	for _, v := range erases {
+		if v < 0 {
+			return fmt.Errorf("core: gap leveler state has negative erase count %d", v)
+		}
+	}
+	copy(g.erases, erases)
+	copy(g.skip, skip)
+	g.stats = stats
+	g.maxEC = 0
+	for b := 0; b < g.blocks; b++ {
+		if !g.isBarred(b) && g.erases[b] > g.maxEC {
+			g.maxEC = g.erases[b]
+		}
+	}
+	g.recomputeMin()
+	g.leveling = false
+	return nil
+}
+
+// ExportState serializes the dual-pool leveler's full dynamic state.
+func (d *DualPoolLeveler) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U8(levelerStateVersion)
+	w.U8(uint8(KindDualPool))
+	w.U32(uint32(d.blocks))
+	w.U8(uint8(d.k))
+	exportStats(w, d.stats)
+	w.I32s(d.erases)
+	w.U64s(d.hot)
+	return w.Bytes()
+}
+
+// ImportState restores state exported from an identically configured
+// dual-pool leveler; pool counts and the min/max trackers are recomputed.
+// On any mismatch or corruption the leveler is left unchanged.
+func (d *DualPoolLeveler) ImportState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := checkHeader(r, KindDualPool); err != nil {
+		return err
+	}
+	blocks, k := int(r.U32()), int(r.U8())
+	stats := importStats(r)
+	erases := r.I32s()
+	hot := r.U64s()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("core: dual-pool leveler state: %w", err)
+	}
+	if blocks != d.blocks || k != d.k {
+		return fmt.Errorf("core: dual-pool leveler state shape %d blocks/k=%d, have %d/k=%d",
+			blocks, k, d.blocks, d.k)
+	}
+	if len(erases) != len(d.erases) || len(hot) != len(d.hot) {
+		return fmt.Errorf("core: dual-pool leveler state arrays %d/%d, want %d/%d",
+			len(erases), len(hot), len(d.erases), len(d.hot))
+	}
+	for _, v := range erases {
+		if v < 0 {
+			return fmt.Errorf("core: dual-pool leveler state has negative erase count %d", v)
+		}
+	}
+	copy(d.erases, erases)
+	copy(d.hot, hot)
+	for i := range d.hot {
+		d.hot[i] &^= d.barred[i] // excluded blocks belong to neither pool
+	}
+	d.stats = stats
+	d.hotCount, d.maxEC = 0, 0
+	for b := 0; b < d.blocks; b++ {
+		if d.isBarred(b) {
+			continue
+		}
+		if d.isHot(b) {
+			d.hotCount++
+		}
+		if d.erases[b] > d.maxEC {
+			d.maxEC = d.erases[b]
+		}
+	}
+	d.coldCount = d.eligible - d.hotCount
+	d.recomputeColdMin()
+	d.leveling = false
+	return nil
+}
+
+// ExportState serializes the SAWL wrapper's full dynamic state: its own
+// adaptation counters, the currently adapted threshold (the inner leveler's
+// codec deliberately omits static thresholds, but SAWL's is dynamic state),
+// and the inner SW Leveler record as a nested blob.
+func (s *SAWLLeveler) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U8(levelerStateVersion)
+	w.U8(uint8(KindSAWL))
+	w.U32(uint32(s.blocks))
+	w.U8(uint8(s.k))
+	w.F64(s.inner.Threshold())
+	w.I64(s.sinceAdapt)
+	w.I32s(s.erases)
+	w.Blob(s.inner.ExportState())
+	return w.Bytes()
+}
+
+// ImportState restores state exported from an identically configured SAWL
+// leveler, including the nested inner SW Leveler record and the adapted
+// threshold. The inner leveler is only modified once the whole record
+// validates.
+func (s *SAWLLeveler) ImportState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := checkHeader(r, KindSAWL); err != nil {
+		return err
+	}
+	blocks, k := int(r.U32()), int(r.U8())
+	curT := r.F64()
+	sinceAdapt := r.I64()
+	erases := r.I32s()
+	innerState := r.Blob()
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("core: SAWL leveler state: %w", err)
+	}
+	if blocks != s.blocks || k != s.k {
+		return fmt.Errorf("core: SAWL leveler state shape %d blocks/k=%d, have %d/k=%d",
+			blocks, k, s.blocks, s.k)
+	}
+	if len(erases) != len(s.erases) {
+		return fmt.Errorf("core: SAWL leveler state has %d erase counts, want %d",
+			len(erases), len(s.erases))
+	}
+	for _, v := range erases {
+		if v < 0 {
+			return fmt.Errorf("core: SAWL leveler state has negative erase count %d", v)
+		}
+	}
+	if curT < s.minT || curT > s.maxT {
+		return fmt.Errorf("core: SAWL leveler state threshold %g outside clamp [%g, %g]",
+			curT, s.minT, s.maxT)
+	}
+	if sinceAdapt < 0 || sinceAdapt >= s.adaptEvery {
+		return fmt.Errorf("core: SAWL leveler state adapt phase %d outside [0, %d)",
+			sinceAdapt, s.adaptEvery)
+	}
+	if err := s.inner.ImportState(innerState); err != nil {
+		return err
+	}
+	s.inner.SetThreshold(curT)
+	s.sinceAdapt = sinceAdapt
+	copy(s.erases, erases)
+	s.maxEC = 0
+	for b := 0; b < s.blocks; b++ {
+		if !s.isBarred(b) && s.erases[b] > s.maxEC {
+			s.maxEC = s.erases[b]
+		}
+	}
+	s.recomputeMin()
 	return nil
 }
 

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+)
+
+// TestArenaQuick runs the tournament at the miniature scale and pins its
+// shape: every registered strategy plus the baseline competes, each over the
+// identical trace, and the leaderboard CSV is byte-deterministic (golden).
+func TestArenaQuick(t *testing.T) {
+	sc := QuickScale()
+	sc.CheckInvariants = true
+	labels := map[string]bool{}
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	sc.OnCellDone = func(label string, cfg sim.Config, res *sim.Result) {
+		<-mu
+		labels[label] = true
+		mu <- struct{}{}
+	}
+	arena, err := RunArena(sc, sim.FTL, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := ArenaStrategies()
+	if len(strategies) < 5 {
+		t.Fatalf("arena field has %d entrants, want the baseline plus at least 4 strategies", len(strategies))
+	}
+	if len(arena.Rows) != len(strategies) {
+		t.Fatalf("arena produced %d rows, want %d", len(arena.Rows), len(strategies))
+	}
+	for _, row := range arena.Rows {
+		if row.Res == nil {
+			t.Fatalf("entrant %q has no result", row.Strategy)
+		}
+		if !labels[arenaLabel(sim.FTL, row.Strategy)] {
+			t.Errorf("entrant %q never reported to OnCellDone", row.Strategy)
+		}
+		if row.Strategy == ArenaBaseline {
+			if row.Res.ForcedErases != 0 {
+				t.Errorf("baseline recorded %d forced erases, want 0", row.Res.ForcedErases)
+			}
+		} else if row.Res.Leveler.Erases == 0 {
+			t.Errorf("entrant %q observed no erases", row.Strategy)
+		}
+	}
+	board := arena.Leaderboard()
+	ranks := map[int]bool{}
+	for _, s := range board {
+		if ranks[s.Rank] {
+			t.Errorf("duplicate rank %d", s.Rank)
+		}
+		ranks[s.Rank] = true
+	}
+	checkGolden(t, "arena_ftl_quick.csv", ArenaCSV(arena))
+}
+
+// TestArenaArtifacts pins the artifact layout CI diffs: a leaderboard CSV
+// plus one single-run BENCH summary per entrant, each readable and labeled
+// with its arena cell name.
+func TestArenaArtifacts(t *testing.T) {
+	sc := QuickScale()
+	arena, err := RunArena(sc, sim.FTL, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	names, err := WriteArenaArtifacts(dir, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(arena.Rows)+1 {
+		t.Fatalf("wrote %d files, want leaderboard + %d summaries", len(names), len(arena.Rows))
+	}
+	lb, err := os.ReadFile(filepath.Join(dir, "leaderboard.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lb) != ArenaCSV(arena) {
+		t.Error("leaderboard.csv does not match ArenaCSV")
+	}
+	for _, row := range arena.Rows {
+		raw, err := os.ReadFile(filepath.Join(dir, "BENCH_arena_"+row.Strategy+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b obs.BenchSummary
+		if err := json.Unmarshal(raw, &b); err != nil {
+			t.Fatalf("summary for %q: %v", row.Strategy, err)
+		}
+		if len(b.Runs) != 1 || b.Runs[0].Name != arenaLabel(sim.FTL, row.Strategy) {
+			t.Errorf("summary for %q carries %d runs, first %q", row.Strategy, len(b.Runs), b.Runs[0].Name)
+		}
+		want := ""
+		if row.Strategy != ArenaBaseline {
+			want = row.Strategy
+		}
+		if b.Runs[0].Leveler != want {
+			t.Errorf("summary for %q labels leveler %q, want %q", row.Strategy, b.Runs[0].Leveler, want)
+		}
+	}
+}
+
+// TestArenaLeaderboardRanking pins the ranking relation on the quick-scale
+// outcome: survivors ahead of casualties, later wear ahead of earlier.
+func TestArenaLeaderboardRanking(t *testing.T) {
+	sc := QuickScale()
+	arena, err := RunArena(sc, sim.FTL, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	board := arena.Leaderboard()
+	for i := 1; i < len(board); i++ {
+		prev, cur := board[i-1], board[i]
+		if !prev.Survived && cur.Survived {
+			t.Errorf("casualty %q (rank %d) ranked above survivor %q", prev.Strategy, prev.Rank, cur.Strategy)
+		}
+		if prev.Survived == cur.Survived && prev.FirstWearYears < cur.FirstWearYears {
+			t.Errorf("%q wore at %.4g years but outranks %q at %.4g",
+				prev.Strategy, prev.FirstWearYears, cur.Strategy, cur.FirstWearYears)
+		}
+	}
+	// The CSV header names the sweep point so a leaderboard is
+	// self-describing when archived.
+	if !strings.HasPrefix(ArenaCSV(arena), "# arena FTL k=0 T=100\n") {
+		t.Errorf("CSV header drifted: %q", strings.SplitN(ArenaCSV(arena), "\n", 2)[0])
+	}
+}

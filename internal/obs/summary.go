@@ -20,12 +20,15 @@ const BenchSummarySchema = "flashswl/bench-summary/v1"
 // counters behind Figures 6–7. FirstWearHours is -1 when no block wore out.
 type RunSummary struct {
 	// Name keys the run for diffing (e.g. "fig5/FTL/k0_T100").
-	Name  string  `json:"name"`
-	Layer string  `json:"layer"`
-	SWL   bool    `json:"swl"`
-	K     int     `json:"k"`
-	T     float64 `json:"t"`
-	Seed  int64   `json:"seed"`
+	Name  string `json:"name"`
+	Layer string `json:"layer"`
+	SWL   bool   `json:"swl"`
+	// Leveler names the wear-leveling strategy ("swl", "periodic",
+	// "dualpool", ...); empty in pre-arena artifacts and baseline runs.
+	Leveler string  `json:"leveler,omitempty"`
+	K       int     `json:"k"`
+	T       float64 `json:"t"`
+	Seed    int64   `json:"seed"`
 
 	Events     int64   `json:"events"`
 	PageWrites int64   `json:"page_writes"`

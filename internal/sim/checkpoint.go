@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"flashswl/internal/checkpoint"
-	"flashswl/internal/core"
 	"flashswl/internal/dftl"
 	"flashswl/internal/ftl"
 	"flashswl/internal/nand"
@@ -38,9 +37,9 @@ const countersVersion = 1
 
 // digestBytes encodes the configuration facets that shape simulation state:
 // a checkpoint may only be resumed under a config whose digest matches.
-// Deliberately excluded: the leveler settings (SWL, K, T, Periodic, Period,
-// SelectRandom) — branch-from-checkpoint sweeps resume one warmed-up image
-// under many leveler configurations — the run bounds (MaxEvents, MaxSimTime,
+// Deliberately excluded: the leveler settings (SWL, Leveler, K, T, Periodic,
+// Period, SelectRandom) — branch-from-checkpoint sweeps resume one warmed-up
+// image under many leveler configurations — the run bounds (MaxEvents, MaxSimTime,
 // StopOnFirstWear), which callers may extend across resumes, and the
 // observability and checkpointing settings, which shape diagnostics, not
 // state.
@@ -133,17 +132,14 @@ func (r *Runner) layerState() ([]byte, error) {
 	return nil, fmt.Errorf("sim: layer %T cannot be checkpointed", r.layer)
 }
 
-// levelerState serializes the attached leveler, or nil without one.
+// levelerState serializes the attached leveler, or nil without one. Every
+// leveler is a core.LevelerModule, so its kind-tagged state codec is part of
+// the contract — no per-implementation cases.
 func (r *Runner) levelerState() ([]byte, error) {
-	switch lv := r.leveler.(type) {
-	case nil:
+	if r.leveler == nil {
 		return nil, nil
-	case *core.Leveler:
-		return lv.ExportState(), nil
-	case *core.PeriodicLeveler:
-		return lv.ExportState(), nil
 	}
-	return nil, fmt.Errorf("sim: leveler %T cannot be checkpointed", r.leveler)
+	return r.leveler.ExportState(), nil
 }
 
 // CheckpointState captures the runner's full state as a checkpoint. The
@@ -266,8 +262,8 @@ func (r *Runner) Events() int64 { return r.events }
 // the run continues with a fresh leveler, which is exactly the
 // branch-from-checkpoint sweep — one warm-up image forked under many leveler
 // configurations. The reverse (a checkpoint with leveler state resumed into
-// a config without one) is rejected, as is a leveler-kind mismatch
-// (core.Leveler.ImportState checks the kind byte).
+// a config without one) is rejected, as is a leveler-kind mismatch (every
+// core.LevelerModule's ImportState checks the kind byte of its records).
 func ResumeState(st *checkpoint.State, cfg Config, src trace.Source) (*Runner, error) {
 	if !bytes.Equal(st.Digest, digestBytes(cfg)) {
 		return nil, fmt.Errorf("sim: checkpoint was taken under a different configuration")
@@ -296,25 +292,13 @@ func ResumeState(st *checkpoint.State, cfg Config, src trace.Source) (*Runner, e
 	if err != nil {
 		return nil, err
 	}
-	switch lv := r.leveler.(type) {
-	case nil:
-		if st.Leveler != nil {
-			return nil, fmt.Errorf("sim: checkpoint carries leveler state but the config has no leveler")
+	switch {
+	case r.leveler == nil && st.Leveler != nil:
+		return nil, fmt.Errorf("sim: checkpoint carries leveler state but the config has no leveler")
+	case r.leveler != nil && st.Leveler != nil:
+		if err := r.leveler.ImportState(st.Leveler); err != nil {
+			return nil, err
 		}
-	case *core.Leveler:
-		if st.Leveler != nil {
-			if err := lv.ImportState(st.Leveler); err != nil {
-				return nil, err
-			}
-		}
-	case *core.PeriodicLeveler:
-		if st.Leveler != nil {
-			if err := lv.ImportState(st.Leveler); err != nil {
-				return nil, err
-			}
-		}
-	default:
-		return nil, fmt.Errorf("sim: leveler %T cannot be restored", r.leveler)
 	}
 	switch {
 	case r.inj != nil && st.Injector != nil:

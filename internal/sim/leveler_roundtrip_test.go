@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"flashswl/internal/core"
+	"flashswl/internal/trace"
+)
+
+// levelerCfg builds the worst-case scenario with the named strategy attached,
+// with per-strategy knobs filled in where a strategy requires them.
+func levelerCfg(name string) Config {
+	cfg := worstCfg(FTL, true, 10)
+	cfg.Leveler = name
+	if name == "periodic" {
+		cfg.Period = 50
+	}
+	return cfg
+}
+
+// TestEveryLevelerResumesExactly is the checkpoint differential test over the
+// whole registry: for each strategy, a run broken at the midpoint and resumed
+// must match the uninterrupted run bit-for-bit in every preserved Result
+// field.
+func TestEveryLevelerResumesExactly(t *testing.T) {
+	for _, name := range core.LevelerNames() {
+		t.Run(name, func(t *testing.T) {
+			cfg := levelerCfg(name)
+			cfg.MaxEvents = 6000
+			mkSrc := func() trace.Source { return worstSource() }
+			full, err := Run(cfg, mkSrc())
+			if err != nil {
+				t.Fatalf("full run: %v", err)
+			}
+			resumed := resumeFrom(t, cfg, 2500, mkSrc)
+			requireSameResult(t, full, resumed, cfg)
+			if full.Leveler.Erases == 0 {
+				t.Fatal("strategy saw no erases; the differential covered nothing")
+			}
+		})
+	}
+}
+
+// TestRunnerRejectsUnknownLeveler pins the registry error surface.
+func TestRunnerRejectsUnknownLeveler(t *testing.T) {
+	cfg := worstCfg(FTL, true, 10)
+	cfg.Leveler = "no-such-strategy"
+	_, err := NewRunner(cfg)
+	if err == nil {
+		t.Fatal("unknown leveler name must fail construction")
+	}
+	if !strings.Contains(err.Error(), "no-such-strategy") {
+		t.Errorf("error %q does not name the unknown strategy", err)
+	}
+}
+
+// TestLevelerNameInSummary pins the strategy label the BENCH record carries,
+// which the arena leaderboard and swlstat diffs key on.
+func TestLevelerNameInSummary(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{worstCfg(FTL, false, 0), ""},
+		{worstCfg(FTL, true, 10), "swl"},
+		{levelerCfg("gap"), "gap"},
+		{levelerCfg("periodic"), "periodic"},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.LevelerName(); got != tc.want {
+			t.Errorf("LevelerName() = %q, want %q (cfg.Leveler=%q SWL=%v)",
+				got, tc.want, tc.cfg.Leveler, tc.cfg.SWL)
+		}
+	}
+	cfg := levelerCfg("dualpool")
+	cfg.MaxEvents = 500
+	res, err := Run(cfg, worstSource())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if s := Summarize("run", cfg, res); s.Leveler != "dualpool" {
+		t.Errorf("summary leveler = %q, want dualpool", s.Leveler)
+	}
+}

@@ -25,6 +25,17 @@ type observerSetter interface {
 	SetObserver(obs.EventSink)
 }
 
+// betIntrospector is satisfied by levelers built around the paper's BET
+// (core.Leveler and the SAWL wrapper forwarding to one). The BET-specific
+// invariant checks and wear-sample fields attach through it, so they follow
+// whichever registered strategy the run uses without the harness knowing
+// concrete types; strategies without a BET simply don't get them.
+type betIntrospector interface {
+	BET() *core.BET
+	Ecnt() int64
+	Unevenness() float64
+}
+
 // buildSinks assembles the runner's event fan-out from the config: the
 // episode builder first (so spans see every event of the same fan-out),
 // then the metrics sink (when Config.Metrics), the invariant checker with
@@ -116,7 +127,7 @@ func (r *Runner) registerChecks() {
 	if r.checker == nil {
 		return
 	}
-	if lv, ok := r.leveler.(*core.Leveler); ok {
+	if lv, ok := r.leveler.(betIntrospector); ok {
 		r.checker.Add("bet-fcnt-popcount", func() error {
 			if got, want := lv.BET().Fcnt(), lv.BET().Recount(); got != want {
 				return fmt.Errorf("fcnt %d, flag popcount %d", got, want)
@@ -154,7 +165,7 @@ func (r *Runner) sample() {
 		WornBlocks:  r.worn,
 		FreeBlocks:  r.layer.FreeBlocks(),
 	}
-	if lv, ok := r.leveler.(*core.Leveler); ok {
+	if lv, ok := r.leveler.(betIntrospector); ok {
 		s.Ecnt = lv.Ecnt()
 		s.Fcnt = lv.BET().Fcnt()
 		s.Unevenness = lv.Unevenness()

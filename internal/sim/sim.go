@@ -84,6 +84,14 @@ type Config struct {
 	SWL bool
 	K   int
 	T   float64
+	// Leveler names the wear-leveling strategy from the core registry
+	// ("swl", "periodic", "dualpool", "sawl", "gap", ...; see
+	// core.LevelerNames). Empty defaults to "periodic" when Periodic is
+	// set and "swl" otherwise, so existing configs keep their meaning. T
+	// parameterizes every threshold-style strategy (the unevenness level
+	// for swl/sawl, the erase-count gap for dualpool/gap) and Period the
+	// periodic baseline.
+	Leveler string
 	// Seed drives the leveler's random BET restart position.
 	Seed int64
 	// StoreData makes the chip retain page payloads (slower; tests only).
@@ -257,13 +265,26 @@ func (r *Result) CopyRatio(baseline *Result) float64 {
 	return 100 * float64(r.LiveCopies) / float64(baseline.LiveCopies)
 }
 
-// Leveler is the harness's view of a wear leveling module: the SW Leveler
-// or the periodic baseline.
-type Leveler interface {
-	OnErase(bindex int)
-	NeedsLeveling() bool
-	Level() error
-	Stats() core.Stats
+// Leveler is the harness's view of a wear leveling module. It is the full
+// core.LevelerModule contract — update, trigger test, procedure, stats, and
+// the kind-tagged state codec — so checkpoint/resume and the arena work for
+// every registered strategy without the harness switching on concrete types.
+type Leveler = core.LevelerModule
+
+// LevelerName resolves the effective strategy name of this config: the
+// explicit Config.Leveler if set, else the legacy Periodic flag's baseline,
+// else the paper's SW Leveler. It is empty when SWL is off.
+func (c Config) LevelerName() string {
+	switch {
+	case !c.SWL:
+		return ""
+	case c.Leveler != "":
+		return c.Leveler
+	case c.Periodic:
+		return "periodic"
+	default:
+		return "swl"
+	}
 }
 
 // Runner is a configured simulation bound to a chip, layer, and leveler.
@@ -401,30 +422,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 		if seed == 0 {
 			seed = 1
 		}
-		rng := core.NewSplitMix64(uint64(seed))
-		var lv Leveler
-		var err error
-		if cfg.Periodic {
-			lv, err = core.NewPeriodicLeveler(core.PeriodicConfig{
-				Blocks: cfg.Geometry.Blocks,
-				K:      cfg.K,
-				Period: cfg.Period,
-				Rand:   rng,
-			}, r.layer)
-		} else {
-			policy := core.SelectCyclic
-			if cfg.SelectRandom {
-				policy = core.SelectRandom
-			}
-			lv, err = core.NewLeveler(core.Config{
-				Blocks:    cfg.Geometry.Blocks,
-				K:         cfg.K,
-				Threshold: cfg.T,
-				Rand:      rng,
-				Select:    policy,
-				Observer:  r.sink,
-			}, r.layer)
+		policy := core.SelectCyclic
+		if cfg.SelectRandom {
+			policy = core.SelectRandom
 		}
+		lv, err := core.NewLevelerByName(cfg.LevelerName(), core.BuildConfig{
+			Blocks:    cfg.Geometry.Blocks,
+			K:         cfg.K,
+			Threshold: cfg.T,
+			Period:    cfg.Period,
+			Select:    policy,
+			Rand:      core.NewSplitMix64(uint64(seed)),
+			Observer:  r.sink,
+		}, r.layer)
 		if err != nil {
 			return nil, err
 		}

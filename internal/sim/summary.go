@@ -11,12 +11,13 @@ import "flashswl/internal/obs"
 // one run.
 func Summarize(name string, cfg Config, res *Result) obs.RunSummary {
 	s := obs.RunSummary{
-		Name:  name,
-		Layer: cfg.Layer.String(),
-		SWL:   cfg.SWL,
-		K:     cfg.K,
-		T:     cfg.T,
-		Seed:  cfg.Seed,
+		Name:    name,
+		Layer:   cfg.Layer.String(),
+		SWL:     cfg.SWL,
+		Leveler: cfg.LevelerName(),
+		K:       cfg.K,
+		T:       cfg.T,
+		Seed:    cfg.Seed,
 
 		Events:     res.Events,
 		PageWrites: res.PageWrites,
