@@ -15,6 +15,8 @@
 //	experiments -serve :8080     # live sweep progress over HTTP while the suite runs
 //	experiments -arena           # leveler tournament: every registered strategy on one trace
 //	experiments -arena -arenadir out/   # also write leaderboard.csv + per-strategy BENCH files
+//	experiments -fleet 1000      # fleet: 1000 independent devices run to first failure
+//	experiments -fleet 256 -fleetdir out/  # also write fleet_cdf.csv + BENCH_fleet.json
 //
 // Every invocation that runs simulation cells also writes a machine-readable
 // BENCH_summary.json artifact (one record per cell) for cmd/swlstat to diff
@@ -29,13 +31,14 @@ import (
 
 	"flashswl/internal/experiments"
 	"flashswl/internal/faultinject"
+	"flashswl/internal/monitor"
 	"flashswl/internal/sim"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use the miniature test scale")
 	full := flag.Bool("full", false, "use the paper's full 1 GB scale (hours of runtime)")
-	only := flag.String("only", "", "run a single experiment: tab1, tab2, tab2m, tab3, tab4, fig5, fig6, fig7")
+	only := flag.String("only", "", "run a single experiment: tab1, tab2, tab2m, tab3, tab4, fig5, fig6, fig7, fleet")
 	seed := flag.Int64("seed", 0, "override the trace/leveler seed")
 	csv := flag.Bool("csv", false, "emit figures and Table 4 as CSV rows for plotting")
 	withDFTL := flag.Bool("dftl", false, "add the demand-paged DFTL layer to Figure 5 (beyond the paper)")
@@ -47,6 +50,11 @@ func main() {
 	summaryPath := flag.String("summary", "BENCH_summary.json", "write the per-cell BENCH summary artifact here (empty = skip)")
 	arena := flag.Bool("arena", false, "run the leveler arena: every registered strategy plus a no-leveling baseline, run to failure on the same trace")
 	arenaDir := flag.String("arenadir", "", "write arena artifacts (leaderboard.csv, BENCH_arena_<strategy>.json) into this directory (needs -arena)")
+	fleetN := flag.Int("fleet", 0, "run the fleet experiment: N independent devices run to first failure, each over its own resampled trace (0 = off)")
+	fleetWorkers := flag.Int("fleetworkers", 0, "bound the fleet's concurrent device simulations (0 = NumCPU; never affects results)")
+	fleetDir := flag.String("fleetdir", "", "write fleet artifacts (fleet_cdf.csv, BENCH_fleet.json) into this directory (needs -fleet)")
+	fleetChips := flag.Int("fleetchips", 0, "build every fleet device as an array of N chips (0 = single chip)")
+	fleetStripe := flag.Bool("fleetstripe", false, "stripe the fleet devices' arrays block-interleaved instead of concatenating (needs -fleetchips)")
 	serveAddr := flag.String("serve", "", "serve live sweep progress (Prometheus /metrics, /heatmap, /progress, pprof) on this address")
 	flag.Parse()
 
@@ -72,6 +80,7 @@ func main() {
 
 	collector := experiments.NewSummaryCollector(sc.Name)
 	hooks := []func(string, sim.Config, *sim.Result){collector.CellDone}
+	var sweepSrv *monitor.Server
 	if *serveAddr != "" {
 		mon := newSweepMonitor(sc.Geometry.Blocks, sc.Endurance)
 		bound, err := mon.start(*serveAddr)
@@ -81,6 +90,7 @@ func main() {
 		fmt.Printf("monitoring: http://%s/ (metrics, heatmap, progress, pprof)\n", bound)
 		defer mon.close()
 		hooks = append(hooks, mon.cellDone)
+		sweepSrv = mon.srv
 	}
 	sc.OnCellDone = func(label string, cfg sim.Config, res *sim.Result) {
 		for _, h := range hooks {
@@ -217,6 +227,34 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("arena artifacts: %d files -> %s\n", len(names), *arenaDir)
+		}
+	}
+
+	if *fleetN > 0 && want("fleet") {
+		spec := experiments.DefaultFleetSpec(*fleetN)
+		spec.Workers = *fleetWorkers
+		spec.ArrayChips = *fleetChips
+		spec.ArrayStripe = *fleetStripe
+		if sweepSrv != nil {
+			agg := monitor.NewFleetAggregator(sweepSrv, *fleetN, sc.Endurance,
+				monitor.Label{Name: "cmd", Value: "experiments"})
+			spec.OnDeviceDone = agg.OnDeviceDone
+			spec.OnDeviceSample = agg.OnDeviceSample
+			spec.SampleEvery = -1
+		}
+		o, err := experiments.RunFleet(sc, spec)
+		if err != nil {
+			fail(err)
+		}
+		collector.AddRun(o.Summary())
+		fmt.Println("== Fleet: first-failure distribution over independent devices ==")
+		fmt.Println(experiments.FormatFleet(o))
+		if *fleetDir != "" {
+			names, err := experiments.WriteFleetArtifacts(*fleetDir, o)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("fleet artifacts: %d files -> %s\n", len(names), *fleetDir)
 		}
 	}
 

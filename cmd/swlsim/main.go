@@ -8,6 +8,7 @@
 //	swlsim -layer nftl -trace day.trace     # replay a recorded trace
 //	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
 //	swlsim -layer ftl -leveler gap -T 40    # a rival strategy from the leveler registry
+//	swlsim -array 4 -stripe -leveler global # 4-chip striped array with the cross-chip leveler
 //	swlsim -layer ftl -swl -pfail 1e-3 -efail 1e-3   # transient fault injection
 //	swlsim -layer nftl -cutafter 5000 -T 4  # power-cut/remount recovery check
 //	swlsim -layer ftl -swl -metrics out.jsonl       # JSONL event/metric stream
@@ -48,6 +49,8 @@ func main() {
 	ppb := flag.Int("ppb", 32, "pages per block")
 	pageSize := flag.Int("pagesize", 2048, "page size in bytes")
 	endurance := flag.Int("endurance", 300, "erase endurance per block")
+	arrayChips := flag.Int("array", 0, "build the device as an array of N identical chips; the geometry flags describe one chip (0 or 1 = single chip)")
+	stripeFlag := flag.Bool("stripe", false, "stripe the array block-interleaved across chips instead of concatenating (needs -array)")
 	years := flag.Float64("years", 0, "fixed simulated span in years (0 = run to first failure)")
 	maxEvents := flag.Int64("maxevents", 500_000_000, "hard event cap")
 	seed := flag.Int64("seed", 1, "seed for trace resampling and the leveler")
@@ -121,9 +124,13 @@ func main() {
 		runRecovery(geo, layer, fcfg, *endurance, *k, *threshold, *seed, *cutAfter)
 		return
 	}
+	nchips := *arrayChips
+	if nchips < 1 {
+		nchips = 1
+	}
 	spp := int64(*pageSize / 512)
-	logicalPages := int64(geo.Pages()) * 88 / 100
-	if max := int64(geo.Pages() - 6**ppb); logicalPages > max {
+	logicalPages := int64(geo.Pages()) * int64(nchips) * 88 / 100
+	if max := int64(geo.Pages()*nchips - 6**ppb); logicalPages > max {
 		logicalPages = max // tiny devices need whole blocks of slack
 	}
 	sectors := logicalPages * spp
@@ -167,6 +174,8 @@ func main() {
 		Layer:          layer,
 		LogicalSectors: sectors,
 		SWL:            *swl,
+		ArrayChips:     *arrayChips,
+		ArrayStripe:    *stripeFlag,
 		Leveler:        *leveler,
 		Period:         *period,
 		K:              *k,
@@ -281,6 +290,13 @@ func main() {
 	}
 	fmt.Printf("configuration:   %s  leveler=%s k=%d T=%g  %s endurance=%d\n",
 		layer, strategy, *k, *threshold, geo, *endurance)
+	if nchips > 1 {
+		mode := "concat"
+		if *stripeFlag {
+			mode = "striped"
+		}
+		fmt.Printf("array:           %d chips, %s layout, %d blocks total\n", nchips, mode, geo.Blocks*nchips)
+	}
 	fmt.Printf("events:          %d (%d page writes, %d page reads)\n", res.Events, res.PageWrites, res.PageReads)
 	fmt.Printf("simulated time:  %v (%.3f years)\n", res.SimTime, res.SimTime.Hours()/(24*365))
 	if res.FirstWear >= 0 {

@@ -1,11 +1,19 @@
 // Package array combines multiple NAND chips into one logical flash device
 // — the multi-bank organization of the striping architectures the paper
 // cites ([11]) and the "external devices/adaptors" its future work points
-// at. Blocks concatenate: global block b lives on chip b/perChip at local
-// index b%perChip, so a Flash Translation Layer driver (and the SW Leveler
-// above it) manages the whole array as one block address space and wear
-// levels across chips automatically. An array and its member chips are
-// owned by one goroutine, like a single chip.
+// at. Two layouts are supported. Concat maps global block b to chip
+// b/perChip at local index b%perChip, so contiguous block runs stay on one
+// chip. Striped interleaves: global block b lives on chip b%n at local index
+// b/n, spreading every contiguous run — and therefore every hot logical
+// region — across all channels, the layout real multi-channel controllers
+// use for parallelism. Either way a Flash Translation Layer driver (and the
+// wear leveler above it) manages the whole array as one block address space.
+//
+// The array keeps per-chip erase totals so cross-chip imbalance is
+// observable without per-block scans — the coarse global knowledge the
+// cross-chip leveler (core.GlobalLeveler) and the fleet heatmaps run on.
+// An array and its member chips are owned by one goroutine, like a single
+// chip.
 package array
 
 import (
@@ -14,19 +22,52 @@ import (
 	"flashswl/internal/nand"
 )
 
+// Layout selects how global block addresses map onto member chips.
+type Layout uint8
+
+const (
+	// Concat places contiguous runs of perChip blocks on each chip in
+	// order: global block b = (chip b/perChip, local b%perChip).
+	Concat Layout = iota
+	// Striped interleaves blocks round-robin across chips: global block
+	// b = (chip b%n, local b/n).
+	Striped
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Concat:
+		return "concat"
+	case Striped:
+		return "striped"
+	}
+	return fmt.Sprintf("layout(%d)", uint8(l))
+}
+
 // Array is a logical device over same-geometry chips, satisfying the
 // mtd.Chip interface. Not safe for concurrent use.
 type Array struct {
 	chips    []*nand.Chip
+	layout   Layout
 	perChip  int
 	geo      nand.Geometry
 	endlimit int
 }
 
 // New concatenates the chips, which must share an identical geometry.
-func New(chips ...*nand.Chip) (*Array, error) {
+func New(chips ...*nand.Chip) (*Array, error) { return NewWithLayout(Concat, chips...) }
+
+// NewStriped interleaves the chips, which must share an identical geometry.
+func NewStriped(chips ...*nand.Chip) (*Array, error) { return NewWithLayout(Striped, chips...) }
+
+// NewWithLayout builds an array with an explicit block layout.
+func NewWithLayout(layout Layout, chips ...*nand.Chip) (*Array, error) {
 	if len(chips) == 0 {
 		return nil, fmt.Errorf("array: no chips")
+	}
+	if layout != Concat && layout != Striped {
+		return nil, fmt.Errorf("array: unknown layout %d", uint8(layout))
 	}
 	geo := chips[0].Geometry()
 	end := chips[0].Endurance()
@@ -40,7 +81,10 @@ func New(chips ...*nand.Chip) (*Array, error) {
 	}
 	combined := geo
 	combined.Blocks = geo.Blocks * len(chips)
-	return &Array{chips: chips, perChip: geo.Blocks, geo: combined, endlimit: end}, nil
+	return &Array{
+		chips: chips, layout: layout,
+		perChip: geo.Blocks, geo: combined, endlimit: end,
+	}, nil
 }
 
 // Chips returns the number of member chips.
@@ -49,56 +93,111 @@ func (a *Array) Chips() int { return len(a.chips) }
 // Chip returns member i.
 func (a *Array) Chip(i int) *nand.Chip { return a.chips[i] }
 
+// Layout returns the block layout.
+func (a *Array) Layout() Layout { return a.layout }
+
 // Geometry returns the combined layout.
 func (a *Array) Geometry() nand.Geometry { return a.geo }
 
 // Endurance returns the weakest member's endurance.
 func (a *Array) Endurance() int { return a.endlimit }
 
-// split maps a global block to (chip, local block); out-of-range globals
-// map to chip 0 with the invalid index preserved so the member chip reports
-// the address error.
-func (a *Array) split(b int) (*nand.Chip, int) {
+// ChipOf maps a global block to its member-chip index, or -1 when the block
+// is out of range.
+func (a *Array) ChipOf(b int) int {
 	if b < 0 || b >= a.geo.Blocks {
-		return a.chips[0], -1
+		return -1
+	}
+	if a.layout == Striped {
+		return b % len(a.chips)
+	}
+	return b / a.perChip
+}
+
+// addrErr builds the array's own typed address error: an out-of-range
+// global block is the array's addressing failure, not a member chip's, so
+// it must never reach a member with a mangled local index.
+func (a *Array) addrErr(op string, b int) error {
+	return &nand.AddrError{Op: op, Block: b, Page: -1, Err: nand.ErrOutOfRange}
+}
+
+// split maps an in-range global block to (chip, local block).
+func (a *Array) split(b int) (*nand.Chip, int) {
+	if a.layout == Striped {
+		return a.chips[b%len(a.chips)], b / len(a.chips)
 	}
 	return a.chips[b/a.perChip], b % a.perChip
 }
 
 // ReadPage implements mtd.Chip.
 func (a *Array) ReadPage(b, p int, data, spare []byte) (int, error) {
+	if b < 0 || b >= a.geo.Blocks {
+		return 0, a.addrErr("array read", b)
+	}
 	c, lb := a.split(b)
 	return c.ReadPage(lb, p, data, spare)
 }
 
 // ProgramPage implements mtd.Chip.
 func (a *Array) ProgramPage(b, p int, data, spare []byte) error {
+	if b < 0 || b >= a.geo.Blocks {
+		return a.addrErr("array program", b)
+	}
 	c, lb := a.split(b)
 	return c.ProgramPage(lb, p, data, spare)
 }
 
 // EraseBlock implements mtd.Chip.
 func (a *Array) EraseBlock(b int) error {
+	if b < 0 || b >= a.geo.Blocks {
+		return a.addrErr("array erase", b)
+	}
 	c, lb := a.split(b)
 	return c.EraseBlock(lb)
 }
 
-// IsProgrammed implements mtd.Chip.
+// IsProgrammed implements mtd.Chip. Out-of-range addresses report false,
+// matching a single chip.
 func (a *Array) IsProgrammed(b, p int) bool {
+	if b < 0 || b >= a.geo.Blocks {
+		return false
+	}
 	c, lb := a.split(b)
 	return c.IsProgrammed(lb, p)
 }
 
-// EraseCount implements mtd.Chip.
+// EraseCount implements mtd.Chip. Out-of-range addresses report 0, matching
+// a single chip.
 func (a *Array) EraseCount(b int) int {
+	if b < 0 || b >= a.geo.Blocks {
+		return 0
+	}
 	c, lb := a.split(b)
 	return c.EraseCount(lb)
 }
 
-// EraseCounts appends the global per-block erase counts to dst.
+// EraseCounts appends the per-block erase counts in global block order to
+// dst — under either layout, index i of the result is global block i.
 func (a *Array) EraseCounts(dst []int) []int {
+	if a.layout == Concat {
+		for _, c := range a.chips {
+			dst = c.EraseCounts(dst)
+		}
+		return dst
+	}
+	for b := 0; b < a.geo.Blocks; b++ {
+		c, lb := a.split(b)
+		dst = append(dst, c.EraseCount(lb))
+	}
+	return dst
+}
+
+// ChipEraseTotals appends each member chip's total erase count to dst — the
+// coarse per-chip wear knowledge cross-chip leveling and fleet heatmaps
+// consume.
+func (a *Array) ChipEraseTotals(dst []int64) []int64 {
 	for _, c := range a.chips {
-		dst = c.EraseCounts(dst)
+		dst = append(dst, c.Stats().Erases)
 	}
 	return dst
 }

@@ -2,7 +2,9 @@ package array
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"flashswl/internal/core"
@@ -96,6 +98,194 @@ func TestAggregates(t *testing.T) {
 	}
 	if arr.WornBlocks() != 0 {
 		t.Errorf("WornBlocks = %d", arr.WornBlocks())
+	}
+}
+
+// TestSplitAddrError pins the fix for the silent chip-0 mapping: an
+// out-of-range global block must yield the array's own typed address error
+// carrying the global index, and no member chip may be touched.
+func TestSplitAddrError(t *testing.T) {
+	arr, a, b := twoChips(t)
+	for _, blk := range []int{-1, 16, 1 << 20} {
+		err := arr.EraseBlock(blk)
+		var ae *nand.AddrError
+		if !errors.As(err, &ae) {
+			t.Fatalf("EraseBlock(%d) = %v, want *nand.AddrError", blk, err)
+		}
+		if !errors.Is(err, nand.ErrOutOfRange) {
+			t.Errorf("EraseBlock(%d) error does not wrap ErrOutOfRange", blk)
+		}
+		if ae.Block != blk {
+			t.Errorf("EraseBlock(%d) error reports block %d, want the global index", blk, ae.Block)
+		}
+		if err := arr.ProgramPage(blk, 0, []byte{1}, nil); !errors.Is(err, nand.ErrOutOfRange) {
+			t.Errorf("ProgramPage(%d) = %v, want ErrOutOfRange", blk, err)
+		}
+		if _, err := arr.ReadPage(blk, 0, make([]byte, 4), nil); !errors.Is(err, nand.ErrOutOfRange) {
+			t.Errorf("ReadPage(%d) = %v, want ErrOutOfRange", blk, err)
+		}
+		if arr.IsProgrammed(blk, 0) {
+			t.Errorf("IsProgrammed(%d) = true for out-of-range block", blk)
+		}
+		if arr.EraseCount(blk) != 0 {
+			t.Errorf("EraseCount(%d) != 0 for out-of-range block", blk)
+		}
+	}
+	if s := a.Stats(); s.Reads != 0 || s.Programs != 0 || s.Erases != 0 {
+		t.Errorf("chip 0 touched by out-of-range addresses: %+v", s)
+	}
+	if s := b.Stats(); s.Reads != 0 || s.Programs != 0 || s.Erases != 0 {
+		t.Errorf("chip 1 touched by out-of-range addresses: %+v", s)
+	}
+}
+
+func TestChipOf(t *testing.T) {
+	mk := func() *nand.Chip {
+		return nand.New(nand.Config{Geometry: nand.Geometry{Blocks: 4, PagesPerBlock: 4, PageSize: 32, SpareSize: 16}})
+	}
+	concat, err := New(mk(), mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	striped, err := NewStriped(mk(), mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 12; b++ {
+		if got, want := concat.ChipOf(b), b/4; got != want {
+			t.Errorf("concat ChipOf(%d) = %d, want %d", b, got, want)
+		}
+		if got, want := striped.ChipOf(b), b%3; got != want {
+			t.Errorf("striped ChipOf(%d) = %d, want %d", b, got, want)
+		}
+	}
+	for _, blk := range []int{-1, 12} {
+		if concat.ChipOf(blk) != -1 || striped.ChipOf(blk) != -1 {
+			t.Errorf("ChipOf(%d) must be -1 out of range", blk)
+		}
+	}
+	if concat.Layout() != Concat || striped.Layout() != Striped {
+		t.Error("Layout accessor wrong")
+	}
+	if _, err := NewWithLayout(Layout(9), mk()); err == nil {
+		t.Error("unknown layout accepted")
+	}
+}
+
+// TestStripedMapping checks the interleaved address math and that
+// EraseCounts stays in global block order under striping.
+func TestStripedMapping(t *testing.T) {
+	mk := func() *nand.Chip {
+		return nand.New(nand.Config{
+			Geometry:  nand.Geometry{Blocks: 8, PagesPerBlock: 4, PageSize: 32, SpareSize: 16},
+			StoreData: true,
+		})
+	}
+	a, b := mk(), mk()
+	arr, err := NewStriped(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global block 5 = chip 1, local block 2 under two-way striping.
+	if err := arr.ProgramPage(5, 1, []byte{0xAB}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsProgrammed(2, 1) || a.Stats().Programs != 0 {
+		t.Error("global block 5 must land on chip 1, block 2")
+	}
+	if err := arr.EraseBlock(5); err != nil {
+		t.Fatal(err)
+	}
+	if b.EraseCount(2) != 1 || arr.EraseCount(5) != 1 {
+		t.Error("striped erase count mapping wrong")
+	}
+	counts := arr.EraseCounts(nil)
+	if len(counts) != 16 || counts[5] != 1 {
+		t.Errorf("EraseCounts = %v, want a 1 at global index 5", counts)
+	}
+	for i, c := range counts {
+		if i != 5 && c != 0 {
+			t.Errorf("EraseCounts[%d] = %d, want 0", i, c)
+		}
+	}
+	totals := arr.ChipEraseTotals(nil)
+	if !reflect.DeepEqual(totals, []int64{0, 1}) {
+		t.Errorf("ChipEraseTotals = %v, want [0 1]", totals)
+	}
+}
+
+// driveStack runs the same FTL + SW Leveler workload over any mtd.Chip and
+// returns the global erase histogram.
+func driveStack(t *testing.T, chip mtd.Chip, blocks int, seed int64) []int {
+	t.Helper()
+	dev := mtd.New(chip)
+	drv, err := ftl.New(dev, ftl.Config{LogicalPages: 2 * blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := core.NewLeveler(core.Config{Blocks: blocks, K: 0, Threshold: 4}, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.SetOnErase(lv.OnErase)
+	rng := rand.New(rand.NewSource(seed))
+	payload := bytes.Repeat([]byte{0x5A}, 32)
+	for lpn := 8; lpn < 2*blocks; lpn++ {
+		if err := drv.WritePage(lpn, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		if err := drv.WritePage(rng.Intn(8), payload); err != nil {
+			t.Fatal(err)
+		}
+		if lv.NeedsLeveling() {
+			if err := lv.Level(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var hist []int
+	switch c := chip.(type) {
+	case *nand.Chip:
+		hist = c.EraseCounts(nil)
+	case *Array:
+		hist = c.EraseCounts(nil)
+	default:
+		t.Fatalf("unexpected chip type %T", chip)
+	}
+	return hist
+}
+
+// TestArrayEqualsSingleChip is the differential guard on array semantics: a
+// 4-chip array — concatenated or striped — must behave exactly like one
+// chip with 4x the blocks under an identical trace and seed, producing an
+// identical global erase histogram. Striping is a pure address permutation
+// of independent identical chips, so it cannot alter global behavior.
+func TestArrayEqualsSingleChip(t *testing.T) {
+	const perChip, chips, seed = 8, 4, 77
+	geo := nand.Geometry{Blocks: perChip, PagesPerBlock: 4, PageSize: 32, SpareSize: 16}
+	mkChip := func(blocks int) *nand.Chip {
+		g := geo
+		g.Blocks = blocks
+		return nand.New(nand.Config{Geometry: g, StoreData: true})
+	}
+	single := driveStack(t, mkChip(perChip*chips), perChip*chips, seed)
+
+	for _, layout := range []Layout{Concat, Striped} {
+		members := make([]*nand.Chip, chips)
+		for i := range members {
+			members[i] = mkChip(perChip)
+		}
+		arr, err := NewWithLayout(layout, members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := driveStack(t, arr, perChip*chips, seed)
+		if !reflect.DeepEqual(got, single) {
+			t.Errorf("%v array erase histogram differs from single chip:\n got %v\nwant %v",
+				layout, got, single)
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ const (
 	secInjector = 5 // fault-injector SaveState record (absent without faults)
 	secTrace    = 6 // trace.Seekable SaveState record
 	secCounters = 7 // harness counters (sim-owned encoding)
+	secDevice   = 8 // one fleet member device's result record (repeated; fleet-owned encoding)
 )
 
 // ErrBadCheckpoint reports an undecodable or corrupt checkpoint file.
@@ -49,7 +50,11 @@ var ErrBadCheckpoint = errors.New("checkpoint: bad checkpoint file")
 
 // State is a decoded checkpoint: one blob per section. Leveler and Injector
 // are nil when their section is absent (a run without the SW Leveler or
-// without a fault schedule); the other sections are always present.
+// without a fault schedule). A single-run checkpoint always carries Digest,
+// Chip, Layer, Trace, and Counters. A fleet checkpoint instead carries
+// Digest, Counters, and one Devices entry per completed member device, in
+// device order — the repeated secDevice section, exempt from the
+// duplicate-section check.
 type State struct {
 	Digest   []byte
 	Chip     []byte
@@ -58,6 +63,7 @@ type State struct {
 	Injector []byte
 	Trace    []byte
 	Counters []byte
+	Devices  [][]byte
 }
 
 // Encode serializes the state into the container format: magic, version, a
@@ -70,12 +76,27 @@ func Encode(st *State) []byte {
 		kind uint32
 		data []byte
 	}
-	secs := []sec{
-		{secDigest, st.Digest},
-		{secChip, st.Chip},
-		{secLayer, st.Layer},
-		{secTrace, st.Trace},
-		{secCounters, st.Counters},
+	var secs []sec
+	if st.Devices == nil {
+		// Single-run shape: the full stack, in the order readers have
+		// always seen.
+		secs = []sec{
+			{secDigest, st.Digest},
+			{secChip, st.Chip},
+			{secLayer, st.Layer},
+			{secTrace, st.Trace},
+			{secCounters, st.Counters},
+		}
+	} else {
+		// Fleet shape: digest, counters, then one section per completed
+		// device in device order.
+		secs = []sec{
+			{secDigest, st.Digest},
+			{secCounters, st.Counters},
+		}
+		for _, d := range st.Devices {
+			secs = append(secs, sec{secDevice, d})
+		}
 	}
 	if st.Leveler != nil {
 		secs = append(secs, sec{secLeveler, st.Leveler})
@@ -134,7 +155,7 @@ func Decode(data []byte) (*State, error) {
 		if r.Err() != nil {
 			break
 		}
-		if seen[kind] {
+		if seen[kind] && kind != secDevice {
 			return nil, fmt.Errorf("%w: duplicate section %d", ErrBadCheckpoint, kind)
 		}
 		seen[kind] = true
@@ -158,6 +179,8 @@ func Decode(data []byte) (*State, error) {
 			st.Trace = b
 		case secCounters:
 			st.Counters = b
+		case secDevice:
+			st.Devices = append(st.Devices, b)
 		default:
 			// Unknown kind from a newer writer: skip.
 		}
@@ -165,16 +188,26 @@ func Decode(data []byte) (*State, error) {
 	if err := r.Close(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	for _, req := range []struct {
+	required := []struct {
 		kind uint32
 		name string
 	}{
 		{secDigest, "digest"},
-		{secChip, "chip image"},
-		{secLayer, "layer state"},
-		{secTrace, "trace position"},
 		{secCounters, "counters"},
-	} {
+	}
+	if st.Devices == nil {
+		// A fleet-shaped file carries its whole stack inside the device
+		// sections; only single-run files require the per-component ones.
+		required = append(required, []struct {
+			kind uint32
+			name string
+		}{
+			{secChip, "chip image"},
+			{secLayer, "layer state"},
+			{secTrace, "trace position"},
+		}...)
+	}
+	for _, req := range required {
 		if !seen[req.kind] {
 			return nil, fmt.Errorf("%w: missing %s section", ErrBadCheckpoint, req.name)
 		}

@@ -32,6 +32,8 @@ const (
 	KindSAWL LevelerKind = 3
 	// KindGap is the max-min erase-gap trigger (GapLeveler).
 	KindGap LevelerKind = 4
+	// KindGlobal is the cross-chip global leveler (GlobalLeveler).
+	KindGlobal LevelerKind = 5
 )
 
 // String names the kind.
@@ -47,6 +49,8 @@ func (k LevelerKind) String() string {
 		return "sawl"
 	case KindGap:
 		return "gap"
+	case KindGlobal:
+		return "global"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -83,6 +87,7 @@ var (
 	_ LevelerModule = (*DualPoolLeveler)(nil)
 	_ LevelerModule = (*SAWLLeveler)(nil)
 	_ LevelerModule = (*GapLeveler)(nil)
+	_ LevelerModule = (*GlobalLeveler)(nil)
 )
 
 // Kind identifies the SW Leveler's state records.
@@ -126,6 +131,13 @@ type BuildConfig struct {
 	// Rand seeds strategies that use randomness; nil falls back to each
 	// strategy's fixed-seed private generator.
 	Rand *SplitMix64
+	// Chips is the member-chip count of the hosting device, for strategies
+	// aware of multi-chip layout (the global leveler). Zero or one means a
+	// single chip.
+	Chips int
+	// Interleave reports that the hosting array stripes global block b onto
+	// chip b%Chips rather than concatenating contiguous runs.
+	Interleave bool
 	// Observer receives the strategy's leveling events and episode spans;
 	// nil for zero overhead.
 	Observer obs.EventSink
@@ -235,6 +247,20 @@ func init() {
 			return NewSAWLLeveler(SAWLConfig{
 				Blocks: cfg.Blocks, K: cfg.K, BaseThreshold: cfg.Threshold,
 				Rand: cfg.Rand, Select: cfg.Select, Exclude: cfg.Exclude,
+				Observer: cfg.Observer,
+			}, cleaner)
+		},
+	})
+	RegisterLeveler(LevelerSpec{
+		Name: "global", Kind: KindGlobal,
+		Doc: "cross-chip leveler: recycle cold sets on the coldest bank when the per-bank mean erase gap exceeds T",
+		Build: func(cfg BuildConfig, cleaner Cleaner) (LevelerModule, error) {
+			if len(cfg.Exclude) > 0 {
+				return nil, fmt.Errorf("core: the global leveler does not support exclusions")
+			}
+			return NewGlobalLeveler(GlobalConfig{
+				Blocks: cfg.Blocks, K: cfg.K, Threshold: cfg.Threshold,
+				Chips: cfg.Chips, Interleave: cfg.Interleave,
 				Observer: cfg.Observer,
 			}, cleaner)
 		},

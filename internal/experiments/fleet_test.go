@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"flashswl/internal/fleet"
+)
+
+// TestFleetCDFGolden pins the 64-device quick-scale first-failure CDF byte
+// for byte.
+func TestFleetCDFGolden(t *testing.T) {
+	o, err := RunFleet(QuickScale(), DefaultFleetSpec(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Res.Failed() == 0 {
+		t.Fatal("no device failed at quick scale; the CDF is vacuous")
+	}
+	checkGolden(t, "fleet_cdf_ftl_quick_64.csv", o.Res.CDFCSV())
+}
+
+// TestFleetCDFGolden256 pins the artifact the CI fleet smoke step diffs:
+// `experiments -quick -only fleet -fleet 256` must reproduce this file.
+func TestFleetCDFGolden256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-device fleet is not short")
+	}
+	o, err := RunFleet(QuickScale(), DefaultFleetSpec(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleet_cdf_ftl_quick_256.csv", o.Res.CDFCSV())
+}
+
+// TestFleetDeterministicAcrossWorkers: the experiment wrapper preserves the
+// fleet package's worker-count independence.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	spec := DefaultFleetSpec(16)
+	spec.Workers = 1
+	a, err := RunFleet(QuickScale(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 5
+	b, err := RunFleet(QuickScale(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Res.CDFCSV() != b.Res.CDFCSV() {
+		t.Fatal("fleet CDF differs across worker counts")
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatal("fleet summary differs across worker counts")
+	}
+}
+
+// TestFleetSummary checks the aggregate BENCH record's shape.
+func TestFleetSummary(t *testing.T) {
+	o, err := RunFleet(QuickScale(), DefaultFleetSpec(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Summary()
+	if s.Name != "fleet/FTL/d16" {
+		t.Errorf("label %q", s.Name)
+	}
+	if s.Leveler == "" {
+		t.Error("summary lost the leveler name")
+	}
+	if o.Res.Failed() > 0 && s.FirstWearHours < 0 {
+		t.Error("failures present but no median first wear")
+	}
+	var erases int64
+	for i := range o.Res.Devices {
+		erases += o.Res.Devices[i].Erases
+	}
+	if s.Erases != erases {
+		t.Errorf("summary erases %d, want fleet total %d", s.Erases, erases)
+	}
+	if s.MaxErase <= 0 || s.MinErase < 0 || s.MinErase > s.MaxErase {
+		t.Errorf("erase bounds wrong: min %d max %d", s.MinErase, s.MaxErase)
+	}
+}
+
+// TestFleetArtifacts writes the artifact set and checks the files land.
+func TestFleetArtifacts(t *testing.T) {
+	o, err := RunFleet(QuickScale(), DefaultFleetSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	names, err := WriteFleetArtifacts(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("wrote %v", names)
+	}
+	if !strings.Contains(FormatFleet(o), "fleet: 8 × FTL devices") {
+		t.Errorf("FormatFleet: %q", FormatFleet(o))
+	}
+}
+
+// TestFleetHooksForwarded: the spec's per-device hooks reach the fleet.
+func TestFleetHooksForwarded(t *testing.T) {
+	spec := DefaultFleetSpec(4)
+	ndone := 0
+	spec.OnDeviceDone = func(fleet.DeviceResult) { ndone++ } // collector is serial
+	if _, err := RunFleet(QuickScale(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if ndone != 4 {
+		t.Errorf("OnDeviceDone fired %d times, want 4", ndone)
+	}
+}

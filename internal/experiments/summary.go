@@ -33,6 +33,19 @@ func (c *SummaryCollector) CellDone(label string, cfg sim.Config, res *sim.Resul
 	c.b.Add(run)
 }
 
+// AddRun records an externally assembled run record — e.g. the fleet cell,
+// which aggregates many simulations into one record and so never passes
+// through CellDone. The same replace-on-repeat rule applies.
+func (c *SummaryCollector) AddRun(run obs.RunSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev := c.b.Run(run.Name); prev != nil {
+		*prev = run
+		return
+	}
+	c.b.Add(run)
+}
+
 // Summary returns the collected artifact, sorted by run name so repeated
 // sweeps encode byte-identically regardless of worker scheduling.
 func (c *SummaryCollector) Summary() *obs.BenchSummary {

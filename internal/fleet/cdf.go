@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The first-failure CDF: the fleet-level endurance claim. Each device
+// contributes one point — the simulated time its first block wore out — and
+// the CDF reports what fraction of the fleet has failed by a given age.
+// Devices that survived their run appear after every failure, flagged, so
+// the artifact still accounts for the whole fleet.
+
+// CDFRow is one device's point on the first-failure distribution.
+type CDFRow struct {
+	Rank     int
+	Fraction float64 // failed fraction of the fleet up to and including this row
+	Years    float64 // first failure time; the run horizon for survivors
+	Device   int
+	Survived bool
+}
+
+// CDF orders the fleet's devices into the first-failure distribution:
+// failures by (first wear time, device index), then survivors by device
+// index. Fraction counts failures only, so a fleet with survivors tops out
+// below 1.
+func (r *Result) CDF() []CDFRow {
+	rows := make([]CDFRow, 0, len(r.Devices))
+	for i := range r.Devices {
+		d := &r.Devices[i]
+		rows = append(rows, CDFRow{
+			Years:    d.FirstWearYears(),
+			Device:   d.Device,
+			Survived: d.FirstWear < 0,
+		})
+		if d.FirstWear < 0 {
+			rows[len(rows)-1].Years = d.SimTime.Hours() / (24 * 365)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Survived != rows[j].Survived {
+			return !rows[i].Survived
+		}
+		if rows[i].Survived {
+			return rows[i].Device < rows[j].Device
+		}
+		if rows[i].Years != rows[j].Years {
+			return rows[i].Years < rows[j].Years
+		}
+		return rows[i].Device < rows[j].Device
+	})
+	failed := 0
+	for i := range rows {
+		rows[i].Rank = i + 1
+		if !rows[i].Survived {
+			failed++
+		}
+		rows[i].Fraction = float64(failed) / float64(len(rows))
+	}
+	return rows
+}
+
+// CDFCSV renders the distribution as a deterministic CSV artifact (golden-
+// and CI-diffed; byte-identical across worker counts by construction).
+func (r *Result) CDFCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fleet first-failure CDF: %d devices, %d failed\n", len(r.Devices), r.Failed())
+	b.WriteString("rank,fraction,first_wear_years,device,survived\n")
+	for _, row := range r.CDF() {
+		fmt.Fprintf(&b, "%d,%.6g,%.6g,%d,%v\n", row.Rank, row.Fraction, row.Years, row.Device, row.Survived)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"flashswl/internal/checkpoint"
+	"flashswl/internal/sim"
+	"flashswl/internal/wire"
+)
+
+// Fleet checkpointing: the internal/checkpoint container in its fleet shape
+// — a fleet digest, a counters record, and one repeated device section per
+// completed device. A device's full stack is never serialized: a device
+// either finished (its DeviceResult is in the file) or it is re-simulated
+// from scratch on resume, which the per-device seeding makes exact.
+
+// fleetDigestVersion versions the fleet digest record.
+const fleetDigestVersion = 1
+
+// fleetCountersVersion versions the fleet counters record.
+const fleetCountersVersion = 1
+
+// deviceRecordVersion versions the per-device result record.
+const deviceRecordVersion = 1
+
+// digestBytes binds a checkpoint to the run shape: fleet size, fleet seed,
+// and the per-device configuration digest (sim.ConfigDigest of the
+// template). Worker counts and checkpoint cadence are excluded — they do
+// not shape results.
+func digestBytes(cfg *Config) []byte {
+	w := wire.NewWriter()
+	w.U8(fleetDigestVersion)
+	w.U32(uint32(cfg.Devices))
+	w.I64(cfg.Seed)
+	w.Blob(sim.ConfigDigest(cfg.Template))
+	return w.Bytes()
+}
+
+// countersBytes records fleet-level progress.
+func countersBytes(ncompleted int) []byte {
+	w := wire.NewWriter()
+	w.U8(fleetCountersVersion)
+	w.U32(uint32(ncompleted))
+	return w.Bytes()
+}
+
+// deviceBytes serializes one completed device's result.
+func deviceBytes(d *DeviceResult) []byte {
+	w := wire.NewWriter()
+	w.U8(deviceRecordVersion)
+	w.U32(uint32(d.Device))
+	w.I64(d.Seed)
+	w.I64(int64(d.FirstWear))
+	w.I64(int64(d.SimTime))
+	w.I64(d.Events)
+	w.I64(d.PageWrites)
+	w.I64(d.PageReads)
+	w.I64(d.Erases)
+	w.I64(d.LiveCopies)
+	w.F64(d.MeanErase)
+	w.F64(d.StdDevErase)
+	w.I32(int32(d.MinErase))
+	w.I32(int32(d.MaxErase))
+	w.I32(int32(d.WornBlocks))
+	w.Blob([]byte(d.Err))
+	return w.Bytes()
+}
+
+// decodeDevice parses one device record.
+func decodeDevice(data []byte) (DeviceResult, error) {
+	var d DeviceResult
+	r := wire.NewReader(data)
+	if v := r.U8(); v != deviceRecordVersion && r.Err() == nil {
+		return d, fmt.Errorf("fleet: device record version %d unsupported", v)
+	}
+	d.Device = int(r.U32())
+	d.Seed = r.I64()
+	d.FirstWear = time.Duration(r.I64())
+	d.SimTime = time.Duration(r.I64())
+	d.Events = r.I64()
+	d.PageWrites = r.I64()
+	d.PageReads = r.I64()
+	d.Erases = r.I64()
+	d.LiveCopies = r.I64()
+	d.MeanErase = r.F64()
+	d.StdDevErase = r.F64()
+	d.MinErase = int(r.I32())
+	d.MaxErase = int(r.I32())
+	d.WornBlocks = int(r.I32())
+	d.Err = string(r.Blob())
+	if err := r.Close(); err != nil {
+		return d, fmt.Errorf("fleet: device record: %w", err)
+	}
+	return d, nil
+}
+
+// checkpointState assembles the container state from the completed devices.
+func checkpointState(cfg *Config, results []DeviceResult, have []bool) *checkpoint.State {
+	st := &checkpoint.State{
+		Digest:  digestBytes(cfg),
+		Devices: [][]byte{},
+	}
+	n := 0
+	for dev := range results {
+		if !have[dev] {
+			continue
+		}
+		st.Devices = append(st.Devices, deviceBytes(&results[dev]))
+		n++
+	}
+	st.Counters = countersBytes(n)
+	return st
+}
+
+// writeCheckpointFile writes the fleet checkpoint atomically (temp file +
+// rename), like the single-run checkpointer.
+func writeCheckpointFile(cfg *Config, results []DeviceResult, have []bool) error {
+	st := checkpointState(cfg, results, have)
+	tmp := cfg.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := checkpoint.Write(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, cfg.CheckpointPath)
+}
+
+// Resume continues a fleet from the checkpoint at cfg.CheckpointPath:
+// devices recorded there are taken as-is, every other device is simulated
+// from scratch (per-device seeding makes the rerun exact). The checkpoint's
+// digest must match cfg. The finished Result is identical to an
+// uninterrupted Run's.
+func Resume(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("fleet: Resume needs CheckpointPath")
+	}
+	f, err := os.Open(cfg.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	st, err := checkpoint.Read(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if st.Devices == nil {
+		return nil, fmt.Errorf("fleet: %s is not a fleet checkpoint", cfg.CheckpointPath)
+	}
+	if !bytes.Equal(st.Digest, digestBytes(&cfg)) {
+		return nil, fmt.Errorf("fleet: checkpoint was taken under a different fleet configuration")
+	}
+	done := make(map[int]DeviceResult, len(st.Devices))
+	for _, rec := range st.Devices {
+		d, err := decodeDevice(rec)
+		if err != nil {
+			return nil, err
+		}
+		if d.Device < 0 || d.Device >= cfg.Devices {
+			return nil, fmt.Errorf("fleet: checkpoint device %d outside fleet of %d", d.Device, cfg.Devices)
+		}
+		if _, dup := done[d.Device]; dup {
+			return nil, fmt.Errorf("fleet: checkpoint carries device %d twice", d.Device)
+		}
+		done[d.Device] = d
+	}
+	return run(cfg, done)
+}

@@ -1,0 +1,288 @@
+// Package fleet simulates a fleet of independent flash devices — the
+// millions-of-users scale story: N devices, each a full chip/array + FTL +
+// leveler stack driven by its own trace, run concurrently by a worker pool.
+//
+// Concurrency and determinism contract: each worker goroutine constructs the
+// complete device stack (chip, driver, leveler, trace source) inside itself,
+// so no chip or driver ever crosses a goroutine — the same single-goroutine
+// chip contract swlint enforces everywhere else. Every device derives its
+// seed from the fleet seed and its own index, and results are merged in
+// device order, so the merged Result (and everything rendered from it) is
+// byte-identical regardless of worker count, GOMAXPROCS, or completion
+// order. Nothing in this package reads the wall clock.
+//
+// A fleet run is checkpointable through the internal/checkpoint container:
+// one repeated device section per completed device, so an interrupted fleet
+// resumes by re-simulating only the devices that had not finished. See
+// checkpoint.go.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"flashswl/internal/core"
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+	"flashswl/internal/trace"
+)
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Devices is the fleet size.
+	Devices int
+	// Workers bounds the concurrent device simulations; 0 means
+	// min(NumCPU, Devices). Worker count never affects results, only wall
+	// time.
+	Workers int
+	// Template is the per-device simulation configuration. The fleet copies
+	// it for each device and overrides Seed with the device seed. Per-run
+	// plumbing that cannot be shared across goroutines (Sink, OnSample,
+	// OnEpisode, checkpoint settings) must be unset; use OnDeviceSample for
+	// live per-device progress.
+	Template sim.Config
+	// Source builds device dev's trace source, called inside that device's
+	// worker goroutine with the device's derived seed. It must be safe to
+	// call concurrently and must not share mutable state between devices.
+	Source func(dev int, seed int64) trace.Source
+	// Seed is the fleet seed every device seed derives from.
+	Seed int64
+	// OnDeviceDone, when non-nil, receives each device's result as it
+	// completes. It is called from the collector (the goroutine running
+	// Run), serially, in completion order — not device order.
+	OnDeviceDone func(res DeviceResult)
+	// OnDeviceSample, when non-nil, receives live wear samples
+	// (Template.SampleEvery controls cadence). It is called concurrently
+	// from worker goroutines and must be safe for concurrent use.
+	OnDeviceSample func(dev int, s obs.WearSample)
+	// CheckpointPath, when set, is where the fleet checkpoint is written:
+	// atomically after every CheckpointEvery completed devices and once at
+	// the end. Resume (re)runs only the devices the checkpoint lacks.
+	CheckpointPath string
+	// CheckpointEvery is the completed-device interval between checkpoint
+	// writes (0 = only at the end).
+	CheckpointEvery int
+}
+
+// DeviceResult is one device's merged-down outcome: pure simulation
+// numbers, no wall-clock, so fleets merge deterministically.
+type DeviceResult struct {
+	// Device is the index in the fleet; Seed the derived simulation seed.
+	Device int
+	Seed   int64
+	// FirstWear is the simulated time of the device's first block wear-out,
+	// <0 when it survived the run.
+	FirstWear time.Duration
+	SimTime   time.Duration
+	// Trace-driven work and cleaner counters, as in sim.Result.
+	Events     int64
+	PageWrites int64
+	PageReads  int64
+	Erases     int64
+	LiveCopies int64
+	// Erase-distribution summary and wear state at the end of the run.
+	MeanErase   float64
+	StdDevErase float64
+	MinErase    int
+	MaxErase    int
+	WornBlocks  int
+	// Err records a layer failure that ended the device's run early
+	// (empty for a clean end). The partial numbers are still valid.
+	Err string
+}
+
+// FirstWearYears converts the first failure time to years, 0 when the
+// device survived.
+func (d *DeviceResult) FirstWearYears() float64 {
+	if d.FirstWear < 0 {
+		return 0
+	}
+	return d.FirstWear.Hours() / (24 * 365)
+}
+
+// Result is a finished fleet run: one entry per device, in device order.
+type Result struct {
+	Devices []DeviceResult
+}
+
+// Failed counts devices whose first wear-out happened before the run ended.
+func (r *Result) Failed() int {
+	n := 0
+	for i := range r.Devices {
+		if r.Devices[i].FirstWear >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// deviceSeed derives device dev's simulation seed from the fleet seed: one
+// SplitMix64 step per device, keyed by index, so seeds are decorrelated and
+// reproducible without any shared generator state.
+func deviceSeed(fleetSeed int64, dev int) int64 {
+	g := core.NewSplitMix64(uint64(fleetSeed) + 0x9E3779B97F4A7C15*uint64(dev+1))
+	// Keep the seed positive: sim.Config treats 0 as "default", and the
+	// derived seed must never collapse to it.
+	return int64(g.Uint64()>>1) | 1
+}
+
+// validate rejects configurations the fleet cannot run deterministically.
+func (cfg *Config) validate() error {
+	if cfg.Devices <= 0 {
+		return fmt.Errorf("fleet: needs a positive device count, got %d", cfg.Devices)
+	}
+	if cfg.Source == nil {
+		return fmt.Errorf("fleet: needs a Source builder")
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("fleet: negative worker count %d", cfg.Workers)
+	}
+	t := &cfg.Template
+	if t.Sink != nil || t.OnSample != nil || t.OnEpisode != nil {
+		return fmt.Errorf("fleet: template carries per-run observability hooks; use OnDeviceSample")
+	}
+	if t.CheckpointPath != "" || t.CheckpointEvery != 0 || t.CheckpointRequested != nil {
+		return fmt.Errorf("fleet: template carries per-run checkpoint settings; use Config.CheckpointPath")
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("fleet: negative CheckpointEvery %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
+		return fmt.Errorf("fleet: CheckpointEvery without CheckpointPath")
+	}
+	return nil
+}
+
+// runDevice simulates one device from scratch, building the whole stack
+// inside the calling (worker) goroutine.
+func runDevice(cfg *Config, dev int) (DeviceResult, error) {
+	seed := deviceSeed(cfg.Seed, dev)
+	simCfg := cfg.Template
+	simCfg.Seed = seed
+	if cfg.OnDeviceSample != nil {
+		hook := cfg.OnDeviceSample
+		simCfg.OnSample = func(s obs.WearSample) { hook(dev, s) }
+		if simCfg.SampleEvery == 0 {
+			simCfg.SampleEvery = -1 // default cadence when the caller wants samples
+		}
+	}
+	res, err := sim.Run(simCfg, cfg.Source(dev, seed))
+	if err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: device %d: %w", dev, err)
+	}
+	d := DeviceResult{
+		Device:      dev,
+		Seed:        seed,
+		FirstWear:   res.FirstWear,
+		SimTime:     res.SimTime,
+		Events:      res.Events,
+		PageWrites:  res.PageWrites,
+		PageReads:   res.PageReads,
+		Erases:      res.Erases,
+		LiveCopies:  res.LiveCopies,
+		MeanErase:   res.EraseStats.Mean(),
+		StdDevErase: res.EraseStats.StdDev(),
+		MinErase:    int(res.EraseStats.Min()),
+		MaxErase:    int(res.EraseStats.Max()),
+		WornBlocks:  res.WornBlocks,
+	}
+	if res.Err != nil {
+		d.Err = res.Err.Error()
+	}
+	return d, nil
+}
+
+// Run simulates the fleet and returns the device results in device order.
+// With CheckpointPath set the checkpoint file is (re)written as devices
+// complete; use Resume to continue an interrupted fleet from one.
+func Run(cfg Config) (*Result, error) {
+	return run(cfg, nil)
+}
+
+// run executes every device not already present in done (a resume's
+// prior results, indexed by device; nil for a fresh run).
+func run(cfg Config, done map[int]DeviceResult) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.Devices {
+		workers = cfg.Devices
+	}
+
+	results := make([]DeviceResult, cfg.Devices)
+	have := make([]bool, cfg.Devices)
+	pending := make([]int, 0, cfg.Devices)
+	for dev := 0; dev < cfg.Devices; dev++ {
+		if prior, ok := done[dev]; ok {
+			results[dev] = prior
+			have[dev] = true
+			continue
+		}
+		pending = append(pending, dev)
+	}
+
+	type outcome struct {
+		res DeviceResult
+		err error
+	}
+	jobs := make(chan int)
+	out := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dev := range jobs {
+				res, err := runDevice(&cfg, dev)
+				out <- outcome{res, err}
+			}
+		}()
+	}
+	go func() {
+		for _, dev := range pending {
+			jobs <- dev
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+
+	// Collect serially: OnDeviceDone and checkpoint writes happen on this
+	// goroutine only.
+	var firstErr error
+	ncompleted := 0
+	for oc := range out {
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			continue
+		}
+		results[oc.res.Device] = oc.res
+		have[oc.res.Device] = true
+		ncompleted++
+		if cfg.OnDeviceDone != nil {
+			cfg.OnDeviceDone(oc.res)
+		}
+		if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 && ncompleted%cfg.CheckpointEvery == 0 {
+			if err := writeCheckpointFile(&cfg, results, have); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if cfg.CheckpointPath != "" {
+		if err := writeCheckpointFile(&cfg, results, have); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Devices: results}, nil
+}

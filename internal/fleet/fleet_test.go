@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashswl/internal/nand"
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+	"flashswl/internal/trace"
+	"flashswl/internal/workload"
+)
+
+// testTemplate is a miniature per-device configuration: a 64-block device
+// with endurance low enough that most devices wear out within the event
+// budget, so the first-failure CDF has real content.
+func testTemplate() sim.Config {
+	return sim.Config{
+		Geometry:        nand.Geometry{Blocks: 64, PagesPerBlock: 8, PageSize: 512, SpareSize: 16},
+		Endurance:       40,
+		Layer:           sim.FTL,
+		LogicalSectors:  400,
+		SWL:             true,
+		K:               0,
+		T:               4,
+		NoSpare:         true,
+		StopOnFirstWear: true,
+		MaxEvents:       30_000,
+	}
+}
+
+// testSource gives every device its own trace: the paper workload model
+// resampled from the device seed.
+func testSource(dev int, seed int64) trace.Source {
+	m := workload.PaperScaled(400)
+	m.Duration = time.Hour
+	m.FillSegments = 2
+	return m.Infinite(seed)
+}
+
+func testConfig(devices, workers int) Config {
+	return Config{
+		Devices:  devices,
+		Workers:  workers,
+		Template: testTemplate(),
+		Source:   testSource,
+		Seed:     7,
+	}
+}
+
+// TestFleetDeterminism is the fleet's core promise: the same 64-device fleet
+// run at worker counts 1, 4, and NumCPU yields byte-identical merged results
+// and CDF artifacts.
+func TestFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet determinism sweep is not short")
+	}
+	var base *Result
+	var baseCSV string
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		res, err := Run(testConfig(64, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		csv := res.CDFCSV()
+		if base == nil {
+			base, baseCSV = res, csv
+			if res.Failed() == 0 {
+				t.Fatal("no device failed; the CDF test is vacuous")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: merged results differ from workers=1", workers)
+		}
+		if csv != baseCSV {
+			t.Fatalf("workers=%d: CDF CSV differs from workers=1", workers)
+		}
+	}
+}
+
+// TestDeviceSeedStable pins the seed derivation: fleet checkpoints record
+// per-device seeds, so changing the derivation would silently invalidate
+// resume. Update these constants only with a checkpoint version bump.
+func TestDeviceSeedStable(t *testing.T) {
+	want := map[int]int64{
+		0: 154844686297477903,
+		1: 8308050873407804673,
+		9: 955171922480135541,
+	}
+	for dev, wantSeed := range want {
+		if got := deviceSeed(7, dev); got != wantSeed {
+			t.Errorf("deviceSeed(7, %d) = %d, want %d", dev, got, wantSeed)
+		}
+	}
+	seen := map[int64]int{}
+	for dev := 0; dev < 1000; dev++ {
+		s := deviceSeed(7, dev)
+		if s <= 0 {
+			t.Fatalf("device %d: non-positive seed %d", dev, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("devices %d and %d share seed %d", prev, dev, s)
+		}
+		seen[s] = dev
+	}
+}
+
+// TestFleetResume: a checkpoint holding only part of the fleet resumes into
+// exactly the result an uninterrupted run produces.
+func TestFleetResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.ckpt")
+
+	full, err := Run(testConfig(12, 4))
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+
+	// Fabricate a mid-run checkpoint: the first 5 devices done, rest pending.
+	cfg := testConfig(12, 4)
+	cfg.CheckpointPath = path
+	have := make([]bool, 12)
+	for dev := 0; dev < 5; dev++ {
+		have[dev] = true
+	}
+	if err := writeCheckpointFile(&cfg, full.Devices, have); err != nil {
+		t.Fatalf("write partial checkpoint: %v", err)
+	}
+
+	resumed, err := Resume(cfg)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatal("resumed fleet differs from uninterrupted run")
+	}
+
+	// The final checkpoint written by the resumed run must now resume
+	// instantly (all devices present) to the same result again.
+	again, err := Resume(cfg)
+	if err != nil {
+		t.Fatalf("Resume from complete checkpoint: %v", err)
+	}
+	if !reflect.DeepEqual(full, again) {
+		t.Fatal("resume from complete checkpoint changed results")
+	}
+}
+
+// TestFleetCheckpointCadence: CheckpointEvery writes checkpoints during the
+// run and the final file carries the whole fleet.
+func TestFleetCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.ckpt")
+	cfg := testConfig(8, 2)
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	resumed, err := Resume(cfg)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !reflect.DeepEqual(res, resumed) {
+		t.Fatal("final checkpoint does not reproduce the run")
+	}
+}
+
+// TestFleetResumeRejectsOtherConfig: the digest binds the checkpoint to the
+// fleet shape.
+func TestFleetResumeRejectsOtherConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.ckpt")
+	cfg := testConfig(4, 2)
+	cfg.CheckpointPath = path
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	other := cfg
+	other.Devices = 5
+	if _, err := Resume(other); err == nil || !strings.Contains(err.Error(), "different fleet configuration") {
+		t.Fatalf("resume with different fleet size: %v", err)
+	}
+	other = cfg
+	other.Seed++
+	if _, err := Resume(other); err == nil || !strings.Contains(err.Error(), "different fleet configuration") {
+		t.Fatalf("resume with different seed: %v", err)
+	}
+	other = cfg
+	other.Template.Endurance++
+	if _, err := Resume(other); err == nil || !strings.Contains(err.Error(), "different fleet configuration") {
+		t.Fatalf("resume with different template: %v", err)
+	}
+	// Worker count does not shape results and must not invalidate the file.
+	other = cfg
+	other.Workers = 1
+	if _, err := Resume(other); err != nil {
+		t.Fatalf("resume with different worker count rejected: %v", err)
+	}
+}
+
+// TestFleetResumeRejectsSingleRunCheckpoint: a single-run checkpoint file is
+// not a fleet checkpoint.
+func TestFleetResumeRejectsSingleRunCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "single.ckpt")
+
+	simCfg := testTemplate()
+	simCfg.Seed = 3
+	simCfg.CheckpointPath = ckpt
+	simCfg.MaxEvents = 500
+	simCfg.StopOnFirstWear = false
+	if _, err := sim.Run(simCfg, testSource(0, 3)); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("single-run checkpoint missing: %v", err)
+	}
+
+	cfg := testConfig(4, 1)
+	cfg.CheckpointPath = ckpt
+	if _, err := Resume(cfg); err == nil || !strings.Contains(err.Error(), "not a fleet checkpoint") {
+		t.Fatalf("single-run checkpoint resumed as fleet: %v", err)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	cases := map[string]func(*Config){
+		"no devices":        func(c *Config) { c.Devices = 0 },
+		"negative devices":  func(c *Config) { c.Devices = -3 },
+		"nil source":        func(c *Config) { c.Source = nil },
+		"negative workers":  func(c *Config) { c.Workers = -1 },
+		"template sink":     func(c *Config) { c.Template.Sink = obs.SinkFunc(func(obs.Event) {}) },
+		"template onsample": func(c *Config) { c.Template.OnSample = func(obs.WearSample) {} },
+		"template ckpt":     func(c *Config) { c.Template.CheckpointPath = "x" },
+		"negative every":    func(c *Config) { c.CheckpointEvery = -1 },
+		"every, no path":    func(c *Config) { c.CheckpointEvery = 4 },
+	}
+	for name, corrupt := range cases {
+		cfg := testConfig(4, 1)
+		corrupt(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFleetHooks: OnDeviceDone fires once per device on the collector, and
+// OnDeviceSample delivers live samples tagged with the right device.
+func TestFleetHooks(t *testing.T) {
+	cfg := testConfig(6, 3)
+	cfg.Template.MaxEvents = 2_000
+	cfg.Template.StopOnFirstWear = false
+	doneDevs := map[int]int{}
+	cfg.OnDeviceDone = func(res DeviceResult) { doneDevs[res.Device]++ } // collector is serial
+	var mu sync.Mutex
+	sampleDevs := map[int]int{}
+	cfg.OnDeviceSample = func(dev int, s obs.WearSample) {
+		mu.Lock()
+		sampleDevs[dev]++
+		mu.Unlock()
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Devices) != 6 {
+		t.Fatalf("got %d device results", len(res.Devices))
+	}
+	for dev := 0; dev < 6; dev++ {
+		if doneDevs[dev] != 1 {
+			t.Errorf("OnDeviceDone fired %d times for device %d", doneDevs[dev], dev)
+		}
+		if sampleDevs[dev] == 0 {
+			t.Errorf("no samples for device %d", dev)
+		}
+		if res.Devices[dev].Device != dev {
+			t.Errorf("result %d carries device %d", dev, res.Devices[dev].Device)
+		}
+		if res.Devices[dev].Events == 0 {
+			t.Errorf("device %d ran no events", dev)
+		}
+	}
+}
+
+// TestCDFShape: the distribution is ordered, fractions are monotone, and
+// survivors trail the failures.
+func TestCDFShape(t *testing.T) {
+	res := &Result{Devices: []DeviceResult{
+		{Device: 0, FirstWear: 3 * time.Hour, SimTime: 3 * time.Hour},
+		{Device: 1, FirstWear: -1, SimTime: 10 * time.Hour},
+		{Device: 2, FirstWear: time.Hour, SimTime: time.Hour},
+		{Device: 3, FirstWear: time.Hour, SimTime: time.Hour},
+	}}
+	rows := res.CDF()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	wantDevs := []int{2, 3, 0, 1}
+	for i, dev := range wantDevs {
+		if rows[i].Device != dev {
+			t.Fatalf("row %d: device %d, want %d (rows %+v)", i, rows[i].Device, dev, rows)
+		}
+		if rows[i].Rank != i+1 {
+			t.Fatalf("row %d: rank %d", i, rows[i].Rank)
+		}
+	}
+	if !rows[3].Survived || rows[3].Fraction != 0.75 {
+		t.Fatalf("survivor row wrong: %+v", rows[3])
+	}
+	if rows[1].Fraction != 0.5 {
+		t.Fatalf("tie fractions wrong: %+v", rows[1])
+	}
+	csv := res.CDFCSV()
+	if !strings.HasPrefix(csv, "# fleet first-failure CDF: 4 devices, 3 failed\n") {
+		t.Fatalf("CSV header: %q", csv[:60])
+	}
+	if strings.Count(csv, "\n") != 6 { // comment + header + 4 rows
+		t.Fatalf("CSV line count: %q", csv)
+	}
+}

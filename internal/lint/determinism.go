@@ -31,6 +31,7 @@ var Determinism = &Analyzer{
 		return pathIn(pkgPath,
 			"flashswl/internal/core",
 			"flashswl/internal/sim",
+			"flashswl/internal/fleet",
 			"flashswl/internal/experiments",
 			"flashswl/internal/workload",
 			"flashswl/internal/trace",

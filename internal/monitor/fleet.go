@@ -1,0 +1,214 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"flashswl/internal/fleet"
+	"flashswl/internal/obs"
+	"flashswl/internal/obs/promtext"
+)
+
+// Fleet monitoring: the aggregator folds the fleet package's concurrent
+// per-device callbacks into one fleet-level view — how many devices are
+// running, done, and failed, the live first-failure distribution, and a
+// per-device wear heatmap — and publishes it to the server the same way the
+// single-run publisher does: immutable snapshots behind an atomic pointer,
+// nothing simulation-owned ever crossing into an HTTP goroutine.
+
+// FleetDevice is one device's last reported state.
+type FleetDevice struct {
+	Device     int     `json:"device"`
+	Events     int64   `json:"events"`
+	SimHours   float64 `json:"sim_hours"`
+	MeanErase  float64 `json:"mean_erase"`
+	MaxErase   int     `json:"max_erase"`
+	WornBlocks int     `json:"worn_blocks"`
+	// Done marks a completed device; Failed a completed device whose first
+	// block wore out (FirstWearYears then holds when).
+	Done           bool    `json:"done"`
+	Failed         bool    `json:"failed"`
+	FirstWearYears float64 `json:"first_wear_years"`
+}
+
+// FleetSnapshot is the fleet-level state at one moment. Published values are
+// immutable: every slice is owned by the snapshot.
+type FleetSnapshot struct {
+	// Devices is the fleet size; Started counts devices that have reported
+	// at least one sample or completed; Completed and Failed count finished
+	// devices (Failed ⊆ Completed).
+	Devices   int `json:"devices"`
+	Started   int `json:"started"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Endurance is the per-block limit every device counts against.
+	Endurance   int     `json:"endurance"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// MeanMaxErase averages the per-device maximum erase counts over the
+	// devices that have reported — the fleet's wear frontier.
+	MeanMaxErase float64 `json:"mean_max_erase"`
+	// FirstWearYears lists completed failures' first-wear times, sorted
+	// ascending: the live first-failure distribution.
+	FirstWearYears []float64 `json:"first_wear_years"`
+}
+
+// FleetHeatmap is the per-device wear map: cell i describes device i.
+type FleetHeatmap struct {
+	Devices   int           `json:"devices"`
+	Endurance int           `json:"endurance"`
+	PerDevice []FleetDevice `json:"per_device"`
+}
+
+// FleetAggregator folds fleet callbacks into published snapshots. Wire
+// OnDeviceSample and OnDeviceDone into the matching fleet.Config hooks.
+// OnDeviceSample arrives concurrently from worker goroutines, so the fold is
+// mutex-guarded; snapshots cross to HTTP readers only as immutable copies.
+type FleetAggregator struct {
+	srv    *Server
+	labels []promtext.Label
+	start  time.Time
+
+	mu        sync.Mutex
+	devices   int
+	endurance int
+	dev       []FleetDevice
+	started   []bool
+	nstarted  int
+	completed int
+	failed    int
+}
+
+// NewFleetAggregator binds a fleet of the given size to srv, enabling the
+// /fleet and /fleet/heatmap endpoints and the fleet_* exposition gauges. The
+// labels are attached to every fleet exposition sample. The wall clock
+// starts now.
+func NewFleetAggregator(srv *Server, devices, endurance int, labels ...promtext.Label) *FleetAggregator {
+	a := &FleetAggregator{
+		srv:       srv,
+		labels:    labels,
+		start:     time.Now(),
+		devices:   devices,
+		endurance: endurance,
+		dev:       make([]FleetDevice, devices),
+		started:   make([]bool, devices),
+	}
+	srv.attachFleet(a)
+	return a
+}
+
+// OnDeviceSample records one device's live wear sample. Safe for concurrent
+// use (wire into fleet.Config.OnDeviceSample).
+func (a *FleetAggregator) OnDeviceSample(dev int, s obs.WearSample) {
+	a.mu.Lock()
+	if dev >= 0 && dev < a.devices && !a.dev[dev].Done {
+		a.dev[dev] = FleetDevice{
+			Device:     dev,
+			Events:     s.Events,
+			SimHours:   s.SimTime.Hours(),
+			MeanErase:  s.MeanErase,
+			MaxErase:   s.MaxErase,
+			WornBlocks: s.WornBlocks,
+		}
+		a.mark(dev)
+	}
+	snap := a.snapshotLocked()
+	a.mu.Unlock()
+	a.srv.PublishFleet(snap)
+}
+
+// OnDeviceDone records one device's final result (wire into
+// fleet.Config.OnDeviceDone; the fleet calls it serially, but sharing the
+// sample path's lock costs nothing).
+func (a *FleetAggregator) OnDeviceDone(res fleet.DeviceResult) {
+	a.mu.Lock()
+	if res.Device >= 0 && res.Device < a.devices {
+		d := FleetDevice{
+			Device:     res.Device,
+			Events:     res.Events,
+			SimHours:   res.SimTime.Hours(),
+			MeanErase:  res.MeanErase,
+			MaxErase:   res.MaxErase,
+			WornBlocks: res.WornBlocks,
+			Done:       true,
+		}
+		if res.FirstWear >= 0 {
+			d.Failed = true
+			d.FirstWearYears = res.FirstWearYears()
+			a.failed++
+		}
+		a.dev[res.Device] = d
+		a.completed++
+		a.mark(res.Device)
+	}
+	snap := a.snapshotLocked()
+	a.mu.Unlock()
+	a.srv.PublishFleet(snap)
+}
+
+// mark flags a device as having reported. Callers hold a.mu.
+func (a *FleetAggregator) mark(dev int) {
+	if !a.started[dev] {
+		a.started[dev] = true
+		a.nstarted++
+	}
+}
+
+// snapshotLocked builds an immutable snapshot from the current fold state.
+// Callers hold a.mu.
+func (a *FleetAggregator) snapshotLocked() *FleetSnapshot {
+	snap := &FleetSnapshot{
+		Devices:     a.devices,
+		Started:     a.nstarted,
+		Completed:   a.completed,
+		Failed:      a.failed,
+		Endurance:   a.endurance,
+		WallSeconds: time.Since(a.start).Seconds(),
+	}
+	sum, n := 0.0, 0
+	failures := make([]float64, 0, a.failed)
+	for i := range a.dev {
+		if !a.started[i] {
+			continue
+		}
+		sum += float64(a.dev[i].MaxErase)
+		n++
+		if a.dev[i].Failed {
+			failures = append(failures, a.dev[i].FirstWearYears)
+		}
+	}
+	if n > 0 {
+		snap.MeanMaxErase = sum / float64(n)
+	}
+	sortFloats(failures)
+	snap.FirstWearYears = failures
+	return snap
+}
+
+// Heatmap builds the per-device wear map (a fresh copy; callers own it).
+func (a *FleetAggregator) Heatmap() *FleetHeatmap {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	hm := &FleetHeatmap{
+		Devices:   a.devices,
+		Endurance: a.endurance,
+		PerDevice: make([]FleetDevice, a.devices),
+	}
+	copy(hm.PerDevice, a.dev)
+	for i := range hm.PerDevice {
+		hm.PerDevice[i].Device = i
+	}
+	return hm
+}
+
+// Labels returns the exposition labels the aggregator was built with.
+func (a *FleetAggregator) Labels() []promtext.Label { return a.labels }
+
+// sortFloats is insertion sort: failure lists grow one element at a time and
+// arrive nearly sorted, and avoiding package sort keeps the hot path lean.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

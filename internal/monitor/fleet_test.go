@@ -1,0 +1,181 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashswl/internal/fleet"
+	"flashswl/internal/nand"
+	"flashswl/internal/obs"
+	"flashswl/internal/sim"
+	"flashswl/internal/trace"
+	"flashswl/internal/workload"
+)
+
+func TestFleetEndpointsBeforeAttach(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/fleet", "/fleet/heatmap"} {
+		if code, _ := get(t, ts, path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s before attach: status %d, want 503", path, code)
+		}
+	}
+}
+
+func TestFleetAggregatorFolds(t *testing.T) {
+	srv := NewServer()
+	agg := NewFleetAggregator(srv, 3, 100, Label{Name: "fleet", Value: "test"})
+
+	agg.OnDeviceSample(1, obs.WearSample{Events: 500, SimTime: time.Hour, MaxErase: 10})
+	agg.OnDeviceDone(fleet.DeviceResult{
+		Device: 0, FirstWear: 12 * time.Hour, SimTime: 12 * time.Hour,
+		Events: 900, MaxErase: 100, WornBlocks: 1,
+	})
+	agg.OnDeviceDone(fleet.DeviceResult{
+		Device: 2, FirstWear: -1, SimTime: 20 * time.Hour, Events: 1200, MaxErase: 60,
+	})
+
+	snap := srv.Fleet()
+	if snap == nil {
+		t.Fatal("no fleet snapshot published")
+	}
+	if snap.Devices != 3 || snap.Started != 3 || snap.Completed != 2 || snap.Failed != 1 {
+		t.Fatalf("counts wrong: %+v", snap)
+	}
+	if len(snap.FirstWearYears) != 1 {
+		t.Fatalf("first-wear distribution wrong: %+v", snap.FirstWearYears)
+	}
+	wantMean := float64(10+100+60) / 3
+	if snap.MeanMaxErase != wantMean {
+		t.Fatalf("MeanMaxErase = %v, want %v", snap.MeanMaxErase, wantMean)
+	}
+
+	hm := agg.Heatmap()
+	if hm.Devices != 3 || len(hm.PerDevice) != 3 {
+		t.Fatalf("heatmap shape: %+v", hm)
+	}
+	if !hm.PerDevice[0].Failed || hm.PerDevice[2].Failed || !hm.PerDevice[2].Done {
+		t.Fatalf("heatmap states: %+v", hm.PerDevice)
+	}
+
+	// A late sample for a completed device must not regress its Done state.
+	agg.OnDeviceSample(0, obs.WearSample{Events: 100})
+	if hm := agg.Heatmap(); !hm.PerDevice[0].Done {
+		t.Fatal("sample after completion cleared Done")
+	}
+}
+
+// TestFleetEndToEnd runs a real (tiny) fleet with the aggregator attached and
+// reads every fleet endpoint while workers publish concurrently — under
+// `go test -race` this exercises the aggregator's locking for real.
+func TestFleetEndToEnd(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const devices = 8
+	template := sim.Config{
+		Geometry:        nand.Geometry{Blocks: 64, PagesPerBlock: 8, PageSize: 512, SpareSize: 16},
+		Endurance:       40,
+		Layer:           sim.FTL,
+		LogicalSectors:  400,
+		SWL:             true,
+		K:               0,
+		T:               4,
+		NoSpare:         true,
+		StopOnFirstWear: true,
+		MaxEvents:       30_000,
+		SampleEvery:     500,
+	}
+	agg := NewFleetAggregator(srv, devices, template.Endurance, Label{Name: "scale", Value: "test"})
+
+	// Poll the endpoints from a second goroutine while the fleet runs, so
+	// reads race real publications.
+	stop := make(chan struct{})
+	polled := make(chan struct{})
+	go func() {
+		defer close(polled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				resp, err := ts.Client().Get(ts.URL + "/fleet/heatmap")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	res, err := fleet.Run(fleet.Config{
+		Devices:  devices,
+		Workers:  4,
+		Template: template,
+		Seed:     7,
+		Source: func(dev int, seed int64) trace.Source {
+			m := workload.PaperScaled(400)
+			m.Duration = time.Hour
+			m.FillSegments = 2
+			return m.Infinite(seed)
+		},
+		OnDeviceDone:   agg.OnDeviceDone,
+		OnDeviceSample: agg.OnDeviceSample,
+	})
+	close(stop)
+	<-polled
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+
+	code, body := get(t, ts, "/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/fleet status %d", code)
+	}
+	var snap FleetSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/fleet JSON: %v\n%s", err, body)
+	}
+	if snap.Completed != devices || snap.Failed != res.Failed() {
+		t.Fatalf("final fleet snapshot %+v vs result failed=%d", snap, res.Failed())
+	}
+	if len(snap.FirstWearYears) != res.Failed() {
+		t.Fatalf("distribution has %d entries, want %d", len(snap.FirstWearYears), res.Failed())
+	}
+
+	code, body = get(t, ts, "/fleet/heatmap")
+	if code != http.StatusOK {
+		t.Fatalf("/fleet/heatmap status %d", code)
+	}
+	var hm FleetHeatmap
+	if err := json.Unmarshal([]byte(body), &hm); err != nil {
+		t.Fatalf("/fleet/heatmap JSON: %v", err)
+	}
+	for i, d := range hm.PerDevice {
+		if !d.Done {
+			t.Errorf("device %d not done in final heatmap", i)
+		}
+		if d.Events != res.Devices[i].Events {
+			t.Errorf("device %d events %d, want %d", i, d.Events, res.Devices[i].Events)
+		}
+	}
+
+	code, body = get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE fleet_devices gauge",
+		`fleet_devices{scale="test"} 8`,
+		`fleet_completed{scale="test"} 8`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}

@@ -96,6 +96,13 @@ type Server struct {
 	// accept requests that can never be honored.
 	ckptEnabled atomic.Bool
 	ckptReq     atomic.Bool
+
+	// Fleet view, present only when a FleetAggregator attached itself: the
+	// last published fleet snapshot, and the aggregator the heatmap handler
+	// asks for a fresh per-device copy (the map is too large to republish on
+	// every sample).
+	fleetSnap atomic.Pointer[FleetSnapshot]
+	fleetAgg  atomic.Pointer[FleetAggregator]
 }
 
 // NewServer returns a server with no snapshot yet; endpoints answer 503
@@ -109,6 +116,16 @@ func (s *Server) Publish(snap *Snapshot) { s.snap.Store(snap) }
 
 // Snapshot returns the last published snapshot, or nil.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// PublishFleet makes snap the fleet state every subsequent request observes.
+// Ownership transfers as with Publish.
+func (s *Server) PublishFleet(snap *FleetSnapshot) { s.fleetSnap.Store(snap) }
+
+// Fleet returns the last published fleet snapshot, or nil.
+func (s *Server) Fleet() *FleetSnapshot { return s.fleetSnap.Load() }
+
+// attachFleet registers the aggregator behind /fleet/heatmap.
+func (s *Server) attachFleet(a *FleetAggregator) { s.fleetAgg.Store(a) }
 
 // EnableCheckpointTrigger announces that the hosted run polls
 // CheckpointRequested; until called, /checkpoint answers 409.
@@ -128,6 +145,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/heatmap", s.handleHeatmap)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/fleet/heatmap", s.handleFleetHeatmap)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -182,6 +201,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /heatmap       per-block erase counts (JSON)")
 	fmt.Fprintln(w, "  /progress      sim vs wall time, ETA, unevenness (JSON)")
 	fmt.Fprintln(w, "  /checkpoint    POST: write a resumable checkpoint after the current event")
+	fmt.Fprintln(w, "  /fleet         fleet progress and first-failure distribution (JSON)")
+	fmt.Fprintln(w, "  /fleet/heatmap per-device fleet wear map (JSON)")
 	fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
 }
 
@@ -195,36 +216,79 @@ func (s *Server) load(w http.ResponseWriter) *Snapshot {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.load(w)
-	if snap == nil {
+	snap := s.snap.Load()
+	fsnap := s.fleetSnap.Load()
+	if snap == nil && fsnap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", promtext.ContentType)
-	if snap.Metrics != nil {
-		if err := promtext.Write(w, *snap.Metrics, snap.Labels...); err != nil {
-			return
+	if snap != nil {
+		if snap.Metrics != nil {
+			if err := promtext.Write(w, *snap.Metrics, snap.Labels...); err != nil {
+				return
+			}
+		}
+		// Progress rides along as free-standing gauges so a scrape needs only
+		// one endpoint.
+		p := snap.Progress
+		for _, g := range []struct {
+			name  string
+			value float64
+		}{
+			{"run_events", float64(p.Events)},
+			{"run_sim_hours", p.SimHours},
+			{"run_wall_seconds", p.WallSeconds},
+			{"run_fraction", p.Fraction},
+			{"run_unevenness", p.Unevenness},
+			{"run_mean_erase", p.MeanErase},
+			{"run_max_erase", float64(p.MaxErase)},
+			{"run_worn_blocks", float64(p.WornBlocks)},
+		} {
+			if err := promtext.WriteSample(w, g.name, "gauge", g.value, snap.Labels...); err != nil {
+				return
+			}
 		}
 	}
-	// Progress rides along as free-standing gauges so a scrape needs only
-	// one endpoint.
-	p := snap.Progress
-	for _, g := range []struct {
-		name  string
-		value float64
-	}{
-		{"run_events", float64(p.Events)},
-		{"run_sim_hours", p.SimHours},
-		{"run_wall_seconds", p.WallSeconds},
-		{"run_fraction", p.Fraction},
-		{"run_unevenness", p.Unevenness},
-		{"run_mean_erase", p.MeanErase},
-		{"run_max_erase", float64(p.MaxErase)},
-		{"run_worn_blocks", float64(p.WornBlocks)},
-	} {
-		if err := promtext.WriteSample(w, g.name, "gauge", g.value, snap.Labels...); err != nil {
-			return
+	if fsnap != nil {
+		var labels []promtext.Label
+		if agg := s.fleetAgg.Load(); agg != nil {
+			labels = agg.Labels()
+		}
+		for _, g := range []struct {
+			name  string
+			value float64
+		}{
+			{"fleet_devices", float64(fsnap.Devices)},
+			{"fleet_started", float64(fsnap.Started)},
+			{"fleet_completed", float64(fsnap.Completed)},
+			{"fleet_failed", float64(fsnap.Failed)},
+			{"fleet_wall_seconds", fsnap.WallSeconds},
+			{"fleet_mean_max_erase", fsnap.MeanMaxErase},
+		} {
+			if err := promtext.WriteSample(w, g.name, "gauge", g.value, labels...); err != nil {
+				return
+			}
 		}
 	}
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	snap := s.fleetSnap.Load()
+	if snap == nil {
+		http.Error(w, "no fleet snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+func (s *Server) handleFleetHeatmap(w http.ResponseWriter, r *http.Request) {
+	agg := s.fleetAgg.Load()
+	if agg == nil {
+		http.Error(w, "no fleet attached", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, agg.Heatmap())
 }
 
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {

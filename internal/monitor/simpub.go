@@ -49,7 +49,7 @@ func (p *SimPublisher) Finish(res *sim.Result) {
 }
 
 func (p *SimPublisher) publish(s obs.WearSample, done bool) {
-	endurance := p.runner.Chip().Endurance()
+	endurance := p.runner.DeviceEndurance()
 	wall := time.Since(p.start).Seconds()
 	frac := p.fraction(s, endurance)
 	if done {
@@ -64,8 +64,8 @@ func (p *SimPublisher) publish(s obs.WearSample, done bool) {
 	snap := &Snapshot{
 		Labels: p.labels,
 		Heatmap: Heatmap{
-			Blocks:      p.cfg.Geometry.Blocks,
-			EraseCounts: p.runner.Chip().EraseCounts(nil), // fresh slice, snapshot-owned
+			Blocks:      p.runner.DeviceGeometry().Blocks,
+			EraseCounts: p.runner.DeviceEraseCounts(nil), // fresh slice, snapshot-owned
 			Endurance:   endurance,
 		},
 		Progress: Progress{

@@ -50,6 +50,7 @@ type EventRecord struct {
 	Sets    int    `json:"sets"`
 	Skipped int    `json:"skipped"`
 	Op      string `json:"op,omitempty"`
+	Chip    int    `json:"chip"`
 }
 
 // SampleRecord is the JSONL shape of one wear-sample line.
@@ -80,7 +81,7 @@ func (w *JSONLWriter) Observe(e Event) {
 		Type: "event", Seq: w.seq, Kind: e.Kind.String(),
 		Block: e.Block, Page: e.Page, Pages: e.Pages, Forced: e.Forced,
 		Findex: e.Findex, Scan: e.Scan, Ecnt: e.Ecnt, Fcnt: e.Fcnt,
-		Sets: e.Sets, Skipped: e.Skipped, Op: e.Op,
+		Sets: e.Sets, Skipped: e.Skipped, Op: e.Op, Chip: e.Chip,
 	})
 }
 

@@ -115,6 +115,11 @@ type Event struct {
 	Skipped int
 	// Op names the chip primitive a fault rejected (FaultInjected).
 	Op string
+	// Chip is the member-chip index of Block inside a multi-chip array, so
+	// per-chip wear series stay separable when events funnel through one
+	// sink. Single-chip stacks leave it 0; array stacks set -1 on events
+	// that carry no block.
+	Chip int
 }
 
 // EventSink receives events. Implementations must not retain references

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flashswl/internal/faultinject"
+	"flashswl/internal/obs"
+	"flashswl/internal/trace"
+)
+
+// Multi-chip array devices in the harness: the differential guard that an
+// array is semantically a bigger chip, the chip-attribution of obs events,
+// and the full-stack checkpoint-resume differential for a striped array
+// under the cross-chip global leveler.
+
+// arrayCfg is worstCfg reshaped onto 4 chips of 16 blocks — the same
+// 64-block device, split.
+func arrayCfg(layer LayerKind, swl bool, t float64, stripe bool) Config {
+	cfg := worstCfg(layer, swl, t)
+	cfg.Geometry.Blocks = 16
+	cfg.ArrayChips = 4
+	cfg.ArrayStripe = stripe
+	return cfg
+}
+
+// TestArrayDeviceEqualsSingleChip runs the same trace against one 64-block
+// chip and against 4x16-block arrays in both layouts: the Results must be
+// identical — an array is a pure address (re)partition of identical
+// members, so it cannot alter simulation semantics.
+func TestArrayDeviceEqualsSingleChip(t *testing.T) {
+	run := func(cfg Config) *Result {
+		cfg.MaxEvents = 6000
+		res, err := Run(cfg, worstSource())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Err != nil {
+			t.Fatalf("run ended with layer error: %v", res.Err)
+		}
+		return res
+	}
+	for _, layer := range []LayerKind{FTL, NFTL} {
+		t.Run(layer.String(), func(t *testing.T) {
+			single := run(worstCfg(layer, true, 10))
+			if single.Erases == 0 {
+				t.Fatal("workload produced no erases; differential test is vacuous")
+			}
+			for _, stripe := range []bool{false, true} {
+				arr := run(arrayCfg(layer, true, 10, stripe))
+				if !reflect.DeepEqual(arr.EraseCounts, single.EraseCounts) {
+					t.Errorf("stripe=%v: erase histogram differs from single chip", stripe)
+				}
+				if arr.Erases != single.Erases || arr.LiveCopies != single.LiveCopies ||
+					arr.FirstWear != single.FirstWear || arr.Events != single.Events {
+					t.Errorf("stripe=%v: counters differ: array %d/%d/%v, single %d/%d/%v",
+						stripe, arr.Erases, arr.LiveCopies, arr.FirstWear,
+						single.Erases, single.LiveCopies, single.FirstWear)
+				}
+			}
+		})
+	}
+}
+
+// TestArrayEventChipAttribution is the event-pairing test for the chip
+// label: every block-carrying event an array stack emits must carry the
+// member-chip index of its block, blockless events carry -1, and the erase
+// events per chip must pair up exactly with the members' own erase
+// counters.
+func TestArrayEventChipAttribution(t *testing.T) {
+	for _, stripe := range []bool{false, true} {
+		cfg := arrayCfg(FTL, true, 10, stripe)
+		cfg.MaxEvents = 4000
+		erasesByChip := make([]int64, 4)
+		var blockless int
+		cfg.Sink = obs.SinkFunc(func(e obs.Event) {
+			chips := 4
+			if e.Block < 0 {
+				if e.Chip != -1 {
+					t.Fatalf("stripe=%v: blockless event %v carries chip %d, want -1", stripe, e.Kind, e.Chip)
+				}
+				blockless++
+				return
+			}
+			want := e.Block / 16
+			if stripe {
+				want = e.Block % chips
+			}
+			if e.Chip != want {
+				t.Fatalf("stripe=%v: event %v block %d attributed to chip %d, want %d",
+					stripe, e.Kind, e.Block, e.Chip, want)
+			}
+			if e.Kind == obs.EvBlockErased {
+				erasesByChip[e.Chip]++
+			}
+		})
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(worstSource()); err != nil {
+			t.Fatal(err)
+		}
+		totals := r.Array().ChipEraseTotals(nil)
+		if !reflect.DeepEqual(erasesByChip, totals) {
+			t.Errorf("stripe=%v: erase events by chip %v do not pair with member counters %v",
+				stripe, erasesByChip, totals)
+		}
+		var sum int64
+		for _, n := range totals {
+			sum += n
+		}
+		if sum == 0 {
+			t.Fatalf("stripe=%v: no erases observed; pairing test is vacuous", stripe)
+		}
+		if blockless == 0 {
+			t.Fatalf("stripe=%v: no blockless leveler events observed", stripe)
+		}
+	}
+}
+
+// TestSingleChipEventsKeepZeroChip pins the compatibility contract: events
+// from a single-chip stack leave the new Chip field at its zero value.
+func TestSingleChipEventsKeepZeroChip(t *testing.T) {
+	cfg := worstCfg(FTL, true, 10)
+	cfg.MaxEvents = 2000
+	seen := 0
+	cfg.Sink = obs.SinkFunc(func(e obs.Event) {
+		seen++
+		if e.Chip != 0 {
+			t.Fatalf("single-chip event %v carries chip %d, want 0", e.Kind, e.Chip)
+		}
+	})
+	if _, err := Run(cfg, worstSource()); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("no events observed")
+	}
+}
+
+// TestStripedArrayResumesExactly is the full-stack checkpoint-resume
+// differential for a striped array device under the cross-chip global
+// leveler: interrupted-and-resumed must equal uninterrupted, bit for bit.
+func TestStripedArrayResumesExactly(t *testing.T) {
+	// T=1: the page-mapping FTL spreads wear almost evenly across striped
+	// banks, so only the tightest threshold develops enough cross-bank gap
+	// on this small device to keep the global leveler busy.
+	cfg := arrayCfg(FTL, true, 1, true)
+	cfg.Leveler = "global"
+	cfg.MaxEvents = 20000
+	mkSrc := func() trace.Source { return worstSource() }
+	full, err := Run(cfg, mkSrc())
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	resumed := resumeFrom(t, cfg, 9000, mkSrc)
+	requireSameResult(t, full, resumed, cfg)
+	if full.Erases == 0 {
+		t.Fatal("test workload produced no erases; differential test is vacuous")
+	}
+	if full.Leveler.SetsRecycled == 0 {
+		t.Fatal("global leveler never recycled; differential test is vacuous")
+	}
+}
+
+// TestArrayRejectsFaults pins the single-chip-only contract of the fault
+// injector.
+func TestArrayRejectsFaults(t *testing.T) {
+	cfg := arrayCfg(FTL, false, 0, false)
+	cfg.Faults = &faultinject.Config{Seed: 1, ProgramFailRate: 0.1}
+	if _, err := NewRunner(cfg); err == nil {
+		t.Error("fault injection on an array must be rejected")
+	}
+}
+
+// TestArrayCheckpointBindsLayout: the config digest carries the array shape,
+// so a striped checkpoint must not resume under a concat config (the block
+// address permutation would silently corrupt the device image).
+func TestArrayCheckpointBindsLayout(t *testing.T) {
+	cfg := arrayCfg(FTL, true, 8, true)
+	cfg.Leveler = "global"
+	cfg.MaxEvents = 1000
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "arr.ckpt")
+	if _, err := Run(cfg, worstSource()); err != nil {
+		t.Fatal(err)
+	}
+	wrong := cfg
+	wrong.ArrayStripe = false
+	if _, err := Resume(cfg.CheckpointPath, wrong, worstSource()); err == nil {
+		t.Error("striped checkpoint resumed under a concat config")
+	}
+	if _, err := Resume(cfg.CheckpointPath, cfg, worstSource()); err != nil {
+		t.Errorf("matching config must resume: %v", err)
+	}
+}

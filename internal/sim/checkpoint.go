@@ -29,11 +29,19 @@ import (
 // those are diagnostics of a process, not simulation state — and the chip's
 // read-disturb counters, which the harness never enables.
 
-// digestVersion versions the configuration digest record.
-const digestVersion = 1
+// digestVersion versions the configuration digest record. v2 added the
+// multi-chip array shape (ArrayChips, ArrayStripe); the digest is only ever
+// compared for equality, so the bump simply refuses to resume v1 checkpoints
+// (their single-chip configs re-digest differently), which is the correct
+// strictness for a format that guards bit-for-bit resume.
+const digestVersion = 2
 
 // countersVersion versions the harness counters record.
 const countersVersion = 1
+
+// arrayImageVersion versions the multi-chip image record that replaces the
+// raw chip image in checkpoints of array devices.
+const arrayImageVersion = 1
 
 // digestBytes encodes the configuration facets that shape simulation state:
 // a checkpoint may only be resumed under a config whose digest matches.
@@ -59,6 +67,8 @@ func digestBytes(cfg Config) []byte {
 	w.Bool(cfg.FTLDualFrontier)
 	w.F64(cfg.GCFreeFraction)
 	w.I32(int32(cfg.DFTLCache))
+	w.I32(int32(cfg.ArrayChips))
+	w.Bool(cfg.ArrayStripe)
 	w.I64(cfg.Seed)
 	w.Bool(cfg.Faults != nil)
 	if cfg.Faults != nil {
@@ -74,6 +84,12 @@ func digestBytes(cfg Config) []byte {
 	return w.Bytes()
 }
 
+// ConfigDigest returns the configuration digest a checkpoint of cfg would
+// carry — the equality token guarding resume compatibility. The fleet
+// harness embeds it in its own digest so a fleet checkpoint binds to the
+// exact per-device configuration.
+func ConfigDigest(cfg Config) []byte { return digestBytes(cfg) }
+
 // countersBytes encodes the harness-level progress counters.
 func (r *Runner) countersBytes() []byte {
 	w := wire.NewWriter()
@@ -85,7 +101,7 @@ func (r *Runner) countersBytes() []byte {
 	w.I64(int64(r.firstWear))
 	w.I32(int32(r.worn))
 	w.I64(r.erasesAtReset)
-	cs := r.chip.Stats()
+	cs := r.dev.Stats()
 	w.I64(cs.Reads)
 	w.I64(cs.Programs)
 	w.I64(cs.Erases)
@@ -115,7 +131,65 @@ func (r *Runner) restoreCounters(data []byte) error {
 	r.events, r.pageWrites, r.pageReads = events, pageWrites, pageReads
 	r.now, r.firstWear, r.worn = now, firstWear, worn
 	r.erasesAtReset = erasesAtReset
+	if r.arr != nil {
+		// Per-chip stats were restored from the array image record; the
+		// counters record carries the aggregate, which must agree.
+		if got := r.dev.Stats(); got != cs {
+			return fmt.Errorf("sim: array aggregate stats %+v disagree with counters record %+v", got, cs)
+		}
+		return nil
+	}
 	r.chip.RestoreStats(cs)
+	return nil
+}
+
+// arrayImageBytes serializes every member chip's image and operation stats
+// as one record — the multi-chip replacement for the raw chip image.
+func (r *Runner) arrayImageBytes() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U8(arrayImageVersion)
+	w.U32(uint32(len(r.chips)))
+	for _, c := range r.chips {
+		var img bytes.Buffer
+		if err := c.WriteImage(&img); err != nil {
+			return nil, fmt.Errorf("sim: chip image: %w", err)
+		}
+		w.Blob(img.Bytes())
+		cs := c.Stats()
+		w.I64(cs.Reads)
+		w.I64(cs.Programs)
+		w.I64(cs.Erases)
+		w.I64(int64(cs.Elapsed))
+	}
+	return w.Bytes(), nil
+}
+
+// restoreArrayImage decodes an arrayImageBytes record into the member chips.
+func (r *Runner) restoreArrayImage(data []byte) error {
+	rd := wire.NewReader(data)
+	if v := rd.U8(); v != arrayImageVersion && rd.Err() == nil {
+		return fmt.Errorf("sim: array image version %d unsupported", v)
+	}
+	n := int(rd.U32())
+	if rd.Err() == nil && n != len(r.chips) {
+		return fmt.Errorf("sim: array image has %d chips, config builds %d", n, len(r.chips))
+	}
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		img := rd.Blob()
+		var cs nand.Stats
+		cs.Reads, cs.Programs, cs.Erases = rd.I64(), rd.I64(), rd.I64()
+		cs.Elapsed = time.Duration(rd.I64())
+		if rd.Err() != nil {
+			break
+		}
+		if err := r.chips[i].RestoreImage(bytes.NewReader(img)); err != nil {
+			return fmt.Errorf("sim: chip %d image: %w", i, err)
+		}
+		r.chips[i].RestoreStats(cs)
+	}
+	if err := rd.Close(); err != nil {
+		return fmt.Errorf("sim: array image: %w", err)
+	}
 	return nil
 }
 
@@ -162,13 +236,22 @@ func (r *Runner) CheckpointState() (*checkpoint.State, error) {
 	if err != nil {
 		return nil, err
 	}
-	var chipImage bytes.Buffer
-	if err := r.chip.WriteImage(&chipImage); err != nil {
-		return nil, fmt.Errorf("sim: chip image: %w", err)
+	var chipImage []byte
+	if r.arr != nil {
+		chipImage, err = r.arrayImageBytes()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := r.chip.WriteImage(&buf); err != nil {
+			return nil, fmt.Errorf("sim: chip image: %w", err)
+		}
+		chipImage = buf.Bytes()
 	}
 	st := &checkpoint.State{
 		Digest:   digestBytes(r.cfg),
-		Chip:     chipImage.Bytes(),
+		Chip:     chipImage,
 		Layer:    layerState,
 		Leveler:  levelerState,
 		Trace:    traceState,
@@ -276,7 +359,11 @@ func ResumeState(st *checkpoint.State, cfg Config, src trace.Source) (*Runner, e
 	if err != nil {
 		return nil, err
 	}
-	if err := r.chip.RestoreImage(bytes.NewReader(st.Chip)); err != nil {
+	if r.arr != nil {
+		if err := r.restoreArrayImage(st.Chip); err != nil {
+			return nil, err
+		}
+	} else if err := r.chip.RestoreImage(bytes.NewReader(st.Chip)); err != nil {
 		return nil, fmt.Errorf("sim: chip image: %w", err)
 	}
 	switch l := r.layer.(type) {

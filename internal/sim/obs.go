@@ -56,7 +56,7 @@ func (r *Runner) buildSinks() {
 		// is the subtrahend.
 		sinks = append(sinks, obs.SinkFunc(func(e obs.Event) {
 			if e.Kind == obs.EvBETReset {
-				r.erasesAtReset = r.chip.Stats().Erases
+				r.erasesAtReset = r.dev.Stats().Erases
 			}
 		}), r.checker)
 	}
@@ -135,7 +135,7 @@ func (r *Runner) registerChecks() {
 			return nil
 		})
 		r.checker.Add("ecnt-chip-erases", func() error {
-			want := r.chip.Stats().Erases - r.erasesAtReset
+			want := r.dev.Stats().Erases - r.erasesAtReset
 			if got := lv.Ecnt(); got != want {
 				return fmt.Errorf("ecnt %d, chip erases since BET reset %d", got, want)
 			}
@@ -151,9 +151,9 @@ func (r *Runner) registerChecks() {
 // distribution's summary statistics plus pool and leveler state at this
 // moment of the run.
 func (r *Runner) sample() {
-	r.ecBuf = r.chip.EraseCounts(r.ecBuf[:0])
+	r.ecBuf = r.dev.EraseCounts(r.ecBuf[:0])
 	st := stats.Summarize(r.ecBuf)
-	cs := r.chip.Stats()
+	cs := r.dev.Stats()
 	s := obs.WearSample{
 		Events:      r.events,
 		SimTime:     r.now,

@@ -19,6 +19,7 @@ import (
 	"math"
 	"time"
 
+	"flashswl/internal/array"
 	"flashswl/internal/core"
 	"flashswl/internal/dftl"
 	"flashswl/internal/faultinject"
@@ -30,6 +31,16 @@ import (
 	"flashswl/internal/stats"
 	"flashswl/internal/trace"
 )
+
+// device is the harness's view of the simulated flash device: the mtd.Chip
+// primitive surface plus the wear-accounting aggregates the harness samples.
+// A single *nand.Chip and a multi-chip *array.Array both satisfy it.
+type device interface {
+	mtd.Chip
+	EraseCounts(dst []int) []int
+	WornBlocks() int
+	Stats() nand.Stats
+}
 
 // Layer is the view the harness has of a Flash Translation Layer driver;
 // ftl.Driver, nftl.Driver, and dftl.Driver satisfy it.
@@ -69,11 +80,18 @@ func (k LayerKind) String() string {
 
 // Config assembles a simulation run.
 type Config struct {
-	// Geometry and Cell describe the chip; Endurance overrides the cell's
+	// Geometry and Cell describe one chip; Endurance overrides the cell's
 	// nominal limit when positive (scaled-down experiments).
 	Geometry  nand.Geometry
 	Cell      nand.CellKind
 	Endurance int
+	// ArrayChips, when > 1, builds the device as an array of that many
+	// identical chips (Geometry stays per-chip; the exported block space is
+	// Geometry.Blocks * ArrayChips). ArrayStripe interleaves global blocks
+	// round-robin across chips instead of concatenating contiguous runs.
+	// Fault injection is single-chip only and is rejected for arrays.
+	ArrayChips  int
+	ArrayStripe bool
 	// Layer picks the translation layer implementation.
 	Layer LayerKind
 	// LogicalSectors is the exported space in 512-byte sectors; the trace
@@ -287,10 +305,13 @@ func (c Config) LevelerName() string {
 	}
 }
 
-// Runner is a configured simulation bound to a chip, layer, and leveler.
+// Runner is a configured simulation bound to a device, layer, and leveler.
 type Runner struct {
 	cfg     Config
-	chip    *nand.Chip
+	chip    *nand.Chip   // first member chip (the whole device when single-chip)
+	chips   []*nand.Chip // every member chip, in array order
+	arr     *array.Array // nil for a single-chip device
+	dev     device       // the device the layer runs on: r.chip or r.arr
 	layer   Layer
 	leveler Leveler
 	inj     *faultinject.Injector
@@ -324,6 +345,13 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.Geometry.Validate(); err != nil {
 		return nil, err
 	}
+	nchips := cfg.ArrayChips
+	if nchips < 1 {
+		nchips = 1
+	}
+	if nchips > 1 && cfg.Faults != nil {
+		return nil, fmt.Errorf("sim: fault injection is single-chip only (ArrayChips=%d)", nchips)
+	}
 	r := &Runner{cfg: cfg, firstWear: -1}
 	r.spp = cfg.Geometry.PageSize / 512
 	if r.spp < 1 {
@@ -351,7 +379,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			}
 		}
 	}
-	r.chip = nand.New(nand.Config{
+	chipCfg := nand.Config{
 		Geometry:    cfg.Geometry,
 		Cell:        cfg.Cell,
 		Endurance:   cfg.Endurance,
@@ -364,11 +392,40 @@ func NewRunner(cfg Config) (*Runner, error) {
 				r.firstWear = r.now
 			}
 		},
-	})
+	}
+	r.chips = make([]*nand.Chip, nchips)
+	for i := range r.chips {
+		r.chips[i] = nand.New(chipCfg)
+	}
+	r.chip = r.chips[0]
+	if nchips > 1 {
+		layout := array.Concat
+		if cfg.ArrayStripe {
+			layout = array.Striped
+		}
+		arr, err := array.NewWithLayout(layout, r.chips...)
+		if err != nil {
+			return nil, err
+		}
+		r.arr = arr
+		r.dev = arr
+		if r.sink != nil {
+			// Attribute every block-carrying event to its member chip, so
+			// per-chip wear series stay separable downstream of the shared
+			// sink. Blockless events get Chip = -1.
+			inner := r.sink
+			r.sink = obs.SinkFunc(func(e obs.Event) {
+				e.Chip = arr.ChipOf(e.Block)
+				inner.Observe(e)
+			})
+		}
+	} else {
+		r.dev = r.chip
+	}
 	if r.inj != nil {
 		r.inj.BindChip(r.chip)
 	}
-	dev := mtd.New(r.chip)
+	dev := mtd.New(r.dev)
 	logicalPages := 0
 	if cfg.LogicalSectors > 0 {
 		logicalPages = int((cfg.LogicalSectors + int64(r.spp) - 1) / int64(r.spp))
@@ -427,13 +484,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 			policy = core.SelectRandom
 		}
 		lv, err := core.NewLevelerByName(cfg.LevelerName(), core.BuildConfig{
-			Blocks:    cfg.Geometry.Blocks,
-			K:         cfg.K,
-			Threshold: cfg.T,
-			Period:    cfg.Period,
-			Select:    policy,
-			Rand:      core.NewSplitMix64(uint64(seed)),
-			Observer:  r.sink,
+			Blocks:     r.dev.Geometry().Blocks,
+			K:          cfg.K,
+			Threshold:  cfg.T,
+			Period:     cfg.Period,
+			Select:     policy,
+			Rand:       core.NewSplitMix64(uint64(seed)),
+			Chips:      nchips,
+			Interleave: cfg.ArrayStripe,
+			Observer:   r.sink,
 		}, r.layer)
 		if err != nil {
 			return nil, err
@@ -454,8 +513,22 @@ func (r *Runner) InvariantChecker() *obs.InvariantChecker { return r.checker }
 // Layer exposes the translation layer (for white-box tests and examples).
 func (r *Runner) Layer() Layer { return r.layer }
 
-// Chip exposes the simulated chip.
+// Chip exposes the simulated chip (the first member for a multi-chip
+// device; see Array and the Device* accessors for the whole device).
 func (r *Runner) Chip() *nand.Chip { return r.chip }
+
+// Array exposes the multi-chip array, or nil for a single-chip device.
+func (r *Runner) Array() *array.Array { return r.arr }
+
+// DeviceGeometry returns the whole device's combined geometry.
+func (r *Runner) DeviceGeometry() nand.Geometry { return r.dev.Geometry() }
+
+// DeviceEndurance returns the device's (weakest member's) endurance limit.
+func (r *Runner) DeviceEndurance() int { return r.dev.Endurance() }
+
+// DeviceEraseCounts appends the device-wide per-block erase counts, in
+// global block order, to dst.
+func (r *Runner) DeviceEraseCounts(dst []int) []int { return r.dev.EraseCounts(dst) }
 
 // Leveler returns the attached wear leveler, or nil.
 func (r *Runner) Leveler() Leveler { return r.leveler }
@@ -489,7 +562,7 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 	res.SimTime = r.now
 	res.FirstWear = r.firstWear
 	res.WornBlocks = r.worn
-	res.EraseCounts = r.chip.EraseCounts(nil)
+	res.EraseCounts = r.dev.EraseCounts(nil)
 	res.EraseStats = stats.Summarize(res.EraseCounts)
 	switch l := r.layer.(type) {
 	case *ftl.Driver:
