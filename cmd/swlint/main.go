@@ -7,14 +7,25 @@
 //	go run ./cmd/swlint ./...
 //	go run ./cmd/swlint -rules determinism,errdiscard ./internal/core
 //	go run ./cmd/swlint -json ./... > findings.json
+//	go run ./cmd/swlint -sarif ./... > swlint.sarif
 //
-// Rules (suppress with //lint:ignore swlint/<rule> reason):
+// Rules (suppress with //lint:ignore swlint/<rule> reason; a stale or
+// malformed suppression is itself a finding; see docs/lint.md):
 //
-//	determinism  no global math/rand or time.Now in simulation code
+//	determinism  no global math/rand or wall-clock reads reachable from simulation code
 //	chipconfine  no goroutine shares a *nand.Chip / *mtd.Device / driver
 //	obspair      erase and page-copy sites must emit obs events
 //	errdiscard   media-operation errors must be handled
 //	printban     no fmt.Print*/os.Stdout in internal packages
+//	maporder     no map iteration feeding order-sensitive sinks
+//	hotalloc     no allocation on //lint:hotpath functions
+//	statecodec   export/import codecs must move the same wire fields in order
+//	snapshot     monitor handlers only Load; sim side Stores; no mutation after publish
+//
+// Packages load serially (type checking shares one object world), then the
+// analyzers fan out over -workers goroutines; output order is deterministic
+// either way. Exit codes: 0 clean, 1 findings, 2 usage or load error — a
+// load error wins over findings, and -json/-sarif modes use the same codes.
 package main
 
 import (
@@ -42,14 +53,22 @@ type jsonFinding struct {
 
 // run executes the driver; it is separated from main so the integration
 // test can invoke the whole pipeline in-process. Exit codes: 0 clean,
-// 1 findings, 2 usage or load error.
+// 1 findings, 2 usage or load error (load errors take precedence: a tree
+// that will not type-check is not a clean tree, however few findings the
+// surviving packages produced).
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("swlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 (GitHub code scanning)")
+	workers := fs.Int("workers", 0, "parallel analysis goroutines (default GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "also report packages analyzed and type-check degradation")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "swlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	patterns := fs.Args()
@@ -67,42 +86,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "swlint: %v\n", err)
 		return 2
 	}
-	loader, err := lint.NewLoader(cwd)
+	findings, loads, err := lint.AnalyzeTree(cwd, patterns, analyzers, *workers)
 	if err != nil {
 		fmt.Fprintf(stderr, "swlint: %v\n", err)
 		return 2
 	}
-	dirs, err := lint.ExpandPatterns(cwd, patterns)
-	if err != nil {
-		fmt.Fprintf(stderr, "swlint: %v\n", err)
-		return 2
-	}
-
-	var findings []lint.Finding
-	for _, dir := range dirs {
-		pass, err := loader.LoadDir(dir)
-		if err != nil {
-			fmt.Fprintf(stderr, "swlint: %s: %v\n", dir, err)
-			return 2
-		}
-		if pass == nil {
+	loadFailed := false
+	for _, lr := range loads {
+		if lr.Err != nil {
+			loadFailed = true
+			fmt.Fprintf(stderr, "swlint: %s: %v\n", lr.Dir, lr.Err)
 			continue
 		}
-		if *verbose {
-			fmt.Fprintf(stderr, "swlint: analyzing %s (%d type-check notes)\n", pass.PkgPath, len(pass.TypeErrors))
+		if *verbose && lr.Pass != nil {
+			fmt.Fprintf(stderr, "swlint: analyzing %s (%d type-check notes)\n", lr.Pass.PkgPath, len(lr.Pass.TypeErrors))
 		}
-		var raw []lint.Finding
-		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(pass.PkgPath) {
-				continue
-			}
-			raw = append(raw, a.Run(pass)...)
-		}
-		findings = append(findings, lint.Suppress(pass, raw)...)
 	}
-	lint.SortFindings(findings)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
@@ -116,13 +118,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "swlint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, cwd, analyzers, findings); err != nil {
+			fmt.Fprintf(stderr, "swlint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f.String())
 		}
 	}
-	if len(findings) > 0 {
-		if !*jsonOut {
+	switch {
+	case loadFailed:
+		fmt.Fprintf(stderr, "swlint: load errors (and %d finding(s))\n", len(findings))
+		return 2
+	case len(findings) > 0:
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(stderr, "swlint: %d finding(s)\n", len(findings))
 		}
 		return 1

@@ -111,3 +111,167 @@ func leak() {
 		t.Fatalf("finding missing position or rule:\n%s", got)
 	}
 }
+
+// writeTempPkg drops source files into a fresh throwaway package directory
+// under internal/lint (inside the module, so the loader resolves it) and
+// returns its ./-relative path.
+func writeTempPkg(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("internal/lint", "dirty-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.ToSlash(dir)
+}
+
+const dirtySrc = `package dirty
+
+import "fmt"
+
+func leak() {
+	fmt.Println("oops")
+}
+`
+
+// TestJSONFindingsExitNonzero pins the exit-code/-json contract: findings
+// must exit 1 in JSON mode too, with the findings in the array.
+func TestJSONFindingsExitNonzero(t *testing.T) {
+	chdirModuleRoot(t)
+	dir := writeTempPkg(t, map[string]string{"dirty.go": dirtySrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-json with findings exited %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0]["rule"] != "printban" {
+		t.Fatalf("want one printban finding in JSON, got %v", findings)
+	}
+}
+
+// TestLoadErrorExitsTwo pins that loader errors are distinguishable from
+// findings: exit 2 beats exit 1, in text and JSON modes alike, and the
+// healthy package's findings are still reported.
+func TestLoadErrorExitsTwo(t *testing.T) {
+	chdirModuleRoot(t)
+	dirty := writeTempPkg(t, map[string]string{"dirty.go": dirtySrc})
+	broken := writeTempPkg(t, map[string]string{"broken.go": "package broken\nfunc {"})
+	for _, mode := range [][]string{{dirty, broken}, {"-json", dirty, broken}} {
+		var out, errb bytes.Buffer
+		if code := run(mode, &out, &errb); code != 2 {
+			t.Fatalf("%v exited %d, want 2 (load error precedence)\nstderr: %s", mode, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "broken") {
+			t.Fatalf("%v: stderr does not name the broken package: %s", mode, errb.String())
+		}
+		if !strings.Contains(out.String(), "printban") {
+			t.Fatalf("%v: healthy package's finding suppressed by the load error:\n%s", mode, out.String())
+		}
+	}
+}
+
+// TestNoMatchingPackagesExitsTwo pins that a pattern matching nothing is an
+// error, not a silently clean run.
+func TestNoMatchingPackagesExitsTwo(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir/..."}, &out, &errb); code != 2 {
+		t.Fatalf("no-match pattern exited %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no/such/dir") {
+		t.Fatalf("stderr missing diagnosis: %s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// A directory that exists but holds no Go files is just as much a no-op.
+	if code := run([]string{"./.github"}, &out, &errb); code != 2 {
+		t.Fatalf("Go-less dir exited %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no packages match") {
+		t.Fatalf("stderr missing diagnosis: %s", errb.String())
+	}
+}
+
+// TestSARIFOutput checks -sarif emits schema-conformant 2.1.0 with the rule
+// table and one result per finding, relative URIs, and exit 1 on findings.
+func TestSARIFOutput(t *testing.T) {
+	chdirModuleRoot(t)
+	dir := writeTempPkg(t, map[string]string{"dirty.go": dirtySrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", dir}, &out, &errb); code != 1 {
+		t.Fatalf("-sarif with findings exited %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one SARIF 2.1.0 run, got version %q runs %d", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "swlint" || len(r.Tool.Driver.Rules) != 10 {
+		t.Fatalf("want swlint driver with 10 rules (9 analyzers + ignore), got %q with %d", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+	}
+	if len(r.Results) != 1 || r.Results[0].RuleID != "printban" {
+		t.Fatalf("want one printban result, got %+v", r.Results)
+	}
+	loc := r.Results[0].Locations[0].PhysicalLocation
+	if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || loc.Region.StartLine != 6 {
+		t.Fatalf("want relative URI and line 6, got %+v", loc)
+	}
+	// -json and -sarif together is a usage error.
+	if code := run([]string{"-json", "-sarif", dir}, &out, &errb); code != 2 {
+		t.Fatalf("-json -sarif exited %d, want 2", code)
+	}
+}
+
+// TestStaleSuppressionIsReported pins the suppression-hygiene contract end
+// to end: an ignore that suppresses nothing fails the run.
+func TestStaleSuppressionIsReported(t *testing.T) {
+	chdirModuleRoot(t)
+	dir := writeTempPkg(t, map[string]string{"stale.go": `package stale
+
+func fine() int {
+	//lint:ignore swlint/printban nothing here actually prints
+	return 42
+}
+`})
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("stale suppression exited %d, want 1\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "stale suppression") {
+		t.Fatalf("missing stale-suppression finding:\n%s", out.String())
+	}
+}

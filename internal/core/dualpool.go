@@ -213,6 +213,8 @@ func (d *DualPoolLeveler) Stats() Stats { return d.stats }
 func (d *DualPoolLeveler) Kind() LevelerKind { return KindDualPool }
 
 // OnErase records a block erase into the per-block counters.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (d *DualPoolLeveler) OnErase(bindex int) {
 	d.stats.Erases++
 	if bindex < 0 || bindex >= d.blocks || d.isBarred(bindex) {
@@ -233,6 +235,8 @@ func (d *DualPoolLeveler) OnErase(bindex int) {
 
 // NeedsLeveling reports whether the hottest block has outworn the cold
 // pool's minimum by more than the threshold.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (d *DualPoolLeveler) NeedsLeveling() bool {
 	return d.coldCount > 0 && float64(d.maxEC-d.coldMin) > d.threshold
 }
@@ -243,6 +247,8 @@ func (d *DualPoolLeveler) NeedsLeveling() bool {
 // set whose recycling produces no accountable erase is counted in
 // Stats.SetsSkipped; its block is promoted anyway so the cold pool is never
 // wedged on unerasable blocks. Level is idempotent under reentrancy.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (d *DualPoolLeveler) Level() error {
 	if d.leveling {
 		return nil

@@ -131,6 +131,8 @@ func (g *GapLeveler) Stats() Stats { return g.stats }
 func (g *GapLeveler) Kind() LevelerKind { return KindGap }
 
 // OnErase records a block erase into the per-block counters.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (g *GapLeveler) OnErase(bindex int) {
 	g.stats.Erases++
 	if bindex < 0 || bindex >= g.blocks || g.isBarred(bindex) {
@@ -154,6 +156,8 @@ func (g *GapLeveler) OnErase(bindex int) {
 }
 
 // NeedsLeveling reports whether the erase-count gap exceeds the threshold.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (g *GapLeveler) NeedsLeveling() bool {
 	return float64(g.maxEC-g.minEC) > g.threshold
 }
@@ -194,6 +198,8 @@ func (g *GapLeveler) setErases(f int) int64 {
 // counted in Stats.SetsSkipped, exactly like the SW Leveler's unerasable
 // sets; a skip mark clears as soon as any block of the set is erased again.
 // Level is idempotent under reentrancy.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (g *GapLeveler) Level() error {
 	if g.leveling {
 		return nil

@@ -177,6 +177,8 @@ func (g *GlobalLeveler) Stats() Stats { return g.stats }
 func (g *GlobalLeveler) Kind() LevelerKind { return KindGlobal }
 
 // OnErase records a block erase into its bank's coarse counter.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (g *GlobalLeveler) OnErase(bindex int) {
 	g.stats.Erases++
 	if bindex < 0 || bindex >= g.blocks {
@@ -191,6 +193,8 @@ func (g *GlobalLeveler) OnErase(bindex int) {
 
 // NeedsLeveling reports whether the cross-bank mean erase gap exceeds the
 // threshold.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (g *GlobalLeveler) NeedsLeveling() bool {
 	gap, _ := g.spread()
 	return gap > g.threshold
@@ -236,6 +240,8 @@ func (g *GlobalLeveler) nextSet(bank int) (int, bool) {
 // accountable erase are skip-marked and counted in Stats.SetsSkipped, like
 // the SW Leveler's unerasable sets; a skip mark clears as soon as any block
 // of the set is erased again. Level is idempotent under reentrancy.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (g *GlobalLeveler) Level() error {
 	if g.leveling {
 		return nil

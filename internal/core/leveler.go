@@ -205,6 +205,8 @@ func (l *Leveler) organicFcnt() int {
 // counting only organically set flags (preset all-excluded sets are not wear
 // evidence; see organicFcnt). A high value means many erases concentrated on
 // few block sets. It is 0 while no organic flag is set.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (l *Leveler) Unevenness() float64 {
 	of := l.organicFcnt()
 	if of <= 0 {
@@ -229,6 +231,8 @@ func (l *Leveler) SetThreshold(t float64) {
 // OnErase implements SWL-BETUpdate (Algorithm 2): it must be invoked by the
 // Cleaner whenever any block is erased, including erases the leveler itself
 // requested through EraseBlockSet.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (l *Leveler) OnErase(bindex int) {
 	l.ecnt++
 	l.stats.Erases++
@@ -238,6 +242,8 @@ func (l *Leveler) OnErase(bindex int) {
 // NeedsLeveling reports whether the unevenness level has reached the
 // threshold, i.e. whether Level would act. Hosts can use it as a cheap
 // trigger test.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (l *Leveler) NeedsLeveling() bool {
 	return l.organicFcnt() > 0 && l.Unevenness() >= l.cfg.Threshold
 }
@@ -252,6 +258,8 @@ func (l *Leveler) NeedsLeveling() bool {
 //
 // Level is idempotent under reentrancy: if the Cleaner's garbage collection
 // somehow re-triggers Level, the nested call returns immediately.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (l *Leveler) Level() error {
 	if l.leveling {
 		return nil

@@ -63,18 +63,24 @@ func NewPeriodicLeveler(cfg PeriodicConfig, cleaner Cleaner) (*PeriodicLeveler, 
 }
 
 // OnErase counts an erase toward the period.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (p *PeriodicLeveler) OnErase(bindex int) {
 	p.pending++
 	p.stats.Erases++
 }
 
 // NeedsLeveling reports whether a period has elapsed.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (p *PeriodicLeveler) NeedsLeveling() bool { return p.pending >= p.period }
 
 // Level forces the recycle of one random block set per period elapsed
 // before the call. The round count is fixed at entry: erases caused by the
 // forced recycles themselves accrue to the next invocation, so a period
 // smaller than a recycle's own erase cost cannot spin the loop forever.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (p *PeriodicLeveler) Level() error {
 	if p.running {
 		return nil

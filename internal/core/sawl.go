@@ -171,6 +171,8 @@ func (s *SAWLLeveler) BET() *BET { return s.inner.BET() }
 func (s *SAWLLeveler) Ecnt() int64 { return s.inner.Ecnt() }
 
 // Unevenness returns the inner leveler's unevenness level.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (s *SAWLLeveler) Unevenness() float64 { return s.inner.Unevenness() }
 
 // Stats returns the inner leveler's activity counters.
@@ -182,6 +184,8 @@ func (s *SAWLLeveler) Kind() LevelerKind { return KindSAWL }
 // OnErase records the erase into the adaptation counters, forwards it to
 // the inner leveler, and retunes the threshold when an adaptation interval
 // completes.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (s *SAWLLeveler) OnErase(bindex int) {
 	if bindex >= 0 && bindex < s.blocks && !s.isBarred(bindex) {
 		old := s.erases[bindex]
@@ -206,7 +210,11 @@ func (s *SAWLLeveler) OnErase(bindex int) {
 
 // NeedsLeveling forwards the inner leveler's trigger test (under the
 // currently adapted threshold).
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (s *SAWLLeveler) NeedsLeveling() bool { return s.inner.NeedsLeveling() }
 
 // Level forwards to the inner leveler's SWL-Procedure.
+//
+//lint:hotpath per-erase leveler path; see core/alloc_test.go
 func (s *SAWLLeveler) Level() error { return s.inner.Level() }

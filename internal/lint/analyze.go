@@ -1,0 +1,109 @@
+package lint
+
+// analyze.go is the driver pipeline shared by cmd/swlint and the tests:
+// load every package serially (the loader and the go/importer behind it are
+// single-threaded by design), build the module-wide call graph once, then
+// fan the per-package analyzer runs out over a worker pool. Analyzers only
+// read the Pass and Module, so the fan-out is safe; results are collected
+// by package index and sorted, so output is bit-identical to a serial run.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// LoadResult is one directory's load outcome.
+type LoadResult struct {
+	Dir  string
+	Pass *Pass // nil when the directory has no non-test Go files or Err != nil
+	Err  error
+}
+
+// LoadDirs loads every directory in order, continuing past per-directory
+// failures so one broken package does not hide findings (or further errors)
+// in the rest of the tree.
+func LoadDirs(l *Loader, dirs []string) []LoadResult {
+	out := make([]LoadResult, 0, len(dirs))
+	for _, dir := range dirs {
+		pass, err := l.LoadDir(dir)
+		out = append(out, LoadResult{Dir: dir, Pass: pass, Err: err})
+	}
+	return out
+}
+
+// Analyze runs the analyzers over the loaded passes with workers goroutines
+// (workers < 1 means GOMAXPROCS) and returns the suppressed, sorted
+// findings. Suppression runs with stale checking: the active-rule set for
+// each package is exactly the enabled analyzers whose Applies covers it.
+func Analyze(m *Module, analyzers []*Analyzer, workers int) []Finding {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([][]Finding, len(m.Passes))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = analyzeOne(m, m.Passes[i], analyzers)
+			}
+		}()
+	}
+	for i := range m.Passes {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	var findings []Finding
+	for _, fs := range results {
+		findings = append(findings, fs...)
+	}
+	SortFindings(findings)
+	return findings
+}
+
+// analyzeOne runs the applicable analyzers on one package and applies
+// suppression with stale checking.
+func analyzeOne(m *Module, p *Pass, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		if !a.Applies(p.PkgPath) {
+			continue
+		}
+		active[a.Name] = true
+		findings = append(findings, a.run(m, p)...)
+	}
+	return SuppressChecked(p, findings, active)
+}
+
+// AnalyzeTree is the whole pipeline in one call: expand patterns from root,
+// load, build the module, analyze. Load errors come back alongside whatever
+// findings the healthy packages produced. It returns an error only when the
+// patterns matched nothing at all — on the command line that is invariably
+// a typo, and pretending the empty set is clean would hide it.
+func AnalyzeTree(root string, patterns []string, analyzers []*Analyzer, workers int) ([]Finding, []LoadResult, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := ExpandPatterns(root, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	loads := LoadDirs(loader, dirs)
+	var passes []*Pass
+	for _, lr := range loads {
+		if lr.Err == nil && lr.Pass != nil {
+			passes = append(passes, lr.Pass)
+		}
+	}
+	m := NewModule(passes)
+	return Analyze(m, analyzers, workers), loads, nil
+}

@@ -18,26 +18,85 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
 }
 
+// determinismScoped reports whether pkgPath is simulation code bound by the
+// seed-reproducibility contract. maporder shares the core of this scope.
+func determinismScoped(pkgPath string) bool {
+	return pathIn(pkgPath,
+		"flashswl/internal/core",
+		"flashswl/internal/sim",
+		"flashswl/internal/fleet",
+		"flashswl/internal/experiments",
+		"flashswl/internal/workload",
+		"flashswl/internal/trace",
+	)
+}
+
 // Determinism enforces seed-reproducibility of simulation code: every rerun
 // of a seeded simulation must be bit-identical (the paper's figure
 // reproductions and the experiments golden CSVs depend on it), so the
 // process-global math/rand source and wall-clock reads are banned in the
 // simulation packages. Inject a seeded *rand.Rand (or, where the state must
 // be checkpointable, a *core.SplitMix64) and simulated time instead.
+//
+// The rule is call-graph-transitive: besides direct references (the
+// syntactic check, which also catches assigning rand.Intn to a func field),
+// any call whose concrete callee — in any package of the module — reaches
+// time.Now/Since/... or a global-source rand function through static calls
+// is flagged at the call site, with the witness chain in the message.
+// In-scope callees are not re-reported at their call sites (their own
+// direct sites already carry the finding); only calls that smuggle
+// nondeterminism in from outside the simulation scope are.
 var Determinism = &Analyzer{
-	Name: ruleDeterminism,
-	Doc:  "no global math/rand or time.Now in simulation code (seeded sources only)",
-	Applies: func(pkgPath string) bool {
-		return pathIn(pkgPath,
-			"flashswl/internal/core",
-			"flashswl/internal/sim",
-			"flashswl/internal/fleet",
-			"flashswl/internal/experiments",
-			"flashswl/internal/workload",
-			"flashswl/internal/trace",
-		)
-	},
-	Run: runDeterminism,
+	Name:      ruleDeterminism,
+	Doc:       "no global math/rand or wall-clock reads reachable from simulation code (seeded sources only)",
+	Applies:   determinismScoped,
+	Run:       runDeterminism,
+	RunModule: runDeterminismModule,
+}
+
+// runDeterminismModule runs the syntactic check plus the transitive one:
+// call sites whose out-of-scope module callee has a tainted summary.
+func runDeterminismModule(m *Module, p *Pass) []Finding {
+	out := runDeterminism(p)
+	if p.Info == nil {
+		return out
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.Callee(call)
+			if fn == nil {
+				return true
+			}
+			fi := m.FuncOf(fn)
+			if fi == nil || determinismScoped(fi.Pass.PkgPath) {
+				// In-scope callees carry their own direct findings; re-flagging
+				// every call to them would only repeat the report.
+				return true
+			}
+			switch {
+			case fi.Summary.WallClock:
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: ruleDeterminism,
+					Message: fmt.Sprintf("call to %s reaches the wall clock (%s); simulation code must use simulated/device time",
+						funcDisplayName(fi), fi.Summary.WallClockWhy),
+				})
+			case fi.Summary.GlobalRNG:
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: ruleDeterminism,
+					Message: fmt.Sprintf("call to %s reaches the global math/rand source (%s); use a seeded *rand.Rand or *core.SplitMix64",
+						funcDisplayName(fi), fi.Summary.GlobalRNGWhy),
+				})
+			}
+			return true
+		})
+	}
+	return out
 }
 
 func runDeterminism(p *Pass) []Finding {
@@ -64,11 +123,12 @@ func runDeterminism(p *Pass) []Finding {
 					Message: fmt.Sprintf("global-source rand.%s breaks seed determinism; use a seeded *rand.Rand or a serializable *core.SplitMix64",
 						sel.Sel.Name),
 				})
-			case sel.Sel.Name == "Now" && p.isPkgIdent(f, ident, "time"):
+			case wallClockFuncs[sel.Sel.Name] && p.isPkgIdent(f, ident, "time"):
 				out = append(out, Finding{
-					Pos:     p.Fset.Position(sel.Pos()),
-					Rule:    ruleDeterminism,
-					Message: "time.Now reads the wall clock; simulation code must use simulated/device time",
+					Pos:  p.Fset.Position(sel.Pos()),
+					Rule: ruleDeterminism,
+					Message: fmt.Sprintf("time.%s reads the wall clock; simulation code must use simulated/device time",
+						sel.Sel.Name),
 				})
 			}
 			return true

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// HotAlloc statically enforces the zero-allocation contract on functions
+// marked //lint:hotpath (the leveler OnErase/Level paths in core and the
+// emission paths in obs). The runtime AllocsPerRun probes in
+// core/alloc_test.go and obs/alloc_test.go catch regressions that actually
+// execute; this rule catches the ones hiding behind a branch the probe does
+// not drive. Inside a hot function every direct allocation site and every
+// call to a module function whose summary says it may allocate is flagged,
+// with the propagated witness chain in the message.
+//
+// Deliberate leniencies, mirroring what the runtime probes demonstrate is
+// free: error-handling regions (the contract is about the steady state),
+// value composite literals, non-escaping func literals (deferred or
+// immediately invoked), numeric conversions, and calls through interfaces
+// or func values (unresolvable statically; the runtime probes own those).
+var HotAlloc = &Analyzer{
+	Name: ruleHotAlloc,
+	Doc:  "no allocation on //lint:hotpath functions, transitively through static calls",
+	Applies: func(pkgPath string) bool {
+		// Any package may declare a hot path; the directive scopes the rule.
+		return pathIn(pkgPath, "flashswl")
+	},
+	RunModule: runHotAlloc,
+}
+
+func runHotAlloc(m *Module, p *Pass) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	m.Funcs(func(fi *FuncInfo) {
+		if fi.Pass != p || !fi.Hot {
+			return
+		}
+		out = append(out, hotAllocInFunc(m, fi)...)
+	})
+	return out
+}
+
+// hotAllocInFunc flags every allocation site in one hot function.
+func hotAllocInFunc(m *Module, fi *FuncInfo) []Finding {
+	p := fi.Pass
+	exempt := errorPathRanges(p, fi.Decl)
+	inline := nonEscapingLits(fi.Decl)
+	var out []Finding
+	report := func(n ast.Node, why string) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    ruleHotAlloc,
+			Message: fmt.Sprintf("%s on hot path %s; the zero-allocation contract forbids it", why, funcDisplayName(fi)),
+		})
+	}
+	ast.Inspect(fi.Decl, func(n ast.Node) bool {
+		if n == nil || exempt.covers(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n, "goroutine spawn")
+		case *ast.FuncLit:
+			if !inline[n] {
+				report(n, "escaping func literal")
+			}
+		case *ast.CallExpr:
+			if _, ok := p.atomicPtrMethod(n); ok {
+				return true
+			}
+			fn := p.Callee(n)
+			if fn == nil {
+				// Builtin or conversion: classify directly. Interface and
+				// func-value calls fall through allocSite unflagged.
+				if why, ok := allocSite(p, n); ok {
+					report(n, why)
+				}
+				return true
+			}
+			if callee := m.FuncOf(fn); callee != nil {
+				if callee.Summary.Allocates {
+					report(n, fmt.Sprintf("call to %s, which may allocate (%s),", funcDisplayName(callee), callee.Summary.AllocWhy))
+				}
+				return true
+			}
+			if fn.Pkg() != nil && inModulePath(fn.Pkg().Path()) {
+				return true // module function outside the loaded scope: unknown
+			}
+			if !nonAllocStdlib(fn) {
+				report(n, fmt.Sprintf("call to %s (standard library, assumed allocating)", stdFuncName(fn)))
+			}
+		default:
+			if why, ok := allocSite(p, n); ok {
+				report(n, why)
+			}
+		}
+		return true
+	})
+	return out
+}

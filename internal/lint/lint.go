@@ -1,11 +1,19 @@
 // Package lint is a stdlib-only static-analysis library enforcing the
 // repository's load-bearing contracts — the rules that until now existed
-// only as comments. Five repo-specific analyzers check determinism
-// (no global randomness or wall-clock reads in simulation code), chip
-// confinement (no goroutine shares a *nand.Chip or a driver), observability
-// pairing (every erase/copy site reports to the obs layer), error handling
-// on media operations, and the ban on direct stdout output from internal
-// packages.
+// only as comments and runtime probes. Nine repo-specific analyzers check
+// determinism (no global randomness or wall-clock reads reachable from
+// simulation code, transitively through the call graph), chip confinement
+// (no goroutine shares a *nand.Chip or a driver), observability pairing
+// (every erase/copy site reports to the obs layer), error handling on media
+// operations, the ban on direct stdout output from internal packages, map
+// iteration feeding order-sensitive sinks, the zero-allocation contract on
+// //lint:hotpath functions, ExportState/ImportState wire symmetry, and the
+// monitor's snapshot publication protocol.
+//
+// The per-file analyzers are pure functions of one parsed package (the Run
+// hook). The interprocedural analyzers additionally see a Module — a
+// module-wide static call graph with fixed-point function summaries built
+// by NewModule over every loaded pass (the RunModule hook); see module.go.
 //
 // The package deliberately depends only on go/ast, go/parser, go/token,
 // go/types and go/importer: the module must stay free of external
@@ -17,11 +25,11 @@
 //	//lint:ignore swlint/<rule> reason
 //
 // placed on the offending line or on the line directly above it. The reason
-// is mandatory; a bare ignore is itself reported.
+// is mandatory; a bare ignore is itself reported, and so is a stale ignore
+// that no longer suppresses anything.
 //
-// Analyses are pure functions of the parsed source: single-goroutine,
-// deterministic, and ordered (findings sort by position), so swlint output
-// is stable across runs.
+// Analyses are deterministic and ordered (findings sort by position), so
+// swlint output is stable across runs even under the parallel driver.
 package lint
 
 import (
@@ -42,6 +50,10 @@ const (
 	ruleObsPair     = "obspair"
 	ruleErrDiscard  = "errdiscard"
 	rulePrintBan    = "printban"
+	ruleMapOrder    = "maporder"
+	ruleHotAlloc    = "hotalloc"
+	ruleStateCodec  = "statecodec"
+	ruleSnapshot    = "snapshot"
 )
 
 // Finding is one rule violation at a source position.
@@ -83,8 +95,23 @@ type Analyzer struct {
 	// driver consults it; tests invoke Run directly on fixture passes.
 	Applies func(pkgPath string) bool
 	// Run analyzes one package and returns raw findings (suppression is
-	// applied by the driver via Suppress).
+	// applied by the driver via Suppress). Per-file analyzers set Run.
 	Run func(p *Pass) []Finding
+	// RunModule analyzes one package with the module-wide call graph in
+	// scope. Interprocedural analyzers set RunModule; when both hooks are
+	// set, a driver with a Module calls RunModule only (it subsumes Run).
+	RunModule func(m *Module, p *Pass) []Finding
+}
+
+// run invokes the right hook for the available context.
+func (a *Analyzer) run(m *Module, p *Pass) []Finding {
+	if a.RunModule != nil && m != nil {
+		return a.RunModule(m, p)
+	}
+	if a.Run != nil {
+		return a.Run(p)
+	}
+	return nil
 }
 
 // All returns every analyzer in stable order.
@@ -95,7 +122,21 @@ func All() []*Analyzer {
 		ObsPair,
 		ErrDiscard,
 		PrintBan,
+		MapOrder,
+		HotAlloc,
+		StateCodec,
+		Snapshot,
 	}
+}
+
+// RuleNames returns the set of valid rule names (used by stale-suppression
+// checking to tell an unknown rule from a merely inactive one).
+func RuleNames() map[string]bool {
+	out := map[string]bool{}
+	for _, a := range All() {
+		out[a.Name] = true
+	}
+	return out
 }
 
 // ByName resolves a comma-separated -rules filter against All, preserving

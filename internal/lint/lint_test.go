@@ -54,6 +54,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{ObsPair, "obspair"},
 		{ErrDiscard, "errdiscard"},
 		{PrintBan, "printban"},
+		{MapOrder, "maporder"},
+		{HotAlloc, "hotalloc"},
+		{StateCodec, "statecodec"},
+		{Snapshot, "snapshot"},
 	}
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -69,7 +73,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 			if pass == nil {
 				t.Fatalf("no fixture files in %s", dir)
 			}
-			findings := Suppress(pass, tc.analyzer.Run(pass))
+			// Interprocedural analyzers see a single-package module: the
+			// fixture plus whatever it imports.
+			m := NewModule([]*Pass{pass})
+			findings := Suppress(pass, tc.analyzer.run(m, pass))
 			SortFindings(findings)
 
 			var wants []wantSpec
@@ -120,8 +127,8 @@ func keyOf(file string, line int) string {
 // TestByName checks the -rules filter resolution.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	some, err := ByName("printban, determinism")
 	if err != nil {

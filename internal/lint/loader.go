@@ -21,14 +21,20 @@ import (
 // go/importer source importer. Type checking is best-effort: a package that
 // fails to check still yields a Pass with whatever information was
 // recovered, because most analyzers are syntactic.
+// Loaded packages are memoized as whole Passes, so a package reached both
+// through the import graph and through an explicit LoadDir is type-checked
+// exactly once and every Pass shares one object world — the property the
+// interprocedural engine (module.go) depends on: a *types.Func resolved at a
+// call site in one package is pointer-identical to the one declared in
+// another.
 type Loader struct {
 	Fset   *token.FileSet
 	root   string // module root directory (holds go.mod)
 	module string // module path from go.mod
 
 	std      types.Importer
-	pkgs     map[string]*types.Package // memoized module packages, by import path
-	checking map[string]bool           // cycle guard
+	passes   map[string]*Pass // memoized loads, by import path (nil: no Go files)
+	checking map[string]bool  // cycle guard
 }
 
 // NewLoader locates the enclosing module from dir (walking up to go.mod)
@@ -48,7 +54,7 @@ func NewLoader(dir string) (*Loader, error) {
 		root:     root,
 		module:   module,
 		std:      importer.ForCompiler(fset, "source", nil),
-		pkgs:     map[string]*types.Package{},
+		passes:   map[string]*Pass{},
 		checking: map[string]bool{},
 	}, nil
 }
@@ -102,8 +108,11 @@ func (l *Loader) PkgPath(dir string) string {
 // everything else to the standard-library source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.module || strings.HasPrefix(path, l.module+"/") {
-		if pkg, ok := l.pkgs[path]; ok {
-			return pkg, nil
+		if pass, ok := l.passes[path]; ok {
+			if pass == nil {
+				return nil, fmt.Errorf("lint: no Go files in %s", path)
+			}
+			return pass.Pkg, nil
 		}
 		if l.checking[path] {
 			return nil, fmt.Errorf("lint: import cycle through %s", path)
@@ -113,7 +122,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		l.pkgs[path] = pass.Pkg
+		if pass == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
 		return pass.Pkg, nil
 	}
 	return l.std.Import(path)
@@ -142,7 +153,26 @@ func (l *Loader) LoadFiles(pkgPath string, files ...string) (*Pass, error) {
 
 // load does the real work: parse the files (all non-test .go files of dir
 // when names is nil), then type-check with best-effort error tolerance.
-func (l *Loader) load(pkgPath, dir string, names []string) (*Pass, error) {
+// Directory loads (names == nil) are memoized by import path, so the same
+// package reached via imports and via an explicit LoadDir shares one
+// *types.Package. A recover guard converts any parser/type-checker panic on
+// pathological input into an error: the loader's contract (pinned by
+// FuzzLoader) is errors, never panics.
+func (l *Loader) load(pkgPath, dir string, names []string) (pass *Pass, err error) {
+	memoize := names == nil
+	if memoize {
+		if p, ok := l.passes[pkgPath]; ok {
+			return p, nil
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pass, err = nil, fmt.Errorf("lint: loading %s: internal panic: %v", pkgPath, r)
+		}
+		if memoize && err == nil {
+			l.passes[pkgPath] = pass
+		}
+	}()
 	if names == nil {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
@@ -168,7 +198,7 @@ func (l *Loader) load(pkgPath, dir string, names []string) (*Pass, error) {
 		}
 		files = append(files, f)
 	}
-	pass := &Pass{Fset: l.Fset, Files: files, Dir: dir, PkgPath: pkgPath}
+	pass = &Pass{Fset: l.Fset, Files: files, Dir: dir, PkgPath: pkgPath}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Uses:       map[*ast.Ident]types.Object{},

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoader pins the loader's contract on malformed input: whatever bytes
+// arrive as a Go source file, LoadFiles returns a Pass (possibly with type
+// errors collected) or an error — it never panics. The recover guard in
+// load() exists precisely because go/parser and go/types are not hardened
+// against adversarial input; this fuzzer is the regression harness for it.
+func FuzzLoader(f *testing.F) {
+	seeds := []string{
+		"package ok\n\nfunc F() int { return 1 }\n",
+		"package broken\nfunc {",
+		"package types\n\nfunc F() int { return \"not an int\" }\n",
+		"package imports\n\nimport \"math/bits\"\n\nfunc F(x uint64) int { return bits.OnesCount64(x) }\n",
+		"package modimport\n\nimport \"flashswl/internal/wire\"\n\nvar W = wire.NewWriter()\n",
+		"package cgo\n\nimport \"C\"\n",
+		"package generics\n\ntype S[T any] struct{ v T }\n\nfunc (s S[T]) Get() T { return s.v }\n",
+		"package deep\n\nfunc F() { _ = [][][][][]int{{{{{1}}}}} }\n",
+		"package unicode\n\nvar \u00e9 = \"\\u00e9\"; var x = `raw\nstring`\n",
+		"",
+		"\x00\x01\x02",
+		"package p\n//lint:ignore swlint/printban\nfunc F() {}\n",
+		"package p\n\nimport (\n\t\"fmt\"\n\tfmt \"fmt\"\n)\n\nvar _ = fmt.Sprint\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		f.Fatal(err)
+	}
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		// One loader is shared across iterations so the stdlib importer's
+		// cache stays warm; LoadFiles never memoizes, so each run sees the
+		// rewritten file fresh.
+		path := filepath.Join(dir, "fuzz.go")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		pass, err := loader.LoadFiles("fuzz/pkg", path)
+		if err != nil {
+			return // errors are the contract; panics are the bug
+		}
+		if pass == nil {
+			t.Fatal("LoadFiles returned nil pass and nil error")
+		}
+		// The pass must be safe to analyze whatever state it is in.
+		m := NewModule([]*Pass{pass})
+		for _, a := range All() {
+			_ = a.run(m, pass)
+		}
+		_ = Suppress(pass, nil)
+	})
+}

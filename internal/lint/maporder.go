@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration whose body feeds an order-sensitive sink in
+// packages bound by the determinism or wire-format contracts: appending to a
+// slice that outlives the loop (unless the slice is sorted afterwards in the
+// same function, the sanctioned collect-and-sort idiom), writing to an
+// io/CSV/JSON-ish sink, or emitting wire codec fields. Go randomizes map
+// iteration order per run, so any of these turns a seeded simulation, a
+// checkpoint section, or a results file into a coin flip. Folds that land
+// back in maps or counters are order-insensitive and are not flagged.
+var MapOrder = &Analyzer{
+	Name: ruleMapOrder,
+	Doc:  "no map iteration feeding order-sensitive sinks (appends, writers, wire fields) in determinism-scoped code",
+	Applies: func(pkgPath string) bool {
+		return determinismScoped(pkgPath) || pathIn(pkgPath,
+			"flashswl/internal/checkpoint",
+			"flashswl/internal/faultinject",
+			"flashswl/internal/obs",
+			"flashswl/internal/ftl",
+			"flashswl/internal/dftl",
+		)
+	},
+	Run:       func(p *Pass) []Finding { return runMapOrder(nil, p) },
+	RunModule: runMapOrder,
+}
+
+// orderSinkMethods are method names treated as ordered-output sinks
+// regardless of receiver: the io.Writer family, encoding/csv, and the
+// encoder shapes used across the tree.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRecord": true, "WriteAll": true, "Encode": true, "Emit": true,
+}
+
+func runMapOrder(m *Module, p *Pass) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, mapOrderInFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+// mapOrderInFunc checks every map range in one function.
+func mapOrderInFunc(p *Pass, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(p, rng.X) {
+			return true
+		}
+		out = append(out, mapRangeSinks(p, fd, rng)...)
+		return true
+	})
+	return out
+}
+
+// isMapExpr reports whether e has map type.
+func isMapExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// mapRangeSinks walks one map range body for order-sensitive sinks.
+func mapRangeSinks(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) []Finding {
+	var out []Finding
+	// Objects declared inside the range body are loop-local: appending to
+	// them does not leak iteration order out of the loop.
+	local := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, ...) where dst outlives the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if obj := p.Info.Uses[id]; obj == nil || obj.Parent() == types.Universe {
+				dst := rootObject(p, call.Args[0])
+				if dst != nil && !local[dst] && !sortedAfter(p, fd, rng, dst) {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: ruleMapOrder,
+						Message: fmt.Sprintf("append to %q inside map iteration leaks randomized map order into element order; collect then sort, or iterate sorted keys",
+							dst.Name()),
+					})
+				}
+			}
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			// fmt.Fprint* into a writer.
+			if id, ok := sel.X.(*ast.Ident); ok && p.isPkgIdent(fileOf(p, fd), id, "fmt") {
+				if strings.HasPrefix(sel.Sel.Name, "Fprint") {
+					out = append(out, Finding{
+						Pos:     p.Fset.Position(call.Pos()),
+						Rule:    ruleMapOrder,
+						Message: fmt.Sprintf("fmt.%s inside map iteration writes in randomized map order; iterate sorted keys", sel.Sel.Name),
+					})
+				}
+				return true
+			}
+			// Wire codec field emission: any data op on a *wire.Writer.
+			if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					if isNamed(recv.Type(), "flashswl/internal/wire", "Writer") && wireOps[fn.Name()] {
+						out = append(out, Finding{
+							Pos:  p.Fset.Position(call.Pos()),
+							Rule: ruleMapOrder,
+							Message: fmt.Sprintf("wire field %s emitted inside map iteration makes the checkpoint section depend on map order; collect, sort, then write",
+								fn.Name()),
+						})
+						return true
+					}
+				}
+			}
+			// Generic ordered-output sink methods.
+			if orderSinkMethods[sel.Sel.Name] {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: ruleMapOrder,
+						Message: fmt.Sprintf("%s call inside map iteration produces output in randomized map order; iterate sorted keys",
+							sel.Sel.Name),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject resolves the base identifier of an expression like x,
+// x.f, or x[i] to its object.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether fd contains, after the range statement, a call
+// into package sort or slices that references obj — the sanctioned
+// collect-and-sort idiom (e.g. faultinject's bad-block section).
+func sortedAfter(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		f := fileOf(p, fd)
+		if !p.isPkgIdent(f, id, "sort") && !p.isPkgIdent(f, id, "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if aid, ok := an.(*ast.Ident); ok && p.Info.Uses[aid] == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// fileOf returns the *ast.File containing node n.
+func fileOf(p *Pass, n ast.Node) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= n.Pos() && n.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSource type-checks one synthetic file as a module-external package
+// and returns its pass.
+func loadSource(t *testing.T, src string) *Pass {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pass, err := loader.LoadFiles("enginetest/pkg", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pass.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pass.TypeErrors)
+	}
+	return pass
+}
+
+// funcByName finds a module function by bare name.
+func funcByName(t *testing.T, m *Module, name string) *FuncInfo {
+	t.Helper()
+	var found *FuncInfo
+	m.Funcs(func(fi *FuncInfo) {
+		if fi.Obj.Name() == name {
+			found = fi
+		}
+	})
+	if found == nil {
+		t.Fatalf("function %s not in module", name)
+	}
+	return found
+}
+
+// TestSummaryPropagation checks the fixed point: taint bits flow through
+// static call chains with witness strings, and clean functions stay clean.
+func TestSummaryPropagation(t *testing.T) {
+	pass := loadSource(t, `package pkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockLeaf() time.Time { return time.Now() }
+func clockMid() time.Time  { return clockLeaf() }
+func clockTop() time.Time  { return clockMid() }
+
+func rngLeaf() int { return rand.Intn(6) }
+func rngTop() int  { return rngLeaf() }
+
+func allocLeaf() []int { return make([]int, 8) }
+func allocTop() int    { return len(allocLeaf()) }
+
+func clean(x int) int { return x * x }
+func cleanTop(x int) int { return clean(x) + clean(x+1) }
+`)
+	m := NewModule([]*Pass{pass})
+
+	top := funcByName(t, m, "clockTop")
+	if !top.Summary.WallClock {
+		t.Fatal("clockTop should inherit WallClock through two calls")
+	}
+	if !strings.Contains(top.Summary.WallClockWhy, "clockMid") {
+		t.Fatalf("witness should chain through clockMid: %q", top.Summary.WallClockWhy)
+	}
+	if top.Summary.GlobalRNG {
+		t.Fatal("clockTop should not be RNG-tainted")
+	}
+	if !funcByName(t, m, "rngTop").Summary.GlobalRNG {
+		t.Fatal("rngTop should inherit GlobalRNG")
+	}
+	if !funcByName(t, m, "allocTop").Summary.Allocates {
+		t.Fatal("allocTop should inherit Allocates")
+	}
+	ct := funcByName(t, m, "cleanTop").Summary
+	if ct.WallClock || ct.GlobalRNG || ct.Allocates {
+		t.Fatalf("cleanTop should be fully clean, got %+v", ct)
+	}
+}
+
+// TestSummaryExemptions checks that error paths and non-escaping closures
+// do not taint the allocation bit.
+func TestSummaryExemptions(t *testing.T) {
+	pass := loadSource(t, `package pkg
+
+import "fmt"
+
+type state struct{ n int; busy bool }
+
+func steady(s *state) error {
+	s.busy = true
+	defer func() { s.busy = false }()
+	s.n++
+	if s.n > 100 {
+		return fmt.Errorf("wrapped around at %d", s.n)
+	}
+	return nil
+}
+
+func eager() []byte {
+	return []byte("always allocates")
+}
+`)
+	m := NewModule([]*Pass{pass})
+	if s := funcByName(t, m, "steady").Summary; s.Allocates {
+		t.Fatalf("error-path Errorf and deferred closure should be exempt, got %q", s.AllocWhy)
+	}
+	if !funcByName(t, m, "eager").Summary.Allocates {
+		t.Fatal("unconditional conversion should taint eager")
+	}
+}
+
+// TestHotpathDirectiveAndAtomics checks directive detection and
+// atomic.Pointer Store/Load harvesting.
+func TestHotpathDirectiveAndAtomics(t *testing.T) {
+	pass := loadSource(t, `package pkg
+
+import "sync/atomic"
+
+type box struct{ p atomic.Pointer[int]; b atomic.Bool }
+
+// hot is marked.
+//
+//lint:hotpath test fixture
+func hot(x int) int { return x + 1 }
+
+func cold(x int) int { return x - 1 }
+
+func touch(b *box, v *int) *int {
+	b.p.Store(v)
+	b.b.Store(true)
+	return b.p.Load()
+}
+`)
+	m := NewModule([]*Pass{pass})
+	if !funcByName(t, m, "hot").Hot {
+		t.Fatal("directive not detected")
+	}
+	if funcByName(t, m, "cold").Hot {
+		t.Fatal("cold wrongly marked hot")
+	}
+	touch := funcByName(t, m, "touch")
+	if len(touch.AtomicPtrStores) != 1 || len(touch.AtomicPtrLoads) != 1 {
+		t.Fatalf("want exactly one Pointer Store and Load (Bool excluded), got %d/%d",
+			len(touch.AtomicPtrStores), len(touch.AtomicPtrLoads))
+	}
+}
+
+// TestSharedObjectWorld pins the loader property the call graph depends on:
+// a package loaded both through imports and through LoadDir is the same
+// *types.Package, so cross-package callee resolution matches declarations.
+func TestSharedObjectWorld(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := loader.Root()
+	// core imports obs; load core first so obs arrives via the import path,
+	// then load obs directly.
+	corePass, err := loader.LoadDir(filepath.Join(root, "internal", "core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsPass, err := loader.LoadDir(filepath.Join(root, "internal", "obs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsImported := corePass.Pkg.Imports()
+	var shared bool
+	for _, imp := range obsImported {
+		if imp.Path() == "flashswl/internal/obs" {
+			shared = imp == obsPass.Pkg
+		}
+	}
+	if !shared {
+		t.Fatal("obs reached via import and via LoadDir are different *types.Package values")
+	}
+	// And the graph actually links across the boundary: some core function
+	// must have a resolved call edge into obs.
+	m := NewModule([]*Pass{corePass, obsPass})
+	var linked bool
+	m.Funcs(func(fi *FuncInfo) {
+		if fi.Pass != corePass {
+			return
+		}
+		for _, c := range fi.Callees {
+			if c.Pass == obsPass {
+				linked = true
+			}
+		}
+	})
+	if !linked {
+		t.Fatal("no call edge from core into obs; cross-package callee resolution broken")
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Snapshot enforces the monitor's publication protocol. Simulation state
+// crosses into HTTP goroutines exactly one way: the sim side builds an
+// immutable snapshot and publishes it with atomic.Pointer.Store; handlers
+// only Load. Three things violate that:
+//
+//  1. an atomic.Pointer.Store reachable (through static calls) from an HTTP
+//     handler — a reader publishing state it does not own;
+//  2. mutating a value after passing it to Store — the "immutable once
+//     published" half of the contract;
+//  3. mutating a value obtained from atomic.Pointer.Load — a reader
+//     scribbling on a snapshot other goroutines share.
+//
+// atomic.Bool and friends are not covered: flag flips like the monitor's
+// checkpoint-request latch are legitimately bidirectional.
+var Snapshot = &Analyzer{
+	Name:      ruleSnapshot,
+	Doc:       "HTTP handlers only Load published snapshots; only the sim side Stores; no mutation after publication",
+	Applies:   func(pkgPath string) bool { return pathIn(pkgPath, "flashswl/internal/monitor") },
+	RunModule: runSnapshot,
+}
+
+func runSnapshot(m *Module, p *Pass) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	var out []Finding
+	out = append(out, snapshotHandlerStores(m, p)...)
+	m.Funcs(func(fi *FuncInfo) {
+		if fi.Pass == p {
+			out = append(out, snapshotMutations(p, fi)...)
+		}
+	})
+	return out
+}
+
+// snapshotHandlerStores flags atomic.Pointer.Store calls reachable from
+// HTTP handler functions.
+func snapshotHandlerStores(m *Module, p *Pass) []Finding {
+	// Roots: functions in this package shaped like http handlers.
+	var roots []*FuncInfo
+	m.Funcs(func(fi *FuncInfo) {
+		if fi.Pass == p && isHandlerFunc(fi.Obj) {
+			roots = append(roots, fi)
+		}
+	})
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+	var out []Finding
+	reported := map[*FuncInfo]bool{}
+	for _, root := range roots {
+		// BFS over static call edges from this handler.
+		seen := map[*FuncInfo]bool{root: true}
+		queue := []*FuncInfo{root}
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			if len(fi.AtomicPtrStores) > 0 && !reported[fi] {
+				reported[fi] = true
+				for _, pos := range fi.AtomicPtrStores {
+					out = append(out, Finding{
+						Pos:  fi.Pass.Fset.Position(pos),
+						Rule: ruleSnapshot,
+						Message: fmt.Sprintf("atomic.Pointer.Store reachable from HTTP handler %s; handlers only Load — publication belongs to the sim goroutine",
+							funcDisplayName(root)),
+					})
+				}
+			}
+			for _, c := range fi.Callees {
+				if !seen[c] {
+					seen[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isHandlerFunc reports whether fn has the (http.ResponseWriter,
+// *http.Request) parameter shape.
+func isHandlerFunc(fn *types.Func) bool {
+	params := fn.Type().(*types.Signature).Params()
+	if params.Len() != 2 {
+		return false
+	}
+	return isNamed(params.At(0).Type(), "net/http", "ResponseWriter") &&
+		isNamed(params.At(1).Type(), "net/http", "Request")
+}
+
+// snapshotMutations flags writes through values that were published with
+// Store or obtained from Load, within one function body.
+func snapshotMutations(p *Pass, fi *FuncInfo) []Finding {
+	var out []Finding
+	published := map[types.Object]ast.Node{} // ident object -> the Store call
+	loaded := map[types.Object]ast.Node{}    // ident object -> the Load call
+	ast.Inspect(fi.Decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name, ok := p.atomicPtrMethod(n)
+			if !ok {
+				return true
+			}
+			if name == "Store" && len(n.Args) == 1 {
+				if obj := identObject(p, n.Args[0]); obj != nil {
+					published[obj] = n
+				}
+			}
+		case *ast.AssignStmt:
+			// x := ptr.Load() registers x as a shared snapshot...
+			for i, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if name, ok := p.atomicPtrMethod(call); ok && name == "Load" && i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := p.Info.Defs[id]; obj != nil {
+								loaded[obj] = call
+							} else if obj := p.Info.Uses[id]; obj != nil {
+								loaded[obj] = call
+							}
+						}
+					}
+				}
+			}
+			// ...and any assignment through a published or loaded value is a
+			// mutation of shared state.
+			for _, lhs := range n.Lhs {
+				out = append(out, mutationFindings(p, published, loaded, lhs, n.Pos())...)
+			}
+		case *ast.IncDecStmt:
+			out = append(out, mutationFindings(p, published, loaded, n.X, n.Pos())...)
+		}
+		return true
+	})
+	return out
+}
+
+// mutationFindings reports writes through a published or loaded root.
+func mutationFindings(p *Pass, published, loaded map[types.Object]ast.Node, target ast.Expr, at token.Pos) []Finding {
+	root, deref := assignRoot(p, target)
+	if root == nil || !deref {
+		return nil
+	}
+	var out []Finding
+	if store, ok := published[root]; ok && at > store.Pos() {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(at),
+			Rule: ruleSnapshot,
+			Message: fmt.Sprintf("%q is mutated after being published with atomic.Pointer.Store; published snapshots are immutable — build a fresh one instead",
+				root.Name()),
+		})
+	}
+	if _, ok := loaded[root]; ok {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(at),
+			Rule: ruleSnapshot,
+			Message: fmt.Sprintf("%q came from atomic.Pointer.Load and is shared with other goroutines; mutating it races — copy before modifying",
+				root.Name()),
+		})
+	}
+	return out
+}
+
+// identObject resolves a plain identifier expression to its object.
+func identObject(p *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// assignRoot resolves the base object of an assignment target like x.F,
+// x[i], or x.F[i].G. deref is true only when the target goes *through* the
+// root (selector/index), i.e. writes into the pointed-to value rather than
+// rebinding the variable itself.
+func assignRoot(p *Pass, e ast.Expr) (root types.Object, deref bool) {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if !deref {
+				return nil, false // plain rebinding of the variable: fine
+			}
+			return identObject(p, v), true
+		case *ast.SelectorExpr:
+			e, deref = v.X, true
+		case *ast.IndexExpr:
+			e, deref = v.X, true
+		case *ast.StarExpr:
+			e, deref = v.X, true
+		default:
+			return nil, false
+		}
+	}
+}

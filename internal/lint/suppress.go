@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -14,17 +16,27 @@ import (
 // the offending statement, or a trailing comment on the statement itself).
 const ignorePrefix = "//lint:ignore swlint/"
 
-// ignoreSet records, per file, which lines have which rules suppressed.
+// directive is one parsed suppression comment.
+type directive struct {
+	rule string
+	pos  token.Position
+	used bool
+}
+
+// ignoreSet records, per file, which lines have which rules suppressed,
+// tracking use so stale directives can be reported.
 type ignoreSet struct {
-	// lines maps line number -> set of rule names suppressed there.
-	lines map[int]map[string]bool
+	// lines maps line number -> rule name -> directive.
+	lines map[int]map[string]*directive
+	// all lists every well-formed directive in the file.
+	all []*directive
 }
 
 // collectIgnores scans a file's comments for suppression directives. A
 // directive with no reason is returned as a finding itself — silent
 // suppressions are how contracts rot.
 func collectIgnores(p *Pass, f *ast.File) (ignoreSet, []Finding) {
-	set := ignoreSet{lines: map[int]map[string]bool{}}
+	set := ignoreSet{lines: map[int]map[string]*directive{}}
 	var bad []Finding
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -47,13 +59,15 @@ func collectIgnores(p *Pass, f *ast.File) (ignoreSet, []Finding) {
 				})
 				continue
 			}
+			d := &directive{rule: rule, pos: pos}
+			set.all = append(set.all, d)
 			for _, ln := range []int{pos.Line, pos.Line + 1} {
 				m := set.lines[ln]
 				if m == nil {
-					m = map[string]bool{}
+					m = map[string]*directive{}
 					set.lines[ln] = m
 				}
-				m[rule] = true
+				m[rule] = d
 			}
 		}
 	}
@@ -61,9 +75,22 @@ func collectIgnores(p *Pass, f *ast.File) (ignoreSet, []Finding) {
 }
 
 // Suppress drops findings covered by //lint:ignore directives in the pass's
-// files and appends findings for malformed directives. It is applied by the
-// driver after every analyzer has run.
+// files and appends findings for malformed directives. Stale directives are
+// not checked; drivers that know which rules actually ran use
+// SuppressChecked.
 func Suppress(p *Pass, findings []Finding) []Finding {
+	return SuppressChecked(p, findings, nil)
+}
+
+// SuppressChecked is Suppress plus stale-directive detection: active names
+// the rules that ran on this package (analyzer enabled and applicable). A
+// well-formed directive for an active rule that suppressed nothing is dead
+// weight — it reads as "this line is exempt" while guarding nothing, and it
+// keeps a future real finding on that line silent — so it is itself a
+// finding. Directives for known-but-inactive rules are left alone (a -rules
+// filter must not make the tree look stale); directives for unknown rules
+// are reported as such. With active nil, no stale checking happens.
+func SuppressChecked(p *Pass, findings []Finding, active map[string]bool) []Finding {
 	byFile := map[string]ignoreSet{}
 	var out []Finding
 	for _, f := range p.Files {
@@ -74,11 +101,36 @@ func Suppress(p *Pass, findings []Finding) []Finding {
 	}
 	for _, fd := range findings {
 		if set, ok := byFile[fd.Pos.Filename]; ok {
-			if rules, ok := set.lines[fd.Pos.Line]; ok && rules[fd.Rule] {
+			if d := set.lines[fd.Pos.Line][fd.Rule]; d != nil {
+				d.used = true
 				continue
 			}
 		}
 		out = append(out, fd)
+	}
+	if active == nil {
+		return out
+	}
+	known := RuleNames()
+	for _, f := range p.Files {
+		set := byFile[p.Fset.Position(f.Pos()).Filename]
+		for _, d := range set.all {
+			switch {
+			case d.used:
+			case !known[d.rule]:
+				out = append(out, Finding{
+					Pos:     d.pos,
+					Rule:    "ignore",
+					Message: fmt.Sprintf("suppression names unknown rule swlint/%s", d.rule),
+				})
+			case active[d.rule]:
+				out = append(out, Finding{
+					Pos:     d.pos,
+					Rule:    "ignore",
+					Message: fmt.Sprintf("stale suppression: no swlint/%s finding here anymore; delete the //lint:ignore", d.rule),
+				})
+			}
+		}
 	}
 	return out
 }

@@ -35,3 +35,30 @@ func suppressed() int {
 	//lint:ignore swlint/determinism fixture demonstrates suppression
 	return rand.Intn(3)
 }
+
+// Transitive cases: the engine follows static calls, so nondeterminism
+// hiding behind a helper in a non-simulation package is flagged at the
+// call site. (This fixture package itself is out of the determinism scope,
+// which is exactly the shape of the smuggling bug.)
+
+var t0 = time.Now() // want "time.Now reads the wall clock"
+
+func clockHelper() time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func shuffleHelper(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global-source rand.Shuffle"
+}
+
+func badTransitiveClock() time.Duration {
+	return clockHelper() // want "reaches the wall clock"
+}
+
+func badTransitiveRNG(xs []int) {
+	shuffleHelper(xs) // want "reaches the global math/rand source"
+}
+
+func goodSeededHelper(n int) int {
+	return good(n) // seeded path: clean summary, no finding
+}

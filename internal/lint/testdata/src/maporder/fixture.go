@@ -1,0 +1,80 @@
+// Fixture for the maporder analyzer: map iteration feeding order-sensitive
+// sinks is flagged; order-insensitive folds and the collect-then-sort idiom
+// are not.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"flashswl/internal/wire"
+)
+
+func badAppend(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside map iteration"
+	}
+	return out
+}
+
+func goodSortedAfter(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func goodLoopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+func badFprint(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want "fmt.Fprintf inside map iteration"
+	}
+}
+
+func badWriterMethod(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want "WriteString call inside map iteration"
+	}
+}
+
+func badWireEmit(m map[int]int32, w *wire.Writer) {
+	for _, v := range m {
+		w.I32(v) // want "wire field I32 emitted inside map iteration"
+	}
+}
+
+func goodCounterFold(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func goodMapToMap(m map[int]int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func goodSliceRange(xs []int, buf *bytes.Buffer) {
+	// Slice iteration is ordered: writers inside are fine.
+	for _, x := range xs {
+		fmt.Fprintf(buf, "%d\n", x)
+	}
+}

@@ -1,0 +1,65 @@
+// Fixture for the snapshot analyzer: the monitor publication protocol.
+// Handlers only Load; Stores reachable from handlers, mutation after
+// Store, and mutation of Loaded values are flagged. atomic.Bool flips and
+// fresh-snapshot publication are clean.
+package fixture
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+type snap struct {
+	events int64
+	blocks []int
+}
+
+type server struct {
+	cur     atomic.Pointer[snap]
+	ckptReq atomic.Bool
+}
+
+// badHandlerStore publishes from a request goroutine.
+func (s *server) badHandlerStore(w http.ResponseWriter, r *http.Request) {
+	s.cur.Store(&snap{}) // want "atomic.Pointer.Store reachable from HTTP handler server.badHandlerStore"
+}
+
+// badHandlerIndirect reaches a Store through a helper.
+func (s *server) badHandlerIndirect(w http.ResponseWriter, r *http.Request) {
+	s.republish()
+}
+
+func (s *server) republish() {
+	s.cur.Store(new(snap)) // want "atomic.Pointer.Store reachable from HTTP handler server.badHandlerIndirect"
+}
+
+// goodHandler only Loads, and atomic.Bool latches stay legitimate.
+func (s *server) goodHandler(w http.ResponseWriter, r *http.Request) {
+	cur := s.cur.Load()
+	if cur != nil {
+		_ = cur.events
+	}
+	s.ckptReq.Store(true)
+}
+
+// badMutateAfterPublish scribbles on a snapshot it already published.
+func (s *server) badMutateAfterPublish(events int64) {
+	next := &snap{events: events}
+	s.cur.Store(next)
+	next.events = 0 // want "mutated after being published"
+}
+
+// badMutateLoaded scribbles on a snapshot other goroutines share.
+func (s *server) badMutateLoaded() {
+	cur := s.cur.Load()
+	if cur == nil {
+		return
+	}
+	cur.events++ // want "came from atomic.Pointer.Load"
+}
+
+// goodPublish builds a fresh snapshot every time: the sim-side idiom.
+func (s *server) goodPublish(events int64, blocks []int) {
+	next := &snap{events: events, blocks: append([]int(nil), blocks...)}
+	s.cur.Store(next)
+}

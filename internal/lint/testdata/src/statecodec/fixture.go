@@ -1,0 +1,88 @@
+// Fixture for the statecodec analyzer: export/import pairs whose wire-op
+// streams diverge are flagged at the first divergence; symmetric codecs —
+// including helper inlining, loops, and presence flags — are clean.
+package fixture
+
+import "flashswl/internal/wire"
+
+// swapped reads a different op where the writer emitted another width.
+type swapped struct {
+	a uint32
+	b uint64
+}
+
+func (s *swapped) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U32(s.a)
+	w.U64(s.b)
+	return w.Bytes()
+}
+
+func (s *swapped) ImportState(data []byte) {
+	r := wire.NewReader(data)
+	s.a = r.U32()
+	s.b = uint64(r.U32()) // want "ImportState reads U32 where ExportState writes U64"
+}
+
+// truncated stops reading before the stream ends.
+type truncated struct {
+	a, b uint32
+	c    int64
+}
+
+func (t *truncated) SaveState() []byte {
+	w := wire.NewWriter()
+	w.U32(t.a)
+	w.U32(t.b)
+	w.I64(t.c)
+	return w.Bytes()
+}
+
+func (t *truncated) RestoreState(data []byte) { // want "truncated.SaveState writes 3 wire ops but RestoreState reads only 2"
+	r := wire.NewReader(data)
+	t.a = r.U32()
+	t.b = r.U32()
+}
+
+// symmetric round-trips through a helper, a loop, and a presence flag.
+type symmetric struct {
+	version uint8
+	rows    [][]int32
+	extra   []int32
+}
+
+func exportRows(w *wire.Writer, rows [][]int32) {
+	w.U32(uint32(len(rows)))
+	for _, row := range rows {
+		w.I32s(row)
+	}
+}
+
+func importRows(r *wire.Reader) [][]int32 {
+	n := int(r.U32())
+	rows := make([][]int32, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, r.I32s())
+	}
+	return rows
+}
+
+func (s *symmetric) ExportState() []byte {
+	w := wire.NewWriter()
+	w.U8(s.version)
+	exportRows(w, s.rows)
+	w.Bool(s.extra != nil)
+	if s.extra != nil {
+		w.I32s(s.extra)
+	}
+	return w.Bytes()
+}
+
+func (s *symmetric) ImportState(data []byte) {
+	r := wire.NewReader(data)
+	s.version = r.U8()
+	s.rows = importRows(r)
+	if r.Bool() {
+		s.extra = r.I32s()
+	}
+}

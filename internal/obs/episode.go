@@ -20,6 +20,8 @@ import "time"
 // BeginEpisode emits an EvEpisodeBegin event carrying the leveler's
 // unevenness state at entry. It is a no-op on a nil sink, so disabled
 // observability costs one branch.
+//
+//lint:hotpath episode emission; see obs/alloc_test.go
 func BeginEpisode(sink EventSink, ecnt int64, fcnt int) {
 	if sink == nil {
 		return
@@ -29,6 +31,8 @@ func BeginEpisode(sink EventSink, ecnt int64, fcnt int) {
 
 // EndEpisode emits an EvEpisodeEnd event carrying the unevenness state at
 // exit and the invocation's block-set counts. It is a no-op on a nil sink.
+//
+//lint:hotpath episode emission; see obs/alloc_test.go
 func EndEpisode(sink EventSink, ecnt int64, fcnt int, sets, skipped int) {
 	if sink == nil {
 		return
@@ -97,6 +101,8 @@ func NewEpisodeBuilder(now func() time.Duration, onEpisode func(Episode)) *Episo
 func (b *EpisodeBuilder) Episodes() int64 { return b.seq }
 
 // Observe implements EventSink.
+//
+//lint:hotpath episode assembly runs on the emission path; see obs/alloc_test.go
 func (b *EpisodeBuilder) Observe(e Event) {
 	switch e.Kind {
 	case EvEpisodeBegin:
