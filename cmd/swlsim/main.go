@@ -5,7 +5,8 @@
 // Usage:
 //
 //	swlsim -layer ftl -swl -k 0 -T 100 -blocks 128 -endurance 300
-//	swlsim -layer nftl -trace day.trace     # replay a recorded trace
+//	swlsim -layer nftl -replay day.trace    # replay a recorded workload trace
+//	swlsim -swl -trace spans.json           # capture a causal span trace (Perfetto JSON)
 //	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
 //	swlsim -layer ftl -leveler gap -T 40    # a rival strategy from the leveler registry
 //	swlsim -array 4 -stripe -leveler global # 4-chip striped array with the cross-chip leveler
@@ -32,6 +33,7 @@ import (
 	"flashswl/internal/monitor"
 	"flashswl/internal/nand"
 	"flashswl/internal/obs"
+	"flashswl/internal/obs/chrometrace"
 	"flashswl/internal/sim"
 	"flashswl/internal/stats"
 	"flashswl/internal/trace"
@@ -54,7 +56,10 @@ func main() {
 	years := flag.Float64("years", 0, "fixed simulated span in years (0 = run to first failure)")
 	maxEvents := flag.Int64("maxevents", 500_000_000, "hard event cap")
 	seed := flag.Int64("seed", 1, "seed for trace resampling and the leveler")
-	traceFile := flag.String("trace", "", "replay this text trace instead of the synthetic workload")
+	replayFile := flag.String("replay", "", "replay this recorded workload trace instead of the synthetic workload")
+	tracePath := flag.String("trace", "", "write a causal span trace (Chrome trace-event JSON; load in Perfetto or feed to swltrace) to this file")
+	traceSpans := flag.Int("tracespans", 1<<16, "span ring capacity for -trace (the ring keeps the most recent spans)")
+	traceSample := flag.Int("tracesample", 0, "record one in N host-operation span trees (0 or 1 = every tree; leveler episodes are always recorded)")
 	heatmap := flag.Bool("heatmap", false, "print a per-block wear heatmap")
 	pfail := flag.Float64("pfail", 0, "transient program fault rate (e.g. 1e-3)")
 	efail := flag.Float64("efail", 0, "transient erase fault rate")
@@ -136,8 +141,8 @@ func main() {
 	sectors := logicalPages * spp
 
 	var src trace.Source
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swlsim: %v\n", err)
 			os.Exit(1)
@@ -209,6 +214,21 @@ func main() {
 	}
 	cfg.CheckpointPath = *checkpointPath
 	cfg.CheckpointEvery = *checkpointEvery
+	wantTracer := *tracePath != ""
+	flag.Visit(func(f *flag.Flag) {
+		// -tracespans/-tracesample without -trace still attach the tracer,
+		// for runs that only expose spans through the monitor's /trace.
+		if f.Name == "tracespans" || f.Name == "tracesample" {
+			wantTracer = true
+		}
+	})
+	if wantTracer {
+		cfg.TraceSpans = *traceSpans
+		cfg.TraceSample = *traceSample
+		// A wall clock, so exported span durations are real latencies.
+		traceStart := time.Now()
+		cfg.TraceClock = func() int64 { return int64(time.Since(traceStart)) }
+	}
 	var pub *monitor.SimPublisher
 	var mon *monitor.Server
 	if *serveAddr != "" {
@@ -284,6 +304,22 @@ func main() {
 		}
 	}
 
+	var traceSnap *obs.TraceSnapshot
+	if *tracePath != "" {
+		traceSnap = runner.Tracer().Snapshot()
+		tf, err := os.Create(*tracePath)
+		if err == nil {
+			err = chrometrace.Write(tf, traceSnap)
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swlsim: writing %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+	}
+
 	strategy := cfg.LevelerName()
 	if strategy == "" {
 		strategy = "off"
@@ -323,6 +359,10 @@ func main() {
 	if jw != nil {
 		fmt.Printf("metrics:         %d events + %d samples + 1 snapshot -> %s\n",
 			jw.Events(), len(res.Series), *metricsPath)
+	}
+	if traceSnap != nil {
+		fmt.Printf("span trace:      %d spans retained of %d recorded (%d dropped by the ring) -> %s\n",
+			len(traceSnap.Spans), traceSnap.Total, traceSnap.Dropped, *tracePath)
 	}
 	if *check {
 		violations := runner.InvariantChecker().ViolationCount()

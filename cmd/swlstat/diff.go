@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"flashswl/internal/obs"
 )
@@ -21,6 +22,11 @@ type Thresholds struct {
 	MaxEraseRise float64
 	// MaxCopyRise flags a rise in live-page copies (live-copy overhead).
 	MaxCopyRise float64
+	// MaxP99Rise flags a rise in any traced stage's P99 duration (the
+	// stage_latency section, schema v2). Stages are compared per kind and
+	// skipped when either side lacks the section or the stage — v1
+	// artifacts and untraced runs diff exactly as before.
+	MaxP99Rise float64
 }
 
 // Delta is one compared metric of one run.
@@ -52,6 +58,26 @@ func diffSummaries(oldB, newB *obs.BenchSummary, th Thresholds) (deltas []Delta,
 			{"stddev_erase", oldRun.StdDevErase, newRun.StdDevErase, th.MaxDevRise, false},
 			{"erases", float64(oldRun.Erases), float64(newRun.Erases), th.MaxEraseRise, false},
 			{"live_copies", float64(oldRun.LiveCopies), float64(newRun.LiveCopies), th.MaxCopyRise, false},
+		}
+		if len(oldRun.StageLatency) > 0 && len(newRun.StageLatency) > 0 {
+			stages := make([]string, 0, len(oldRun.StageLatency))
+			for stage := range oldRun.StageLatency {
+				stages = append(stages, stage)
+			}
+			sort.Strings(stages) // map iteration order must not leak into reports
+			for _, stage := range stages {
+				oldSL := oldRun.StageLatency[stage]
+				newSL, okNew := newRun.StageLatency[stage]
+				if !okNew {
+					continue
+				}
+				checks = append(checks, struct {
+					metric    string
+					old, new  float64
+					threshold float64
+					drop      bool
+				}{"p99:" + stage, float64(oldSL.P99Ns), float64(newSL.P99Ns), th.MaxP99Rise, false})
+			}
 		}
 		for _, c := range checks {
 			d := Delta{Run: oldRun.Name, Metric: c.metric, Old: c.old, New: c.new}

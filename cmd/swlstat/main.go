@@ -1,9 +1,11 @@
 // Command swlstat diffs two run artifacts and fails on endurance
 // regressions. It accepts BENCH_summary.json artifacts (written by
 // cmd/swlsim -summary and cmd/experiments) and raw JSONL observability
-// streams (swlsim -metrics output); runs are matched by name, and four
+// streams (swlsim -metrics output); runs are matched by name, and the
 // metrics are compared against configurable thresholds: first-failure time,
-// erase-count deviation, total erases, and live-page copies.
+// erase-count deviation, total erases, live-page copies, and — when both
+// artifacts carry the stage_latency section (schema v2, traced runs) — the
+// per-stage p99 span durations.
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ func main() {
 	flag.Float64Var(&th.MaxDevRise, "maxdevrise", 0.25, "max fractional rise in erase-count stddev")
 	flag.Float64Var(&th.MaxEraseRise, "maxeraserise", 0.25, "max fractional rise in total erases")
 	flag.Float64Var(&th.MaxCopyRise, "maxcopyrise", 0.50, "max fractional rise in live-page copies")
+	flag.Float64Var(&th.MaxP99Rise, "maxp99rise", 0.50, "max fractional rise in any traced stage's p99 latency")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: swlstat [flags] old.json new.json\n")
 		flag.PrintDefaults()

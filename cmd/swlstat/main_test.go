@@ -20,7 +20,83 @@ func summaries() (*obs.BenchSummary, *obs.BenchSummary) {
 	return oldB, newB
 }
 
-var loose = Thresholds{MaxFirstFailDrop: 0.10, MaxDevRise: 0.25, MaxEraseRise: 0.25, MaxCopyRise: 0.50}
+var loose = Thresholds{MaxFirstFailDrop: 0.10, MaxDevRise: 0.25, MaxEraseRise: 0.25, MaxCopyRise: 0.50, MaxP99Rise: 0.50}
+
+// stageLatencies attaches a stage_latency section (schema v2) to both sides.
+func stageLatencies(oldB, newB *obs.BenchSummary) {
+	mk := func() map[string]obs.StageLatency {
+		return map[string]obs.StageLatency{
+			"host_write": {Count: 1000, SumNs: 9_000, MaxNs: 90, P50Ns: 7, P99Ns: 63},
+			"erase":      {Count: 128, SumNs: 1_300, MaxNs: 31, P50Ns: 7, P99Ns: 15},
+		}
+	}
+	oldB.Runs[0].StageLatency = mk()
+	newB.Runs[0].StageLatency = mk()
+}
+
+func TestDiffFlagsStageP99Rise(t *testing.T) {
+	oldB, newB := summaries()
+	stageLatencies(oldB, newB)
+	deltas, _, regressed := diffSummaries(oldB, newB, loose)
+	if regressed {
+		t.Fatalf("identical stage latencies regressed: %+v", deltas)
+	}
+	if len(deltas) != 6 {
+		t.Fatalf("got %d deltas, want 4 endurance + 2 stage checks", len(deltas))
+	}
+	sl := newB.Runs[0].StageLatency["erase"]
+	sl.P99Ns = 127 // ~8.5x the old 15: far past the 50% allowance
+	newB.Runs[0].StageLatency["erase"] = sl
+	deltas, _, regressed = diffSummaries(oldB, newB, loose)
+	if !regressed {
+		t.Error("8x erase p99 rise not flagged")
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Metric == "p99:erase" && d.Regression {
+			found = true
+		}
+		if d.Metric == "p99:host_write" && d.Regression {
+			t.Error("unchanged host_write p99 flagged")
+		}
+	}
+	if !found {
+		t.Errorf("no p99:erase regression delta in %+v", deltas)
+	}
+}
+
+func TestDiffStageLatencyWithinThresholdPasses(t *testing.T) {
+	oldB, newB := summaries()
+	stageLatencies(oldB, newB)
+	sl := newB.Runs[0].StageLatency["host_write"]
+	sl.P99Ns = 90 // +43%, inside the 50% allowance
+	newB.Runs[0].StageLatency["host_write"] = sl
+	if deltas, _, regressed := diffSummaries(oldB, newB, loose); regressed {
+		t.Errorf("within-threshold p99 rise flagged: %+v", deltas)
+	}
+}
+
+func TestDiffSkipsStageLatencyWhenAbsent(t *testing.T) {
+	// v1 artifact on either side: the section must be ignored entirely.
+	oldB, newB := summaries()
+	stageLatencies(oldB, newB)
+	newB.Runs[0].StageLatency["gc_merge"] = obs.StageLatency{Count: 1, P99Ns: 1 << 40}
+	oldB.Runs[0].StageLatency = nil
+	if deltas, _, regressed := diffSummaries(oldB, newB, loose); regressed || len(deltas) != 4 {
+		t.Errorf("old side without stage_latency: deltas %+v regressed %v", deltas, regressed)
+	}
+	oldB2, newB2 := summaries()
+	stageLatencies(oldB2, newB2)
+	oldB2.Runs[0].StageLatency["scan"] = obs.StageLatency{Count: 5, P99Ns: 3}
+	newB2.Runs[0].StageLatency = map[string]obs.StageLatency{"host_write": newB2.Runs[0].StageLatency["host_write"]}
+	deltas, _, regressed := diffSummaries(oldB2, newB2, loose)
+	if regressed {
+		t.Errorf("stages missing on the new side must be skipped, not flagged: %+v", deltas)
+	}
+	if len(deltas) != 5 {
+		t.Errorf("got %d deltas, want 4 endurance + 1 shared stage", len(deltas))
+	}
+}
 
 func TestDiffIdenticalRunsPass(t *testing.T) {
 	oldB, newB := summaries()

@@ -1,0 +1,286 @@
+// Command swltrace summarizes a causal span trace (Chrome trace-event JSON,
+// as written by swlsim -trace or served by the monitor's /trace endpoint):
+// where the erases came from. It rebuilds the span trees from the parent
+// links and prints per-kind and per-chip aggregates, the root-cause
+// breakdown (host-write trees vs leveler episodes), and the top-N most
+// expensive trees.
+//
+// Usage:
+//
+//	swltrace [flags] [trace.json]
+//
+// With no file (or "-") the trace is read from stdin. -validate checks the
+// structural invariants CI relies on — the trace decodes, is non-empty,
+// every retained parent link resolves, and at least one host write's tree
+// reaches a chip erase — and exits non-zero when they fail.
+//
+// Exit status: 0 on success, 1 on failed validation, 2 on a usage or decode
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"flashswl/internal/obs"
+	"flashswl/internal/obs/chrometrace"
+)
+
+func main() {
+	top := flag.Int("top", 10, "how many of the most expensive span trees to list")
+	validate := flag.Bool("validate", false, "check structural invariants and exit non-zero on failure")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swltrace [flags] [trace.json]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swltrace:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := chrometrace.Read(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swltrace:", err)
+		os.Exit(2)
+	}
+	rep := analyze(snap)
+	rep.write(os.Stdout, *top)
+	if *validate {
+		if errs := rep.validate(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "swltrace: INVALID:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("valid: host-write and episode trees attribute their erases")
+	}
+}
+
+// kindAgg aggregates one span kind across the trace.
+type kindAgg struct {
+	kind  obs.SpanKind
+	count int64
+	time  int64 // summed durations of closed spans
+}
+
+// chipAgg aggregates erase/copy attribution for one chip.
+type chipAgg struct {
+	chip   int
+	erases int64
+	pages  int64 // live pages copied
+	time   int64 // erase + live-copy span time
+}
+
+// tree is one root span with its whole subtree folded in.
+type tree struct {
+	root   obs.Span
+	spans  int64
+	erases int64
+	pages  int64
+}
+
+// report is everything the output and the validator need.
+type report struct {
+	total, dropped int64
+	retained       int
+	open           int64
+	orphans        int64 // spans whose retained parent link does not resolve
+
+	kinds []kindAgg
+	chips []chipAgg
+	trees []tree
+
+	hostTrees            int64 // trees rooted at a host write
+	hostTreesWithErase   int64
+	episodes             int64 // trees rooted at swl_episode
+	episodesWithCopies   int64
+	episodesWithErase    int64
+	hostErases, swlErase int64 // erases attributed to each root cause
+	rootlessErases       int64 // erases whose ancestry left the ring
+}
+
+// analyze folds the snapshot into the report. Spans arrive oldest-first;
+// parents always precede children (IDs are sequential), so one forward pass
+// can propagate each span's root.
+func analyze(snap *obs.TraceSnapshot) *report {
+	rep := &report{total: snap.Total, dropped: snap.Dropped, retained: len(snap.Spans)}
+
+	kinds := map[obs.SpanKind]*kindAgg{}
+	chips := map[int]*chipAgg{}
+	rootOf := make(map[obs.SpanID]obs.SpanID, len(snap.Spans))
+	byID := make(map[obs.SpanID]obs.Span, len(snap.Spans))
+	agg := map[obs.SpanID]*tree{}
+
+	for _, s := range snap.Spans {
+		byID[s.ID] = s
+		if s.End == 0 {
+			rep.open++
+		}
+		k := kinds[s.Kind]
+		if k == nil {
+			k = &kindAgg{kind: s.Kind}
+			kinds[s.Kind] = k
+		}
+		k.count++
+		k.time += s.Duration()
+
+		root := s.ID
+		if s.Parent != 0 {
+			r, ok := rootOf[s.Parent]
+			if !ok {
+				// The parent was overwritten by the ring (or the file was
+				// hand-edited): the span's ancestry is unknowable.
+				rep.orphans++
+				root = 0
+			} else {
+				root = r
+			}
+		} else {
+			agg[s.ID] = &tree{root: s}
+		}
+		rootOf[s.ID] = root
+
+		var tr *tree
+		if root != 0 {
+			tr = agg[root]
+			tr.spans++
+		}
+		switch s.Kind {
+		case obs.SpanErase:
+			c := chips[s.Chip]
+			if c == nil {
+				c = &chipAgg{chip: s.Chip}
+				chips[s.Chip] = c
+			}
+			c.erases++
+			c.time += s.Duration()
+			if tr != nil {
+				tr.erases++
+			} else {
+				rep.rootlessErases++
+			}
+		case obs.SpanLiveCopy:
+			c := chips[s.Chip]
+			if c == nil {
+				c = &chipAgg{chip: s.Chip}
+				chips[s.Chip] = c
+			}
+			c.pages += int64(s.Pages)
+			c.time += s.Duration()
+			if tr != nil {
+				tr.pages += int64(s.Pages)
+			}
+		}
+	}
+
+	for _, tr := range agg {
+		rep.trees = append(rep.trees, *tr)
+		switch tr.root.Kind {
+		case obs.SpanHostWrite:
+			rep.hostTrees++
+			rep.hostErases += tr.erases
+			if tr.erases > 0 {
+				rep.hostTreesWithErase++
+			}
+		case obs.SpanSWLEpisode:
+			rep.episodes++
+			rep.swlErase += tr.erases
+			if tr.erases > 0 {
+				rep.episodesWithErase++
+			}
+			if tr.pages > 0 {
+				rep.episodesWithCopies++
+			}
+		}
+	}
+	for _, k := range kinds {
+		rep.kinds = append(rep.kinds, *k)
+	}
+	for _, c := range chips {
+		rep.chips = append(rep.chips, *c)
+	}
+	// Deterministic output: kinds in pipeline (enum) order, chips by index,
+	// trees most-expensive first with the span ID as tiebreak.
+	sort.Slice(rep.kinds, func(i, j int) bool { return rep.kinds[i].kind < rep.kinds[j].kind })
+	sort.Slice(rep.chips, func(i, j int) bool { return rep.chips[i].chip < rep.chips[j].chip })
+	sort.Slice(rep.trees, func(i, j int) bool {
+		di, dj := rep.trees[i].root.Duration(), rep.trees[j].root.Duration()
+		if di != dj {
+			return di > dj
+		}
+		return rep.trees[i].root.ID < rep.trees[j].root.ID
+	})
+	return rep
+}
+
+func (rep *report) write(w io.Writer, top int) {
+	fmt.Fprintf(w, "trace: %d spans retained of %d recorded (%d dropped by the ring), %d still open\n",
+		rep.retained, rep.total, rep.dropped, rep.open)
+	if rep.orphans > 0 {
+		fmt.Fprintf(w, "       %d spans with ancestry outside the ring\n", rep.orphans)
+	}
+
+	fmt.Fprintf(w, "\nby kind:%28s %10s\n", "count", "time")
+	for _, k := range rep.kinds {
+		fmt.Fprintf(w, "  %-24s %9d %10d\n", k.kind, k.count, k.time)
+	}
+
+	fmt.Fprintf(w, "\nby chip:%28s %10s %10s\n", "erases", "pages", "time")
+	for _, c := range rep.chips {
+		fmt.Fprintf(w, "  chip %-19d %9d %10d %10d\n", c.chip, c.erases, c.pages, c.time)
+	}
+
+	fmt.Fprintf(w, "\nwhere do the erases come from?\n")
+	fmt.Fprintf(w, "  host-write trees:   %6d (%d reach an erase; %d erases total)\n",
+		rep.hostTrees, rep.hostTreesWithErase, rep.hostErases)
+	fmt.Fprintf(w, "  swl episodes:       %6d (%d erase, %d force live copies; %d erases total)\n",
+		rep.episodes, rep.episodesWithErase, rep.episodesWithCopies, rep.swlErase)
+	if rep.rootlessErases > 0 {
+		fmt.Fprintf(w, "  unattributable:     %6d erases (ancestry dropped by the ring)\n", rep.rootlessErases)
+	}
+
+	if top > len(rep.trees) {
+		top = len(rep.trees)
+	}
+	if top > 0 {
+		fmt.Fprintf(w, "\ntop %d trees by wall time:\n", top)
+		for _, tr := range rep.trees[:top] {
+			fmt.Fprintf(w, "  %-12s id=%-8d arg=%-8d time=%-8d spans=%-5d erases=%-4d pages=%d\n",
+				tr.root.Kind, tr.root.ID, tr.root.Arg, tr.root.Duration(), tr.spans, tr.erases, tr.pages)
+		}
+	}
+}
+
+// validate returns the broken structural invariants, empty when the trace is
+// healthy. A trace whose ring wrapped may legitimately contain orphans, but
+// a CI smoke trace (ring larger than the run) must not.
+func (rep *report) validate() []string {
+	var errs []string
+	if rep.retained == 0 {
+		errs = append(errs, "trace contains no spans")
+		return errs
+	}
+	if rep.dropped == 0 && rep.orphans > 0 {
+		errs = append(errs, fmt.Sprintf("%d unresolved parent links in an unwrapped ring", rep.orphans))
+	}
+	if rep.hostTreesWithErase == 0 {
+		errs = append(errs, "no host write's span tree reaches a chip erase")
+	}
+	if rep.episodes > 0 && rep.episodesWithErase == 0 {
+		errs = append(errs, "leveler episodes present but none reaches an erase")
+	}
+	return errs
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flashswl/internal/obs"
+	"flashswl/internal/obs/chrometrace"
+)
+
+// sampleTracer drives two host-write trees (one causing GC and an erase,
+// one cheap) and one leveler episode with a forced copy through a real
+// tracer, exercising the same structure swlsim produces.
+func sampleTracer() *obs.Tracer {
+	tr := obs.NewTracer(256, nil)
+	tr.SetChipOf(func(b int) int {
+		if b < 0 {
+			return -1
+		}
+		return b / 32
+	})
+
+	w := tr.Begin(obs.SpanHostWrite, -1, 7)
+	tl := tr.Begin(obs.SpanTranslate, -1, 7)
+	g := tr.Begin(obs.SpanGCMerge, 5, 0)
+	cp := tr.Begin(obs.SpanLiveCopy, 5, 0)
+	tr.EndPages(cp, 3)
+	e := tr.Begin(obs.SpanErase, 5, 0)
+	tr.End(e)
+	tr.End(g)
+	tr.End(tl)
+	tr.End(w)
+
+	w2 := tr.Begin(obs.SpanHostWrite, -1, 8)
+	tl2 := tr.Begin(obs.SpanTranslate, -1, 8)
+	tr.End(tl2)
+	tr.End(w2)
+
+	ep := tr.Begin(obs.SpanSWLEpisode, -1, 0)
+	sc := tr.Begin(obs.SpanScan, -1, 0)
+	tr.EndArg(sc, 12)
+	sel := tr.Begin(obs.SpanSetSelect, -1, 3)
+	cp2 := tr.Begin(obs.SpanLiveCopy, 40, 0)
+	tr.EndPages(cp2, 9)
+	e2 := tr.Begin(obs.SpanErase, 40, 0)
+	tr.End(e2)
+	tr.End(sel)
+	tr.End(ep)
+	return tr
+}
+
+func roundTrip(t *testing.T, snap *obs.TraceSnapshot) *obs.TraceSnapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := chrometrace.Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := chrometrace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAnalyzeAttributesErases(t *testing.T) {
+	rep := analyze(roundTrip(t, sampleTracer().Snapshot()))
+	if rep.hostTrees != 2 || rep.hostTreesWithErase != 1 {
+		t.Errorf("host trees %d with erase %d, want 2/1", rep.hostTrees, rep.hostTreesWithErase)
+	}
+	if rep.episodes != 1 || rep.episodesWithErase != 1 || rep.episodesWithCopies != 1 {
+		t.Errorf("episodes %d erase %d copies %d, want 1/1/1",
+			rep.episodes, rep.episodesWithErase, rep.episodesWithCopies)
+	}
+	if rep.hostErases != 1 || rep.swlErase != 1 || rep.rootlessErases != 0 {
+		t.Errorf("erase attribution host=%d swl=%d rootless=%d, want 1/1/0",
+			rep.hostErases, rep.swlErase, rep.rootlessErases)
+	}
+	if rep.orphans != 0 || rep.open != 0 {
+		t.Errorf("orphans %d open %d in a clean trace", rep.orphans, rep.open)
+	}
+	// Chip attribution: block 5 → chip 0, block 40 → chip 1.
+	if len(rep.chips) != 2 {
+		t.Fatalf("chips %+v, want 2", rep.chips)
+	}
+	if rep.chips[0].chip != 0 || rep.chips[0].erases != 1 || rep.chips[0].pages != 3 {
+		t.Errorf("chip 0 agg %+v", rep.chips[0])
+	}
+	if rep.chips[1].chip != 1 || rep.chips[1].erases != 1 || rep.chips[1].pages != 9 {
+		t.Errorf("chip 1 agg %+v", rep.chips[1])
+	}
+	if errs := rep.validate(); len(errs) != 0 {
+		t.Errorf("clean trace fails validation: %v", errs)
+	}
+}
+
+func TestReportOutput(t *testing.T) {
+	rep := analyze(roundTrip(t, sampleTracer().Snapshot()))
+	var buf bytes.Buffer
+	rep.write(&buf, 5)
+	out := buf.String()
+	for _, want := range []string{
+		"host_write", "swl_episode", "live_copy", "chip 0", "chip 1",
+		"host-write trees:", "top 3 trees", // -top 5 clamps to the 3 roots
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "(1 reach an erase; 1 erases total)") {
+		t.Errorf("host attribution line wrong:\n%s", out)
+	}
+}
+
+func TestValidateCatchesBrokenTraces(t *testing.T) {
+	empty := analyze(&obs.TraceSnapshot{})
+	if errs := empty.validate(); len(errs) == 0 {
+		t.Error("empty trace validates")
+	}
+
+	// A trace where no host write ever reaches an erase.
+	tr := obs.NewTracer(64, nil)
+	w := tr.Begin(obs.SpanHostWrite, -1, 1)
+	tl := tr.Begin(obs.SpanTranslate, -1, 1)
+	tr.End(tl)
+	tr.End(w)
+	rep := analyze(roundTrip(t, tr.Snapshot()))
+	errs := rep.validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e, "no host write") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("erase-free trace validates: %v", errs)
+	}
+}
+
+func TestAnalyzeToleratesWrappedRing(t *testing.T) {
+	// A 4-slot ring over the full sample run: ancestry of the surviving
+	// spans mostly left the ring; nothing may panic and erases without a
+	// retained root must land in rootlessErases, not in a tree.
+	tr := obs.NewTracer(4, nil)
+	w := tr.Begin(obs.SpanHostWrite, -1, 7)
+	tl := tr.Begin(obs.SpanTranslate, -1, 7)
+	g := tr.Begin(obs.SpanGCMerge, 5, 0)
+	cp := tr.Begin(obs.SpanLiveCopy, 5, 0)
+	tr.EndPages(cp, 3)
+	e := tr.Begin(obs.SpanErase, 5, 0)
+	tr.End(e)
+	tr.End(g)
+	tr.End(tl)
+	tr.End(w)
+	rep := analyze(roundTrip(t, tr.Snapshot()))
+	if rep.dropped == 0 {
+		t.Fatal("test needs a wrapped ring")
+	}
+	if rep.rootlessErases+rep.hostErases+rep.swlErase == 0 {
+		t.Error("the erase disappeared from the report")
+	}
+}

@@ -77,6 +77,12 @@ type Config struct {
 	// (obs.EpisodeBuilder assembles the pair plus the events between them
 	// into one episode record). Leave nil for zero overhead.
 	Observer obs.EventSink
+	// Tracer, if non-nil, records causal spans: each acting SWL-Procedure
+	// invocation opens a swl_episode span with a scan span per block-set
+	// selection and a set_select span per forced recycling, under which the
+	// Cleaner's own gc_merge/live_copy/erase spans nest. Leave nil for zero
+	// overhead.
+	Tracer *obs.Tracer
 }
 
 // defaultRandSeed seeds the private generator a leveler falls back to when
@@ -272,12 +278,14 @@ func (l *Leveler) Level() error {
 	}
 	acted := false
 	inEpisode := false
+	var epSpan obs.SpanID
 	var sets0, skips0 int64                 // stats baselines for the episode-end deltas
 	for l.Unevenness() >= l.cfg.Threshold { // step 2
 		if !inEpisode {
 			inEpisode = true
 			sets0, skips0 = l.stats.SetsRecycled, l.stats.SetsSkipped
 			obs.BeginEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt())
+			epSpan = l.cfg.Tracer.Begin(obs.SpanSWLEpisode, -1, 0)
 		}
 		if l.bet.Full() { // step 3
 			l.ecnt = 0                           // step 4 (fcnt reset with the BET, step 5)
@@ -294,6 +302,7 @@ func (l *Leveler) Level() error {
 			break // step 8: start the next resetting interval
 		}
 		start := l.findex
+		scanSpan := l.cfg.Tracer.Begin(obs.SpanScan, -1, 0)
 		var next int
 		var ok bool
 		if l.cfg.Select == SelectRandom {
@@ -305,30 +314,35 @@ func (l *Leveler) Level() error {
 		} else {
 			next, ok = l.bet.NextClear(start) // steps 9–10
 		}
+		scan := 0 // random selection performs no scan
+		if ok && l.cfg.Select == SelectCyclic {
+			scan = next - start
+			if scan < 0 {
+				scan += l.bet.Size()
+			}
+		}
+		l.cfg.Tracer.EndArg(scanSpan, int64(scan))
 		if !ok {
 			break // raced to full; handled at the top of the next iteration
 		}
 		l.findex = next
 		before := l.bet.Fcnt()
 		if l.cfg.Observer != nil {
-			scan := 0 // random selection performs no scan
-			if l.cfg.Select == SelectCyclic {
-				scan = next - start
-				if scan < 0 {
-					scan += l.bet.Size()
-				}
-			}
 			l.cfg.Observer.Observe(obs.Event{
 				Kind: obs.EvLevelerTriggered, Block: -1, Page: -1,
 				Findex: next, Scan: scan, Ecnt: l.ecnt, Fcnt: before,
 			})
 		}
-		if err := l.cleaner.EraseBlockSet(l.findex, l.cfg.K); err != nil { // step 11
+		selSpan := l.cfg.Tracer.Begin(obs.SpanSetSelect, -1, int64(l.findex))
+		err := l.cleaner.EraseBlockSet(l.findex, l.cfg.K) // step 11
+		l.cfg.Tracer.End(selSpan)
+		if err != nil {
 			// Account the partial episode consistently: sets recycled before
 			// the failure still count as a triggered invocation, keeping the
 			// acting-episodes == Triggered invariant under fault injection.
 			obs.EndEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt(),
 				int(l.stats.SetsRecycled-sets0), int(l.stats.SetsSkipped-skips0))
+			l.cfg.Tracer.End(epSpan)
 			if l.stats.SetsRecycled > sets0 {
 				l.stats.Triggered++
 			}
@@ -350,6 +364,7 @@ func (l *Leveler) Level() error {
 	if inEpisode {
 		obs.EndEpisode(l.cfg.Observer, l.ecnt, l.bet.Fcnt(),
 			int(l.stats.SetsRecycled-sets0), int(l.stats.SetsSkipped-skips0))
+		l.cfg.Tracer.End(epSpan)
 	}
 	if acted {
 		l.stats.Triggered++

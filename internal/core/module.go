@@ -141,6 +141,10 @@ type BuildConfig struct {
 	// Observer receives the strategy's leveling events and episode spans;
 	// nil for zero overhead.
 	Observer obs.EventSink
+	// Tracer records causal spans for strategies that support them (the SW
+	// Leveler and the SAWL wrapper around it); other strategies ignore it.
+	// Nil for zero overhead.
+	Tracer *obs.Tracer
 }
 
 // LevelerSpec describes one registered strategy.
@@ -214,7 +218,7 @@ func init() {
 			return NewLeveler(Config{
 				Blocks: cfg.Blocks, K: cfg.K, Threshold: cfg.Threshold,
 				Rand: cfg.Rand, Select: cfg.Select, Exclude: cfg.Exclude,
-				Observer: cfg.Observer,
+				Observer: cfg.Observer, Tracer: cfg.Tracer,
 			}, cleaner)
 		},
 	})
@@ -247,7 +251,7 @@ func init() {
 			return NewSAWLLeveler(SAWLConfig{
 				Blocks: cfg.Blocks, K: cfg.K, BaseThreshold: cfg.Threshold,
 				Rand: cfg.Rand, Select: cfg.Select, Exclude: cfg.Exclude,
-				Observer: cfg.Observer,
+				Observer: cfg.Observer, Tracer: cfg.Tracer,
 			}, cleaner)
 		},
 	})

@@ -41,14 +41,15 @@ type SAWLLeveler struct {
 
 // SAWLConfig parameterizes a SAWLLeveler.
 type SAWLConfig struct {
-	// Blocks, K, Rand, Select, Exclude, Observer parameterize the inner SW
-	// Leveler exactly as Config does.
+	// Blocks, K, Rand, Select, Exclude, Observer, and Tracer parameterize
+	// the inner SW Leveler exactly as Config does.
 	Blocks   int
 	K        int
 	Rand     *SplitMix64
 	Select   SelectPolicy
 	Exclude  []int
 	Observer obs.EventSink
+	Tracer   *obs.Tracer
 	// BaseThreshold is the unevenness threshold the adaptation is anchored
 	// to (the T a plain SW Leveler would run with).
 	BaseThreshold float64
@@ -72,7 +73,7 @@ func NewSAWLLeveler(cfg SAWLConfig, cleaner Cleaner) (*SAWLLeveler, error) {
 	inner, err := NewLeveler(Config{
 		Blocks: cfg.Blocks, K: cfg.K, Threshold: cfg.BaseThreshold,
 		Rand: cfg.Rand, Select: cfg.Select, Exclude: cfg.Exclude,
-		Observer: cfg.Observer,
+		Observer: cfg.Observer, Tracer: cfg.Tracer,
 	}, cleaner)
 	if err != nil {
 		return nil, err

@@ -70,7 +70,10 @@ func (d *Driver) recycle(b int) error {
 	if d.state[b] == blockActive || d.state[b] == blockReserved {
 		return fmt.Errorf("dftl: recycle of block %d in state %d", b, d.state[b])
 	}
+	sp := d.tracer.Begin(obs.SpanGCMerge, b, 0)
+	defer d.tracer.End(sp)
 	copied := 0
+	cp := d.tracer.Begin(obs.SpanLiveCopy, b, 0)
 	for p := 0; p < int(d.written[b]); p++ {
 		ppn := b*d.ppb + p
 		owner := d.rmap[ppn]
@@ -122,6 +125,7 @@ func (d *Driver) recycle(b int) error {
 			d.counters.ForcedCopies++
 		}
 	}
+	d.tracer.EndPages(cp, copied)
 	if copied > 0 {
 		d.emit(obs.EvPagesCopied, b, copied)
 	}
@@ -131,6 +135,8 @@ func (d *Driver) recycle(b int) error {
 // eraseToFree erases a block back into the pool, retrying once on injected
 // transient faults and retiring the block on wear-out or persistent failure.
 func (d *Driver) eraseToFree(b int) error {
+	sp := d.tracer.Begin(obs.SpanErase, b, 0)
+	defer d.tracer.End(sp)
 	wasFree := d.state[b] == blockFree
 	err := d.dev.EraseBlock(b)
 	if err != nil && errors.Is(err, nand.ErrInjected) {

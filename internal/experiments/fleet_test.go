@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 	if a.Res.CDFCSV() != b.Res.CDFCSV() {
 		t.Fatal("fleet CDF differs across worker counts")
 	}
-	if a.Summary() != b.Summary() {
+	if !reflect.DeepEqual(a.Summary(), b.Summary()) { // struct holds a map since schema v2
 		t.Fatal("fleet summary differs across worker counts")
 	}
 }

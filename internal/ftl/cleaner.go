@@ -80,10 +80,13 @@ func (d *Driver) recycle(b int) error {
 	if d.state[b] == blockActive || d.state[b] == blockReserved {
 		return fmt.Errorf("ftl: recycle of block %d in state %d", b, d.state[b])
 	}
+	sp := d.tracer.Begin(obs.SpanGCMerge, b, 0)
+	defer d.tracer.End(sp)
 	if d.copyBuf == nil {
 		d.copyBuf = make([]byte, d.dev.Info().Geometry.PageSize)
 	}
 	copied := 0
+	cp := d.tracer.Begin(obs.SpanLiveCopy, b, 0)
 	for p := 0; p < int(d.written[b]); p++ {
 		ppn := b*d.ppb + p
 		lpn := d.rmap[ppn]
@@ -115,6 +118,7 @@ func (d *Driver) recycle(b int) error {
 			d.counters.ForcedCopies++
 		}
 	}
+	d.tracer.EndPages(cp, copied)
 	if copied > 0 {
 		d.emit(obs.EvPagesCopied, b, copied)
 	}
@@ -127,6 +131,8 @@ func (d *Driver) recycle(b int) error {
 // fail) or whose erase keeps failing is retired instead of freed — simple
 // bad-block management.
 func (d *Driver) eraseToFree(b int) error {
+	sp := d.tracer.Begin(obs.SpanErase, b, 0)
+	defer d.tracer.End(sp)
 	wasFree := d.state[b] == blockFree
 	err := d.dev.EraseBlock(b)
 	if err != nil && errors.Is(err, nand.ErrInjected) {

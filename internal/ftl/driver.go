@@ -163,6 +163,7 @@ type Driver struct {
 	watermark int
 	onErase   func(block int)
 	observer  obs.EventSink
+	tracer    *obs.Tracer
 	inForced  bool
 	counters  Counters
 
@@ -278,6 +279,12 @@ func (d *Driver) SetOnErase(fn func(block int)) { d.onErase = fn }
 // one branch per event site.
 func (d *Driver) SetObserver(s obs.EventSink) { d.observer = s }
 
+// SetTracer attaches a causal span tracer: every host write then opens a
+// translate span whose children attribute garbage collection, live copies,
+// and erases to the write that caused them. Pass nil to remove it; a nil
+// tracer costs one branch per span site.
+func (d *Driver) SetTracer(t *obs.Tracer) { d.tracer = t }
+
 // emit reports a cleaner event. Forced tags work done on behalf of the
 // SW Leveler's EraseBlockSet, matching the Forced* counters.
 func (d *Driver) emit(kind obs.EventKind, block, pages int) {
@@ -390,6 +397,8 @@ func (d *Driver) WritePage(lpn int, data []byte) error {
 	if lpn < 0 || lpn >= len(d.mapTable) {
 		return fmt.Errorf("%w: %d", ErrBadLPN, lpn)
 	}
+	sp := d.tracer.Begin(obs.SpanTranslate, -1, int64(lpn))
+	defer d.tracer.End(sp)
 	if err := d.ensureHeadroom(); err != nil {
 		return err
 	}

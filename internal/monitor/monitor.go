@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"flashswl/internal/obs"
+	"flashswl/internal/obs/chrometrace"
 	"flashswl/internal/obs/promtext"
 )
 
@@ -97,6 +98,11 @@ type Server struct {
 	ckptEnabled atomic.Bool
 	ckptReq     atomic.Bool
 
+	// Causal-trace view: the last published span window, served as Chrome
+	// trace-event JSON by /trace. Published like every snapshot — an
+	// immutable copy built on the simulation goroutine.
+	traceSnap atomic.Pointer[obs.TraceSnapshot]
+
 	// Fleet view, present only when a FleetAggregator attached itself: the
 	// last published fleet snapshot, and the aggregator the heatmap handler
 	// asks for a fresh per-device copy (the map is too large to republish on
@@ -116,6 +122,14 @@ func (s *Server) Publish(snap *Snapshot) { s.snap.Store(snap) }
 
 // Snapshot returns the last published snapshot, or nil.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// PublishTrace makes snap the span window /trace serves. Ownership
+// transfers as with Publish: hand over an obs.Tracer.Snapshot (or
+// SnapshotRecent) copy, never a live ring.
+func (s *Server) PublishTrace(snap *obs.TraceSnapshot) { s.traceSnap.Store(snap) }
+
+// Trace returns the last published trace snapshot, or nil.
+func (s *Server) Trace() *obs.TraceSnapshot { return s.traceSnap.Load() }
 
 // PublishFleet makes snap the fleet state every subsequent request observes.
 // Ownership transfers as with Publish.
@@ -145,6 +159,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/heatmap", s.handleHeatmap)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/fleet/heatmap", s.handleFleetHeatmap)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -201,6 +216,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /heatmap       per-block erase counts (JSON)")
 	fmt.Fprintln(w, "  /progress      sim vs wall time, ETA, unevenness (JSON)")
 	fmt.Fprintln(w, "  /checkpoint    POST: write a resumable checkpoint after the current event")
+	fmt.Fprintln(w, "  /trace         recent causal spans (Chrome trace-event JSON; load in Perfetto)")
 	fmt.Fprintln(w, "  /fleet         fleet progress and first-failure distribution (JSON)")
 	fmt.Fprintln(w, "  /fleet/heatmap per-device fleet wear map (JSON)")
 	fmt.Fprintln(w, "  /debug/pprof/  Go runtime profiles")
@@ -289,6 +305,18 @@ func (s *Server) handleFleetHeatmap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, agg.Heatmap())
+}
+
+// handleTrace serves the last published span window in Chrome trace-event
+// format, directly loadable in Perfetto / chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	snap := s.traceSnap.Load()
+	if snap == nil {
+		http.Error(w, "no trace published (run without -trace/-tracespans?)", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = chrometrace.Write(w, snap)
 }
 
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"flashswl/internal/nand"
 	"flashswl/internal/obs"
+	"flashswl/internal/obs/chrometrace"
 	"flashswl/internal/sim"
 	"flashswl/internal/workload"
 )
@@ -284,5 +285,60 @@ func TestLiveRunEndToEnd(t *testing.T) {
 	}
 	if p.Events != res.Events {
 		t.Errorf("final events = %d, result %d", p.Events, res.Events)
+	}
+}
+
+// TestTraceEndpoint publishes trace snapshots from a traced run and checks
+// /trace serves Perfetto-loadable trace-event JSON built from them.
+func TestTraceEndpoint(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, _ := get(t, ts, "/trace"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/trace before publish: status %d, want 503", code)
+	}
+
+	geo := nand.Geometry{Blocks: 64, PagesPerBlock: 16, PageSize: 1024, SpareSize: 32}
+	sectors := geo.Capacity() / 512 * 85 / 100
+	cfg := sim.Config{
+		Geometry: geo, Endurance: 1 << 20, Layer: sim.FTL,
+		LogicalSectors: sectors, SWL: true, K: 0, T: 3,
+		NoSpare: true, Seed: 1, MaxEvents: 4000,
+		SampleEvery: 500, TraceSpans: 1 << 14,
+	}
+	var pub *SimPublisher
+	cfg.OnSample = func(s obs.WearSample) { pub.OnSample(s) }
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub = NewSimPublisher(srv, runner, cfg)
+	m := workload.PaperScaled(sectors)
+	m.Seed = 1
+	res, err := runner.Run(m.Infinite(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Finish(res)
+
+	code, body := get(t, ts, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	snap, err := chrometrace.Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/trace is not valid trace-event JSON: %v", err)
+	}
+	if len(snap.Spans) == 0 {
+		t.Fatal("/trace served no spans from a traced run")
+	}
+	kinds := map[obs.SpanKind]bool{}
+	for _, s := range snap.Spans {
+		kinds[s.Kind] = true
+	}
+	for _, k := range []obs.SpanKind{obs.SpanHostWrite, obs.SpanTranslate, obs.SpanErase} {
+		if !kinds[k] {
+			t.Errorf("/trace lacks %s spans", k)
+		}
 	}
 }

@@ -10,6 +10,9 @@ import (
 
 // SimPublisher adapts one sim.Runner to a Server: hook OnSample into
 // sim.Config.OnSample and every wear sample becomes a published Snapshot.
+// When the run traces causal spans (sim.Config.TraceSpans), each sample also
+// publishes a bounded recent span window for /trace, and Finish publishes
+// the full ring.
 //
 // All methods run on the simulation goroutine (OnSample is invoked by the
 // runner itself), so reading the chip and registry here is within the
@@ -89,8 +92,19 @@ func (p *SimPublisher) publish(s obs.WearSample, done bool) {
 		m := reg.Snapshot()
 		snap.Metrics = &m
 	}
+	if tr := p.runner.Tracer(); tr != nil {
+		if done {
+			p.srv.PublishTrace(tr.Snapshot())
+		} else {
+			p.srv.PublishTrace(tr.SnapshotRecent(traceWindow))
+		}
+	}
 	p.srv.Publish(snap)
 }
+
+// traceWindow bounds the spans republished per wear sample; the terminal
+// snapshot carries the whole ring instead.
+const traceWindow = 4096
 
 // fraction estimates completion from whichever bound the run has: trace
 // events, simulated time, or — for run-to-first-wear experiments — the

@@ -123,6 +123,12 @@ func (d *Driver) merge(vba int) error {
 	if oldP == noBlock && oldR == noBlock {
 		return nil
 	}
+	victim := int(oldP)
+	if oldP == noBlock {
+		victim = int(oldR)
+	}
+	sp := d.tracer.Begin(obs.SpanGCMerge, victim, int64(vba))
+	defer d.tracer.End(sp)
 	d.counters.Merges++
 	if d.copyBuf == nil {
 		d.copyBuf = make([]byte, d.dev.Info().Geometry.PageSize)
@@ -173,6 +179,10 @@ func (d *Driver) merge(vba int) error {
 // even after retries — the caller then restarts the merge on another block.
 func (d *Driver) copyInto(vba, np int) (bool, error) {
 	copied := 0
+	cp := d.tracer.Begin(obs.SpanLiveCopy, np, 0)
+	// The span must close on the bail-out paths too: the caller restarts the
+	// merge, and the retry's spans would otherwise nest under this orphan.
+	defer func() { d.tracer.EndPages(cp, copied) }()
 	for off := 0; off < d.ppb; off++ {
 		src := d.findLatest(vba, off)
 		if src < 0 {
@@ -209,6 +219,8 @@ func (d *Driver) copyInto(vba, np int) (bool, error) {
 // injected transient faults and retiring the block when its endurance is
 // exhausted (on fail-on-wear chips) or the erase keeps failing.
 func (d *Driver) release(b int) error {
+	sp := d.tracer.Begin(obs.SpanErase, b, 0)
+	defer d.tracer.End(sp)
 	wasFree := d.role[b] == roleFree
 	err := d.dev.EraseBlock(b)
 	if err != nil && errors.Is(err, nand.ErrInjected) {

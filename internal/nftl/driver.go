@@ -120,6 +120,7 @@ type Driver struct {
 
 	onErase  func(block int)
 	observer obs.EventSink
+	tracer   *obs.Tracer
 	inForced bool
 	counters Counters
 
@@ -232,6 +233,12 @@ func (d *Driver) SetOnErase(fn func(block int)) { d.onErase = fn }
 // retirements, merge copy batches). Pass nil to remove it.
 func (d *Driver) SetObserver(s obs.EventSink) { d.observer = s }
 
+// SetTracer attaches a causal span tracer: every host write then opens a
+// translate span whose children attribute garbage collection, live copies,
+// and erases to the write that caused them. Pass nil to remove it; a nil
+// tracer costs one branch per span site.
+func (d *Driver) SetTracer(t *obs.Tracer) { d.tracer = t }
+
 // emit reports a cleaner event; Forced tags SW Leveler-driven work.
 func (d *Driver) emit(kind obs.EventKind, block, pages int) {
 	if d.observer == nil {
@@ -323,6 +330,8 @@ func (d *Driver) WritePage(lpn int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	sp := d.tracer.Begin(obs.SpanTranslate, -1, int64(lpn))
+	defer d.tracer.End(sp)
 	if err := d.ensureHeadroom(); err != nil {
 		return err
 	}

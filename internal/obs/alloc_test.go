@@ -29,6 +29,68 @@ func TestNilSinkEpisodeHelpersAllocNothing(t *testing.T) {
 	}
 }
 
+func TestDisabledTracerAllocsNothing(t *testing.T) {
+	var tr *Tracer // nil: tracing off
+	allocs := testing.AllocsPerRun(1000, func() {
+		w := tr.Begin(SpanHostWrite, -1, 9)
+		gc := tr.Begin(SpanGCMerge, 3, 0)
+		cp := tr.Begin(SpanLiveCopy, 3, 0)
+		tr.EndPages(cp, 4)
+		e := tr.Begin(SpanErase, 3, 0)
+		tr.End(e)
+		tr.End(gc)
+		tr.EndArg(w, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestEnabledTracerAllocsNothing(t *testing.T) {
+	tr := NewTracer(256, nil)
+	tr.SetChipOf(func(block int) int {
+		if block < 0 {
+			return -1
+		}
+		return block & 3
+	})
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		w := tr.Begin(SpanHostWrite, -1, int64(i))
+		gc := tr.Begin(SpanGCMerge, i&255, 0)
+		cp := tr.Begin(SpanLiveCopy, i&255, 0)
+		tr.EndPages(cp, i&15)
+		e := tr.Begin(SpanErase, i&255, 0)
+		tr.End(e)
+		tr.End(gc)
+		tr.End(w)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled tracing allocates %.1f times per span batch, want 0 (ring is preallocated)", allocs)
+	}
+}
+
+func TestSampledTracerAllocsNothing(t *testing.T) {
+	tr := NewTracer(256, nil)
+	tr.SetSample(4) // exercises both the recorded and the skipped path
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		w := tr.Begin(SpanHostWrite, -1, int64(i))
+		gc := tr.Begin(SpanGCMerge, i&255, 0)
+		cp := tr.Begin(SpanLiveCopy, i&255, 0)
+		tr.EndPages(cp, i&15)
+		e := tr.Begin(SpanErase, i&255, 0)
+		tr.End(e)
+		tr.End(gc)
+		tr.End(w)
+	})
+	if allocs != 0 {
+		t.Errorf("sampled tracing allocates %.1f times per span batch, want 0", allocs)
+	}
+}
+
 func TestMetricsSinkEmissionAllocsNothing(t *testing.T) {
 	r := NewRegistry()
 	sink := NewMetricsSink(r)

@@ -1,0 +1,204 @@
+// Package chrometrace exports span snapshots in the Chrome trace-event JSON
+// format, the interchange format chrome://tracing, Perfetto
+// (ui.perfetto.dev), and speedscope all load. Each completed span becomes
+// one complete ("ph":"X") event whose args carry the causal structure — span
+// ID, parent ID, block, chip, pages — so a flamegraph of the simulated stack
+// is one file drop away, and swltrace can read the file back for offline
+// aggregation.
+package chrometrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"flashswl/internal/obs"
+)
+
+// Args is the per-event metadata block: the span's identity and
+// attribution, preserved exactly enough for Read to reconstruct the span
+// (timestamps round-trip through microseconds with three decimals, i.e.
+// nanosecond resolution).
+type Args struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent"`
+	Block  int    `json:"block"`
+	Chip   int    `json:"chip"`
+	Pages  int    `json:"pages"`
+	Arg    int64  `json:"arg"`
+}
+
+// event is one trace-event record. Only the fields the viewers need.
+type event struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   json.Number `json:"ts"`
+	Dur  json.Number `json:"dur"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args Args        `json:"args"`
+}
+
+// file is the JSON Object Format variant of the trace-event file (the
+// array-only variant is also legal input to the viewers, but the object
+// form leaves room for metadata). OtherData carries the ring accounting the
+// events alone can't: how many spans were ever recorded and how many the
+// ring overwrote. The viewers ignore the extra key.
+type file struct {
+	TraceEvents []event    `json:"traceEvents"`
+	OtherData   *otherData `json:"otherData,omitempty"`
+}
+
+type otherData struct {
+	Total   int64 `json:"spans_total"`
+	Dropped int64 `json:"spans_dropped"`
+}
+
+// usec renders a clock reading (nanoseconds) as the microsecond value the
+// trace-event format requires, with three decimals so no precision is lost.
+func usec(ns int64) json.Number {
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	return json.Number(fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000))
+}
+
+// Write exports every completed span of the snapshot as trace-event JSON.
+// Open spans (End == 0) are skipped: the viewers need a duration, and a
+// snapshot taken mid-run legitimately contains in-flight spans. All events
+// land on pid 1, with the tid carrying the span's chip + 1 so multi-chip
+// runs render one lane per chip (chipless spans land on tid 0's lane).
+func Write(w io.Writer, snap *obs.TraceSnapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	for _, s := range snap.Spans {
+		if s.End == 0 {
+			continue
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		dur := s.End - s.Begin
+		if dur < 0 {
+			dur = 0
+		}
+		ev := event{
+			Name: s.Kind.String(), Ph: "X",
+			Ts: usec(s.Begin), Dur: usec(dur),
+			Pid: 1, Tid: s.Chip + 1,
+			Args: Args{
+				ID: uint64(s.ID), Parent: uint64(s.Parent),
+				Block: s.Block, Chip: s.Chip, Pages: s.Pages, Arg: s.Arg,
+			},
+		}
+		// Encode appends a newline after each event, which the format
+		// tolerates and which keeps the file diffable line-per-event.
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	meta, err := json.Marshal(otherData{Total: snap.Total, Dropped: snap.Dropped})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "],\n\"otherData\":%s}\n", meta); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace-event file written by Write (or any file in the JSON
+// Object Format whose events carry this package's args) back into spans,
+// in file order. Events whose name is not a known span kind, or whose phase
+// is not "X", are skipped rather than rejected, so traces annotated by
+// other tools still load.
+func Read(r io.Reader) (*obs.TraceSnapshot, error) {
+	var f file
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("chrometrace: %w", err)
+	}
+	snap := &obs.TraceSnapshot{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		kind, ok := obs.SpanKindFromString(ev.Name)
+		if !ok {
+			continue
+		}
+		begin, err := parseUsec(ev.Ts)
+		if err != nil {
+			return nil, fmt.Errorf("chrometrace: event %d ts: %w", ev.Args.ID, err)
+		}
+		dur, err := parseUsec(ev.Dur)
+		if err != nil {
+			return nil, fmt.Errorf("chrometrace: event %d dur: %w", ev.Args.ID, err)
+		}
+		snap.Spans = append(snap.Spans, obs.Span{
+			ID: obs.SpanID(ev.Args.ID), Parent: obs.SpanID(ev.Args.Parent), Kind: kind,
+			Begin: begin, End: begin + dur,
+			Block: ev.Args.Block, Chip: ev.Args.Chip, Pages: ev.Args.Pages, Arg: ev.Args.Arg,
+		})
+	}
+	snap.Total = int64(len(snap.Spans))
+	if f.OtherData != nil {
+		snap.Total, snap.Dropped = f.OtherData.Total, f.OtherData.Dropped
+	}
+	return snap, nil
+}
+
+// parseUsec converts a microsecond JSON number back to nanoseconds,
+// accepting both this package's fixed-point form and plain integers or
+// floats other producers write.
+func parseUsec(n json.Number) (int64, error) {
+	s := n.String()
+	if s == "" {
+		return 0, nil
+	}
+	neg := false
+	if s[0] == '-' {
+		neg, s = true, s[1:]
+	}
+	var whole, frac int64
+	var fracDigits int
+	inFrac := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '.':
+			if inFrac {
+				return 0, fmt.Errorf("malformed number %q", n)
+			}
+			inFrac = true
+		case c < '0' || c > '9':
+			return 0, fmt.Errorf("malformed number %q", n)
+		case inFrac:
+			if fracDigits < 3 { // beyond nanoseconds: truncate
+				frac = frac*10 + int64(c-'0')
+				fracDigits++
+			}
+		default:
+			whole = whole*10 + int64(c-'0')
+		}
+	}
+	for fracDigits < 3 {
+		frac *= 10
+		fracDigits++
+	}
+	ns := whole*1000 + frac
+	if neg {
+		ns = -ns
+	}
+	return ns, nil
+}

@@ -1,0 +1,179 @@
+package chrometrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashswl/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// fixedTree is a deterministic span tree covering every kind, both causal
+// chains of the design (host write → erase, episode → erase), a still-open
+// span, and negative/chip attributes.
+func fixedTree() *obs.TraceSnapshot {
+	return &obs.TraceSnapshot{
+		Total: 10, Dropped: 0,
+		Spans: []obs.Span{
+			{ID: 1, Kind: obs.SpanHostWrite, Begin: 1000, End: 9000, Block: -1, Chip: -1, Arg: 42},
+			{ID: 2, Parent: 1, Kind: obs.SpanTranslate, Begin: 1500, End: 8500, Block: -1, Chip: -1, Arg: 42},
+			{ID: 3, Parent: 2, Kind: obs.SpanGCMerge, Begin: 2000, End: 8000, Block: 7, Chip: 1},
+			{ID: 4, Parent: 3, Kind: obs.SpanLiveCopy, Begin: 2500, End: 6000, Block: 7, Chip: 1, Pages: 12},
+			{ID: 5, Parent: 3, Kind: obs.SpanErase, Begin: 6500, End: 7999, Block: 7, Chip: 1},
+			{ID: 6, Kind: obs.SpanSWLEpisode, Begin: 10000, End: 20001, Block: -1, Chip: -1},
+			{ID: 7, Parent: 6, Kind: obs.SpanScan, Begin: 10100, End: 10200, Block: -1, Chip: -1, Arg: 3},
+			{ID: 8, Parent: 6, Kind: obs.SpanSetSelect, Begin: 10300, End: 19000, Block: -1, Chip: -1, Arg: 5},
+			{ID: 9, Parent: 8, Kind: obs.SpanErase, Begin: 11000, End: 12345, Block: 20, Chip: 2},
+			{ID: 10, Kind: obs.SpanHostRead, Begin: 21000, End: 0, Block: -1, Chip: -1, Arg: 9}, // open: skipped
+		},
+	}
+}
+
+func TestWriteGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixedTree()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fixed_tree.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := fixedTree()
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Spans) != len(in.Spans)-1 { // the open span is dropped
+		t.Fatalf("round trip kept %d spans, want %d", len(out.Spans), len(in.Spans)-1)
+	}
+	for i, got := range out.Spans {
+		if got != in.Spans[i] {
+			t.Errorf("span %d round-tripped to %+v, want %+v", i, got, in.Spans[i])
+		}
+	}
+}
+
+func TestReadSkipsForeignEvents(t *testing.T) {
+	src := `{"traceEvents":[
+		{"name":"host_write","ph":"X","ts":1.000,"dur":2.000,"pid":1,"tid":1,"args":{"id":1}},
+		{"name":"process_name","ph":"M","args":{"name":"other tool"}},
+		{"name":"unknown_kind","ph":"X","ts":0,"dur":0}
+	]}`
+	snap, err := Read(bytes.NewReader([]byte(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Kind != obs.SpanHostWrite {
+		t.Fatalf("read %d spans (%v), want just the host_write", len(snap.Spans), snap.Spans)
+	}
+	if snap.Spans[0].Begin != 1000 || snap.Spans[0].End != 3000 {
+		t.Errorf("span times = [%d, %d], want [1000, 3000]", snap.Spans[0].Begin, snap.Spans[0].End)
+	}
+}
+
+func TestParseUsec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0}, {"1", 1000}, {"1.5", 1500}, {"0.001", 1},
+		{"123.456", 123456}, {"-2.5", -2500}, {"7.1234", 7123},
+	}
+	for _, c := range cases {
+		got, err := parseUsec(json.Number(c.in))
+		if err != nil || got != c.want {
+			t.Errorf("parseUsec(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	if _, err := parseUsec(json.Number("1.2.3")); err == nil {
+		t.Error("malformed number accepted")
+	}
+}
+
+// FuzzWriteValidTraceEvents drives Write with arbitrary ring contents and
+// checks the invariant the viewers rely on: the output is one JSON object
+// whose traceEvents array members each carry a string name, phase "X", and
+// non-negative numeric ts/dur — and Read accepts its own output.
+func FuzzWriteValidTraceEvents(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	seed := make([]byte, 0, 64)
+	for _, s := range fixedTree().Spans {
+		seed = binary.LittleEndian.AppendUint64(seed, uint64(s.Begin))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap := &obs.TraceSnapshot{}
+		for len(data) >= 8 {
+			word := binary.LittleEndian.Uint64(data[:8])
+			data = data[8:]
+			snap.Spans = append(snap.Spans, obs.Span{
+				ID:     obs.SpanID(word),
+				Parent: obs.SpanID(word >> 7),
+				Kind:   obs.SpanKind(word % 11), // includes out-of-range kinds
+				Begin:  int64(word>>3) % 1e15,
+				End:    int64(word>>5) % 1e15,
+				Block:  int(int8(word >> 13)),
+				Chip:   int(int8(word >> 21)),
+				Pages:  int(uint16(word >> 29)),
+				Arg:    int64(word >> 37),
+			})
+		}
+		snap.Total = int64(len(snap.Spans))
+		var buf bytes.Buffer
+		if err := Write(&buf, snap); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		var parsed struct {
+			TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+		dec.UseNumber()
+		if err := dec.Decode(&parsed); err != nil {
+			t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+		}
+		for i, ev := range parsed.TraceEvents {
+			var name, ph string
+			if err := json.Unmarshal(ev["name"], &name); err != nil || name == "" {
+				t.Fatalf("event %d: bad name %s", i, ev["name"])
+			}
+			if err := json.Unmarshal(ev["ph"], &ph); err != nil || ph != "X" {
+				t.Fatalf("event %d: phase %s, want \"X\"", i, ev["ph"])
+			}
+			for _, key := range []string{"ts", "dur"} {
+				var num json.Number
+				if err := json.Unmarshal(ev[key], &num); err != nil {
+					t.Fatalf("event %d: %s not a number: %s", i, key, ev[key])
+				}
+				if v, err := num.Float64(); err != nil || v < 0 {
+					t.Fatalf("event %d: %s = %s, want non-negative", i, key, num)
+				}
+			}
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("Read rejects Write output: %v", err)
+		}
+	})
+}

@@ -12,8 +12,14 @@ import (
 // end emits (swlsim, experiments) and cmd/swlstat diffs across runs. The
 // schema is versioned so old artifacts stay decodable as fields accrue.
 
-// BenchSummarySchema identifies the artifact format.
-const BenchSummarySchema = "flashswl/bench-summary/v1"
+// BenchSummarySchema identifies the artifact format. v2 added the optional
+// per-run stage_latency section (causal-span stage timings); v1 artifacts
+// differ only by its absence, so the decoder accepts both.
+const BenchSummarySchema = "flashswl/bench-summary/v2"
+
+// benchSummarySchemaV1 is the previous format, still accepted on decode so
+// checked-in baselines stay diffable.
+const benchSummarySchemaV1 = "flashswl/bench-summary/v1"
 
 // RunSummary is one run's headline numbers: the configuration, the paper's
 // endurance metrics (first failure, erase distribution), and the overhead
@@ -55,6 +61,13 @@ type RunSummary struct {
 	// WallSeconds is the host-measured wall time, when the front end can
 	// attribute one to the run. It never participates in regression diffs.
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
+
+	// StageLatency is the causal tracer's per-stage duration summary (keyed
+	// by span kind name — host_write, translate, gc_merge, ...), present
+	// since schema v2 when the run traced spans. Counts are exact for
+	// recorded spans; durations are logical ticks unless the run used a
+	// wall trace clock.
+	StageLatency map[string]StageLatency `json:"stage_latency,omitempty"`
 }
 
 // BenchSummary is the BENCH_summary.json artifact: a set of named runs from
@@ -102,8 +115,8 @@ func DecodeBenchSummary(r io.Reader) (*BenchSummary, error) {
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("obs: decoding bench summary: %w", err)
 	}
-	if b.Schema != BenchSummarySchema {
-		return nil, fmt.Errorf("obs: bench summary schema %q, want %q", b.Schema, BenchSummarySchema)
+	if b.Schema != BenchSummarySchema && b.Schema != benchSummarySchemaV1 {
+		return nil, fmt.Errorf("obs: bench summary schema %q, want %q (or %q)", b.Schema, BenchSummarySchema, benchSummarySchemaV1)
 	}
 	return &b, nil
 }

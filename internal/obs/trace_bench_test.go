@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// The span hot path is benchmarked in isolation here; the whole-stack
+// events/sec comparison lives in internal/sim (BenchmarkRunnerTraced vs
+// BenchmarkRunnerBare). SpanPair is the two-call cost of one leaf span,
+// SpanTree a realistic four-deep write tree, and SpanTreeSampled the same
+// tree under 1-in-32 host sampling — the monitoring profile, where all but
+// the sampled trees cost only the inlined skip branches.
+
+func BenchmarkSpanPair(b *testing.B) {
+	t := NewTracer(1<<12, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := t.Begin(SpanErase, i&63, 0)
+		t.End(id)
+	}
+}
+
+func BenchmarkSpanTree(b *testing.B) {
+	t := NewTracer(1<<12, nil)
+	t.SetChipOf(func(blk int) int { return blk >> 4 })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := t.Begin(SpanHostWrite, -1, int64(i))
+		tr := t.Begin(SpanTranslate, -1, int64(i))
+		g := t.Begin(SpanGCMerge, i&63, 0)
+		e := t.Begin(SpanErase, i&63, 0)
+		t.End(e)
+		t.End(g)
+		t.End(tr)
+		t.End(w)
+	}
+}
+
+func BenchmarkSpanTreeSampled(b *testing.B) {
+	t := NewTracer(1<<12, nil)
+	t.SetSample(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := t.Begin(SpanHostWrite, -1, int64(i))
+		tr := t.Begin(SpanTranslate, -1, int64(i))
+		g := t.Begin(SpanGCMerge, i&63, 0)
+		e := t.Begin(SpanErase, i&63, 0)
+		t.End(e)
+		t.End(g)
+		t.End(tr)
+		t.End(w)
+	}
+}

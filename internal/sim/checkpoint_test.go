@@ -65,7 +65,7 @@ func requireSameResult(t *testing.T, full, resumed *Result, cfg Config) {
 	fs := Summarize("run", cfg, full)
 	rs := Summarize("run", cfg, resumed)
 	fs.Episodes, rs.Episodes = 0, 0 // episode spans are streaming diagnostics
-	if fs != rs {
+	if !reflect.DeepEqual(fs, rs) { // struct holds a map since schema v2
 		t.Errorf("bench summaries differ:\nfull    %+v\nresumed %+v", fs, rs)
 	}
 }

@@ -25,6 +25,11 @@ type observerSetter interface {
 	SetObserver(obs.EventSink)
 }
 
+// tracerSetter is satisfied by drivers that can record causal spans.
+type tracerSetter interface {
+	SetTracer(*obs.Tracer)
+}
+
 // betIntrospector is satisfied by levelers built around the paper's BET
 // (core.Leveler and the SAWL wrapper forwarding to one). The BET-specific
 // invariant checks and wear-sample fields attach through it, so they follow

@@ -175,8 +175,16 @@ func TestFTLAndNFTLReadBackIdentically(t *testing.T) {
 // benchRunner drives a fixed 20k-event workload through the full FTL+SWL
 // stack. The bare/observed pair quantifies the cost of attaching the
 // observability layer — metrics registry, chip operation hook, and an event
-// sink — against the nil-sink fast path every emission site keeps.
-func benchRunner(b *testing.B, observed bool) {
+// sink — against the nil-sink fast path every emission site keeps; the
+// bare/traced pairs pin the causal tracer's events/sec overhead. The
+// workload is deliberately GC-saturated (~7 spans per event, an order more
+// than a realistically provisioned device), so it is the tracer's worst
+// case: TracedFull records every span and is the honest full-fidelity
+// price, Traced uses the 1-in-32 host-tree sampling profile the monitor
+// runs with, where the acceptance bar is ≤5% regression versus Bare.
+func benchRunner(b *testing.B, observed bool) { benchRunnerMode(b, observed, 0) }
+
+func benchRunnerMode(b *testing.B, observed bool, traceSample int) {
 	geo := obsGeometry()
 	sectors := geo.Capacity() / 512 * 85 / 100
 	m := workload.PaperScaled(sectors)
@@ -199,6 +207,14 @@ func benchRunner(b *testing.B, observed bool) {
 			cfg.Metrics = true
 			cfg.Sink = obs.SinkFunc(func(obs.Event) {})
 		}
+		if traceSample > 0 {
+			// The monitoring profile: a bounded recent-window ring (the
+			// monitor publishes SnapshotRecent slices far smaller than
+			// this) rather than a capture-everything one, so the per-run
+			// ring allocation stays off the measurement.
+			cfg.TraceSpans = 1 << 12
+			cfg.TraceSample = traceSample
+		}
 		res, err := Run(cfg, m.Infinite(1))
 		if err != nil {
 			b.Fatal(err)
@@ -209,5 +225,7 @@ func benchRunner(b *testing.B, observed bool) {
 	}
 }
 
-func BenchmarkRunnerBare(b *testing.B)     { benchRunner(b, false) }
-func BenchmarkRunnerObserved(b *testing.B) { benchRunner(b, true) }
+func BenchmarkRunnerBare(b *testing.B)       { benchRunner(b, false) }
+func BenchmarkRunnerObserved(b *testing.B)   { benchRunner(b, true) }
+func BenchmarkRunnerTraced(b *testing.B)     { benchRunnerMode(b, false, 32) }
+func BenchmarkRunnerTracedFull(b *testing.B) { benchRunnerMode(b, false, 1) }

@@ -187,6 +187,23 @@ type Config struct {
 	// chip's operation counters; the final snapshot lands in
 	// Result.Metrics.
 	Metrics bool
+	// TraceSpans, when positive, attaches an obs.Tracer with a ring of that
+	// many spans: host writes/reads, translation, garbage collection, live
+	// copies, erases, and SW-Leveler episodes all record causal spans, the
+	// per-stage latency summary lands in Result.StageLatency, and the full
+	// ring is available from Runner.Tracer for export
+	// (internal/obs/chrometrace).
+	TraceSpans int
+	// TraceClock supplies the tracer's timestamps (e.g. a monotonic wall
+	// clock for real latency profiles). Nil keeps the tracer on its
+	// deterministic logical tick, so traced runs stay bit-identical.
+	TraceClock func() int64
+	// TraceSample records one in this many host-operation span trees (see
+	// obs.Tracer.SetSample); leveler episodes are always recorded in full.
+	// 0 or 1 records every tree — full fidelity for one-shot trace
+	// captures; 16-64 is the always-on monitoring profile, thinning the
+	// bulk host traffic to keep the tracer's cost in the noise.
+	TraceSample int
 	// CheckInvariants attaches an obs.InvariantChecker that cross-checks
 	// leveler, translation-layer, and chip state at every leveler trigger
 	// and once at the end of the run (skipped after a power cut, where RAM
@@ -240,6 +257,11 @@ type Result struct {
 	LevelerEpisodes int64
 	// Metrics is the final metrics snapshot when Config.Metrics was set.
 	Metrics *obs.Snapshot
+	// StageLatency summarizes per-stage span durations when
+	// Config.TraceSpans was set, keyed by span kind name (see
+	// obs.Tracer.StageLatency). Durations are logical ticks unless
+	// Config.TraceClock supplied a wall clock.
+	StageLatency map[string]obs.StageLatency
 	// InvariantChecks counts the checkpoints the invariant checker ran and
 	// InvariantViolations the failures it recorded (capped; see
 	// obs.InvariantChecker) when Config.CheckInvariants was set.
@@ -318,6 +340,7 @@ type Runner struct {
 	spp     int // sectors per page
 
 	sink          obs.EventSink
+	tracer        *obs.Tracer
 	reg           *obs.Registry
 	checker       *obs.InvariantChecker
 	episodes      *obs.EpisodeBuilder
@@ -359,6 +382,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.SampleEvery != 0 {
 		r.series = obs.NewSeriesRecorder(cfg.SampleEvery)
+	}
+	if cfg.TraceSpans > 0 {
+		r.tracer = obs.NewTracer(cfg.TraceSpans, cfg.TraceClock)
+		r.tracer.SetSample(cfg.TraceSample)
 	}
 	r.buildSinks()
 	var hook func(op nand.Op, block, page int) error
@@ -409,6 +436,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		}
 		r.arr = arr
 		r.dev = arr
+		r.tracer.SetChipOf(arr.ChipOf)
 		if r.sink != nil {
 			// Attribute every block-carrying event to its member chip, so
 			// per-chip wear series stay separable downstream of the shared
@@ -474,6 +502,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 			so.SetObserver(r.sink)
 		}
 	}
+	if r.tracer != nil {
+		if ts, ok := r.layer.(tracerSetter); ok {
+			ts.SetTracer(r.tracer)
+		}
+	}
 	if cfg.SWL {
 		seed := cfg.Seed
 		if seed == 0 {
@@ -493,6 +526,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 			Chips:      nchips,
 			Interleave: cfg.ArrayStripe,
 			Observer:   r.sink,
+			Tracer:     r.tracer,
 		}, r.layer)
 		if err != nil {
 			return nil, err
@@ -535,6 +569,11 @@ func (r *Runner) Leveler() Leveler { return r.leveler }
 
 // Injector returns the fault injector, or nil when Config.Faults was unset.
 func (r *Runner) Injector() *faultinject.Injector { return r.inj }
+
+// Tracer returns the causal span tracer, or nil when Config.TraceSpans was
+// unset. Hosts snapshot it for export (internal/obs/chrometrace) or publish
+// recent windows through the monitor.
+func (r *Runner) Tracer() *obs.Tracer { return r.tracer }
 
 // Run consumes the source until a stop condition and reports the results.
 // A layer error (such as running out of space on a worn-out device) stops
@@ -610,6 +649,9 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 		snap := r.reg.Snapshot()
 		res.Metrics = &snap
 	}
+	if r.tracer != nil {
+		res.StageLatency = r.tracer.StageLatency()
+	}
 	res.Err = runErr
 	return res, nil
 }
@@ -660,13 +702,19 @@ loop:
 			}
 			switch e.Op {
 			case trace.Write:
-				if err := r.layer.WritePage(lpn, nil); err != nil {
+				sp := r.tracer.Begin(obs.SpanHostWrite, -1, int64(lpn))
+				err := r.layer.WritePage(lpn, nil)
+				r.tracer.End(sp)
+				if err != nil {
 					runErr = err
 					break loop
 				}
 				r.pageWrites++
 			case trace.Read:
-				if _, err := r.layer.ReadPage(lpn, nil); err != nil {
+				sp := r.tracer.Begin(obs.SpanHostRead, -1, int64(lpn))
+				_, err := r.layer.ReadPage(lpn, nil)
+				r.tracer.End(sp)
+				if err != nil {
 					runErr = err
 					break loop
 				}

@@ -44,5 +44,8 @@ func Summarize(name string, cfg Config, res *Result) obs.RunSummary {
 	if res.FirstWear >= 0 {
 		s.FirstWearHours = res.FirstWear.Hours()
 	}
+	if len(res.StageLatency) > 0 {
+		s.StageLatency = res.StageLatency
+	}
 	return s
 }
