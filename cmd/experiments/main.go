@@ -17,6 +17,8 @@
 //	experiments -arena -arenadir out/   # also write leaderboard.csv + per-strategy BENCH files
 //	experiments -fleet 1000      # fleet: 1000 independent devices run to first failure
 //	experiments -fleet 256 -fleetdir out/  # also write fleet_cdf.csv + BENCH_fleet.json
+//	experiments -servecache      # cache-vs-SWL-vs-both endurance grid (PAPERS.md claim)
+//	experiments -servecache -servecachedir out/  # also write serve_cache.csv
 //
 // Every invocation that runs simulation cells also writes a machine-readable
 // BENCH_summary.json artifact (one record per cell) for cmd/swlstat to diff
@@ -56,6 +58,8 @@ func main() {
 	fleetChips := flag.Int("fleetchips", 0, "build every fleet device as an array of N chips (0 = single chip)")
 	fleetStripe := flag.Bool("fleetstripe", false, "stripe the fleet devices' arrays block-interleaved instead of concatenating (needs -fleetchips)")
 	serveAddr := flag.String("serve", "", "serve live sweep progress (Prometheus /metrics, /heatmap, /progress, pprof) on this address")
+	serveCache := flag.Bool("servecache", false, "run the cache-vs-SWL-vs-both grid: write-back cache sizes crossed with the leveler off/on, run to first failure")
+	serveCacheDir := flag.String("servecachedir", "", "write the serve-cache artifact (serve_cache.csv) into this directory (needs -servecache)")
 	flag.Parse()
 
 	sc := experiments.DefaultScale()
@@ -227,6 +231,26 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("arena artifacts: %d files -> %s\n", len(names), *arenaDir)
+		}
+	}
+
+	if *serveCache {
+		res, err := experiments.RunServeCache(sc, sim.FTL, 0, 100, nil)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(experiments.ServeCacheCSV(res))
+		} else {
+			fmt.Println("== Serve cache: cache vs. SWL vs. both, run to first failure on the shared trace ==")
+			fmt.Println(experiments.FormatServeCache(res))
+		}
+		if *serveCacheDir != "" {
+			names, err := experiments.WriteServeCacheArtifacts(*serveCacheDir, res)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("serve-cache artifacts: %d files -> %s\n", len(names), *serveCacheDir)
 		}
 	}
 

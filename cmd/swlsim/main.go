@@ -10,6 +10,7 @@
 //	swlsim -layer ftl -years 1              # fixed aging span instead of run-to-failure
 //	swlsim -layer ftl -leveler gap -T 40    # a rival strategy from the leveler registry
 //	swlsim -array 4 -stripe -leveler global # 4-chip striped array with the cross-chip leveler
+//	swlsim -layer ftl -cachepages 64        # write-back cache in front of the layer
 //	swlsim -layer ftl -swl -pfail 1e-3 -efail 1e-3   # transient fault injection
 //	swlsim -layer nftl -cutafter 5000 -T 4  # power-cut/remount recovery check
 //	swlsim -layer ftl -swl -metrics out.jsonl       # JSONL event/metric stream
@@ -76,6 +77,8 @@ func main() {
 	checkpointPath := flag.String("checkpoint", "", "write resumable checkpoints to this file (atomic replace; also written once at a clean end)")
 	checkpointEvery := flag.Int64("checkpointevery", 0, "write a checkpoint every N trace events (needs -checkpoint)")
 	resumePath := flag.String("resume", "", "resume from this checkpoint file; the other flags must rebuild the original configuration")
+	cachePages := flag.Int("cachepages", 0, "front the layer with the write-back cache, holding N page lines (0 = off; incompatible with -checkpoint/-resume)")
+	cacheAssoc := flag.Int("cacheassoc", 0, "cache ways per set (0 = default; needs -cachepages)")
 	flag.Parse()
 
 	if *leveler != "" {
@@ -190,6 +193,8 @@ func main() {
 		Faults:         fcfg,
 		StoreData:      *flipEvery > 0, // bit flips need retained page payloads
 		MaxEvents:      *maxEvents,
+		CachePages:     *cachePages,
+		CacheAssoc:     *cacheAssoc,
 	}
 	if *years > 0 {
 		cfg.MaxSimTime = time.Duration(*years * 365 * 24 * float64(time.Hour))
@@ -343,6 +348,10 @@ func main() {
 	fmt.Printf("erases:          %d total, %d by SWL; GC runs %d\n", res.Erases, res.ForcedErases, res.GCRuns)
 	fmt.Printf("live copies:     %d total, %d by SWL\n", res.LiveCopies, res.ForcedCopies)
 	fmt.Printf("erase counts:    %s\n", res.EraseStats.String())
+	if res.Cache != nil {
+		fmt.Printf("cache:           %d lines; %d hits, %d misses, %d fills, %d writebacks (%d sectors)\n",
+			*cachePages, res.Cache.Hits, res.Cache.Misses, res.Cache.Fills, res.Cache.Writebacks, res.Cache.WritebackSectors)
+	}
 	if *swl {
 		fmt.Printf("leveler:         %+v\n", res.Leveler)
 	}

@@ -103,7 +103,7 @@ type report struct {
 	chips []chipAgg
 	trees []tree
 
-	hostTrees            int64 // trees rooted at a host write
+	hostTrees            int64 // trees rooted at a host write or served request
 	hostTreesWithErase   int64
 	episodes             int64 // trees rooted at swl_episode
 	episodesWithCopies   int64
@@ -189,7 +189,9 @@ func analyze(snap *obs.TraceSnapshot) *report {
 	for _, tr := range agg {
 		rep.trees = append(rep.trees, *tr)
 		switch tr.root.Kind {
-		case obs.SpanHostWrite:
+		case obs.SpanHostWrite, obs.SpanHostRequest:
+			// Replayed traces root host work at host_write; served traffic
+			// (swlserve) roots it at host_request. Both attribute erases.
 			rep.hostTrees++
 			rep.hostErases += tr.erases
 			if tr.erases > 0 {
@@ -277,7 +279,7 @@ func (rep *report) validate() []string {
 		errs = append(errs, fmt.Sprintf("%d unresolved parent links in an unwrapped ring", rep.orphans))
 	}
 	if rep.hostTreesWithErase == 0 {
-		errs = append(errs, "no host write's span tree reaches a chip erase")
+		errs = append(errs, "no host write/request span tree reaches a chip erase")
 	}
 	if rep.episodes > 0 && rep.episodesWithErase == 0 {
 		errs = append(errs, "leveler episodes present but none reaches an erase")

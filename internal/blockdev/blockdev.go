@@ -1,9 +1,39 @@
 // Package blockdev adapts a page-granularity Flash Translation Layer driver
-// (ftl or nftl) into the 512-byte-sector block device that file systems
-// expect — the block-device emulation role the paper's Figure 1 assigns to
-// the Flash Translation Layer. Sub-page writes are handled with
-// read-modify-write of the containing page. A Device wraps a driver and
-// inherits its single-goroutine confinement and determinism.
+// (ftl, nftl, or dftl) into the 512-byte-sector block device that file
+// systems expect — the block-device emulation role the paper's Figure 1
+// assigns to the Flash Translation Layer.
+//
+// # Read-modify-write sub-sector semantics
+//
+// The device's atom is the 512-byte sector, but the flash below reads and
+// programs whole pages (typically 2-8 KB, SectorSize × spp). A read or
+// write whose range is page-aligned at both ends goes straight through as
+// whole-page operations. Any partial page — a range starting or ending
+// mid-page — is handled with read-modify-write of the containing page: the
+// page is read into a scratch buffer, the touched sectors are overlaid, and
+// the whole page is written back. Consequences callers must know:
+//
+//   - A one-sector write still costs one page read plus one page write at
+//     the flash; sub-page write amplification is spp:1 in the worst case.
+//     The internal/serve/cache front-end exists to absorb exactly this —
+//     its lines are whole pages, and a fully dirty line writes back without
+//     the read.
+//   - The untouched sectors of the page are rewritten with whatever the
+//     read returned. Never-written pages read as 0xFF (flash convention),
+//     so a partial write to a virgin page persists 0xFF filler around it.
+//   - The read-modify-write is not atomic at the flash level: a power cut
+//     between the read and the program can lose the whole page's previous
+//     contents on layers that update in place (none of the three drivers
+//     do — they are out-of-place — so here the old page version survives
+//     until the new program completes).
+//
+// Failed operations return a typed *SectorError wrapping ErrOutOfRange or
+// ErrUnaligned, so callers (the serve HTTP layer maps them to 416) can
+// tell addressing mistakes from media errors, which pass through unwrapped.
+//
+// A Device wraps a driver and inherits its single-goroutine confinement
+// and determinism; internal/serve owns one inside a per-device actor
+// goroutine to serve concurrent clients.
 package blockdev
 
 import (
@@ -25,6 +55,67 @@ type PageStore interface {
 
 // ErrOutOfRange reports an access beyond the device.
 var ErrOutOfRange = errors.New("blockdev: sector out of range")
+
+// ErrUnaligned reports a buffer whose length is not a whole number of
+// sectors (or, for the single-sector calls, not exactly one sector).
+var ErrUnaligned = errors.New("blockdev: buffer not sector aligned")
+
+// SectorError is the typed addressing error every Device entry point (and
+// the serve cache front-end, which shares the sector address space) returns
+// for an invalid request: an out-of-range [LBA, LBA+Count) window or an
+// unaligned buffer. Media errors from the layer below pass through as-is;
+// a SectorError always means the request itself was malformed, so retrying
+// it unchanged can never succeed. It wraps ErrOutOfRange or ErrUnaligned
+// for errors.Is dispatch.
+type SectorError struct {
+	// Op names the entry point: "read", "write", or "discard".
+	Op string
+	// LBA and Count give the requested sector window [LBA, LBA+Count).
+	// For unaligned-buffer errors Count carries the offending byte length
+	// instead, and Sectors is 0.
+	LBA   int64
+	Count int
+	// Sectors is the device capacity the range check ran against.
+	Sectors int64
+	// Err is the sentinel category: ErrOutOfRange or ErrUnaligned.
+	Err error
+}
+
+// Error formats the addressing failure with the full requested window.
+func (e *SectorError) Error() string {
+	if errors.Is(e.Err, ErrUnaligned) {
+		return fmt.Sprintf("blockdev: %s: buffer length %d is not sector aligned", e.Op, e.Count)
+	}
+	return fmt.Sprintf("blockdev: %s [%d,%d) of %d: %v", e.Op, e.LBA, e.LBA+int64(e.Count), e.Sectors, e.Err)
+}
+
+// Unwrap exposes the sentinel so errors.Is(err, ErrOutOfRange) keeps
+// working across the typed upgrade.
+func (e *SectorError) Unwrap() error { return e.Err }
+
+// RangeError builds the out-of-range SectorError for op over
+// [lba, lba+n) on a device of sectors sectors. Shared with
+// internal/serve/cache so cached and uncached paths fail identically.
+func RangeError(op string, lba int64, n int, sectors int64) *SectorError {
+	return &SectorError{Op: op, LBA: lba, Count: n, Sectors: sectors, Err: ErrOutOfRange}
+}
+
+// AlignError builds the unaligned-buffer SectorError for op with a buffer
+// of length bytes.
+func AlignError(op string, length int) *SectorError {
+	return &SectorError{Op: op, Count: length, Err: ErrUnaligned}
+}
+
+// CheckRange validates a [lba, lba+n) sector window against a device of
+// sectors sectors, returning a typed *SectorError (never a bare error) on
+// violation. Exported for front-ends that answer from their own state
+// without consulting the Device (the serve cache).
+func CheckRange(op string, lba int64, n int, sectors int64) error {
+	if lba < 0 || n < 0 || lba+int64(n) > sectors {
+		return RangeError(op, lba, n, sectors)
+	}
+	return nil
+}
 
 // Device is a sector-addressed block device over a PageStore. Not safe for
 // concurrent use.
@@ -58,22 +149,19 @@ func (d *Device) Sectors() int64 { return d.sectors }
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int64 { return d.sectors * SectorSize }
 
-// check validates a [lba, lba+n) sector range.
-func (d *Device) check(lba int64, n int) error {
-	if lba < 0 || n < 0 || lba+int64(n) > d.sectors {
-		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, lba, lba+int64(n), d.sectors)
-	}
-	return nil
+// check validates a [lba, lba+n) sector range for the named entry point.
+func (d *Device) check(op string, lba int64, n int) error {
+	return CheckRange(op, lba, n, d.sectors)
 }
 
 // ReadSectors fills buf (a multiple of SectorSize long) from consecutive
 // sectors starting at lba. Never-written sectors read as 0xFF, flash style.
 func (d *Device) ReadSectors(lba int64, buf []byte) error {
 	if len(buf)%SectorSize != 0 {
-		return fmt.Errorf("blockdev: read length %d is not sector aligned", len(buf))
+		return AlignError("read", len(buf))
 	}
 	n := len(buf) / SectorSize
-	if err := d.check(lba, n); err != nil {
+	if err := d.check("read", lba, n); err != nil {
 		return err
 	}
 	for n > 0 {
@@ -104,10 +192,10 @@ func (d *Device) ReadSectors(lba int64, buf []byte) error {
 // sectors starting at lba, performing read-modify-write for partial pages.
 func (d *Device) WriteSectors(lba int64, buf []byte) error {
 	if len(buf)%SectorSize != 0 {
-		return fmt.Errorf("blockdev: write length %d is not sector aligned", len(buf))
+		return AlignError("write", len(buf))
 	}
 	n := len(buf) / SectorSize
-	if err := d.check(lba, n); err != nil {
+	if err := d.check("write", lba, n); err != nil {
 		return err
 	}
 	for n > 0 {
@@ -141,7 +229,7 @@ func (d *Device) WriteSectors(lba int64, buf []byte) error {
 // ReadSector reads one sector.
 func (d *Device) ReadSector(lba int64, buf []byte) error {
 	if len(buf) != SectorSize {
-		return fmt.Errorf("blockdev: sector buffer is %d bytes", len(buf))
+		return AlignError("read", len(buf))
 	}
 	return d.ReadSectors(lba, buf)
 }
@@ -149,7 +237,7 @@ func (d *Device) ReadSector(lba int64, buf []byte) error {
 // WriteSector writes one sector.
 func (d *Device) WriteSector(lba int64, buf []byte) error {
 	if len(buf) != SectorSize {
-		return fmt.Errorf("blockdev: sector buffer is %d bytes", len(buf))
+		return AlignError("write", len(buf))
 	}
 	return d.WriteSectors(lba, buf)
 }
@@ -166,7 +254,7 @@ type Discarder interface {
 // no-op. File systems call it when clusters are freed, cutting future
 // garbage-collection copying.
 func (d *Device) Discard(lba int64, n int) error {
-	if err := d.check(lba, n); err != nil {
+	if err := d.check("discard", lba, n); err != nil {
 		return err
 	}
 	disc, ok := d.store.(Discarder)

@@ -144,6 +144,32 @@ func TestBounds(t *testing.T) {
 	}
 }
 
+func TestSectorErrorTyping(t *testing.T) {
+	d := newFTLDevice(t)
+	var se *SectorError
+	err := d.ReadSectors(d.Sectors()-1, make([]byte, 2*SectorSize))
+	if !errors.As(err, &se) {
+		t.Fatalf("out-of-range error is %T, want *SectorError", err)
+	}
+	if se.Op != "read" || se.LBA != d.Sectors()-1 || se.Count != 2 || se.Sectors != d.Sectors() {
+		t.Errorf("range error fields = %+v", se)
+	}
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Error("range error does not unwrap to ErrOutOfRange")
+	}
+	err = d.WriteSectors(0, make([]byte, 100))
+	if !errors.As(err, &se) {
+		t.Fatalf("unaligned error is %T, want *SectorError", err)
+	}
+	if se.Op != "write" || se.Count != 100 || !errors.Is(err, ErrUnaligned) {
+		t.Errorf("alignment error fields = %+v (unwrap Is(ErrUnaligned)=%v)", se, errors.Is(err, ErrUnaligned))
+	}
+	err = d.Discard(-1, 4)
+	if !errors.As(err, &se) || se.Op != "discard" {
+		t.Errorf("discard error = %v, want *SectorError with Op discard", err)
+	}
+}
+
 func TestOverNFTL(t *testing.T) {
 	chip := nand.New(nand.Config{
 		Geometry:  nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: 1024, SpareSize: 32},

@@ -80,13 +80,15 @@ func (d *Driver) recycle(b int) error {
 		if owner == invalidPPN {
 			continue
 		}
-		if _, err := d.dev.ReadPage(ppn, nil, nil); err != nil {
-			return err
-		}
 		if owner&tTag != 0 {
-			// Live translation page: move it and repoint the GTD.
+			// Live translation page: move it and repoint the GTD. Its
+			// payload is shadowed in RAM, so the flash read is counted
+			// without copying bytes.
+			if _, err := d.dev.ReadPage(ppn, nil, nil); err != nil {
+				return err
+			}
 			t := int(owner &^ tTag)
-			dst, err := d.allocProgram(uint32(tTag) | uint32(t))
+			dst, err := d.allocProgram(uint32(tTag)|uint32(t), nil)
 			if err != nil {
 				return err
 			}
@@ -102,14 +104,21 @@ func (d *Driver) recycle(b int) error {
 			}
 			continue
 		}
-		// Live data page: move it and repoint its mapping entry, which
-		// needs the translation page in cache (and dirties it).
+		// Live data page: move it (payload included, so stored data
+		// survives GC) and repoint its mapping entry, which needs the
+		// translation page in cache (and dirties it).
+		if d.copyBuf == nil {
+			d.copyBuf = make([]byte, d.pageSize)
+		}
+		if _, err := d.dev.ReadPage(ppn, d.copyBuf, nil); err != nil {
+			return err
+		}
 		lpn := int(owner)
 		tp, err := d.loadTPage(lpn / d.perT)
 		if err != nil {
 			return err
 		}
-		dst, err := d.allocProgram(uint32(lpn))
+		dst, err := d.allocProgram(uint32(lpn), d.copyBuf)
 		if err != nil {
 			return err
 		}

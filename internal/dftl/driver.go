@@ -138,6 +138,7 @@ type Driver struct {
 	inForced bool
 	counters Counters
 	spareBuf [nand.SpareInfoSize]byte
+	copyBuf  []byte // lazily allocated page buffer for GC data moves
 }
 
 // New builds the driver over a device.
@@ -335,7 +336,7 @@ func (d *Driver) evictOne() error {
 // flushTPage writes a dirty translation page to flash out-of-place,
 // invalidating its previous copy and updating the GTD.
 func (d *Driver) flushTPage(tp *tpage) error {
-	ppn, err := d.allocProgram(uint32(tTag) | uint32(tp.idx))
+	ppn, err := d.allocProgram(uint32(tTag)|uint32(tp.idx), nil)
 	if err != nil {
 		return err
 	}
@@ -351,14 +352,16 @@ func (d *Driver) flushTPage(tp *tpage) error {
 	return nil
 }
 
-// program writes a page with the owner id in its spare area.
-func (d *Driver) program(ppn int, owner uint32) error {
+// program writes a page with the owner id in its spare area. data may be
+// nil for metadata-only traffic (translation pages keep their authoritative
+// entries in the in-RAM shadow).
+func (d *Driver) program(ppn int, owner uint32, data []byte) error {
 	var oob []byte
 	if !d.cfg.NoSpare {
 		d.seq++
 		oob = nand.SpareInfo{LBA: owner, Seq: d.seq}.Encode(d.spareBuf[:])
 	}
-	return d.dev.WritePage(ppn, nil, oob)
+	return d.dev.WritePage(ppn, data, oob)
 }
 
 // maxProgramRetries bounds the fresh pages one logical write may burn before
@@ -369,13 +372,13 @@ const maxProgramRetries = 8
 // on an injected program fault. The failed page stays allocated but dead
 // (garbage collection reclaims it) and the active frontier is closed over
 // the failed block, so a grown-bad block cannot absorb every attempt.
-func (d *Driver) allocProgram(owner uint32) (int, error) {
+func (d *Driver) allocProgram(owner uint32, data []byte) (int, error) {
 	for attempt := 0; ; attempt++ {
 		ppn, err := d.allocPage()
 		if err != nil {
 			return 0, err
 		}
-		err = d.program(ppn, owner)
+		err = d.program(ppn, owner, data)
 		if err == nil {
 			return ppn, nil
 		}
@@ -418,8 +421,9 @@ func (d *Driver) allocPage() (int, error) {
 	return ppn, nil
 }
 
-// WritePage writes a logical page (data payload is simulated; the mapping
-// machinery is what this layer models).
+// WritePage writes a logical page. data may be nil in metadata-only
+// simulations; on a data-retaining chip a non-nil payload is stored and
+// read back by ReadPage, so the layer can sit under a block device.
 func (d *Driver) WritePage(lpn int, data []byte) error {
 	if lpn < 0 || lpn >= d.cfg.LogicalPages {
 		return fmt.Errorf("%w: %d", ErrBadLPN, lpn)
@@ -433,7 +437,7 @@ func (d *Driver) WritePage(lpn int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	ppn, err := d.allocProgram(uint32(lpn))
+	ppn, err := d.allocProgram(uint32(lpn), data)
 	if err != nil {
 		return err
 	}

@@ -64,6 +64,20 @@ func TestTable4CSVGolden(t *testing.T) {
 	checkGolden(t, "fig6_ftl_quick.csv", SeriesCSV("fig6", aged.Figure6(sim.FTL), goldenKs, goldenTs))
 }
 
+func TestServeCacheCSVGolden(t *testing.T) {
+	sc := QuickScale()
+	res, err := RunServeCache(sc, sim.FTL, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if (row.CachePages > 0) != (row.Res.Cache != nil) {
+			t.Errorf("cell c%d swl=%v: cache stats presence %v does not match config", row.CachePages, row.SWL, row.Res.Cache != nil)
+		}
+	}
+	checkGolden(t, "serve_cache.csv", ServeCacheCSV(res))
+}
+
 func TestWearSeriesCSVGolden(t *testing.T) {
 	sc := QuickScale()
 	res, err := WearTrajectory(sc, sim.FTL, true, 0, 100, 20, true)

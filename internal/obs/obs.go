@@ -57,6 +57,14 @@ const (
 	// EvEpisodeEnd closes a leveler episode span (Ecnt, Fcnt at exit, plus
 	// Sets/Skipped block-set counts for the invocation).
 	EvEpisodeEnd
+	// EvCacheWriteback reports one dirty line of the flash-aware write-back
+	// cache (internal/serve/cache) written back to the device below — on
+	// eviction or flush. Page carries the logical page the line caches,
+	// Pages the sectors written, and Forced is true for whole-line
+	// writebacks (the flash-friendly path that skips the read-modify-write).
+	// Cache hits and fills are deliberately not events: they are far too hot
+	// for the stream and are exposed as counters and spans instead.
+	EvCacheWriteback
 )
 
 // String names the kind in snake_case, the form the JSONL schema uses.
@@ -78,6 +86,8 @@ func (k EventKind) String() string {
 		return "episode_begin"
 	case EvEpisodeEnd:
 		return "episode_end"
+	case EvCacheWriteback:
+		return "cache_writeback"
 	default:
 		return fmt.Sprintf("event_kind_%d", uint8(k))
 	}
@@ -397,6 +407,19 @@ const (
 	MetricChipReads    = "chip_reads_total"
 	MetricChipPrograms = "chip_programs_total"
 	MetricChipErases   = "chip_erases_total"
+)
+
+// Served-traffic totals, fed by the internal/serve actor and the
+// internal/serve/cache front-end from their own counters (per-request work
+// is too hot for the event stream; only writebacks appear there).
+const (
+	MetricServeRequests   = "serve_requests_total"
+	MetricServeBatches    = "serve_batches_total"
+	MetricServeCoalesced  = "serve_coalesced_writes_total"
+	MetricCacheHits       = "cache_hits_total"
+	MetricCacheMisses     = "cache_misses_total"
+	MetricCacheFills      = "cache_fills_total"
+	MetricCacheWritebacks = "cache_writebacks_total"
 )
 
 // NewMetricsSink returns an EventSink folding the event stream into the

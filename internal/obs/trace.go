@@ -53,8 +53,28 @@ const (
 	// SpanSetSelect covers the forced recycling of one selected block set
 	// (Arg is the flag index).
 	SpanSetSelect
+	// SpanHostRequest covers one served block-device request from dequeue to
+	// reply: the serving twin of SpanHostWrite/SpanHostRead, rooted at the
+	// internal/serve actor rather than the trace harness (Arg is the start
+	// LBA, Pages the sector count).
+	SpanHostRequest
+	// SpanQueueWait covers the time a served request spent in the actor's
+	// bounded queue before being dequeued. Recorded retroactively via
+	// Tracer.Observe, so its duration is only meaningful under a wall
+	// TraceClock shared with the enqueuing goroutines.
+	SpanQueueWait
+	// SpanCacheHit covers a request satisfied from the write-back cache
+	// without touching the translation layer (Arg is the logical page).
+	SpanCacheHit
+	// SpanCacheFill covers a cache miss filling a line from the device
+	// below (Arg is the logical page).
+	SpanCacheFill
+	// SpanCacheWriteback covers one dirty line written back to the device —
+	// on eviction or flush (Arg is the logical page, Pages the sectors
+	// written, Block -1).
+	SpanCacheWriteback
 
-	numSpanKinds = int(SpanSetSelect) + 1
+	numSpanKinds = int(SpanCacheWriteback) + 1
 )
 
 // String names the kind in snake_case, the form the trace export uses.
@@ -78,6 +98,16 @@ func (k SpanKind) String() string {
 		return "scan"
 	case SpanSetSelect:
 		return "set_select"
+	case SpanHostRequest:
+		return "host_request"
+	case SpanQueueWait:
+		return "queue_wait"
+	case SpanCacheHit:
+		return "cache_hit"
+	case SpanCacheFill:
+		return "cache_fill"
+	case SpanCacheWriteback:
+		return "cache_writeback"
 	default:
 		return "span_kind_unknown"
 	}
@@ -200,7 +230,8 @@ func NewTracer(capacity int, clock func() int64) *Tracer {
 }
 
 // SetSample makes the tracer record one in n host-operation trees (trees
-// rooted at a SpanHostWrite or SpanHostRead Begin at depth zero); the other
+// rooted at a SpanHostWrite, SpanHostRead, or SpanHostRequest Begin at
+// depth zero); the other
 // n-1 are skipped wholesale, children included, at a cost of two predictable
 // branches per skipped span. Leveler episodes and anything else beginning
 // outside a host root are always recorded, so sampling thins the bulk host
@@ -263,7 +294,7 @@ func (t *Tracer) Begin(kind SpanKind, block int, arg int64) SpanID {
 //
 //lint:hotpath span recording; see obs/alloc_test.go
 func (t *Tracer) record(kind SpanKind, block int, arg int64) SpanID {
-	if t.sample > 1 && t.depth == 0 && (kind == SpanHostWrite || kind == SpanHostRead) {
+	if t.sample > 1 && t.depth == 0 && (kind == SpanHostWrite || kind == SpanHostRead || kind == SpanHostRequest) {
 		t.until--
 		if t.until != 0 {
 			t.skip = 1
@@ -377,6 +408,47 @@ func (t *Tracer) finish(id SpanID, pages int, arg int64, setArg bool) {
 	if d < 0 {
 		d = 0
 	}
+	a := &t.stats[kind]
+	a.count++
+	a.sum += d
+	if d > a.max {
+		a.max = d
+	}
+	a.buckets[bits.Len64(uint64(d))%latencyBuckets]++
+}
+
+// Observe records an already-completed span with explicit begin and end
+// clock readings, parented under the currently open span. It is how a stage
+// whose duration elapsed before the recording goroutine saw it — a served
+// request's queue wait — lands in the trace: the enqueuer stamps the begin
+// reading from the same clock, and the dequeuing owner observes the span
+// retroactively. The timestamps must come from the tracer's TraceClock (under
+// the default deterministic tick pass equal values; the span then records
+// order, not duration). Inside a sampled-away host tree the observation is
+// skipped with the rest of the tree. Nil-safe like every Tracer method, and
+// like them it must only be called from the goroutine that owns the tracer.
+func (t *Tracer) Observe(kind SpanKind, block int, arg int64, begin, end int64) {
+	if t == nil || t.skip > 0 {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	t.seq++
+	id := SpanID(t.seq)
+	var parent SpanID
+	if t.depth > 0 {
+		parent = t.stack[t.depth-1].id
+	}
+	chip := 0
+	if t.chipOf != nil {
+		chip = t.chipOf(block)
+	}
+	t.ring[(t.seq-1)&t.mask] = Span{
+		ID: id, Parent: parent, Kind: kind,
+		Begin: begin, End: end, Block: block, Chip: chip, Arg: arg,
+	}
+	d := end - begin
 	a := &t.stats[kind]
 	a.count++
 	a.sum += d

@@ -1,0 +1,441 @@
+// Package cache is the flash-aware write-back cache front-end of the serve
+// stack. It sits between the request actor and a blockdev.Device and turns
+// the host's sector-granular traffic into whole-flash-page traffic below:
+//
+//   - A cache line is exactly one flash page (Config.PageSize bytes), so
+//     every writeback is a page-aligned whole-page write that takes
+//     blockdev's fast path — no read-modify-write at the device.
+//   - Lines are set-associative with LRU replacement inside each set, and
+//     the victim search is biased by dirtiness class: clean lines first
+//     (eviction is free), then fully dirty lines (their writeback is already
+//     a coalesced whole page), and partially dirty lines last (keeping them
+//     resident gives later writes a chance to complete the page).
+//   - A write covering a whole line allocates without fetching from the
+//     device (there is nothing to merge); any narrower write miss fills the
+//     line first, so every resident line always holds the full page and
+//     writebacks never need a merge read.
+//
+// Dirty data lives only in memory until Flush, eviction, or writeback —
+// a power cut (modelled by Drop) loses exactly the lines DirtyLines
+// reports. Addressing errors are the same typed *blockdev.SectorError the
+// uncached Device returns, so cached and uncached stacks fail identically.
+//
+// Like everything below it, a Cache is confined to a single goroutine — in
+// the serve stack, the per-device actor that owns the chip.
+package cache
+
+import (
+	"sort"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/obs"
+)
+
+// Backend is the sector device the cache fronts. blockdev.Device satisfies
+// it. The cache assumes exclusive access: nothing else may read or write
+// the backend while the cache holds dirty lines.
+type Backend interface {
+	ReadSectors(lba int64, buf []byte) error
+	WriteSectors(lba int64, buf []byte) error
+	Sectors() int64
+}
+
+// Config sizes the cache. The zero value is invalid; use at least one page.
+type Config struct {
+	// PageSize is the cache line size in bytes and must equal the flash
+	// page size of the device below (a multiple of blockdev.SectorSize),
+	// so that lines and flash pages coincide.
+	PageSize int
+	// Pages is the total number of cache lines.
+	Pages int
+	// Assoc is the number of ways per set. It must divide Pages; 0 picks
+	// min(Pages, 8).
+	Assoc int
+}
+
+// Stats counts cache activity since construction. Returned by value from
+// Stats; safe to keep.
+type Stats struct {
+	// Hits and Misses count line lookups (one per line touched per
+	// request, not one per request).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Fills counts lines read from the backend on a miss.
+	Fills int64 `json:"fills"`
+	// Writebacks counts dirty lines written back (by eviction or Flush);
+	// WritebackSectors totals the dirty sectors those lines carried.
+	Writebacks       int64 `json:"writebacks"`
+	WritebackSectors int64 `json:"writeback_sectors"`
+	// DroppedLines counts dirty lines discarded by Drop (simulated power
+	// cuts).
+	DroppedLines int64 `json:"dropped_lines"`
+}
+
+// line is one cache way: a full flash page plus a dirty-sector bitmap.
+type line struct {
+	lpn   int64 // flash page number; -1 when the way is empty
+	tick  uint64
+	dirty []uint64 // one bit per sector
+	ndirt int      // population count of dirty
+	data  []byte
+}
+
+// Cache is the write-back cache. Not safe for concurrent use: exactly one
+// goroutine (the serve actor, or a synchronous test harness) may call its
+// methods, matching the confinement contract of the Device and drivers it
+// fronts.
+type Cache struct {
+	be      Backend
+	spp     int // sectors per line
+	psize   int
+	sets    int
+	assoc   int
+	sectors int64
+	lines   []line // sets × assoc, way-major within each set
+	tick    uint64
+	stats   Stats
+
+	sink    obs.EventSink
+	tracer  *obs.Tracer
+	hits    *obs.Counter
+	misses  *obs.Counter
+	fills   *obs.Counter
+	wbacks  *obs.Counter
+	scratch []int64 // reused ascending-lpn order for Flush
+}
+
+// New builds a cache over be. The error reports a malformed Config.
+func New(be Backend, cfg Config) (*Cache, error) {
+	if cfg.PageSize < blockdev.SectorSize || cfg.PageSize%blockdev.SectorSize != 0 {
+		return nil, blockdev.AlignError("cache", cfg.PageSize)
+	}
+	if cfg.Pages <= 0 {
+		return nil, blockdev.RangeError("cache", 0, cfg.Pages, 0)
+	}
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = 8
+		if cfg.Pages < assoc {
+			assoc = cfg.Pages
+		}
+	}
+	if assoc < 0 || cfg.Pages%assoc != 0 {
+		return nil, blockdev.RangeError("cache", int64(assoc), cfg.Pages, 0)
+	}
+	spp := cfg.PageSize / blockdev.SectorSize
+	c := &Cache{
+		be:      be,
+		spp:     spp,
+		psize:   cfg.PageSize,
+		sets:    cfg.Pages / assoc,
+		assoc:   assoc,
+		sectors: be.Sectors(),
+		lines:   make([]line, cfg.Pages),
+	}
+	words := (spp + 63) / 64
+	backing := make([]byte, cfg.Pages*cfg.PageSize)
+	bitmaps := make([]uint64, cfg.Pages*words)
+	for i := range c.lines {
+		c.lines[i].lpn = -1
+		c.lines[i].data = backing[i*cfg.PageSize : (i+1)*cfg.PageSize]
+		c.lines[i].dirty = bitmaps[i*words : (i+1)*words]
+	}
+	return c, nil
+}
+
+// SetObserver routes EvCacheWriteback events to sink. Call before serving;
+// same goroutine as the other methods.
+func (c *Cache) SetObserver(sink obs.EventSink) { c.sink = sink }
+
+// SetTracer makes hits, fills, and writebacks record spans on t, which must
+// be the same tracer the device and driver below use so spans nest into one
+// request tree. Same goroutine as the other methods.
+func (c *Cache) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// SetMetrics registers the cache_* counters in r and feeds them from then
+// on. Call before serving; same goroutine as the other methods.
+func (c *Cache) SetMetrics(r *obs.Registry) {
+	c.hits = r.Counter(obs.MetricCacheHits)
+	c.misses = r.Counter(obs.MetricCacheMisses)
+	c.fills = r.Counter(obs.MetricCacheFills)
+	c.wbacks = r.Counter(obs.MetricCacheWritebacks)
+}
+
+// Sectors returns the capacity of the device below, in sectors.
+func (c *Cache) Sectors() int64 { return c.sectors }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// set returns the ways of the set lpn maps to.
+func (c *Cache) set(lpn int64) []line {
+	s := int(lpn % int64(c.sets))
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// lookup finds lpn in its set, returning the way index or -1.
+func (c *Cache) lookup(ways []line, lpn int64) int {
+	for i := range ways {
+		if ways[i].lpn == lpn {
+			return i
+		}
+	}
+	return -1
+}
+
+// dirtyClass ranks a way for victim selection: empty ways win outright (0),
+// then clean (1), fully dirty (2), and partially dirty (3) — the order that
+// biases evictions toward free or whole-page writebacks.
+func dirtyClass(l *line, spp int) int {
+	switch {
+	case l.lpn < 0:
+		return 0
+	case l.ndirt == 0:
+		return 1
+	case l.ndirt == spp:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// victim picks the way to evict from a set: lowest dirtiness class first,
+// least recently used within a class.
+func (c *Cache) victim(ways []line) int {
+	best := 0
+	bestClass := dirtyClass(&ways[0], c.spp)
+	for i := 1; i < len(ways); i++ {
+		cl := dirtyClass(&ways[i], c.spp)
+		if cl < bestClass || (cl == bestClass && ways[i].tick < ways[best].tick) {
+			best, bestClass = i, cl
+		}
+	}
+	return best
+}
+
+// writeback writes l's page to the backend and marks it clean. The line
+// stays resident and valid.
+func (c *Cache) writeback(l *line) error {
+	var span obs.SpanID
+	if c.tracer != nil {
+		span = c.tracer.Begin(obs.SpanCacheWriteback, -1, l.lpn)
+	}
+	err := c.be.WriteSectors(l.lpn*int64(c.spp), l.data)
+	if c.tracer != nil {
+		c.tracer.EndPages(span, l.ndirt)
+	}
+	if err != nil {
+		return err
+	}
+	c.stats.Writebacks++
+	c.stats.WritebackSectors += int64(l.ndirt)
+	c.wbacks.Inc()
+	if c.sink != nil {
+		c.sink.Observe(obs.Event{
+			Kind:   obs.EvCacheWriteback,
+			Block:  -1,
+			Page:   int(l.lpn),
+			Pages:  l.ndirt,
+			Forced: l.ndirt == c.spp,
+		})
+	}
+	for i := range l.dirty {
+		l.dirty[i] = 0
+	}
+	l.ndirt = 0
+	return nil
+}
+
+// fill reads lpn's page from the backend into l and installs it clean.
+func (c *Cache) fill(l *line, lpn int64) error {
+	var span obs.SpanID
+	if c.tracer != nil {
+		span = c.tracer.Begin(obs.SpanCacheFill, -1, lpn)
+	}
+	err := c.be.ReadSectors(lpn*int64(c.spp), l.data)
+	if c.tracer != nil {
+		c.tracer.End(span)
+	}
+	if err != nil {
+		return err
+	}
+	c.stats.Fills++
+	c.fills.Inc()
+	l.lpn = lpn
+	return nil
+}
+
+// claim returns lpn's way, evicting (with writeback if dirty) and — unless
+// noFetch — filling it on a miss. With noFetch the way is returned empty
+// with lpn installed, for whole-line writes that overwrite every sector.
+func (c *Cache) claim(lpn int64, noFetch bool) (*line, bool, error) {
+	ways := c.set(lpn)
+	if i := c.lookup(ways, lpn); i >= 0 {
+		c.stats.Hits++
+		c.hits.Inc()
+		return &ways[i], true, nil
+	}
+	c.stats.Misses++
+	c.misses.Inc()
+	l := &ways[c.victim(ways)]
+	if l.ndirt > 0 {
+		if err := c.writeback(l); err != nil {
+			return nil, false, err
+		}
+	}
+	l.lpn = -1
+	if noFetch {
+		l.lpn = lpn
+		return l, false, nil
+	}
+	if err := c.fill(l, lpn); err != nil {
+		return nil, false, err
+	}
+	return l, false, nil
+}
+
+// touch stamps l as most recently used.
+func (c *Cache) touch(l *line) {
+	c.tick++
+	l.tick = c.tick
+}
+
+// ReadSectors fills buf from consecutive sectors starting at lba, serving
+// from resident lines and filling missing ones from the backend. Errors are
+// *blockdev.SectorError for bad requests, backend errors otherwise.
+func (c *Cache) ReadSectors(lba int64, buf []byte) error {
+	if len(buf)%blockdev.SectorSize != 0 {
+		return blockdev.AlignError("read", len(buf))
+	}
+	n := len(buf) / blockdev.SectorSize
+	if err := blockdev.CheckRange("read", lba, n, c.sectors); err != nil {
+		return err
+	}
+	for n > 0 {
+		lpn := lba / int64(c.spp)
+		off := int(lba%int64(c.spp)) * blockdev.SectorSize
+		chunk := c.psize - off
+		if chunk > n*blockdev.SectorSize {
+			chunk = n * blockdev.SectorSize
+		}
+		l, hit, err := c.claim(lpn, false)
+		if err != nil {
+			return err
+		}
+		if hit && c.tracer != nil {
+			c.tracer.End(c.tracer.Begin(obs.SpanCacheHit, -1, lpn))
+		}
+		c.touch(l)
+		copy(buf[:chunk], l.data[off:off+chunk])
+		buf = buf[chunk:]
+		lba += int64(chunk / blockdev.SectorSize)
+		n -= chunk / blockdev.SectorSize
+	}
+	return nil
+}
+
+// WriteSectors buffers buf into the cache at consecutive sectors starting
+// at lba. Data is dirty in memory until Flush or eviction writes it back; a
+// write covering a whole line never touches the backend on the way in.
+func (c *Cache) WriteSectors(lba int64, buf []byte) error {
+	if len(buf)%blockdev.SectorSize != 0 {
+		return blockdev.AlignError("write", len(buf))
+	}
+	n := len(buf) / blockdev.SectorSize
+	if err := blockdev.CheckRange("write", lba, n, c.sectors); err != nil {
+		return err
+	}
+	for n > 0 {
+		lpn := lba / int64(c.spp)
+		first := int(lba % int64(c.spp))
+		off := first * blockdev.SectorSize
+		chunk := c.psize - off
+		if chunk > n*blockdev.SectorSize {
+			chunk = n * blockdev.SectorSize
+		}
+		whole := off == 0 && chunk == c.psize
+		l, hit, err := c.claim(lpn, whole)
+		if err != nil {
+			return err
+		}
+		if hit && c.tracer != nil {
+			c.tracer.End(c.tracer.Begin(obs.SpanCacheHit, -1, lpn))
+		}
+		c.touch(l)
+		copy(l.data[off:off+chunk], buf[:chunk])
+		for s := first; s < first+chunk/blockdev.SectorSize; s++ {
+			w, b := s/64, uint(s%64)
+			if l.dirty[w]&(1<<b) == 0 {
+				l.dirty[w] |= 1 << b
+				l.ndirt++
+			}
+		}
+		buf = buf[chunk:]
+		lba += int64(chunk / blockdev.SectorSize)
+		n -= chunk / blockdev.SectorSize
+	}
+	return nil
+}
+
+// Flush writes every dirty line back to the backend in ascending page
+// order (deterministic, and sequential at the flash) and leaves the lines
+// resident and clean. The /flush endpoint and server shutdown call it.
+func (c *Cache) Flush() error {
+	c.scratch = c.scratch[:0]
+	for i := range c.lines {
+		if c.lines[i].ndirt > 0 {
+			c.scratch = append(c.scratch, c.lines[i].lpn)
+		}
+	}
+	sort.Slice(c.scratch, func(i, j int) bool { return c.scratch[i] < c.scratch[j] })
+	for _, lpn := range c.scratch {
+		ways := c.set(lpn)
+		i := c.lookup(ways, lpn)
+		if i < 0 || ways[i].ndirt == 0 {
+			continue
+		}
+		if err := c.writeback(&ways[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DirtyLines returns the page numbers of all dirty lines in ascending
+// order — exactly the pages whose latest data a power cut would lose.
+func (c *Cache) DirtyLines() []int64 {
+	var out []int64
+	for i := range c.lines {
+		if c.lines[i].ndirt > 0 {
+			out = append(out, c.lines[i].lpn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Drop discards every line, dirty or not, without writing anything back —
+// a simulated power cut. The backend is left holding whatever the last
+// writebacks persisted.
+func (c *Cache) Drop() {
+	for i := range c.lines {
+		if c.lines[i].ndirt > 0 {
+			c.stats.DroppedLines++
+		}
+		c.lines[i].lpn = -1
+		c.lines[i].ndirt = 0
+		c.lines[i].tick = 0
+		for w := range c.lines[i].dirty {
+			c.lines[i].dirty[w] = 0
+		}
+	}
+}
+
+// DirtySectors returns the total number of dirty sectors held in memory.
+func (c *Cache) DirtySectors() int {
+	total := 0
+	for i := range c.lines {
+		total += c.lines[i].ndirt
+	}
+	return total
+}

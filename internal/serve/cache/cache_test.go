@@ -1,0 +1,374 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/dftl"
+	"flashswl/internal/ftl"
+	"flashswl/internal/mtd"
+	"flashswl/internal/nand"
+	"flashswl/internal/nftl"
+	"flashswl/internal/obs"
+)
+
+const testPageSize = 1024
+
+// newDevice builds a fresh data-retaining stack for the named layer.
+func newDevice(t *testing.T, layer string) *blockdev.Device {
+	t.Helper()
+	chip := nand.New(nand.Config{
+		Geometry:  nand.Geometry{Blocks: 32, PagesPerBlock: 8, PageSize: testPageSize, SpareSize: 32},
+		StoreData: true,
+	})
+	dev := mtd.New(chip)
+	var store blockdev.PageStore
+	var err error
+	switch layer {
+	case "ftl":
+		store, err = ftl.New(dev, ftl.Config{LogicalPages: 160})
+	case "nftl":
+		store, err = nftl.New(dev, nftl.Config{VirtualBlocks: 20})
+	case "dftl":
+		store, err = dftl.New(dev, dftl.Config{LogicalPages: 160})
+	default:
+		t.Fatalf("unknown layer %q", layer)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := blockdev.New(store, testPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// frontend is the common read/write surface of a cached and an uncached
+// stack, so the differential test drives both identically.
+type frontend interface {
+	ReadSectors(lba int64, buf []byte) error
+	WriteSectors(lba int64, buf []byte) error
+	Sectors() int64
+}
+
+// TestDifferential drives an identical random sector workload through a
+// cached stack and an uncached oracle for every layer and several cache
+// shapes (including interleaved reads and periodic flushes) and requires
+// byte-identical results throughout.
+func TestDifferential(t *testing.T) {
+	for _, layer := range []string{"ftl", "nftl", "dftl"} {
+		for _, shape := range []Config{
+			{PageSize: testPageSize, Pages: 1, Assoc: 1},
+			{PageSize: testPageSize, Pages: 4, Assoc: 2},
+			{PageSize: testPageSize, Pages: 8},
+			{PageSize: testPageSize, Pages: 64, Assoc: 8},
+		} {
+			shape := shape
+			t.Run(fmt.Sprintf("%s/p%da%d", layer, shape.Pages, shape.Assoc), func(t *testing.T) {
+				oracle := newDevice(t, layer)
+				backing := newDevice(t, layer)
+				c, err := New(backing, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffWorkload(t, c, oracle, 2000)
+				// After a final flush the backing device itself — read
+				// around the cache — must agree with the oracle too.
+				if err := c.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				a := make([]byte, oracle.Size())
+				b := make([]byte, backing.Size())
+				if err := oracle.ReadSectors(0, a); err != nil {
+					t.Fatal(err)
+				}
+				if err := backing.ReadSectors(0, b); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Error("flushed backing device diverged from the oracle")
+				}
+				if c.DirtySectors() != 0 {
+					t.Errorf("%d dirty sectors survived Flush", c.DirtySectors())
+				}
+			})
+		}
+	}
+}
+
+// diffWorkload runs n random mixed operations against both frontends,
+// comparing every read's bytes and every error.
+func diffWorkload(t *testing.T, got, want frontend, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	sectors := want.Sectors()
+	for i := 0; i < n; i++ {
+		count := 1 + rng.Intn(6)
+		lba := rng.Int63n(sectors - int64(count))
+		buf := make([]byte, count*blockdev.SectorSize)
+		switch rng.Intn(4) {
+		case 0, 1: // write
+			for j := range buf {
+				buf[j] = byte(rng.Intn(256))
+			}
+			ref := append([]byte(nil), buf...)
+			errA := got.WriteSectors(lba, buf)
+			errB := want.WriteSectors(lba, ref)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: write error mismatch: cached %v, oracle %v", i, errA, errB)
+			}
+		case 2: // read and compare
+			ref := make([]byte, len(buf))
+			errA := got.ReadSectors(lba, buf)
+			errB := want.ReadSectors(lba, ref)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("op %d: read error mismatch: cached %v, oracle %v", i, errA, errB)
+			}
+			if errA == nil && !bytes.Equal(buf, ref) {
+				t.Fatalf("op %d: read [%d,+%d) diverged", i, lba, count)
+			}
+		case 3: // occasionally flush the cached side
+			if c, ok := got.(*Cache); ok && rng.Intn(4) == 0 {
+				if err := c.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	full := make([]byte, sectors*blockdev.SectorSize)
+	ref := make([]byte, len(full))
+	if err := got.ReadSectors(0, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.ReadSectors(0, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, ref) {
+		t.Fatal("full read-back diverged")
+	}
+}
+
+// TestPowerCutLosesExactlyDirtyLines asserts the dirty-loss contract: a
+// Drop after a Flush loses precisely the pages DirtyLines reported —
+// flushed data survives, unflushed data reverts.
+func TestPowerCutLosesExactlyDirtyLines(t *testing.T) {
+	dev := newDevice(t, "ftl")
+	c, err := New(dev, Config{PageSize: testPageSize, Pages: 16, Assoc: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spp := int64(testPageSize / blockdev.SectorSize)
+	pageBuf := func(v byte) []byte { return bytes.Repeat([]byte{v}, testPageSize) }
+
+	// Phase A: durable data on pages 0..7, flushed down.
+	for p := int64(0); p < 8; p++ {
+		if err := c.WriteSectors(p*spp, pageBuf(byte(0xA0+p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DirtyLines(); len(got) != 0 {
+		t.Fatalf("dirty after flush: %v", got)
+	}
+
+	// Phase B: overwrite pages 2 and 5, dirty in memory only.
+	for _, p := range []int64{2, 5} {
+		if err := c.WriteSectors(p*spp, pageBuf(0xEE)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := c.DirtyLines()
+	if len(dirty) != 2 || dirty[0] != 2 || dirty[1] != 5 {
+		t.Fatalf("DirtyLines = %v, want [2 5]", dirty)
+	}
+
+	// Power cut.
+	c.Drop()
+	if st := c.Stats(); st.DroppedLines != 2 {
+		t.Errorf("DroppedLines = %d, want 2", st.DroppedLines)
+	}
+
+	// Exactly the dirty pages reverted; everything else survived.
+	got := make([]byte, testPageSize)
+	for p := int64(0); p < 8; p++ {
+		if err := c.ReadSectors(p*spp, got); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(0xA0 + p)
+		if got[0] != want || got[testPageSize-1] != want {
+			t.Errorf("page %d after power cut = %#x, want %#x (phase-A value)", p, got[0], want)
+		}
+	}
+}
+
+// TestEvictionPrefersCleanThenWholePages pins the victim-selection bias:
+// clean lines are evicted before dirty ones, and fully dirty lines before
+// partially dirty ones.
+func TestEvictionPrefersCleanThenWholePages(t *testing.T) {
+	dev := newDevice(t, "ftl")
+	// One set with four ways: page numbers are congruent mod 1.
+	c, err := New(dev, Config{PageSize: testPageSize, Pages: 4, Assoc: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spp := int64(testPageSize / blockdev.SectorSize)
+	page := bytes.Repeat([]byte{0x11}, testPageSize)
+	sector := bytes.Repeat([]byte{0x22}, blockdev.SectorSize)
+
+	// Ways: page 0 clean (read fill), page 1 fully dirty, page 2 partially
+	// dirty, page 3 fully dirty.
+	if err := c.ReadSectors(0, make([]byte, testPageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSectors(1*spp, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSectors(2*spp, sector); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSectors(3*spp, page); err != nil {
+		t.Fatal(err)
+	}
+
+	// Miss on page 4: the clean page 0 must go — no writeback happens.
+	before := c.Stats().Writebacks
+	if err := c.WriteSectors(4*spp, page); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Writebacks; got != before {
+		t.Fatalf("evicting a clean line wrote back (%d -> %d)", before, got)
+	}
+
+	// Miss on page 5: a fully dirty line (1 or 3) must go before the
+	// partially dirty page 2.
+	if err := c.WriteSectors(5*spp, page); err != nil {
+		t.Fatal(err)
+	}
+	stillDirty := c.DirtyLines()
+	for _, lpn := range stillDirty {
+		if lpn == 2 {
+			goto ok
+		}
+	}
+	t.Fatalf("partial-dirty page 2 was evicted before a fully dirty line (dirty now: %v)", stillDirty)
+ok:
+	if st := c.Stats(); st.WritebackSectors != int64(spp) {
+		t.Errorf("WritebackSectors = %d, want %d (one whole line)", st.WritebackSectors, spp)
+	}
+}
+
+// TestErrorParity requires the cache to fail addressing mistakes with the
+// same typed *blockdev.SectorError the bare device returns.
+func TestErrorParity(t *testing.T) {
+	dev := newDevice(t, "ftl")
+	c, err := New(dev, Config{PageSize: testPageSize, Pages: 4, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, op := range map[string]func(frontend) error{
+		"read out of range":  func(f frontend) error { return f.ReadSectors(f.Sectors(), make([]byte, blockdev.SectorSize)) },
+		"write out of range": func(f frontend) error { return f.WriteSectors(-1, make([]byte, blockdev.SectorSize)) },
+		"read unaligned":     func(f frontend) error { return f.ReadSectors(0, make([]byte, 100)) },
+		"write unaligned":    func(f frontend) error { return f.WriteSectors(0, make([]byte, 100)) },
+	} {
+		var cse, dse *blockdev.SectorError
+		cerr, derr := op(c), op(dev)
+		if !errors.As(cerr, &cse) || !errors.As(derr, &dse) {
+			t.Fatalf("%s: cache %v / device %v, want *SectorError from both", name, cerr, derr)
+		}
+		if *cse != *dse {
+			t.Errorf("%s: cache %+v, device %+v", name, cse, dse)
+		}
+	}
+}
+
+// TestObservability checks the cache's counters, events, and spans line up
+// with its stats.
+func TestObservability(t *testing.T) {
+	dev := newDevice(t, "ftl")
+	c, err := New(dev, Config{PageSize: testPageSize, Pages: 2, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.SetMetrics(reg)
+	tr := obs.NewTracer(1<<10, nil)
+	c.SetTracer(tr)
+	var events []obs.Event
+	c.SetObserver(obs.SinkFunc(func(e obs.Event) { events = append(events, e) }))
+
+	spp := int64(testPageSize / blockdev.SectorSize)
+	page := bytes.Repeat([]byte{0x33}, testPageSize)
+	for p := int64(0); p < 4; p++ { // 2-line cache: pages 2,3 evict 0,1
+		if err := c.WriteSectors(p*spp, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteSectors(3*spp, page); err != nil { // hit
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Writebacks != 4 {
+		t.Fatalf("stats = %+v, want 1 hit, 4 misses, 4 writebacks", st)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		obs.MetricCacheHits:       st.Hits,
+		obs.MetricCacheMisses:     st.Misses,
+		obs.MetricCacheFills:      st.Fills,
+		obs.MetricCacheWritebacks: st.Writebacks,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	var wbEvents int
+	for _, e := range events {
+		if e.Kind == obs.EvCacheWriteback {
+			wbEvents++
+			if e.Pages != int(spp) {
+				t.Errorf("writeback event Pages = %d, want %d", e.Pages, spp)
+			}
+			if !e.Forced {
+				t.Error("whole-line writeback not marked Forced")
+			}
+		}
+	}
+	if int64(wbEvents) != st.Writebacks {
+		t.Errorf("%d writeback events, want %d", wbEvents, st.Writebacks)
+	}
+	lat := tr.StageLatency()
+	if lat[obs.SpanCacheHit.String()].Count != st.Hits {
+		t.Errorf("cache_hit spans = %d, want %d", lat[obs.SpanCacheHit.String()].Count, st.Hits)
+	}
+	if lat[obs.SpanCacheWriteback.String()].Count != st.Writebacks {
+		t.Errorf("cache_writeback spans = %d, want %d", lat[obs.SpanCacheWriteback.String()].Count, st.Writebacks)
+	}
+}
+
+// TestConfigValidation rejects malformed shapes.
+func TestConfigValidation(t *testing.T) {
+	dev := newDevice(t, "ftl")
+	for _, cfg := range []Config{
+		{PageSize: 100, Pages: 4},
+		{PageSize: 0, Pages: 4},
+		{PageSize: testPageSize, Pages: 0},
+		{PageSize: testPageSize, Pages: -2},
+		{PageSize: testPageSize, Pages: 8, Assoc: 3}, // does not divide
+		{PageSize: testPageSize, Pages: 8, Assoc: -1},
+	} {
+		if _, err := New(dev, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package serve runs a driver+leveler stack as a concurrent block-device
+// service without breaking the single-goroutine confinement contract that
+// swlint enforces on chips and drivers.
+//
+// # Actor model
+//
+// Every Server owns exactly one actor goroutine. The stack — chip, driver,
+// leveler, blockdev.Device, optional cache — is constructed *inside* that
+// goroutine by the Config.Build factory and never escapes it; concurrent
+// clients talk to the actor through a bounded request queue (a channel of
+// Config.QueueDepth). Submitting blocks when the queue is full, which is
+// the server's backpressure. Replies travel over per-request channels, so
+// a caller's buffer is handed to the actor and not touched again until the
+// reply establishes the happens-before edge back.
+//
+// # Batching and coalescing
+//
+// The actor drains the queue in batches: one blocking receive, then
+// non-blocking receives until the queue is momentarily empty. Within a
+// batch, runs of consecutive write requests whose sector ranges abut
+// front-to-back are coalesced into a single device write (one span, one
+// page-aligned pass below, every constituent request acknowledged with the
+// same result). Coalescing never reorders: only adjacent positions in
+// arrival order merge, so a read queued between two writes still observes
+// the first and not the second.
+//
+// # Observability
+//
+// Each request (or coalesced group) runs under a host_request span, with
+// its queue_wait recorded retroactively from the enqueue timestamp, and
+// the cache/translate/GC spans of the work below nesting inside — the same
+// five-signal story replayed traces get. See docs/serving.md.
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"flashswl/internal/blockdev"
+	"flashswl/internal/obs"
+)
+
+// ErrClosed is returned by every Server method after Close has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// Frontend is the sector device the actor drives: a *cache.Cache, a bare
+// *blockdev.Device, or anything shaped like one. It is only ever called
+// from the actor goroutine, so implementations need no locking.
+type Frontend interface {
+	ReadSectors(lba int64, buf []byte) error
+	WriteSectors(lba int64, buf []byte) error
+	Sectors() int64
+}
+
+// Stack is what Config.Build returns: the assembled device stack plus its
+// instrumentation. Every field is owned by the actor goroutine from the
+// moment Build returns; nothing else may touch them.
+type Stack struct {
+	// Front serves reads and writes (required).
+	Front Frontend
+	// Flush pushes dirty state (cache lines, leveler bookkeeping) down to
+	// the flash. Called for /flush requests and once at Close. Optional.
+	Flush func() error
+	// Tracer, when set, records host_request and queue_wait spans around
+	// each request; pass the same tracer wired into the cache and driver
+	// so their spans nest. Optional.
+	Tracer *obs.Tracer
+	// Registry, when set, receives the serve_* counters. Optional.
+	Registry *obs.Registry
+	// Tick runs after every drained batch, on the actor goroutine — the
+	// place to publish monitor snapshots. Optional.
+	Tick func()
+	// Close tears the stack down (export traces, final snapshots) after
+	// the final Flush. Optional.
+	Close func() error
+}
+
+// Config configures a Server. Build is required.
+type Config struct {
+	// Build constructs the stack. It runs on the actor goroutine, so
+	// chips and drivers built inside it satisfy the confinement contract
+	// by construction. Do not capture pre-built confined values in it.
+	Build func() (*Stack, error)
+	// QueueDepth bounds the request queue (default 64). Submissions block
+	// when the queue is full.
+	QueueDepth int
+	// Clock stamps request enqueue times for queue_wait spans. It is
+	// called from client goroutines concurrently, so it must be
+	// thread-safe (time.Now-based, or an atomic counter in tests); it
+	// should be the same clock the Stack's Tracer uses, or the spans it
+	// times will not line up. Optional; without it queue waits record as
+	// zero-length.
+	Clock func() int64
+}
+
+// Stats counts actor activity. Returned by value; safe to keep.
+type Stats struct {
+	// Requests counts submitted operations (reads, writes, flushes).
+	Requests int64 `json:"requests"`
+	// Batches counts queue drains; Requests/Batches is the mean batch.
+	Batches int64 `json:"batches"`
+	// Coalesced counts write requests that were merged into a preceding
+	// adjacent write instead of reaching the device on their own.
+	Coalesced int64 `json:"coalesced"`
+}
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opFlush
+	opStats
+	opExec
+)
+
+// request is one queued operation; done carries the result back and, for
+// opStats and opExec, stats or fn carry the payload.
+type request struct {
+	op    opKind
+	lba   int64
+	buf   []byte
+	enq   int64
+	stats *Stats
+	fn    func() error
+	done  chan error
+}
+
+// Server fronts one actor-owned device stack. All methods are safe for
+// concurrent use by any number of goroutines; the zero value is not usable,
+// construct with New.
+type Server struct {
+	reqs    chan request
+	clock   func() int64
+	sectors int64
+
+	mu     sync.RWMutex // guards closed vs. in-flight submissions
+	closed bool
+	done   chan struct{}
+	err    error // Close result, valid after done
+}
+
+// New starts the actor, runs cfg.Build on it, and returns once the stack
+// is up (or Build's error). The returned Server is ready for concurrent
+// callers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Build == nil {
+		return nil, errors.New("serve: Config.Build is required")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	s := &Server{
+		reqs:  make(chan request, depth),
+		clock: cfg.Clock,
+		done:  make(chan struct{}),
+	}
+	type initResult struct {
+		sectors int64
+		err     error
+	}
+	init := make(chan initResult, 1)
+	go func() {
+		stack, err := cfg.Build()
+		if err != nil {
+			init <- initResult{err: err}
+			close(s.done)
+			return
+		}
+		init <- initResult{sectors: stack.Front.Sectors()}
+		s.err = s.run(stack)
+		close(s.done)
+	}()
+	res := <-init
+	if res.err != nil {
+		return nil, res.err
+	}
+	s.sectors = res.sectors
+	return s, nil
+}
+
+// Sectors returns the device capacity in sectors.
+func (s *Server) Sectors() int64 { return s.sectors }
+
+// submit enqueues a request and waits for the actor's reply.
+func (s *Server) submit(req request) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	if s.clock != nil {
+		req.enq = s.clock()
+	}
+	req.done = make(chan error, 1)
+	s.reqs <- req
+	s.mu.RUnlock()
+	return <-req.done
+}
+
+// Read fills buf from consecutive sectors starting at lba. buf must not be
+// touched by the caller until Read returns.
+func (s *Server) Read(lba int64, buf []byte) error {
+	return s.submit(request{op: opRead, lba: lba, buf: buf})
+}
+
+// Write stores buf at consecutive sectors starting at lba. The actor may
+// read buf until Write returns; the caller must not mutate it before then.
+func (s *Server) Write(lba int64, buf []byte) error {
+	return s.submit(request{op: opWrite, lba: lba, buf: buf})
+}
+
+// Flush waits for all previously queued writes, then pushes dirty cache
+// lines and leveler state to the flash.
+func (s *Server) Flush() error {
+	return s.submit(request{op: opFlush})
+}
+
+// Stats returns the actor's activity counters, ordered after all requests
+// that were submitted before the call.
+func (s *Server) Stats() (Stats, error) {
+	var st Stats
+	err := s.submit(request{op: opStats, stats: &st})
+	return st, err
+}
+
+// Exec runs fn on the actor goroutine, ordered with the queued requests,
+// and returns its error. It is the only sanctioned way for other
+// goroutines to touch the actor-owned stack (cache statistics, ad-hoc
+// inspection): the caller blocks until fn returns, so values fn writes to
+// shared locations are safely visible afterwards.
+func (s *Server) Exec(fn func() error) error {
+	return s.submit(request{op: opExec, fn: fn})
+}
+
+// Close stops accepting requests, lets the actor drain the queue, flushes,
+// tears the stack down, and returns the first error from that shutdown
+// sequence. Safe to call more than once; later calls return the same
+// result.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqs)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.err
+}
+
+// run is the actor loop: drain batches until the queue closes, then flush
+// and tear down. Runs entirely on the actor goroutine.
+func (s *Server) run(stack *Stack) error {
+	var (
+		requests *obs.Counter
+		batches  *obs.Counter
+		coal     *obs.Counter
+	)
+	if stack.Registry != nil {
+		requests = stack.Registry.Counter(obs.MetricServeRequests)
+		batches = stack.Registry.Counter(obs.MetricServeBatches)
+		coal = stack.Registry.Counter(obs.MetricServeCoalesced)
+	}
+	var stats Stats
+	batch := make([]request, 0, cap(s.reqs))
+	var joined []byte // scratch for coalesced write payloads
+	for {
+		req, ok := <-s.reqs
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], req)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		stats.Batches++
+		batches.Inc()
+		stats.Requests += int64(len(batch))
+		requests.Add(int64(len(batch)))
+
+		for i := 0; i < len(batch); {
+			r := batch[i]
+			// Coalesce the run of adjacent writes starting at i.
+			j := i + 1
+			if r.op == opWrite {
+				end := r.lba + int64(len(r.buf)/blockdev.SectorSize)
+				for j < len(batch) && batch[j].op == opWrite && batch[j].lba == end {
+					end += int64(len(batch[j].buf) / blockdev.SectorSize)
+					j++
+				}
+			}
+			var err error
+			switch {
+			case r.op == opStats:
+				*r.stats = stats
+			case r.op == opExec:
+				err = r.fn()
+			case r.op == opFlush:
+				if stack.Flush != nil {
+					err = stack.Flush()
+				}
+			case r.op == opRead:
+				err = s.serveOne(stack, r, func() error {
+					return stack.Front.ReadSectors(r.lba, r.buf)
+				})
+			case j == i+1: // lone write
+				err = s.serveOne(stack, r, func() error {
+					return stack.Front.WriteSectors(r.lba, r.buf)
+				})
+			default: // coalesced write run batch[i:j]
+				joined = joined[:0]
+				for k := i; k < j; k++ {
+					joined = append(joined, batch[k].buf...)
+				}
+				merged := request{op: opWrite, lba: r.lba, buf: joined, enq: r.enq}
+				err = s.serveOne(stack, merged, func() error {
+					return stack.Front.WriteSectors(r.lba, joined)
+				})
+				n := int64(j - i - 1)
+				stats.Coalesced += n
+				coal.Add(n)
+				// Record the absorbed requests' queue waits too.
+				if stack.Tracer != nil && s.clock != nil {
+					now := s.clock()
+					for k := i + 1; k < j; k++ {
+						stack.Tracer.Observe(obs.SpanQueueWait, -1, batch[k].lba, batch[k].enq, now)
+					}
+				}
+			}
+			for k := i; k < j; k++ {
+				batch[k].done <- err
+			}
+			i = j
+		}
+		if stack.Tick != nil {
+			stack.Tick()
+		}
+	}
+	err := error(nil)
+	if stack.Flush != nil {
+		err = stack.Flush()
+	}
+	if stack.Close != nil {
+		if cerr := stack.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// serveOne runs one device operation under a host_request span, recording
+// the request's queue wait first so it nests inside.
+func (s *Server) serveOne(stack *Stack, r request, work func() error) error {
+	if stack.Tracer == nil {
+		return work()
+	}
+	span := stack.Tracer.Begin(obs.SpanHostRequest, -1, r.lba)
+	if s.clock != nil {
+		stack.Tracer.Observe(obs.SpanQueueWait, -1, r.lba, r.enq, s.clock())
+	}
+	err := work()
+	stack.Tracer.EndPages(span, len(r.buf)/blockdev.SectorSize)
+	return err
+}

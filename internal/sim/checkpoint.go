@@ -308,6 +308,9 @@ func (r *Runner) checkCheckpointConfig(src trace.Source) error {
 	if r.cfg.CheckpointPath == "" {
 		return fmt.Errorf("sim: checkpointing configured without CheckpointPath")
 	}
+	if r.cache != nil {
+		return fmt.Errorf("sim: checkpointing is incompatible with CachePages (dirty cache lines are not part of the checkpoint image)")
+	}
 	if r.cfg.CheckpointEvery < 0 {
 		return fmt.Errorf("sim: negative CheckpointEvery %d", r.cfg.CheckpointEvery)
 	}
@@ -350,6 +353,9 @@ func (r *Runner) Events() int64 { return r.events }
 func ResumeState(st *checkpoint.State, cfg Config, src trace.Source) (*Runner, error) {
 	if !bytes.Equal(st.Digest, digestBytes(cfg)) {
 		return nil, fmt.Errorf("sim: checkpoint was taken under a different configuration")
+	}
+	if cfg.CachePages > 0 {
+		return nil, fmt.Errorf("sim: resume is incompatible with CachePages (dirty cache lines are not part of the checkpoint image)")
 	}
 	seek, ok := src.(trace.Seekable)
 	if !ok {

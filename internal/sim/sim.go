@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"flashswl/internal/array"
+	"flashswl/internal/blockdev"
 	"flashswl/internal/core"
 	"flashswl/internal/dftl"
 	"flashswl/internal/faultinject"
@@ -28,6 +29,7 @@ import (
 	"flashswl/internal/nand"
 	"flashswl/internal/nftl"
 	"flashswl/internal/obs"
+	"flashswl/internal/serve/cache"
 	"flashswl/internal/stats"
 	"flashswl/internal/trace"
 )
@@ -136,6 +138,15 @@ type Config struct {
 	// DFTLCache is the DFTL layer's translation-page cache budget (0 =
 	// package default).
 	DFTLCache int
+	// CachePages, when positive, fronts the translation layer with the
+	// flash-aware write-back cache (internal/serve/cache) holding that
+	// many page-sized lines; host writes that hit a resident line are
+	// absorbed in RAM and only reach the flash on eviction or at the final
+	// flush. CacheAssoc sets the ways per set (0 = package default).
+	// Incompatible with checkpointing: the cache's dirty lines are not
+	// part of the checkpoint image.
+	CachePages int
+	CacheAssoc int
 	// Faults, when non-nil, attaches a deterministic fault injector to the
 	// chip (transient program/erase failures, grown-bad blocks, bit flips,
 	// power cuts). The config is copied, so one template may parameterize
@@ -257,6 +268,9 @@ type Result struct {
 	LevelerEpisodes int64
 	// Metrics is the final metrics snapshot when Config.Metrics was set.
 	Metrics *obs.Snapshot
+	// Cache reports the write-back cache's activity when Config.CachePages
+	// was set; nil otherwise.
+	Cache *cache.Stats
 	// StageLatency summarizes per-stage span durations when
 	// Config.TraceSpans was set, keyed by span kind name (see
 	// obs.Tracer.StageLatency). Durations are logical ticks unless
@@ -338,6 +352,13 @@ type Runner struct {
 	leveler Leveler
 	inj     *faultinject.Injector
 	spp     int // sectors per page
+
+	// cache, when Config.CachePages was set, fronts the layer with the
+	// write-back cache; cacheBuf is the reusable scratch page the
+	// data-less trace reads and writes carry through it (its content is
+	// irrelevant — only which pages move matters for endurance).
+	cache    *cache.Cache
+	cacheBuf []byte
 
 	sink          obs.EventSink
 	tracer        *obs.Tracer
@@ -534,9 +555,34 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.leveler = lv
 		r.layer.SetOnErase(lv.OnErase)
 	}
+	if cfg.CachePages > 0 {
+		bdev, err := blockdev.New(r.layer, cfg.Geometry.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cache.New(bdev, cache.Config{
+			PageSize: cfg.Geometry.PageSize,
+			Pages:    cfg.CachePages,
+			Assoc:    cfg.CacheAssoc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.SetObserver(r.sink)
+		c.SetTracer(r.tracer)
+		if r.reg != nil {
+			c.SetMetrics(r.reg)
+		}
+		r.cache = c
+		r.cacheBuf = make([]byte, cfg.Geometry.PageSize)
+	}
 	r.registerChecks()
 	return r, nil
 }
+
+// Cache exposes the write-back cache, or nil when Config.CachePages was
+// unset.
+func (r *Runner) Cache() *cache.Cache { return r.cache }
 
 // Registry returns the metrics registry, or nil when Config.Metrics is off.
 func (r *Runner) Registry() *obs.Registry { return r.reg }
@@ -586,6 +632,11 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 	r.src = src
 	res := &Result{FirstWear: -1}
 	runErr := r.drive(src)
+	if r.cache != nil && runErr == nil {
+		// Push the dirty lines down so the endurance accounting below sees
+		// every host write that must eventually reach the flash.
+		runErr = r.flushCache()
+	}
 	if runErr == nil && r.cfg.CheckpointPath != "" {
 		// Final checkpoint at a clean end, so an interrupted-and-resumed
 		// pipeline always has the finished state on disk. Skipped after an
@@ -649,6 +700,10 @@ func (r *Runner) Run(src trace.Source) (*Result, error) {
 		snap := r.reg.Snapshot()
 		res.Metrics = &snap
 	}
+	if r.cache != nil {
+		st := r.cache.Stats()
+		res.Cache = &st
+	}
 	if r.tracer != nil {
 		res.StageLatency = r.tracer.StageLatency()
 	}
@@ -703,7 +758,14 @@ loop:
 			switch e.Op {
 			case trace.Write:
 				sp := r.tracer.Begin(obs.SpanHostWrite, -1, int64(lpn))
-				err := r.layer.WritePage(lpn, nil)
+				var err error
+				if r.cache != nil {
+					// Whole-line write: allocates without fetching, so a
+					// resident hot page absorbs the write entirely in RAM.
+					err = r.cache.WriteSectors(int64(lpn)*int64(r.spp), r.cacheBuf)
+				} else {
+					err = r.layer.WritePage(lpn, nil)
+				}
 				r.tracer.End(sp)
 				if err != nil {
 					runErr = err
@@ -712,7 +774,12 @@ loop:
 				r.pageWrites++
 			case trace.Read:
 				sp := r.tracer.Begin(obs.SpanHostRead, -1, int64(lpn))
-				_, err := r.layer.ReadPage(lpn, nil)
+				var err error
+				if r.cache != nil {
+					err = r.cache.ReadSectors(int64(lpn)*int64(r.spp), r.cacheBuf)
+				} else {
+					_, err = r.layer.ReadPage(lpn, nil)
+				}
 				r.tracer.End(sp)
 				if err != nil {
 					runErr = err
@@ -736,6 +803,21 @@ loop:
 		}
 	}
 	return runErr
+}
+
+// flushCache writes the cache's dirty lines down, converting an injected
+// power-cut panic into its ordinary error form like drive does.
+func (r *Runner) flushCache() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			cut, ok := faultinject.AsPowerCut(rec)
+			if !ok {
+				panic(rec)
+			}
+			err = cut
+		}
+	}()
+	return r.cache.Flush()
 }
 
 // Run builds a runner for cfg and consumes src. See Runner.Run.
